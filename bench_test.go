@@ -1,0 +1,188 @@
+package bingo
+
+// This file exposes one testing.B benchmark per table/figure of the
+// paper's evaluation, each running the corresponding internal/bench
+// experiment at reduced scale, plus micro-benchmarks of the engine's three
+// primitive operations (the empirical Table 1). Full-scale runs go through
+// cmd/bingobench; see EXPERIMENTS.md for recorded results.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/baseline"
+	"github.com/bingo-rw/bingo/internal/bench"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/walk"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// benchOptions is the reduced-scale configuration used by the testing.B
+// wrappers; it keeps each iteration under a second on a laptop core.
+func benchOptions() bench.Options {
+	o := bench.DefaultOptions(io.Discard)
+	o.Scale = 0.002
+	o.MaxEdges = 100_000
+	o.BatchSize = 2_000
+	o.Rounds = 3
+	o.WalkLength = 20
+	o.MaxWalkers = 500
+	o.Datasets = []string{"AM", "GO"}
+	return o
+}
+
+func runExperiment(b *testing.B, name string, mutate func(*bench.Options)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		if mutate != nil {
+			mutate(&o)
+		}
+		if err := bench.Run(name, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Complexity(b *testing.B)   { runExperiment(b, "table1", nil) }
+func BenchmarkTable2Datasets(b *testing.B)     { runExperiment(b, "table2", nil) }
+func BenchmarkTable4Conversions(b *testing.B)  { runExperiment(b, "table4", nil) }
+func BenchmarkFig9GroupRatios(b *testing.B)    { runExperiment(b, "fig9", nil) }
+func BenchmarkFig11Memory(b *testing.B)        { runExperiment(b, "fig11", nil) }
+func BenchmarkFig12Throughput(b *testing.B)    { runExperiment(b, "fig12", nil) }
+func BenchmarkFig13Breakdown(b *testing.B)     { runExperiment(b, "fig13", nil) }
+func BenchmarkFig14FloatBias(b *testing.B)     { runExperiment(b, "fig14", nil) }
+func BenchmarkFig15aBatchSize(b *testing.B)    { runExperiment(b, "fig15a", nil) }
+func BenchmarkFig15bWalkLength(b *testing.B)   { runExperiment(b, "fig15b", nil) }
+func BenchmarkFig15cDistribution(b *testing.B) { runExperiment(b, "fig15c", nil) }
+func BenchmarkFig16Piecewise(b *testing.B)     { runExperiment(b, "fig16", nil) }
+func BenchmarkAblation(b *testing.B)           { runExperiment(b, "ablation", nil) }
+
+// BenchmarkTable3 runs the headline grid one (app × system) cell at a time
+// so `-bench Table3` reports a per-cell figure.
+func BenchmarkTable3(b *testing.B) {
+	for _, sys := range []string{"Bingo", "KnightKing", "RebuildITS", "FlowWalker"} {
+		b.Run(sys, func(b *testing.B) {
+			runExperiment(b, "table3", func(o *bench.Options) {
+				o.Systems = []string{sys}
+				o.Apps = []string{"DeepWalk"}
+				o.Datasets = []string{"AM"}
+			})
+		})
+	}
+}
+
+// --- engine primitive micro-benchmarks (empirical Table 1 rows) ---------
+
+func benchGraph(b *testing.B, v int, e int64) *graph.CSR {
+	b.Helper()
+	edges := gen.RMAT(v, e, gen.DefaultRMAT, 7)
+	gen.AssignBiases(edges, v, gen.BiasConfig{Kind: gen.BiasDegree})
+	g, err := graph.FromEdges(v, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkBingoSample(b *testing.B) {
+	g := benchGraph(b, 20000, 200000)
+	s, err := core.NewFromCSR(g, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(graph.VertexID(i%20000), r)
+	}
+}
+
+func BenchmarkBingoStreamingInsertDelete(b *testing.B) {
+	g := benchGraph(b, 20000, 200000)
+	s, err := core.NewFromCSR(g, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.VertexID(r.Intn(20000))
+		dst := graph.VertexID(r.Intn(20000))
+		if err := s.Insert(u, dst, uint64(1+r.Intn(1000))); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Delete(u, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBingoBatch(b *testing.B) {
+	g := benchGraph(b, 20000, 200000)
+	w, err := gen.BuildWorkload(g, gen.UpdMixed, 10000, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := core.NewFromCSR(w.Initial, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ups := append([]graph.Update(nil), w.Updates...)
+		b.StartTimer()
+		if _, err := s.ApplyBatch(ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(w.Updates)), "updates/op")
+}
+
+func BenchmarkEngineSampleComparison(b *testing.B) {
+	g := benchGraph(b, 20000, 200000)
+	engines := map[string]walk.Engine{}
+	s, err := core.NewFromCSR(g, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines["Bingo"] = s
+	engines["KnightKing"] = baseline.NewKnightKing(g)
+	engines["RebuildITS"] = baseline.NewRebuildITS(g)
+	engines["FlowWalker"] = baseline.NewFlowWalker(g)
+	for _, name := range []string{"Bingo", "KnightKing", "RebuildITS", "FlowWalker"} {
+		e := engines[name]
+		b.Run(name, func(b *testing.B) {
+			r := xrand.New(1)
+			for i := 0; i < b.N; i++ {
+				e.Sample(graph.VertexID(i%20000), r)
+			}
+		})
+	}
+}
+
+func BenchmarkDeepWalk80(b *testing.B) {
+	g := benchGraph(b, 20000, 200000)
+	s, err := core.NewFromCSR(g, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	starts := make([]graph.VertexID, 1000)
+	for i := range starts {
+		starts[i] = graph.VertexID(i * 20)
+	}
+	cfg := walk.Config{Length: 80, Starts: starts, Seed: 5}
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		res := walk.DeepWalk(s, cfg)
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+}

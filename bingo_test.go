@@ -1,0 +1,235 @@
+package bingo
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	eng, err := FromEdges([]Edge{
+		{Src: 2, Dst: 1, Weight: 5},
+		{Src: 2, Dst: 4, Weight: 4},
+		{Src: 2, Dst: 5, Weight: 3},
+		{Src: 0, Dst: 2, Weight: 1},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestFromEdgesAndSample(t *testing.T) {
+	eng := quickEngine(t)
+	if eng.NumVertices() != 6 || eng.NumEdges() != 4 {
+		t.Fatalf("V=%d E=%d", eng.NumVertices(), eng.NumEdges())
+	}
+	r := NewRand(1)
+	counts := map[VertexID]int{}
+	const draws = 120000
+	for i := 0; i < draws; i++ {
+		v, ok := eng.Sample(2, r)
+		if !ok {
+			t.Fatal("no sample")
+		}
+		counts[v]++
+	}
+	for dst, want := range map[VertexID]float64{1: 5.0 / 12, 4: 4.0 / 12, 5: 3.0 / 12} {
+		got := float64(counts[dst]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(%d) = %v, want %v", dst, got, want)
+		}
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicUpdates(t *testing.T) {
+	eng := quickEngine(t)
+	if err := eng.Insert(2, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Delete(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Degree(2) != 3 || eng.HasEdge(2, 1) || !eng.HasEdge(2, 3) {
+		t.Error("updates not reflected")
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicBatchAndStream(t *testing.T) {
+	a := quickEngine(t)
+	b := quickEngine(t)
+	ups := []Update{
+		Insert(2, 3, 3),
+		Delete(2, 1),
+		Insert(5, 0, 7),
+		Delete(4, 4), // not live → NotFound via batch, skipped via stream
+	}
+	res, err := a.ApplyBatch(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 2 || res.Deleted != 1 || res.NotFound != 1 {
+		t.Fatalf("batch result %+v", res)
+	}
+	if err := b.ApplyStream(ups); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Errorf("batch %d edges vs stream %d", a.NumEdges(), b.NumEdges())
+	}
+	for _, e := range []*Engine{a, b} {
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublicValidation(t *testing.T) {
+	if _, err := FromEdges([]Edge{{Src: 0, Dst: 1, Weight: 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := FromEdges([]Edge{{Src: 0, Dst: 1, Weight: 0.5}}); err == nil {
+		t.Error("sub-integer weight accepted in integer mode")
+	}
+	if _, err := FromEdges([]Edge{{Src: 0, Dst: 1, Weight: 0.5}}, WithFloatWeights(0)); err != nil {
+		t.Errorf("float mode rejected fractional weight: %v", err)
+	}
+	if _, err := New(4, WithFloatWeights(-1)); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := New(4, WithRadixBits(99)); err == nil {
+		t.Error("bad radix bits accepted")
+	}
+	if _, err := New(4, WithThresholds(5, 50)); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+	eng := quickEngine(t)
+	if _, err := eng.ApplyBatch([]Update{{Op: Op(9), Src: 0, Dst: 1}}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := eng.ApplyBatch([]Update{Insert(0, 1, -3)}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestPublicFloatWeights(t *testing.T) {
+	eng, err := FromEdges([]Edge{
+		{Src: 0, Dst: 1, Weight: 0.554},
+		{Src: 0, Dst: 2, Weight: 0.726},
+		{Src: 0, Dst: 3, Weight: 0.320},
+	}, WithFloatWeights(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(2)
+	counts := map[VertexID]int{}
+	const draws = 150000
+	for i := 0; i < draws; i++ {
+		v, _ := eng.Sample(0, r)
+		counts[v]++
+	}
+	total := 0.554 + 0.726 + 0.320
+	for dst, w := range map[VertexID]float64{1: 0.554, 2: 0.726, 3: 0.320} {
+		got := float64(counts[dst]) / draws
+		if math.Abs(got-w/total) > 0.01 {
+			t.Errorf("P(%d) = %v, want %v", dst, got, w/total)
+		}
+	}
+}
+
+func TestPublicWalks(t *testing.T) {
+	eng, err := FromEdges([]Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 0, Weight: 1}, {Src: 2, Dst: 3, Weight: 2},
+		{Src: 3, Dst: 0, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := eng.DeepWalk(WalkOptions{Length: 10, Seed: 1, CountVisits: true})
+	if dw.Walkers != 4 || dw.Steps == 0 {
+		t.Errorf("DeepWalk result %+v", dw)
+	}
+	n2v := eng.Node2Vec(WalkOptions{Length: 10, Seed: 1})
+	if n2v.Steps == 0 {
+		t.Error("node2vec made no steps")
+	}
+	ppr := eng.PPR(WalkOptions{Seed: 1, CountVisits: true})
+	if ppr.Steps == 0 || ppr.Visits == nil {
+		t.Error("PPR result empty")
+	}
+	ss := eng.SimpleSampling(WalkOptions{Length: 50, Starts: []VertexID{2}, Seed: 1})
+	if ss.Steps != 50 {
+		t.Errorf("SimpleSampling steps %d", ss.Steps)
+	}
+}
+
+func TestFromEdgeList(t *testing.T) {
+	in := "# demo\n0 1 5\n0 2 4\n1 0\n"
+	eng, err := FromEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumEdges() != 3 || eng.Degree(0) != 2 {
+		t.Error("edge list parse wrong")
+	}
+	if _, err := FromEdgeList(strings.NewReader("garbage here x\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMemoryReported(t *testing.T) {
+	eng := quickEngine(t)
+	if eng.Memory() <= 0 {
+		t.Error("Memory() not positive")
+	}
+}
+
+func TestEngineGrowth(t *testing.T) {
+	eng, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Insert(10, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumVertices() < 21 || !eng.HasEdge(10, 20) {
+		t.Error("vertex growth failed")
+	}
+}
+
+func TestStatsSnapshotRoundTrip(t *testing.T) {
+	eng := quickEngine(t)
+	st := eng.Stats()
+	if st.Vertices != 6 || st.Edges != 4 || st.Memory <= 0 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.DenseGroups+st.OneElementGroups+st.SparseGroups+st.RegularGroups == 0 {
+		t.Error("no groups reported")
+	}
+	if st.Lambda != 0 {
+		t.Error("integer engine reports lambda")
+	}
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != eng.NumEdges() {
+		t.Errorf("snapshot round trip: %d vs %d edges", back.NumEdges(), eng.NumEdges())
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

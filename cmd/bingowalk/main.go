@@ -1,0 +1,145 @@
+// Command bingowalk runs a random-walk application over an edge-list file
+// (or a generated dataset) with the Bingo engine, optionally applying an
+// update stream between walk rounds. It prints timing, throughput, and the
+// most-visited vertices.
+//
+// Usage:
+//
+//	bingowalk -graph edges.txt -app deepwalk -length 80
+//	bingowalk -dataset LJ -scale 0.005 -app ppr -updates 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/walk"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file ('src dst [bias]' lines)")
+		dataset   = flag.String("dataset", "", "generate a paper dataset instead (AM|GO|CT|LJ|TW)")
+		scale     = flag.Float64("scale", 0.01, "dataset scale when -dataset is used")
+		app       = flag.String("app", "deepwalk", "application: deepwalk|node2vec|ppr|simple")
+		length    = flag.Int("length", 80, "walk length")
+		walkersN  = flag.Int("walkers", 0, "number of walkers (0 = one per vertex)")
+		updates   = flag.Int("updates", 0, "apply this many mixed updates before walking")
+		seed      = flag.Uint64("seed", 1, "seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = 1)")
+		top       = flag.Int("top", 10, "print the top-N visited vertices")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+	st := g.ComputeStats()
+	fmt.Printf("graph: %d vertices, %d edges, avg degree %.1f, max degree %d\n",
+		st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree)
+
+	cfg := core.DefaultConfig()
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	t0 := time.Now()
+	var eng *core.Sampler
+	if *updates > 0 {
+		w, err := gen.BuildWorkload(g, gen.UpdMixed, *updates, 1, *seed)
+		if err != nil {
+			fail(err)
+		}
+		eng, err = core.NewFromCSR(w.Initial, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("build: %v\n", time.Since(t0).Round(time.Millisecond))
+		t1 := time.Now()
+		if _, err := eng.ApplyBatch(w.Updates); err != nil {
+			fail(err)
+		}
+		d := time.Since(t1)
+		fmt.Printf("updates: %d in %v (%.0f updates/s)\n",
+			len(w.Updates), d.Round(time.Millisecond), float64(len(w.Updates))/d.Seconds())
+	} else {
+		eng, err = core.NewFromCSR(g, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("build: %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("engine memory: %.2f MB\n", float64(eng.Footprint())/1e6)
+
+	apps := map[string]walk.App{
+		"deepwalk": walk.AppDeepWalk, "node2vec": walk.AppNode2Vec,
+		"ppr": walk.AppPPR, "simple": walk.AppSimple,
+	}
+	a, ok := apps[*app]
+	if !ok {
+		fail(fmt.Errorf("unknown app %q", *app))
+	}
+	wcfg := walk.Config{Length: *length, Seed: *seed, Workers: *workers, CountVisits: true}
+	if *walkersN > 0 {
+		starts := make([]graph.VertexID, *walkersN)
+		for i := range starts {
+			starts[i] = graph.VertexID(i % eng.NumVertices())
+		}
+		wcfg.Starts = starts
+	}
+	t2 := time.Now()
+	res := walk.Run(a, eng, wcfg)
+	d := time.Since(t2)
+	fmt.Printf("%s: %d walkers, %d steps in %v (%.0f steps/s)\n",
+		*app, res.Walkers, res.Steps, d.Round(time.Millisecond), float64(res.Steps)/d.Seconds())
+
+	type vc struct {
+		v graph.VertexID
+		c int64
+	}
+	var counts []vc
+	for v, c := range res.Visits {
+		if c > 0 {
+			counts = append(counts, vc{graph.VertexID(v), c})
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i].c > counts[j].c })
+	if len(counts) > *top {
+		counts = counts[:*top]
+	}
+	fmt.Printf("top %d visited:\n", len(counts))
+	for _, e := range counts {
+		fmt.Printf("  vertex %-10d %d visits\n", e.v, e.c)
+	}
+}
+
+func loadGraph(path, dataset string, scale float64, seed uint64) (*graph.CSR, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	case dataset != "":
+		d, err := gen.DatasetByAbbr(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Generate(scale, seed)
+	default:
+		return nil, fmt.Errorf("one of -graph or -dataset is required")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bingowalk:", err)
+	os.Exit(1)
+}

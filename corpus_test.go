@@ -1,0 +1,130 @@
+package bingo
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteDeepWalkCorpus(t *testing.T) {
+	eng, err := FromEdges([]Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 0, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := eng.WriteDeepWalkCorpus(WalkOptions{Length: 10, Seed: 3}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || res.Walkers != 3 {
+		t.Fatalf("lines %d, walkers %d", len(lines), res.Walkers)
+	}
+	var steps int64
+	for li, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 11 { // start + 10 hops on a cycle
+			t.Fatalf("line %d has %d fields", li, len(fields))
+		}
+		// Consecutive vertices must be actual edges of the cycle.
+		prev := -1
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 0 || v > 2 {
+				t.Fatalf("bad vertex %q", f)
+			}
+			if prev >= 0 {
+				if v != (prev+1)%3 {
+					t.Fatalf("non-edge transition %d→%d", prev, v)
+				}
+				steps++
+			}
+			prev = v
+		}
+	}
+	if steps != res.Steps {
+		t.Errorf("corpus steps %d, result says %d", steps, res.Steps)
+	}
+}
+
+func TestWriteDeepWalkCorpusDeadEnd(t *testing.T) {
+	eng, err := FromEdges([]Edge{{Src: 0, Dst: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := eng.WriteDeepWalkCorpus(WalkOptions{Length: 10, Seed: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "0 1" {
+		t.Errorf("walk from 0 = %q, want \"0 1\"", lines[0])
+	}
+	if lines[1] != "1" {
+		t.Errorf("walk from dead-end 1 = %q, want \"1\"", lines[1])
+	}
+}
+
+func TestPublicUpdateWeightAndDeleteVertex(t *testing.T) {
+	eng := quickEngine(t)
+	if err := eng.UpdateWeight(2, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.UpdateWeight(2, 1, 0.4); err == nil {
+		t.Error("sub-integer weight accepted in integer mode")
+	}
+	if err := eng.DeleteVertex(2); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Degree(2) != 0 {
+		t.Error("DeleteVertex left edges")
+	}
+	if err := eng.DeleteVertexEverywhere(1); err != nil {
+		t.Fatal(err)
+	}
+	if eng.HasEdge(0, 1) {
+		t.Error("in-edge to 1 survived DeleteVertexEverywhere")
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failingWriter errors after n bytes, for error-path coverage.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n -= len(p)
+	if f.n < 0 {
+		return 0, errWriterFull
+	}
+	return len(p), nil
+}
+
+var errWriterFull = &writerFullError{}
+
+type writerFullError struct{}
+
+func (*writerFullError) Error() string { return "writer full" }
+
+func TestWriteDeepWalkCorpusWriterError(t *testing.T) {
+	eng, err := FromEdges([]Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 0, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := make([]VertexID, 10000)
+	_, err = eng.WriteDeepWalkCorpus(WalkOptions{Length: 80, Starts: starts, Seed: 1}, &failingWriter{n: 64})
+	if err == nil {
+		t.Error("writer error swallowed")
+	}
+}

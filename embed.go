@@ -1,0 +1,77 @@
+package bingo
+
+import (
+	"github.com/bingo-rw/bingo/internal/embed"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/walk"
+)
+
+// EmbedOptions configure SkipGram-negative-sampling training over a walk
+// corpus (the paper's §2.2 representation-learning pipeline).
+type EmbedOptions struct {
+	// Dim is the embedding dimension (default 64).
+	Dim int
+	// Window is the maximum SkipGram context distance (default 5).
+	Window int
+	// Negatives is the negative-sample count per positive (default 5).
+	Negatives int
+	// Rate is the initial learning rate (default 0.025).
+	Rate float64
+	// Epochs is the number of passes over the corpus (default 1).
+	Epochs int
+	// Seed drives initialization and negative sampling.
+	Seed uint64
+}
+
+// Embedding holds trained vertex embeddings.
+type Embedding struct {
+	m        *embed.Model
+	appeared []bool
+}
+
+// Vector returns v's embedding (aliases internal storage; do not mutate).
+func (e *Embedding) Vector(v VertexID) []float32 { return e.m.Vector(v) }
+
+// Similarity returns the cosine similarity of two vertices.
+func (e *Embedding) Similarity(a, b VertexID) float64 { return e.m.Similarity(a, b) }
+
+// Similar is a nearest-neighbor query result.
+type Similar struct {
+	Vertex VertexID
+	Score  float64
+}
+
+// MostSimilar returns the k vertices most similar to v among those that
+// appeared in the training corpus.
+func (e *Embedding) MostSimilar(v VertexID, k int) []Similar {
+	ns := e.m.MostSimilar(v, k, func(u graph.VertexID) bool { return e.appeared[u] })
+	out := make([]Similar, len(ns))
+	for i, n := range ns {
+		out[i] = Similar{Vertex: n.Vertex, Score: n.Score}
+	}
+	return out
+}
+
+// TrainEmbeddings generates a DeepWalk corpus with the given walk options
+// and fits SGNS embeddings to it — the paper's end-to-end graph-learning
+// pipeline (walks → sentences → SkipGram). On dynamic graphs, call it again
+// after updates to refresh the representation.
+func (e *Engine) TrainEmbeddings(wo WalkOptions, eo EmbedOptions) (*Embedding, error) {
+	var corpus [][]graph.VertexID
+	appeared := make([]bool, e.NumVertices())
+	walk.DeepWalkPaths(e.s, wo.internal(), func(p []graph.VertexID) {
+		cp := append([]graph.VertexID(nil), p...)
+		corpus = append(corpus, cp)
+		for _, v := range cp {
+			appeared[v] = true
+		}
+	})
+	m, err := embed.Train(corpus, e.NumVertices(), embed.Config{
+		Dim: eo.Dim, Window: eo.Window, Negatives: eo.Negatives,
+		Rate: eo.Rate, Epochs: eo.Epochs, Seed: eo.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Embedding{m: m, appeared: appeared}, nil
+}

@@ -1,0 +1,57 @@
+package bingo
+
+import "testing"
+
+func TestTrainEmbeddings(t *testing.T) {
+	// Two disconnected cliques must embed into separable clusters.
+	var edges []Edge
+	r := NewRand(5)
+	for c := 0; c < 2; c++ {
+		base := VertexID(c * 10)
+		for i := 0; i < 120; i++ {
+			u := base + VertexID(r.Intn(10))
+			v := base + VertexID(r.Intn(10))
+			if u != v {
+				edges = append(edges, Edge{Src: u, Dst: v, Weight: 1})
+			}
+		}
+	}
+	eng, err := FromEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := eng.TrainEmbeddings(
+		WalkOptions{Length: 20, Seed: 3},
+		EmbedOptions{Dim: 16, Epochs: 4, Seed: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Vector(0)) != 16 {
+		t.Fatal("vector dim wrong")
+	}
+	intra := emb.Similarity(0, 5)
+	inter := emb.Similarity(0, 15)
+	if intra <= inter {
+		t.Errorf("intra-clique similarity %.3f <= inter-clique %.3f", intra, inter)
+	}
+	top := emb.MostSimilar(0, 5)
+	if len(top) != 5 {
+		t.Fatalf("MostSimilar returned %d", len(top))
+	}
+	for _, s := range top {
+		if s.Vertex >= 10 {
+			t.Errorf("cross-clique vertex %d in top-5 (score %.3f)", s.Vertex, s.Score)
+		}
+	}
+}
+
+func TestTrainEmbeddingsEmptyGraph(t *testing.T) {
+	eng, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.TrainEmbeddings(WalkOptions{Length: 5}, EmbedOptions{}); err == nil {
+		t.Error("embedding an edgeless graph should fail (no usable walks)")
+	}
+}

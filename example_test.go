@@ -1,0 +1,109 @@
+package bingo_test
+
+import (
+	"fmt"
+
+	bingo "github.com/bingo-rw/bingo"
+)
+
+// The package-level example walks through the full lifecycle: build,
+// sample, update, walk.
+func Example() {
+	eng, err := bingo.FromEdges([]bingo.Edge{
+		{Src: 0, Dst: 1, Weight: 5},
+		{Src: 0, Dst: 2, Weight: 4},
+		{Src: 0, Dst: 3, Weight: 3},
+		{Src: 1, Dst: 0, Weight: 1},
+		{Src: 2, Dst: 0, Weight: 1},
+		{Src: 3, Dst: 0, Weight: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edges:", eng.NumEdges())
+
+	// O(K) streaming updates.
+	if err := eng.Insert(0, 4, 8); err != nil {
+		panic(err)
+	}
+	if err := eng.Delete(0, 1); err != nil {
+		panic(err)
+	}
+	fmt.Println("degree of 0:", eng.Degree(0))
+
+	// O(1) biased sampling.
+	r := bingo.NewRand(1)
+	if v, ok := eng.Sample(0, r); ok {
+		fmt.Println("sampled a neighbor:", v <= 4)
+	}
+	// Output:
+	// edges: 6
+	// degree of 0: 3
+	// sampled a neighbor: true
+}
+
+func ExampleEngine_ApplyBatch() {
+	eng, _ := bingo.New(8)
+	res, err := eng.ApplyBatch([]bingo.Update{
+		bingo.Insert(0, 1, 5),
+		bingo.Insert(0, 2, 3),
+		bingo.Delete(0, 7), // not live: counted, skipped
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inserted=%d deleted=%d notFound=%d\n", res.Inserted, res.Deleted, res.NotFound)
+	// Output:
+	// inserted=2 deleted=0 notFound=1
+}
+
+func ExampleEngine_DeepWalk() {
+	eng, _ := bingo.FromEdges([]bingo.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 0, Weight: 1},
+	})
+	res := eng.DeepWalk(bingo.WalkOptions{Length: 10, Seed: 42})
+	fmt.Printf("%d walkers, %d steps\n", res.Walkers, res.Steps)
+	// Output:
+	// 3 walkers, 30 steps
+}
+
+func ExampleEngine_PPR() {
+	// A star: PPR from the hub concentrates visits on the hub's wheel.
+	var edges []bingo.Edge
+	for leaf := bingo.VertexID(1); leaf <= 4; leaf++ {
+		edges = append(edges,
+			bingo.Edge{Src: 0, Dst: leaf, Weight: 1},
+			bingo.Edge{Src: leaf, Dst: 0, Weight: 1})
+	}
+	eng, _ := bingo.FromEdges(edges)
+	starts := make([]bingo.VertexID, 2000) // all walks from the hub
+	res := eng.PPR(bingo.WalkOptions{Starts: starts, Seed: 7, CountVisits: true})
+	fmt.Println("hub visited most:", res.Visits[0] > res.Visits[1])
+	// Output:
+	// hub visited most: true
+}
+
+func ExampleEngine_UpdateWeight() {
+	eng, _ := bingo.FromEdges([]bingo.Edge{{Src: 0, Dst: 1, Weight: 5}})
+	if err := eng.UpdateWeight(0, 1, 9); err != nil {
+		panic(err)
+	}
+	fmt.Println("still one edge:", eng.NumEdges())
+	// Output:
+	// still one edge: 1
+}
+
+func ExampleWithFloatWeights() {
+	eng, err := bingo.FromEdges([]bingo.Edge{
+		{Src: 0, Dst: 1, Weight: 0.554},
+		{Src: 0, Dst: 2, Weight: 0.726},
+	}, bingo.WithFloatWeights(0)) // 0 = auto amortization factor λ
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edges:", eng.NumEdges())
+	// Output:
+	// edges: 2
+}

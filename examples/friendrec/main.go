@@ -1,0 +1,97 @@
+// Friendrec: the paper's §1 friend-recommendation scenario — "in friend
+// recommendation of social media, one uses random walks to generate the
+// node embeddings for the final recommendation" — run end to end on a
+// dynamic graph: walks → SkipGram embeddings → nearest neighbors, then the
+// graph changes and the refreshed embeddings change the recommendations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bingo "github.com/bingo-rw/bingo"
+)
+
+const (
+	groupSize = 25
+	groups    = 4
+	n         = groupSize * groups
+)
+
+func group(v bingo.VertexID) int { return int(v) / groupSize }
+
+func main() {
+	r := bingo.NewRand(99)
+
+	// A small social network of four friend groups.
+	var edges []bingo.Edge
+	for i := 0; i < 40*n; i++ {
+		g := r.Intn(groups)
+		u := bingo.VertexID(g*groupSize + r.Intn(groupSize))
+		v := bingo.VertexID(g*groupSize + r.Intn(groupSize))
+		if u == v {
+			continue
+		}
+		edges = append(edges, bingo.Edge{Src: u, Dst: v, Weight: 1})
+	}
+	// Sparse cross-group acquaintances.
+	for i := 0; i < n/2; i++ {
+		u := bingo.VertexID(r.Intn(n))
+		v := bingo.VertexID(r.Intn(n))
+		if u != v {
+			edges = append(edges, bingo.Edge{Src: u, Dst: v, Weight: 1})
+		}
+	}
+	eng, err := bingo.FromEdges(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social graph: %d users, %d follows\n", eng.NumVertices(), eng.NumEdges())
+
+	train := func(seed uint64) *bingo.Embedding {
+		emb, err := eng.TrainEmbeddings(
+			bingo.WalkOptions{Length: 40, Seed: seed},
+			bingo.EmbedOptions{Dim: 32, Epochs: 3, Seed: seed},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return emb
+	}
+
+	user := bingo.VertexID(7) // a group-0 member
+	emb := train(1)
+	fmt.Printf("recommendations for user %d (group 0):\n", user)
+	sameGroup := 0
+	for _, rec := range emb.MostSimilar(user, 5) {
+		fmt.Printf("  user %-4d (group %d, score %.3f)\n", rec.Vertex, group(rec.Vertex), rec.Score)
+		if group(rec.Vertex) == 0 {
+			sameGroup++
+		}
+	}
+	fmt.Printf("  → %d/5 from the user's own group\n\n", sameGroup)
+
+	// The user migrates: heavy new interaction with group 3, old ties
+	// decay. Streamed live into the engine.
+	fmt.Printf("user %d starts interacting with group 3...\n", user)
+	for i := 0; i < 60; i++ {
+		v := bingo.VertexID(3*groupSize + r.Intn(groupSize))
+		if err := eng.Insert(user, v, 4); err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Insert(v, user, 4); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	emb = train(2)
+	fmt.Printf("refreshed recommendations for user %d:\n", user)
+	newGroup := 0
+	for _, rec := range emb.MostSimilar(user, 5) {
+		fmt.Printf("  user %-4d (group %d, score %.3f)\n", rec.Vertex, group(rec.Vertex), rec.Score)
+		if group(rec.Vertex) == 3 {
+			newGroup++
+		}
+	}
+	fmt.Printf("  → %d/5 now from group 3: the embedding followed the graph\n", newGroup)
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a small weighted graph, sample neighbors in O(1),
+// apply streaming updates in O(K), and run a DeepWalk — the one-minute tour
+// of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bingo "github.com/bingo-rw/bingo"
+)
+
+func main() {
+	// The paper's running example: vertex 2 has neighbors 1, 4, 5 with
+	// biases 5, 4, 3 (Figure 4).
+	eng, err := bingo.FromEdges([]bingo.Edge{
+		{Src: 2, Dst: 1, Weight: 5},
+		{Src: 2, Dst: 4, Weight: 4},
+		{Src: 2, Dst: 5, Weight: 3},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 4, Dst: 2, Weight: 2},
+		{Src: 5, Dst: 4, Weight: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Biased sampling: neighbor 1 should win ~5/12 of draws.
+	r := bingo.NewRand(7)
+	counts := map[bingo.VertexID]int{}
+	for i := 0; i < 12000; i++ {
+		v, _ := eng.Sample(2, r)
+		counts[v]++
+	}
+	fmt.Println("samples from vertex 2 (weights 5:4:3):")
+	weights := map[bingo.VertexID]int{1: 5, 4: 4, 5: 3}
+	for _, dst := range []bingo.VertexID{1, 4, 5} {
+		fmt.Printf("  → %d: %5d draws (expect ≈%d)\n", dst, counts[dst], 12000*weights[dst]/12)
+	}
+
+	// Dynamic updates, exactly the events of the paper's Figure 1.
+	if err := eng.Insert(2, 3, 3); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Delete(2, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after insert (2,3,3) and delete (2,1): degree(2) = %d, edges = %d\n",
+		eng.Degree(2), eng.NumEdges())
+
+	// An 80-step DeepWalk from every vertex.
+	res := eng.DeepWalk(bingo.WalkOptions{Length: 80, Seed: 1, CountVisits: true})
+	fmt.Printf("DeepWalk: %d walkers took %d steps\n", res.Walkers, res.Steps)
+	fmt.Printf("engine memory: %d bytes\n", eng.Memory())
+}

@@ -1,0 +1,93 @@
+// Recsys: the paper's product-recommendation scenario — "certain graph
+// systems, such as product recommendations, could require updating the
+// graph daily with a large volume of updates" (§1).
+//
+// A user–product co-interaction graph ingests a day's worth of events
+// through the high-throughput batched path (§5.2), then regenerates a
+// node2vec walk corpus (the input to SkipGram-style embedding training) for
+// the affected neighborhoods.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bingo "github.com/bingo-rw/bingo"
+)
+
+const (
+	users    = 3000
+	products = 1000
+)
+
+// product vertex IDs start after user IDs.
+func productID(p int) bingo.VertexID { return bingo.VertexID(users + p) }
+
+func main() {
+	r := bingo.NewRand(7)
+
+	// Week-zero interactions: clicks (weight 1), purchases (weight 8).
+	var edges []bingo.Edge
+	for i := 0; i < 30000; i++ {
+		u := bingo.VertexID(r.Intn(users))
+		p := productID(r.Intn(products))
+		w := 1.0
+		if r.Coin(0.15) {
+			w = 8 // purchase
+		}
+		edges = append(edges, bingo.Edge{Src: u, Dst: p, Weight: w},
+			bingo.Edge{Src: p, Dst: u, Weight: w})
+	}
+	eng, err := bingo.FromEdges(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog graph: %d vertices, %d edges, %0.1f MB\n",
+		eng.NumVertices(), eng.NumEdges(), float64(eng.Memory())/1e6)
+
+	// Nightly batch: 20k new events plus churn (stale edges deleted).
+	for day := 1; day <= 3; day++ {
+		var batch []bingo.Update
+		for i := 0; i < 20000; i++ {
+			u := bingo.VertexID(r.Intn(users))
+			p := productID(r.Intn(products))
+			w := 1.0
+			if r.Coin(0.15) {
+				w = 8
+			}
+			batch = append(batch, bingo.Insert(u, p, w), bingo.Insert(p, u, w))
+		}
+		for i := 0; i < 5000; i++ { // churn: forget old interactions
+			u := bingo.VertexID(r.Intn(users))
+			p := productID(r.Intn(products))
+			batch = append(batch, bingo.Delete(u, p), bingo.Delete(p, u))
+		}
+		res, err := eng.ApplyBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day %d batch: +%d −%d (%d deletes skipped, edge not live)\n",
+			day, res.Inserted, res.Deleted, res.NotFound)
+
+		// Regenerate the walk corpus: node2vec with the paper's p=0.5,
+		// q=2 from a sample of users.
+		starts := make([]bingo.VertexID, 2000)
+		for i := range starts {
+			starts[i] = bingo.VertexID(r.Intn(users))
+		}
+		corpus := eng.Node2Vec(bingo.WalkOptions{
+			Length: 80, Starts: starts, Seed: uint64(day), P: 0.5, Q: 2,
+			CountVisits: true,
+		})
+		fmt.Printf("  corpus: %d walks, %d hops\n", corpus.Walkers, corpus.Steps)
+
+		// The most-visited products are tonight's trending candidates.
+		best, bestVisits := bingo.VertexID(0), int64(0)
+		for v := users; v < users+products; v++ {
+			if corpus.Visits[v] > bestVisits {
+				best, bestVisits = bingo.VertexID(v), corpus.Visits[v]
+			}
+		}
+		fmt.Printf("  trending product: #%d (%d corpus visits)\n", int(best)-users, bestVisits)
+	}
+}

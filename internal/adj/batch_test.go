@@ -1,0 +1,117 @@
+package adj
+
+import "testing"
+
+// Tests for the 2-phase-delete compaction primitives (Unindex/Move/
+// Truncate) that back core's batched deletion.
+
+func buildRow(t *testing.T, n int) *Lists {
+	t.Helper()
+	l := New(1, true, 4)
+	for i := 0; i < n; i++ {
+		l.Append(0, uint32(100+i), uint64(i+1), float32(i)/10)
+	}
+	return l
+}
+
+func TestUnindexMoveTruncate(t *testing.T) {
+	l := buildRow(t, 10)
+	// Delete slots {0, 8, 9}: unindex them, move survivor slot 7 → 0,
+	// truncate to 7.
+	for _, s := range []int32{0, 8, 9} {
+		l.Unindex(0, s)
+	}
+	l.Move(0, 7, 0)
+	l.Truncate(0, 7)
+	if l.Degree(0) != 7 || l.NumEdges() != 7 {
+		t.Fatalf("degree %d edges %d", l.Degree(0), l.NumEdges())
+	}
+	if l.Dst(0, 0) != 107 || l.Bias(0, 0) != 8 || l.Rem(0, 0) != 0.7 {
+		t.Error("moved slot content wrong")
+	}
+	// Deleted destinations are gone; moved one is findable at its new slot.
+	for _, dst := range []uint32{100, 108, 109} {
+		if l.Find(0, dst) != -1 {
+			t.Errorf("deleted dst %d still findable", dst)
+		}
+	}
+	if got := l.Find(0, 107); got != 0 {
+		t.Errorf("moved dst found at %d, want 0", got)
+	}
+	for i := int32(1); i < 7; i++ {
+		if l.Find(0, l.Dst(0, i)) != i {
+			t.Errorf("slot %d not findable after compaction", i)
+		}
+	}
+}
+
+func TestMoveSameSlotNoop(t *testing.T) {
+	l := buildRow(t, 3)
+	l.Move(0, 1, 1)
+	if l.Dst(0, 1) != 101 {
+		t.Error("self-move corrupted slot")
+	}
+}
+
+func TestTruncateWholeRow(t *testing.T) {
+	l := buildRow(t, 5)
+	for i := int32(0); i < 5; i++ {
+		l.Unindex(0, i)
+	}
+	l.Truncate(0, 0)
+	if l.Degree(0) != 0 || l.NumEdges() != 0 {
+		t.Error("row not emptied")
+	}
+	// Row must be reusable.
+	l.Append(0, 7, 1, 0)
+	if l.Find(0, 7) < 0 {
+		t.Error("row unusable after full truncation")
+	}
+}
+
+func TestTruncatePanicsAboveDegree(t *testing.T) {
+	l := buildRow(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Truncate above degree did not panic")
+		}
+	}()
+	l.Truncate(0, 5)
+}
+
+func TestRowAccessors(t *testing.T) {
+	l := buildRow(t, 4)
+	if len(l.DstRow(0)) != 4 || l.DstRow(0)[2] != 102 {
+		t.Error("DstRow wrong")
+	}
+	if len(l.BiasRow(0)) != 4 || l.BiasRow(0)[3] != 4 {
+		t.Error("BiasRow wrong")
+	}
+	if len(l.RemRow(0)) != 4 {
+		t.Error("RemRow wrong")
+	}
+	li := New(1, false, 0)
+	if li.RemRow(0) != nil {
+		t.Error("RemRow should be nil outside float mode")
+	}
+}
+
+func TestGrowGeometric(t *testing.T) {
+	// Repeated small Grow calls must not trigger per-call copies: capacity
+	// should at least double when it grows.
+	l := New(1, false, 0)
+	for i := 0; i < 100; i++ {
+		l.Append(0, uint32(i), 1, 0)
+	}
+	c0 := cap(l.dst[0])
+	l.Grow(0, c0+1) // force one growth
+	c1 := cap(l.dst[0])
+	if c1 < 2*c0 {
+		t.Errorf("growth not geometric: %d -> %d", c0, c1)
+	}
+	// A no-op grow keeps capacity.
+	l.Grow(0, 1)
+	if cap(l.dst[0]) != c1 {
+		t.Error("no-op Grow reallocated")
+	}
+}

@@ -1,0 +1,71 @@
+// Package baseline implements the three comparison systems of the paper's
+// evaluation (§6.2), all behind the same walk.Dynamic interface as Bingo:
+//
+//   - KnightKing: per-vertex alias tables (Vose), O(1) sampling, O(d)
+//     rebuild of a touched vertex per update — the CPU state of the art the
+//     paper compares against.
+//   - RebuildITS: per-vertex inverse-transform (CDF) arrays with O(log d)
+//     sampling, reconstructed for touched vertices each update round — the
+//     stand-in for gSampler, which the paper adapts by "reload[ing] or
+//     reconstruct[ing] the corresponding structure after each round of
+//     updates".
+//   - FlowWalker: no auxiliary structure at all; every step runs a
+//     single-pass weighted reservoir over the adjacency row (O(d) per
+//     step), and updates only touch the adjacency — reproducing its
+//     fast-update / slow-sampling trade-off (Figure 16).
+//
+// All three own a dynamic adjacency store (internal/adj), so their memory
+// columns are directly comparable with Bingo's.
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/bingo-rw/bingo/internal/adj"
+	"github.com/bingo-rw/bingo/internal/graph"
+)
+
+// errNotFound wraps deletion misses uniformly across baselines.
+func errNotFound(u, dst graph.VertexID) error {
+	return fmt.Errorf("baseline: edge (%d,%d) not found", u, dst)
+}
+
+// loadAdj materializes a CSR snapshot into a dynamic adjacency store.
+// The baselines consume integer biases only, matching the integer-bias
+// experiments; the float-bias study (Figure 14) compares Bingo against
+// itself.
+func loadAdj(g *graph.CSR) *adj.Lists {
+	l := adj.New(g.NumVertices(), false, 0)
+	for u := 0; u < g.NumVertices(); u++ {
+		vid := graph.VertexID(u)
+		dsts := g.Neighbors(vid)
+		biases := g.Biases(vid)
+		l.Grow(vid, len(dsts))
+		for i := range dsts {
+			l.Append(vid, dsts[i], biases[i], 0)
+		}
+	}
+	return l
+}
+
+// applyAdjUpdates applies a batch to an adjacency store and returns the set
+// of touched vertices. Deletions of missing edges are skipped (the same
+// tolerant semantics as Bingo's ApplyBatch).
+func applyAdjUpdates(l *adj.Lists, ups []graph.Update) map[graph.VertexID]struct{} {
+	touched := make(map[graph.VertexID]struct{})
+	for _, up := range ups {
+		l.EnsureVertex(up.Src)
+		l.EnsureVertex(up.Dst)
+		switch up.Op {
+		case graph.OpInsert:
+			l.Append(up.Src, up.Dst, up.Bias, 0)
+			touched[up.Src] = struct{}{}
+		case graph.OpDelete:
+			if i := l.Find(up.Src, up.Dst); i >= 0 {
+				l.SwapDelete(up.Src, i)
+				touched[up.Src] = struct{}{}
+			}
+		}
+	}
+	return touched
+}

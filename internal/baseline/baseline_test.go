@@ -1,0 +1,232 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/stats"
+	"github.com/bingo-rw/bingo/internal/walk"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// engines under test, constructed fresh per case.
+func makeEngines(g *graph.CSR) map[string]walk.Dynamic {
+	return map[string]walk.Dynamic{
+		"knightking": NewKnightKing(g),
+		"rebuildits": NewRebuildITS(g),
+		"flowwalker": NewFlowWalker(g),
+	}
+}
+
+func exampleGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := graph.FromEdges(8, []graph.Edge{
+		{Src: 2, Dst: 1, Bias: 5},
+		{Src: 2, Dst: 4, Bias: 4},
+		{Src: 2, Dst: 5, Bias: 3},
+		{Src: 0, Dst: 1, Bias: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkDist(t *testing.T, name string, e walk.Engine, u graph.VertexID, want map[graph.VertexID]float64, draws int) {
+	t.Helper()
+	r := xrand.New(777)
+	counts := map[graph.VertexID]int64{}
+	for i := 0; i < draws; i++ {
+		v, ok := e.Sample(u, r)
+		if !ok {
+			t.Fatalf("%s: no sample from %d", name, u)
+		}
+		counts[v]++
+	}
+	var obs []int64
+	var probs []float64
+	for dst, p := range want {
+		obs = append(obs, counts[dst])
+		probs = append(probs, p)
+		delete(counts, dst)
+	}
+	if len(counts) != 0 {
+		t.Fatalf("%s: unexpected destinations %v", name, counts)
+	}
+	_, p, err := stats.ChiSquareGOF(obs, probs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-5 {
+		t.Errorf("%s: distribution rejected, p = %g", name, p)
+	}
+}
+
+func TestBaselineDistributions(t *testing.T) {
+	g := exampleGraph(t)
+	for name, e := range makeEngines(g) {
+		checkDist(t, name, e, 2, map[graph.VertexID]float64{
+			1: 5.0 / 12, 4: 4.0 / 12, 5: 3.0 / 12,
+		}, 100000)
+	}
+}
+
+func TestBaselineStreamingUpdates(t *testing.T) {
+	g := exampleGraph(t)
+	for name, e := range makeEngines(g) {
+		if err := e.InsertEdge(2, 3, 3, 0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := e.DeleteEdge(2, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e.Degree(2) != 3 {
+			t.Fatalf("%s: degree %d, want 3", name, e.Degree(2))
+		}
+		if e.HasEdge(2, 1) || !e.HasEdge(2, 3) {
+			t.Fatalf("%s: adjacency wrong after updates", name)
+		}
+		checkDist(t, name, e, 2, map[graph.VertexID]float64{
+			4: 0.4, 5: 0.3, 3: 0.3,
+		}, 100000)
+	}
+}
+
+func TestBaselineDeleteErrors(t *testing.T) {
+	g := exampleGraph(t)
+	for name, e := range makeEngines(g) {
+		if err := e.DeleteEdge(2, 7); err == nil {
+			t.Errorf("%s: deleting absent edge succeeded", name)
+		}
+		if err := e.DeleteEdge(99, 0); err == nil {
+			t.Errorf("%s: deleting from absent vertex succeeded", name)
+		}
+	}
+}
+
+func TestBaselineBatchUpdates(t *testing.T) {
+	g := exampleGraph(t)
+	for name, e := range makeEngines(g) {
+		err := e.ApplyUpdates([]graph.Update{
+			{Op: graph.OpInsert, Src: 2, Dst: 3, Bias: 3},
+			{Op: graph.OpDelete, Src: 2, Dst: 1},
+			{Op: graph.OpDelete, Src: 2, Dst: 7}, // tolerated miss
+			{Op: graph.OpInsert, Src: 6, Dst: 0, Bias: 9},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkDist(t, name, e, 2, map[graph.VertexID]float64{
+			4: 0.4, 5: 0.3, 3: 0.3,
+		}, 80000)
+		checkDist(t, name, e, 6, map[graph.VertexID]float64{0: 1}, 100)
+	}
+}
+
+func TestBaselineVertexGrowth(t *testing.T) {
+	g := exampleGraph(t)
+	for name, e := range makeEngines(g) {
+		if err := e.InsertEdge(20, 21, 4, 0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e.NumVertices() < 22 {
+			t.Errorf("%s: vertex space %d", name, e.NumVertices())
+		}
+		if !e.HasEdge(20, 21) {
+			t.Errorf("%s: edge on grown vertex missing", name)
+		}
+		if d, ok := e.Sample(20, xrand.New(1)); !ok || d != 21 {
+			t.Errorf("%s: sample from grown vertex = %d, %v", name, d, ok)
+		}
+	}
+}
+
+func TestBaselineEmptyVertex(t *testing.T) {
+	g := exampleGraph(t)
+	r := xrand.New(1)
+	for name, e := range makeEngines(g) {
+		if _, ok := e.Sample(7, r); ok {
+			t.Errorf("%s: sampled from empty vertex", name)
+		}
+		if _, ok := e.Sample(500, r); ok {
+			t.Errorf("%s: sampled from out-of-range vertex", name)
+		}
+		if e.Degree(500) != 0 || e.HasEdge(500, 0) {
+			t.Errorf("%s: out-of-range queries wrong", name)
+		}
+	}
+}
+
+func TestBaselineFootprintOrdering(t *testing.T) {
+	// FlowWalker must be lightest (adjacency only); the others carry an
+	// 8-byte-per-edge structure on top.
+	edges := gen.RMAT(500, 8000, gen.DefaultRMAT, 4)
+	gen.AssignBiases(edges, 500, gen.BiasConfig{Kind: gen.BiasDegree})
+	g, err := graph.FromEdges(500, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFlowWalker(g).Footprint()
+	kk := NewKnightKing(g).Footprint()
+	its := NewRebuildITS(g).Footprint()
+	if fw >= kk {
+		t.Errorf("FlowWalker %d >= KnightKing %d", fw, kk)
+	}
+	if fw >= its {
+		t.Errorf("FlowWalker %d >= RebuildITS %d", fw, its)
+	}
+}
+
+func TestBaselineChurnConsistency(t *testing.T) {
+	// Randomized updates: all engines must agree on per-destination mass
+	// at the end (they share the same tolerant semantics).
+	edges := gen.RMAT(120, 1500, gen.DefaultRMAT, 8)
+	gen.AssignBiases(edges, 120, gen.BiasConfig{Kind: gen.BiasDegree})
+	g, err := graph.FromEdges(120, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gen.BuildWorkload(g, gen.UpdMixed, 100, 5, 66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := makeEngines(w.Initial)
+	for _, b := range w.Batches() {
+		for name, e := range engines {
+			if err := e.ApplyUpdates(b); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	ref := engines["flowwalker"].(*FlowWalker)
+	for name, e := range engines {
+		if name == "flowwalker" {
+			continue
+		}
+		for u := graph.VertexID(0); int(u) < 120; u++ {
+			if e.Degree(u) != ref.Degree(u) {
+				t.Fatalf("%s: vertex %d degree %d vs %d", name, u, e.Degree(u), ref.Degree(u))
+			}
+		}
+	}
+}
+
+func BenchmarkBaselineSample(b *testing.B) {
+	edges := gen.RMAT(2000, 40000, gen.DefaultRMAT, 4)
+	gen.AssignBiases(edges, 2000, gen.BiasConfig{Kind: gen.BiasDegree})
+	g, _ := graph.FromEdges(2000, edges)
+	engines := map[string]walk.Engine{
+		"knightking": NewKnightKing(g),
+		"rebuildits": NewRebuildITS(g),
+		"flowwalker": NewFlowWalker(g),
+	}
+	for name, e := range engines {
+		b.Run(name, func(b *testing.B) {
+			r := xrand.New(1)
+			for i := 0; i < b.N; i++ {
+				e.Sample(graph.VertexID(i%2000), r)
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"github.com/bingo-rw/bingo/internal/adj"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/sampling"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// RebuildITS is the gSampler stand-in (see DESIGN.md §1): per-vertex
+// cumulative-distribution arrays sampled by binary search (O(log d)),
+// reconstructed for every touched vertex after each round of updates —
+// exactly how the paper adapts gSampler, which supports only static
+// snapshots. Its memory is the CDF array (8 bytes/edge) plus the adjacency;
+// the real gSampler's matrix workspaces are larger still, so our memory
+// column is a lower bound for it (recorded in EXPERIMENTS.md).
+type RebuildITS struct {
+	lists    *adj.Lists
+	prefixes []sampling.Prefix
+}
+
+// NewRebuildITS builds the engine from a snapshot.
+func NewRebuildITS(g *graph.CSR) *RebuildITS {
+	e := &RebuildITS{
+		lists:    loadAdj(g),
+		prefixes: make([]sampling.Prefix, g.NumVertices()),
+	}
+	for u := range e.prefixes {
+		e.rebuild(graph.VertexID(u))
+	}
+	return e
+}
+
+func (e *RebuildITS) rebuild(u graph.VertexID) {
+	e.prefixes[u].BuildU64(e.lists.BiasRow(u))
+}
+
+func (e *RebuildITS) ensure(u graph.VertexID) {
+	e.lists.EnsureVertex(u)
+	for int(u) >= len(e.prefixes) {
+		e.prefixes = append(e.prefixes, sampling.Prefix{})
+	}
+}
+
+// NumVertices returns the vertex-ID space size.
+func (e *RebuildITS) NumVertices() int { return len(e.prefixes) }
+
+// Degree returns u's out-degree.
+func (e *RebuildITS) Degree(u graph.VertexID) int {
+	if int(u) >= len(e.prefixes) {
+		return 0
+	}
+	return e.lists.Degree(u)
+}
+
+// HasEdge reports edge existence in O(1) expected.
+func (e *RebuildITS) HasEdge(u, dst graph.VertexID) bool {
+	if int(u) >= len(e.prefixes) {
+		return false
+	}
+	return e.lists.HasEdge(u, dst)
+}
+
+// Sample draws a biased neighbor in O(log d) via binary search on the CDF.
+func (e *RebuildITS) Sample(u graph.VertexID, r *xrand.RNG) (graph.VertexID, bool) {
+	if int(u) >= len(e.prefixes) || e.prefixes[u].Empty() {
+		return 0, false
+	}
+	return e.lists.Dst(u, int32(e.prefixes[u].Sample(r))), true
+}
+
+// InsertEdge appends the edge and rebuilds u's CDF (O(d)).
+func (e *RebuildITS) InsertEdge(u, dst graph.VertexID, bias uint64, fbias float64) error {
+	_ = fbias
+	e.ensure(u)
+	e.ensure(dst)
+	e.lists.Append(u, dst, bias, 0)
+	e.rebuild(u)
+	return nil
+}
+
+// DeleteEdge removes the edge and rebuilds u's CDF (O(d)).
+func (e *RebuildITS) DeleteEdge(u, dst graph.VertexID) error {
+	if int(u) >= len(e.prefixes) {
+		return errNotFound(u, dst)
+	}
+	i := e.lists.Find(u, dst)
+	if i < 0 {
+		return errNotFound(u, dst)
+	}
+	e.lists.SwapDelete(u, i)
+	e.rebuild(u)
+	return nil
+}
+
+// ApplyUpdates ingests a batch, then reconstructs every vertex's CDF — the
+// full per-round reconstruction the paper applies to gSampler, which has no
+// incremental path (§6.2).
+func (e *RebuildITS) ApplyUpdates(ups []graph.Update) error {
+	for _, up := range ups {
+		e.ensure(up.Src)
+		e.ensure(up.Dst)
+	}
+	applyAdjUpdates(e.lists, ups)
+	for u := range e.prefixes {
+		e.rebuild(graph.VertexID(u))
+	}
+	return nil
+}
+
+// Footprint returns adjacency plus CDF bytes.
+func (e *RebuildITS) Footprint() int64 {
+	total := e.lists.Footprint()
+	for u := range e.prefixes {
+		total += e.prefixes[u].Footprint()
+	}
+	return total
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/walk"
+)
+
+// runAblation probes the design choices DESIGN.md calls out:
+//
+//   - radix base 2^b (supplement §9.2): larger bases shrink the group count
+//     K (cheaper updates) but coarsen groups;
+//   - the Equation 9 thresholds α/β: trading dense-group rejection cost
+//     against regular-group memory;
+//   - adaptive vs baseline representation as a sanity anchor.
+func runAblation(o *Options) error {
+	abbr := o.Datasets[0]
+	d, g, err := o.dataset(abbr)
+	if err != nil {
+		return err
+	}
+	w, err := o.workload(abbr, g, gen.UpdMixed, o.batchSize(d))
+	if err != nil {
+		return err
+	}
+	wcfg := o.walkConfig(g.NumVertices())
+
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	mk := func(name string, mut func(*core.Config)) variant {
+		cfg := o.bingoConfig()
+		mut(&cfg)
+		return variant{name, cfg}
+	}
+	variants := []variant{
+		mk("base2 α40 β10 (paper)", func(c *core.Config) {}),
+		mk("base4", func(c *core.Config) { c.RadixBits = 2 }),
+		mk("base16", func(c *core.Config) { c.RadixBits = 4 }),
+		mk("α25 β5", func(c *core.Config) { c.AlphaPct, c.BetaPct = 25, 5 }),
+		mk("α60 β20", func(c *core.Config) { c.AlphaPct, c.BetaPct = 60, 20 }),
+		mk("no adaptation (BS)", func(c *core.Config) { c.Adaptive = false }),
+		mk("linear edge lookup", func(c *core.Config) { c.IndexThreshold = 1 << 30 }),
+		mk("always-hashed lookup", func(c *core.Config) { c.IndexThreshold = 1 }),
+	}
+
+	t := newTable(o.Out)
+	t.row("variant", "update time(s)", "sampling time(s)", "memory(GB)", "groups/vertex")
+	for _, v := range variants {
+		o.logf("ablation %s", v.name)
+		s, err := core.NewFromCSR(w.Initial, v.cfg)
+		if err != nil {
+			return err
+		}
+		upd := timed(func() {
+			for _, b := range w.Batches() {
+				if err := s.ApplyUpdates(b); err != nil {
+					panic(err)
+				}
+			}
+		})
+		smp := timed(func() { walk.SimpleSampling(s, wcfg) })
+		gs := s.CollectGroupStats()
+		var groups int64
+		for _, n := range gs.Groups {
+			groups += n
+		}
+		perVertex := float64(groups) / float64(s.NumVertices())
+		t.row(v.name, secs(upd), secs(smp), gb(s.Footprint()), fmt.Sprintf("%.2f", perVertex))
+	}
+	t.flush()
+	return nil
+}

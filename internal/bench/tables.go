@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/sampling"
+	"github.com/bingo-rw/bingo/internal/walk"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// runTable1 measures the per-operation cost of Bingo versus the three
+// classical samplers on a single hub vertex, the empirical counterpart of
+// the paper's Table 1 complexity comparison. Bingo's insert/delete stay
+// flat as the degree grows (O(K)); alias and ITS update costs grow with d;
+// sampling is O(1) for Bingo and alias, O(log d) for ITS, and
+// distribution-dependent for rejection.
+func runTable1(o *Options) error {
+	degrees := []int{1 << 10, 1 << 13, 1 << 16}
+	t := newTable(o.Out)
+	t.row("method", "degree", "ns/insert", "ns/delete", "ns/sample", "memory(MB)")
+	r := xrand.New(o.Seed)
+	for _, d := range degrees {
+		biases := make([]uint64, d)
+		for i := range biases {
+			biases[i] = 1 + r.Uint64n(1<<16)
+		}
+		weights := make([]float64, d)
+		for i, b := range biases {
+			weights[i] = float64(b)
+		}
+
+		// Bingo: a hub vertex with degree d.
+		s, err := core.New(d+2, o.bingoConfig())
+		if err != nil {
+			return err
+		}
+		hub := graph.VertexID(d + 1)
+		for i, b := range biases {
+			if err := s.Insert(hub, graph.VertexID(i), b); err != nil {
+				return err
+			}
+		}
+		const ops = 2000
+		insNs := timed(func() {
+			for i := 0; i < ops; i++ {
+				_ = s.Insert(hub, graph.VertexID(i%d), biases[i%d])
+			}
+		}).Nanoseconds() / ops
+		delNs := timed(func() {
+			for i := 0; i < ops; i++ {
+				_ = s.Delete(hub, graph.VertexID(i%d))
+			}
+		}).Nanoseconds() / ops
+		rr := xrand.New(1)
+		smpNs := perOp(func(n int) {
+			for i := 0; i < n; i++ {
+				s.Sample(hub, rr)
+			}
+		})
+		t.row("Bingo", fmt.Sprint(d), fmt.Sprint(insNs), fmt.Sprint(delNs), fmt.Sprint(smpNs), mb(s.Footprint()))
+
+		// Alias method: any update rebuilds the whole table.
+		var alias sampling.AliasTable
+		alias.Build(weights)
+		aliasIns := perOpN(200, func(n int) {
+			for i := 0; i < n; i++ {
+				alias.Build(weights) // O(d) rebuild per update
+			}
+		})
+		aliasSmp := perOp(func(n int) {
+			for i := 0; i < n; i++ {
+				alias.Sample(rr)
+			}
+		})
+		t.row("Alias", fmt.Sprint(d), fmt.Sprint(aliasIns), fmt.Sprint(aliasIns), fmt.Sprint(aliasSmp), mb(alias.Footprint()))
+
+		// ITS: O(1) append insert, O(d) delete (rebuild), O(log d) sample.
+		var its sampling.Prefix
+		its.Build(weights)
+		itsDel := perOpN(200, func(n int) {
+			for i := 0; i < n; i++ {
+				its.Build(weights)
+			}
+		})
+		itsSmp := perOp(func(n int) {
+			for i := 0; i < n; i++ {
+				its.Sample(rr)
+			}
+		})
+		t.row("ITS", fmt.Sprint(d), "~1", fmt.Sprint(itsDel), fmt.Sprint(itsSmp), mb(its.Footprint()))
+
+		// Rejection: O(1) updates, distribution-dependent sampling.
+		rej := sampling.NewRejection(weights)
+		rejIns := perOp(func(n int) {
+			for i := 0; i < n; i++ {
+				rej.Append(weights[i%d])
+				rej.SwapDelete(rej.N() - 1)
+			}
+		})
+		rejSmp := perOp(func(n int) {
+			for i := 0; i < n; i++ {
+				rej.Sample(rr)
+			}
+		})
+		t.row("Rejection", fmt.Sprint(d), fmt.Sprint(rejIns), fmt.Sprint(rejIns), fmt.Sprint(rejSmp), mb(rej.Footprint()))
+	}
+	t.flush()
+	return nil
+}
+
+// perOp times fn(n) for a calibrated n and returns ns/op.
+func perOp(fn func(n int)) int64 { return perOpN(20000, fn) }
+
+func perOpN(n int, fn func(n int)) int64 {
+	d := timed(func() { fn(n) })
+	return d.Nanoseconds() / int64(n)
+}
+
+// runTable2 prints generated dataset statistics next to the paper's
+// Table 2 values.
+func runTable2(o *Options) error {
+	t := newTable(o.Out)
+	t.row("dataset", "abbr", "scale", "paperV", "paperE", "genV", "genE", "avgDeg", "maxDeg")
+	for _, abbr := range o.Datasets {
+		d, g, err := o.dataset(abbr)
+		if err != nil {
+			return err
+		}
+		st := g.ComputeStats()
+		t.row(d.Name, d.Abbr, fmt.Sprintf("%.4f", o.effScale(d)),
+			fmt.Sprint(d.PaperV), fmt.Sprint(d.PaperE),
+			fmt.Sprint(st.Vertices), fmt.Sprint(st.Edges),
+			fmt.Sprintf("%.1f", st.AvgDegree), fmt.Sprint(st.MaxDegree))
+	}
+	t.flush()
+	return nil
+}
+
+// runTable3 is the headline comparison: {apps} × {update kinds} ×
+// {datasets} × {systems}, each cell running Rounds rounds of (ingest one
+// batch, run the application), reporting total runtime and final memory.
+func runTable3(o *Options) error {
+	kinds := []gen.UpdateKind{gen.UpdInsertion, gen.UpdDeletion, gen.UpdMixed}
+	apps := map[string]walk.App{
+		"DeepWalk": walk.AppDeepWalk, "node2vec": walk.AppNode2Vec, "PPR": walk.AppPPR,
+	}
+	t := newTable(o.Out)
+	header := []string{"app", "updates", "system"}
+	for _, abbr := range o.Datasets {
+		header = append(header, abbr+" time(s)", abbr+" mem(GB)")
+	}
+	header = append(header, "avg speedup vs Bingo")
+	t.row(header...)
+
+	type cell struct {
+		dur time.Duration
+		mem int64
+		ok  bool
+	}
+	for _, appName := range o.Apps {
+		app, known := apps[appName]
+		if !known {
+			return fmt.Errorf("bench: unknown app %q", appName)
+		}
+		for _, kind := range kinds {
+			results := map[string][]cell{}
+			for _, abbr := range o.Datasets {
+				d, g, err := o.dataset(abbr)
+				if err != nil {
+					return err
+				}
+				w, err := o.workload(abbr, g, kind, o.batchSize(d))
+				if err != nil {
+					return err
+				}
+				wcfg := o.walkConfig(w.Initial.NumVertices())
+				for _, system := range o.Systems {
+					o.logf("table3 %s/%s/%s/%s", appName, kind, abbr, system)
+					e, err := o.newEngine(system, w.Initial)
+					if err != nil {
+						return err
+					}
+					dur := timed(func() {
+						for _, b := range w.Batches() {
+							if err := e.ApplyUpdates(b); err != nil {
+								panic(err)
+							}
+							walk.Run(app, e, wcfg)
+						}
+					})
+					results[system] = append(results[system], cell{dur, e.Footprint(), true})
+				}
+			}
+			// Emit one row per system, plus the average speedup.
+			bingo := results["Bingo"]
+			for _, system := range o.Systems {
+				row := []string{appName, kind.String(), system}
+				var speedup float64
+				var n int
+				for i, c := range results[system] {
+					row = append(row, secs(c.dur), gb(c.mem))
+					if system != "Bingo" && len(bingo) > i && bingo[i].dur > 0 {
+						speedup += c.dur.Seconds() / bingo[i].dur.Seconds()
+						n++
+					}
+				}
+				if system == "Bingo" {
+					row = append(row, "-")
+				} else if n > 0 {
+					row = append(row, fmt.Sprintf("%.2f", speedup/float64(n)))
+				}
+				t.row(row...)
+			}
+			t.flush()
+		}
+	}
+	return nil
+}
+
+// runTable4 reports the group-type conversion ratio matrix on LJ under
+// mixed updates: conversions(from→to) / touches(from), the quantity the
+// paper bounds at 0.47%.
+func runTable4(o *Options) error {
+	d, g, err := o.dataset("LJ")
+	if err != nil {
+		return err
+	}
+	w, err := o.workload("LJ", g, gen.UpdMixed, o.batchSize(d))
+	if err != nil {
+		return err
+	}
+	s, err := core.NewFromCSR(w.Initial, o.bingoConfig())
+	if err != nil {
+		return err
+	}
+	s.ResetConversionStats()
+	for _, b := range w.Batches() {
+		if _, err := s.ApplyBatch(b); err != nil {
+			return err
+		}
+	}
+	conv, touches := s.ConversionStats()
+	names := map[core.GroupKind]string{
+		core.KindDense: "Dense", core.KindRegular: "Regular",
+		core.KindSparse: "Sparse", core.KindOne: "One element",
+	}
+	order := []core.GroupKind{core.KindDense, core.KindRegular, core.KindSparse, core.KindOne}
+	t := newTable(o.Out)
+	t.row("from \\ to", "Dense", "Regular", "Sparse", "One element", "touches")
+	for _, from := range order {
+		row := []string{names[from]}
+		for _, to := range order {
+			if from == to {
+				row = append(row, "—")
+				continue
+			}
+			ratio := 0.0
+			if touches[from] > 0 {
+				ratio = float64(conv[from][to]) * 100 / float64(touches[from])
+			}
+			row = append(row, fmt.Sprintf("%.3f%%", ratio))
+		}
+		row = append(row, fmt.Sprint(touches[from]))
+		t.row(row...)
+	}
+	t.flush()
+	return nil
+}

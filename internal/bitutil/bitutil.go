@@ -1,0 +1,108 @@
+// Package bitutil provides the bit-manipulation primitives behind Bingo's
+// radix-based bias factorization: extracting the power-of-two sub-biases of
+// an integer bias, counting them, and generalizing from radix base 2 to any
+// base B = 2^b (supplement §9.2 of the paper).
+//
+// All functions are small, allocation-free, and wrap math/bits where a
+// hardware instruction exists.
+package bitutil
+
+import "math/bits"
+
+// PopCount returns the number of set bits in w, i.e. the number of base-2
+// radix groups the bias w contributes a sub-bias to (the paper's t = popc(w)).
+func PopCount(w uint64) int { return bits.OnesCount64(w) }
+
+// BitLen returns the number of bits needed to represent w; zero for w == 0.
+// For base-2 factorization this is the number of candidate groups K for a
+// vertex whose maximum bias is w.
+func BitLen(w uint64) int { return bits.Len64(w) }
+
+// Bit reports whether bit k of w is set.
+func Bit(w uint64, k int) bool { return w>>uint(k)&1 == 1 }
+
+// LowestSetBit returns the index of the least significant set bit of w.
+// It returns -1 for w == 0.
+func LowestSetBit(w uint64) int {
+	if w == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// HighestSetBit returns the index of the most significant set bit of w.
+// It returns -1 for w == 0.
+func HighestSetBit(w uint64) int {
+	if w == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(w)
+}
+
+// Decompose appends the base-2 sub-biases of w (Equation 3 of the paper:
+// D(w) = {2^k | w AND 2^k != 0}) to dst and returns the extended slice.
+// The sub-biases are appended in increasing order.
+func Decompose(w uint64, dst []uint64) []uint64 {
+	for w != 0 {
+		low := w & -w // lowest set bit as a value
+		dst = append(dst, low)
+		w &^= low
+	}
+	return dst
+}
+
+// DecomposeBits appends the set-bit positions of w to dst in increasing
+// order and returns the extended slice. Positions are the group indices p_k
+// the edge belongs to.
+func DecomposeBits(w uint64, dst []int) []int {
+	for w != 0 {
+		k := bits.TrailingZeros64(w)
+		dst = append(dst, k)
+		w &^= 1 << uint(k)
+	}
+	return dst
+}
+
+// Digit returns digit j of w in base 2^b, i.e. (w >> (b*j)) & (2^b - 1).
+// For b == 1 this is the bit at position j.
+func Digit(w uint64, j, b int) uint64 {
+	shift := uint(b * j)
+	if shift >= 64 {
+		return 0
+	}
+	return w >> shift & (1<<uint(b) - 1)
+}
+
+// NumDigits returns the number of base-2^b digits needed to represent w;
+// zero for w == 0.
+func NumDigits(w uint64, b int) int {
+	if w == 0 {
+		return 0
+	}
+	return (BitLen(w) + b - 1) / b
+}
+
+// DigitValue reconstructs the sub-bias contributed by digit j with value v
+// in base 2^b: v * (2^b)^j. The caller guarantees no overflow.
+func DigitValue(v uint64, j, b int) uint64 {
+	return v << uint(b*j)
+}
+
+// IsPow2 reports whether w is a power of two (w must be non-zero).
+func IsPow2(w uint64) bool { return w != 0 && w&(w-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= w, with NextPow2(0) == 1.
+func NextPow2(w uint64) uint64 {
+	if w <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len64(w-1))
+}
+
+// CeilLog2 returns ceil(log2(w)) for w >= 1.
+func CeilLog2(w uint64) int {
+	if w <= 1 {
+		return 0
+	}
+	return bits.Len64(w - 1)
+}

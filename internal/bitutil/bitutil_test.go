@@ -1,0 +1,206 @@
+package bitutil
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopCount(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {3, 2}, {5, 2}, {255, 8},
+		{1 << 63, 1}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := PopCount(c.w); got != c.want {
+			t.Errorf("PopCount(%d) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := BitLen(c.w); got != c.want {
+			t.Errorf("BitLen(%d) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestBit(t *testing.T) {
+	w := uint64(0b1011)
+	want := []bool{true, true, false, true, false}
+	for k, b := range want {
+		if Bit(w, k) != b {
+			t.Errorf("Bit(%b, %d) = %v, want %v", w, k, Bit(w, k), b)
+		}
+	}
+}
+
+func TestLowestHighestSetBit(t *testing.T) {
+	if LowestSetBit(0) != -1 || HighestSetBit(0) != -1 {
+		t.Fatal("zero should yield -1 for both bit queries")
+	}
+	cases := []struct {
+		w      uint64
+		lo, hi int
+	}{
+		{1, 0, 0}, {2, 1, 1}, {6, 1, 2}, {0b101000, 3, 5}, {1 << 63, 63, 63},
+	}
+	for _, c := range cases {
+		if got := LowestSetBit(c.w); got != c.lo {
+			t.Errorf("LowestSetBit(%b) = %d, want %d", c.w, got, c.lo)
+		}
+		if got := HighestSetBit(c.w); got != c.hi {
+			t.Errorf("HighestSetBit(%b) = %d, want %d", c.w, got, c.hi)
+		}
+	}
+}
+
+// TestDecomposeSumsToOriginal checks Equation 3/4 of the paper: the
+// sub-biases of w must sum back to w exactly (bias mass is preserved).
+func TestDecomposeSumsToOriginal(t *testing.T) {
+	f := func(w uint64) bool {
+		var sum uint64
+		for _, s := range Decompose(w, nil) {
+			if !IsPow2(s) {
+				return false
+			}
+			sum += s
+		}
+		return sum == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeBitsMatchesDecompose(t *testing.T) {
+	f := func(w uint64) bool {
+		vals := Decompose(w, nil)
+		ks := DecomposeBits(w, nil)
+		if len(vals) != len(ks) || len(ks) != PopCount(w) {
+			return false
+		}
+		for i := range ks {
+			if vals[i] != 1<<uint(ks[i]) {
+				return false
+			}
+		}
+		// Increasing order.
+		for i := 1; i < len(ks); i++ {
+			if ks[i] <= ks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeAppendsToDst(t *testing.T) {
+	dst := []uint64{99}
+	dst = Decompose(5, dst)
+	if len(dst) != 3 || dst[0] != 99 || dst[1] != 1 || dst[2] != 4 {
+		t.Errorf("Decompose append misbehaved: %v", dst)
+	}
+}
+
+// TestDigitReconstruction checks the base-2^b generalization: summing
+// DigitValue over all digits reconstructs w for every base.
+func TestDigitReconstruction(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 4, 8, 16} {
+		f := func(w uint64) bool {
+			n := NumDigits(w, b)
+			var sum uint64
+			for j := 0; j < n; j++ {
+				sum += DigitValue(Digit(w, j, b), j, b)
+			}
+			if sum != w {
+				return false
+			}
+			// Digits above n must be zero.
+			return n == 0 || Digit(w, n, b) == 0 || b*n >= 64
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("base 2^%d: %v", b, err)
+		}
+	}
+}
+
+func TestDigitBase2MatchesBit(t *testing.T) {
+	f := func(w uint64) bool {
+		for k := 0; k < 64; k++ {
+			if (Digit(w, k, 1) == 1) != Bit(w, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumDigits(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		b    int
+		want int
+	}{
+		{0, 4, 0}, {1, 4, 1}, {15, 4, 1}, {16, 4, 2}, {255, 4, 2}, {256, 4, 3},
+		{7, 1, 3}, {8, 1, 4},
+	}
+	for _, c := range cases {
+		if got := NumDigits(c.w, c.b); got != c.want {
+			t.Errorf("NumDigits(%d, %d) = %d, want %d", c.w, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPow2Helpers(t *testing.T) {
+	if !IsPow2(1) || !IsPow2(64) || IsPow2(0) || IsPow2(12) {
+		t.Error("IsPow2 misclassified")
+	}
+	cases := []struct{ w, want uint64 }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.w); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.w, got, c.want)
+		}
+	}
+	if CeilLog2(1) != 0 || CeilLog2(2) != 1 || CeilLog2(3) != 2 || CeilLog2(1024) != 10 {
+		t.Error("CeilLog2 wrong")
+	}
+}
+
+func TestHighestSetBitMatchesStdlib(t *testing.T) {
+	f := func(w uint64) bool {
+		if w == 0 {
+			return HighestSetBit(w) == -1
+		}
+		return HighestSetBit(w) == bits.Len64(w)-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecomposeBits(b *testing.B) {
+	buf := make([]int, 0, 64)
+	for i := 0; i < b.N; i++ {
+		buf = DecomposeBits(uint64(i)*2654435761, buf[:0])
+	}
+	_ = buf
+}

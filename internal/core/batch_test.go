@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+func TestApplyBatchBasic(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	res, err := s.ApplyBatch([]graph.Update{
+		{Op: graph.OpInsert, Src: 2, Dst: 3, Bias: 3},
+		{Op: graph.OpDelete, Src: 2, Dst: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Deleted != 1 || res.NotFound != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkVertexDistribution(t, s, 2, map[graph.VertexID]float64{
+		4: 0.4, 5: 0.3, 3: 0.3,
+	}, 120000)
+}
+
+func TestApplyBatchEmpty(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	res, err := s.ApplyBatch(nil)
+	if err != nil || res.Inserted+res.Deleted+res.NotFound != 0 {
+		t.Fatalf("empty batch: %+v, %v", res, err)
+	}
+}
+
+func TestApplyBatchNotFound(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	res, err := s.ApplyBatch([]graph.Update{
+		{Op: graph.OpDelete, Src: 2, Dst: 7},
+		{Op: graph.OpDelete, Src: 2, Dst: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotFound != 1 || res.Deleted != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchZeroBiasRejected(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	before := s.NumEdges()
+	_, err := s.ApplyBatch([]graph.Update{
+		{Op: graph.OpInsert, Src: 0, Dst: 3, Bias: 7},
+		{Op: graph.OpInsert, Src: 0, Dst: 4, Bias: 0},
+	})
+	if !errors.Is(err, ErrZeroBias) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.NumEdges() != before {
+		t.Error("failed batch partially applied")
+	}
+}
+
+// TestTwoPhaseDeleteAdversarial exercises the Figure 10(b) scenario the
+// paper motivates: victims residing in the tail window that would
+// otherwise be used to fill holes.
+func TestTwoPhaseDeleteAdversarial(t *testing.T) {
+	s, _ := New(32, DefaultConfig())
+	// Vertex 0 with 10 neighbors 1..10, biases = dst.
+	for i := 1; i <= 10; i++ {
+		if err := s.Insert(0, graph.VertexID(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete entry 0 and the entire tail window except one survivor:
+	// victims {1, 7, 8, 9, 10} (dsts). N=5, window = slots 5..9
+	// (dsts 6..10). Victims in window: 7,8,9,10 → γ=4; survivors {6}
+	// fill the single front hole (dst 1's slot).
+	var ups []graph.Update
+	for _, dst := range []graph.VertexID{1, 7, 8, 9, 10} {
+		ups = append(ups, graph.Update{Op: graph.OpDelete, Src: 0, Dst: dst})
+	}
+	res, err := s.ApplyBatch(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 5 {
+		t.Fatalf("deleted %d, want 5", res.Deleted)
+	}
+	if s.Degree(0) != 5 {
+		t.Fatalf("degree %d, want 5", s.Degree(0))
+	}
+	for _, dst := range []graph.VertexID{2, 3, 4, 5, 6} {
+		if !s.HasEdge(0, dst) {
+			t.Errorf("surviving edge to %d lost", dst)
+		}
+	}
+	for _, dst := range []graph.VertexID{1, 7, 8, 9, 10} {
+		if s.HasEdge(0, dst) {
+			t.Errorf("deleted edge to %d still present", dst)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkVertexDistribution(t, s, 0, map[graph.VertexID]float64{
+		2: 2.0 / 20, 3: 3.0 / 20, 4: 4.0 / 20, 5: 5.0 / 20, 6: 6.0 / 20,
+	}, 100000)
+}
+
+func TestTwoPhaseDeleteWholeVertex(t *testing.T) {
+	s, _ := New(16, DefaultConfig())
+	var ups []graph.Update
+	for i := 1; i <= 8; i++ {
+		if err := s.Insert(0, graph.VertexID(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		ups = append(ups, graph.Update{Op: graph.OpDelete, Src: 0, Dst: graph.VertexID(i)})
+	}
+	if _, err := s.ApplyBatch(ups); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree(0) != 0 {
+		t.Fatalf("degree %d after full deletion", s.Degree(0))
+	}
+	if _, ok := s.Sample(0, xrand.New(1)); ok {
+		t.Error("sampled from emptied vertex")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchInsertDeleteSameEdge(t *testing.T) {
+	// The paper's duplicated-edge case: re-insert a deleted edge within
+	// one batch; and delete a just-inserted edge.
+	s := runningExample(t, DefaultConfig())
+	res, err := s.ApplyBatch([]graph.Update{
+		{Op: graph.OpDelete, Src: 2, Dst: 1},
+		{Op: graph.OpInsert, Src: 2, Dst: 1, Bias: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert-then-delete processing: insert lands first, then the delete
+	// must remove the *earlier* (pre-batch, bias 5) instance, leaving
+	// bias 9.
+	if res.Inserted != 1 || res.Deleted != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if s.Degree(2) != 3 {
+		t.Fatalf("degree %d, want 3", s.Degree(2))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkVertexDistribution(t, s, 2, map[graph.VertexID]float64{
+		1: 9.0 / 16, 4: 4.0 / 16, 5: 3.0 / 16,
+	}, 120000)
+}
+
+func TestBatchMatchesStreaming(t *testing.T) {
+	// The same update stream applied via streaming and batching must
+	// yield identical per-destination mass everywhere.
+	mkGraph := func() *graph.CSR {
+		edges := gen.RMAT(200, 2000, gen.DefaultRMAT, 31)
+		gen.AssignBiases(edges, 200, gen.BiasConfig{Kind: gen.BiasDegree})
+		g, err := graph.FromEdges(200, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g := mkGraph()
+	w, err := gen.BuildWorkload(g, gen.UpdMixed, 100, 5, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewFromCSR(w.Initial, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := NewFromCSR(w.Initial, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range w.Updates {
+		switch up.Op {
+		case graph.OpInsert:
+			err = stream.Insert(up.Src, up.Dst, up.Bias)
+		case graph.OpDelete:
+			err = stream.Delete(up.Src, up.Dst)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range w.Batches() {
+		if _, err := batch.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stream.CheckInvariants(); err != nil {
+		t.Fatalf("streaming: %v", err)
+	}
+	if err := batch.CheckInvariants(); err != nil {
+		t.Fatalf("batched: %v", err)
+	}
+	if stream.NumEdges() != batch.NumEdges() {
+		t.Fatalf("edges: streaming %d, batched %d", stream.NumEdges(), batch.NumEdges())
+	}
+	for u := graph.VertexID(0); int(u) < g.NumVertices(); u++ {
+		sm := destMass(stream, u)
+		bm := destMass(batch, u)
+		if len(sm) != len(bm) {
+			t.Fatalf("vertex %d: %d vs %d destinations", u, len(sm), len(bm))
+		}
+		for dst, m := range sm {
+			if bm[dst] != m {
+				t.Fatalf("vertex %d dst %d: mass %v vs %v", u, dst, m, bm[dst])
+			}
+		}
+	}
+}
+
+// destMass sums integer bias mass per destination from the adjacency.
+func destMass(s *Sampler, u graph.VertexID) map[graph.VertexID]uint64 {
+	out := map[graph.VertexID]uint64{}
+	for i := 0; i < s.Degree(u); i++ {
+		out[s.adjs.Dst(u, int32(i))] += s.adjs.Bias(u, int32(i))
+	}
+	return out
+}
+
+func TestBatchParallelWorkers(t *testing.T) {
+	// Same workload through 1 worker and 8 workers must agree; with
+	// -race this also validates the concurrency design.
+	edges := gen.RMAT(300, 4000, gen.DefaultRMAT, 55)
+	gen.AssignBiases(edges, 300, gen.BiasConfig{Kind: gen.BiasDegree})
+	g, err := graph.FromEdges(300, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gen.BuildWorkload(g, gen.UpdMixed, 500, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := DefaultConfig()
+	cfg1.Workers = 1
+	cfg8 := DefaultConfig()
+	cfg8.Workers = 8
+	s1, _ := NewFromCSR(w.Initial, cfg1)
+	s8, _ := NewFromCSR(w.Initial, cfg8)
+	for _, b := range w.Batches() {
+		b2 := append([]graph.Update(nil), b...)
+		if _, err := s1.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s8.ApplyBatch(b2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s8.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.NumEdges() != s8.NumEdges() {
+		t.Fatalf("edges %d vs %d", s1.NumEdges(), s8.NumEdges())
+	}
+	for u := graph.VertexID(0); int(u) < 300; u++ {
+		m1, m8 := destMass(s1, u), destMass(s8, u)
+		for dst, m := range m1 {
+			if m8[dst] != m {
+				t.Fatalf("vertex %d dst %d mass %v vs %v", u, dst, m, m8[dst])
+			}
+		}
+	}
+}
+
+func TestBatchGrowsVertexSpace(t *testing.T) {
+	s, _ := New(2, DefaultConfig())
+	_, err := s.ApplyBatch([]graph.Update{
+		{Op: graph.OpInsert, Src: 9, Dst: 4, Bias: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasEdge(9, 4) {
+		t.Error("edge to grown vertex missing")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchLargeChurnInvariants(t *testing.T) {
+	edges := gen.RMAT(150, 3000, gen.DefaultRMAT, 91)
+	gen.AssignBiases(edges, 150, gen.BiasConfig{Kind: gen.BiasPowerLaw, Max: 4096})
+	g, err := graph.FromEdges(150, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gen.BuildWorkload(g, gen.UpdMixed, 200, 7, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewFromCSR(w.Initial, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range w.Batches() {
+		if _, err := s.ApplyBatch(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	// After all updates, sampling still matches encoded distribution on
+	// the highest-degree vertex.
+	best := graph.VertexID(0)
+	for u := graph.VertexID(0); int(u) < 150; u++ {
+		if s.Degree(u) > s.Degree(best) {
+			best = u
+		}
+	}
+	if s.Degree(best) < 5 {
+		t.Skip("graph too sparse after churn")
+	}
+	want := map[graph.VertexID]float64{}
+	total := s.TotalBias(best)
+	for dst, m := range destMass(s, best) {
+		want[dst] = float64(m) / total
+	}
+	checkVertexDistribution(t, s, best, want, 150000)
+}

@@ -1,0 +1,278 @@
+package core
+
+// Edge-case and failure-injection tests: extreme biases, overflow guards,
+// pathological group shapes, and adversarial churn patterns.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+func TestExtremeBiases(t *testing.T) {
+	s, _ := New(8, DefaultConfig())
+	// A 2^62 bias forces a 63-group vertex alongside tiny biases.
+	if err := s.Insert(0, 1, 1<<62); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 3, (1<<62)-1); err != nil { // 62 set bits
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The giant biases must dominate; dst 2 should essentially never win.
+	r := xrand.New(1)
+	hits2 := 0
+	for i := 0; i < 10000; i++ {
+		v, ok := s.Sample(0, r)
+		if !ok {
+			t.Fatal("no sample")
+		}
+		if v == 2 {
+			hits2++
+		}
+	}
+	if hits2 > 2 {
+		t.Errorf("unit-bias edge sampled %d/10000 times against 2^62 biases", hits2)
+	}
+	// Updates on the wide vertex still work.
+	if err := s.Delete(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatOverflowGuard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FloatBias = true
+	cfg.Lambda = 1 << 20
+	s, _ := New(4, cfg)
+	err := s.InsertFloat(0, 1, 1e18)
+	if err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("overflowing weight accepted: %v", err)
+	}
+	// Batch path must reject it too, before mutating.
+	_, err = s.ApplyBatch([]graph.Update{
+		{Op: graph.OpInsert, Src: 0, Dst: 1, Bias: 1 << 60, FBias: 0},
+	})
+	if err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Errorf("overflowing batch weight accepted: %v", err)
+	}
+	if s.NumEdges() != 0 {
+		t.Error("failed inserts left edges behind")
+	}
+	// CSR construction path.
+	g, _ := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1, Bias: 1 << 60}})
+	if _, err := NewFromCSR(g, cfg); err == nil {
+		t.Error("overflowing CSR accepted")
+	}
+}
+
+func TestSelfLoops(t *testing.T) {
+	s, _ := New(3, DefaultConfig())
+	if err := s.Insert(0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	self := 0
+	for i := 0; i < 20000; i++ {
+		if v, _ := s.Sample(0, r); v == 0 {
+			self++
+		}
+	}
+	if self < 9000 || self > 11000 {
+		t.Errorf("self-loop sampled %d/20000, want ≈10000", self)
+	}
+	if err := s.Delete(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyDuplicateEdgesChurn(t *testing.T) {
+	// A pathological multigraph: hundreds of parallel edges to the same
+	// destination, churned heavily through both paths.
+	s, _ := New(4, DefaultConfig())
+	for i := 0; i < 300; i++ {
+		if err := s.Insert(0, 1, uint64(1+i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ups []graph.Update
+	for i := 0; i < 150; i++ {
+		ups = append(ups, graph.Update{Op: graph.OpDelete, Src: 0, Dst: 1})
+	}
+	res, err := s.ApplyBatch(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 150 || res.NotFound != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if s.Degree(0) != 150 {
+		t.Fatalf("degree %d, want 150", s.Degree(0))
+	}
+	for i := 0; i < 150; i++ {
+		if err := s.Delete(0, 1); err != nil {
+			t.Fatalf("streaming delete %d: %v", i, err)
+		}
+	}
+	if s.Degree(0) != 0 || s.HasEdge(0, 1) {
+		t.Error("duplicates not fully drained")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchDeleteMoreThanLive(t *testing.T) {
+	s, _ := New(4, DefaultConfig())
+	for i := 0; i < 5; i++ {
+		if err := s.Insert(0, 1, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ups []graph.Update
+	for i := 0; i < 9; i++ {
+		ups = append(ups, graph.Update{Op: graph.OpDelete, Src: 0, Dst: 1})
+	}
+	res, err := s.ApplyBatch(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 5 || res.NotFound != 4 {
+		t.Fatalf("result %+v", res)
+	}
+	if s.Degree(0) != 0 {
+		t.Error("over-deletion left edges")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlternatingGrowShrink(t *testing.T) {
+	// Degree oscillates across the adaptive thresholds repeatedly; the
+	// structure must stay consistent and memory must not grow without
+	// bound.
+	s, _ := New(64, DefaultConfig())
+	r := xrand.New(31)
+	var peak int64
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 200; i++ {
+			if err := s.Insert(0, graph.VertexID(1+r.Intn(63)), uint64(1+r.Intn(127))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s.Degree(0) > 5 {
+			dst := s.Neighbor(0, int32(r.Intn(s.Degree(0))))
+			if err := s.Delete(0, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if f := s.Footprint(); f > peak {
+			peak = f
+		}
+	}
+	// After 30 identical cycles the footprint must have stabilized well
+	// below an unbounded-growth trajectory (30 rounds × 200 edges would
+	// dwarf this if slices leaked).
+	if final := s.Footprint(); final > peak {
+		t.Errorf("footprint still growing: final %d > peak %d", final, peak)
+	}
+}
+
+func TestHubWithUniformPowerOfTwoBias(t *testing.T) {
+	// All biases 2^k for one k: exactly one group, kind dense, and the
+	// single-group sampling fast path must stay uniform.
+	s, _ := New(1030, DefaultConfig())
+	for i := 1; i <= 1024; i++ {
+		if err := s.Insert(0, graph.VertexID(i), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vx := &s.vx[0]
+	if len(vx.groups) != 1 || vx.groups[0].kind != KindDense {
+		t.Fatalf("groups %d kind %v", len(vx.groups), vx.groups[0].kind)
+	}
+	r := xrand.New(77)
+	counts := make([]int, 1025)
+	for i := 0; i < 200000; i++ {
+		v, _ := s.Sample(0, r)
+		counts[v]++
+	}
+	for i := 1; i <= 1024; i++ {
+		if counts[i] < 100 || counts[i] > 300 {
+			t.Fatalf("vertex %d sampled %d times, want ≈195", i, counts[i])
+		}
+	}
+}
+
+func TestRadixBase256(t *testing.T) {
+	// The widest supported base: 8 bits per digit.
+	cfg := DefaultConfig()
+	cfg.RadixBits = 8
+	s, err := New(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range []uint64{5, 4, 3, 1000, 70000} {
+		if err := s.Insert(0, graph.VertexID(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 5.0 + 4 + 3 + 70000
+	probs := s.VertexProbabilities(0)
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("probabilities sum %v", sum)
+	}
+	_ = total
+}
+
+func TestSplitFloatReconstruction(t *testing.T) {
+	r := xrand.New(9)
+	for i := 0; i < 10000; i++ {
+		lambda := float64(uint64(1) << uint(4+r.Intn(16)))
+		w := r.Float64() * 1e6
+		if w == 0 {
+			continue
+		}
+		if err := checkFloatWeight(w, lambda); err != nil {
+			continue
+		}
+		ib, rem := splitFloatBias(w, lambda)
+		got := (float64(ib) + float64(rem)) / lambda
+		if diff := got - w; diff > 1e-6*w+1e-9 || diff < -1e-6*w-1e-9 {
+			t.Fatalf("λ=%v w=%v reconstructs to %v", lambda, w, got)
+		}
+	}
+}

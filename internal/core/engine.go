@@ -1,0 +1,50 @@
+package core
+
+import "github.com/bingo-rw/bingo/internal/graph"
+
+// This file adapts Sampler to the walk.Dynamic engine interface, so Bingo
+// plugs into the same harness as the baselines. (The interface itself lives
+// in internal/walk; the methods here just normalize signatures.)
+
+// InsertEdge adds edge u→dst. In float mode the weight is bias + fbias;
+// in integer mode fbias must be zero mass (it is ignored).
+func (s *Sampler) InsertEdge(u, dst graph.VertexID, bias uint64, fbias float64) error {
+	if s.cfg.FloatBias {
+		return s.InsertFloat(u, dst, float64(bias)+fbias)
+	}
+	return s.Insert(u, dst, bias)
+}
+
+// DeleteEdge removes one live instance of u→dst.
+func (s *Sampler) DeleteEdge(u, dst graph.VertexID) error {
+	return s.Delete(u, dst)
+}
+
+// ApplyUpdates ingests a batch via the §5.2 batched path, ignoring
+// not-found deletions (the tolerant semantics the evaluation uses).
+func (s *Sampler) ApplyUpdates(ups []graph.Update) error {
+	_, err := s.ApplyBatch(ups)
+	return err
+}
+
+// ApplyUpdatesStreaming ingests the same events one by one through the
+// streaming path — the "Streaming" series of Figure 12. Not-found
+// deletions are skipped.
+func (s *Sampler) ApplyUpdatesStreaming(ups []graph.Update) error {
+	for _, up := range ups {
+		var err error
+		switch up.Op {
+		case graph.OpInsert:
+			err = s.InsertEdge(up.Src, up.Dst, up.Bias, up.FBias)
+		case graph.OpDelete:
+			err = s.DeleteEdge(up.Src, up.Dst)
+			if err != nil {
+				err = nil // tolerate missing edges, as ApplyBatch does
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// decGroup is the §4.3 decimal group of one vertex: the neighbor indices
+// whose scaled bias λ·w has a non-zero fractional remainder, each weighted
+// by that remainder (stored in the adjacency rem column). Unlike the radix
+// groups it is internally *biased*, so intra-group sampling uses rejection
+// bounded by 1.0 (remainders live in [0, 1)), with an exact linear CDF
+// fallback after too many rejections. The paper keeps this group's selection
+// probability below 1/d by choosing λ, so the rejection cost is amortized
+// away; the fallback bounds the worst case.
+type decGroup struct {
+	list []int32
+	inv  []int32 // inv[neighborIdx] = pos in list, -1 otherwise
+	sum  float64 // total remainder mass (recomputed at batch rebuilds)
+}
+
+// rejectionCap bounds rejection rounds before the exact fallback scan.
+const rejectionCap = 32
+
+func (dg *decGroup) count() int32 { return int32(len(dg.list)) }
+
+// growInv extends the inverted index to degree d.
+func (dg *decGroup) growInv(d int) {
+	for len(dg.inv) < d {
+		dg.inv = append(dg.inv, -1)
+	}
+}
+
+func (dg *decGroup) shrinkInv(d int) {
+	if len(dg.inv) > d {
+		dg.inv = dg.inv[:d]
+	}
+}
+
+// add registers member idx with remainder rem (no-op for rem == 0).
+func (dg *decGroup) add(idx int32, rem float32) {
+	if rem == 0 {
+		return
+	}
+	dg.inv[idx] = int32(len(dg.list))
+	dg.list = append(dg.list, idx)
+	dg.sum += float64(rem)
+}
+
+// remove drops member idx (no-op if idx has no remainder mass).
+func (dg *decGroup) remove(idx int32, rem float32) {
+	pos := dg.inv[idx]
+	if pos < 0 {
+		if rem != 0 {
+			panic(fmt.Sprintf("core: decimal member %d with rem %v missing", idx, rem))
+		}
+		return
+	}
+	last := int32(len(dg.list) - 1)
+	tail := dg.list[last]
+	if pos != last {
+		dg.list[pos] = tail
+		dg.inv[tail] = pos
+	}
+	dg.inv[idx] = -1
+	dg.list = dg.list[:last]
+	dg.sum -= float64(rem)
+	if dg.sum < 0 {
+		dg.sum = 0
+	}
+}
+
+// rename re-points member old to new after an adjacency swap.
+func (dg *decGroup) rename(old, new int32) {
+	pos := dg.inv[old]
+	if pos < 0 {
+		return // no remainder mass: not a member
+	}
+	dg.list[pos] = new
+	dg.inv[new] = pos
+	dg.inv[old] = -1
+}
+
+// sample draws a member with probability rem_i / sum: rejection bounded by
+// 1.0 for up to rejectionCap rounds, then an exact CDF scan.
+func (dg *decGroup) sample(r *xrand.RNG, remRow []float32) int32 {
+	n := len(dg.list)
+	if n == 0 {
+		panic("core: sample from empty decimal group")
+	}
+	for round := 0; round < rejectionCap; round++ {
+		idx := dg.list[r.Intn(n)]
+		if float64(remRow[idx]) > r.Float64() {
+			return idx
+		}
+	}
+	// Exact fallback: linear inverse-CDF over the member remainders.
+	x := r.Float64() * dg.sum
+	acc := 0.0
+	for _, idx := range dg.list {
+		acc += float64(remRow[idx])
+		if x < acc {
+			return idx
+		}
+	}
+	return dg.list[n-1] // numerical tail
+}
+
+// recompute rebuilds sum from the rem column, killing incremental
+// floating-point drift. Called during batch rebuilds.
+func (dg *decGroup) recompute(remRow []float32) {
+	s := 0.0
+	for _, idx := range dg.list {
+		s += float64(remRow[idx])
+	}
+	dg.sum = s
+}
+
+func (dg *decGroup) footprint() int64 {
+	return int64(cap(dg.list))*4 + int64(cap(dg.inv))*4
+}
+
+// maxScaledBias bounds λ·w so the uint64 conversion is always defined and
+// group weights stay exact in float64.
+const maxScaledBias = float64(1 << 62)
+
+// splitFloatBias converts a user-facing float bias into the scaled integer
+// part and fractional remainder: w → (⌊λ·w⌋, λ·w - ⌊λ·w⌋). The caller must
+// have validated the weight with checkFloatWeight.
+func splitFloatBias(w, lambda float64) (uint64, float32) {
+	scaled := w * lambda
+	ip := uint64(scaled)
+	return ip, float32(scaled - float64(ip))
+}
+
+// checkFloatWeight validates a float-mode weight against λ overflow.
+func checkFloatWeight(w, lambda float64) error {
+	if w*lambda >= maxScaledBias {
+		return fmt.Errorf("core: weight %v overflows λ=%v scaling (max %g)", w, lambda, maxScaledBias/lambda)
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+func floatConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FloatBias = true
+	return cfg
+}
+
+// paperFloatExample is Figure 7's vertex 2: edges (2,1,0.554), (2,4,0.726),
+// (2,5,0.320), with λ=10 in the paper (we let λ default and only check the
+// resulting distribution, which is λ-invariant).
+func paperFloatExample(t *testing.T, cfg Config) *Sampler {
+	t.Helper()
+	s, err := New(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		dst graph.VertexID
+		w   float64
+	}{{1, 0.554}, {4, 0.726}, {5, 0.320}} {
+		if err := s.InsertFloat(2, e.dst, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestFloatDistributionFigure7(t *testing.T) {
+	s := paperFloatExample(t, floatConfig())
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.554 + 0.726 + 0.320
+	checkVertexDistribution(t, s, 2, map[graph.VertexID]float64{
+		1: 0.554 / total, 4: 0.726 / total, 5: 0.320 / total,
+	}, 150000)
+}
+
+func TestFloatExplicitLambda10(t *testing.T) {
+	// λ=10 exactly as in Figure 7: 0.554→(5, .54), 0.726→(7, .26),
+	// 0.320→(3, .20).
+	cfg := floatConfig()
+	cfg.Lambda = 10
+	s := paperFloatExample(t, cfg)
+	if s.Lambda() != 10 {
+		t.Fatalf("lambda = %v", s.Lambda())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Integer parts should be 5, 7, 3.
+	wantI := map[graph.VertexID]uint64{1: 5, 4: 7, 5: 3}
+	for i := 0; i < s.Degree(2); i++ {
+		dst := s.adjs.Dst(2, int32(i))
+		if got := s.adjs.Bias(2, int32(i)); got != wantI[dst] {
+			t.Errorf("dst %d integer part %d, want %d", dst, got, wantI[dst])
+		}
+		rem := s.adjs.Rem(2, int32(i))
+		if rem < 0 || rem >= 1 {
+			t.Errorf("dst %d remainder %v out of [0,1)", dst, rem)
+		}
+	}
+	// Decimal group must hold all three members (all have remainders).
+	if got := s.vx[2].dec.count(); got != 3 {
+		t.Errorf("decimal members %d, want 3", got)
+	}
+	total := 0.554 + 0.726 + 0.320
+	checkVertexDistribution(t, s, 2, map[graph.VertexID]float64{
+		1: 0.554 / total, 4: 0.726 / total, 5: 0.320 / total,
+	}, 150000)
+}
+
+func TestFloatDeletion(t *testing.T) {
+	cfg := floatConfig()
+	cfg.Lambda = 10
+	s := paperFloatExample(t, cfg)
+	if err := s.Delete(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.554 + 0.320
+	checkVertexDistribution(t, s, 2, map[graph.VertexID]float64{
+		1: 0.554 / total, 5: 0.320 / total,
+	}, 120000)
+}
+
+func TestFloatAutoLambdaFromCSR(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, Bias: 0, FBias: 0.5},
+		{Src: 0, Dst: 2, Bias: 1, FBias: 0.25},
+		{Src: 0, Dst: 3, Bias: 2, FBias: 0},
+	}
+	g, err := graph.FromEdges(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewFromCSR(g, floatConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lambda() < 1024 {
+		t.Errorf("auto lambda %v below floor", s.Lambda())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.5 + 1.25 + 2.0
+	checkVertexDistribution(t, s, 0, map[graph.VertexID]float64{
+		1: 0.5 / total, 2: 1.25 / total, 3: 2.0 / total,
+	}, 150000)
+}
+
+func TestFloatDecimalOnlyEdges(t *testing.T) {
+	// Weights below 1/λ have zero integer part: all mass in the decimal
+	// group, which must still sample correctly.
+	cfg := floatConfig()
+	cfg.Lambda = 16
+	s, _ := New(8, cfg)
+	ws := map[graph.VertexID]float64{1: 0.01, 2: 0.02, 3: 0.03}
+	for dst, w := range ws {
+		if err := s.InsertFloat(0, dst, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkVertexDistribution(t, s, 0, map[graph.VertexID]float64{
+		1: 1.0 / 6, 2: 2.0 / 6, 3: 3.0 / 6,
+	}, 150000)
+}
+
+func TestFloatMixedMagnitudes(t *testing.T) {
+	// Large integer parts alongside tiny fractional-only edges.
+	cfg := floatConfig()
+	cfg.Lambda = 64
+	s, _ := New(8, cfg)
+	ws := map[graph.VertexID]float64{1: 100.7, 2: 0.004, 3: 55.25, 4: 1.0}
+	total := 0.0
+	for dst, w := range ws {
+		if err := s.InsertFloat(0, dst, w); err != nil {
+			t.Fatal(err)
+		}
+		total += w
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[graph.VertexID]float64{}
+	for dst, w := range ws {
+		want[dst] = w / total
+	}
+	checkVertexDistribution(t, s, 0, want, 200000)
+}
+
+func TestFloatBatch(t *testing.T) {
+	cfg := floatConfig()
+	cfg.Lambda = 32
+	s, _ := New(16, cfg)
+	ups := []graph.Update{
+		{Op: graph.OpInsert, Src: 0, Dst: 1, Bias: 2, FBias: 0.5},
+		{Op: graph.OpInsert, Src: 0, Dst: 2, Bias: 0, FBias: 0.75},
+		{Op: graph.OpInsert, Src: 0, Dst: 3, Bias: 5, FBias: 0.0},
+	}
+	if _, err := s.ApplyBatch(ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 2.5 + 0.75 + 5.0
+	checkVertexDistribution(t, s, 0, map[graph.VertexID]float64{
+		1: 2.5 / total, 2: 0.75 / total, 3: 5.0 / total,
+	}, 150000)
+	// Delete the decimal-only edge in a batch.
+	if _, err := s.ApplyBatch([]graph.Update{{Op: graph.OpDelete, Src: 0, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total = 2.5 + 5.0
+	checkVertexDistribution(t, s, 0, map[graph.VertexID]float64{
+		1: 2.5 / total, 3: 5.0 / total,
+	}, 120000)
+}
+
+func TestFloatChurnKeepsSumAccurate(t *testing.T) {
+	// Heavy insert/delete churn must not let the decimal sum drift
+	// (batch rebuild recomputes it).
+	cfg := floatConfig()
+	cfg.Lambda = 16
+	s, _ := New(64, cfg)
+	r := xrand.New(5)
+	var live []graph.VertexID
+	for round := 0; round < 60; round++ {
+		var ups []graph.Update
+		for i := 0; i < 20; i++ {
+			if len(live) == 0 || r.Float64() < 0.6 {
+				dst := graph.VertexID(1 + r.Intn(63))
+				w := r.Float64()*3 + 0.001
+				ib, fb := uint64(w), w-float64(uint64(w))
+				ups = append(ups, graph.Update{Op: graph.OpInsert, Src: 0, Dst: dst, Bias: ib, FBias: fb})
+				live = append(live, dst)
+			} else {
+				i := r.Intn(len(live))
+				ups = append(ups, graph.Update{Op: graph.OpDelete, Src: 0, Dst: live[i]})
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		if _, err := s.ApplyBatch(ups); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// NotFound deletions are possible (duplicate dst collapse), so just
+	// validate structural health plus distribution on vertex 0.
+	if s.Degree(0) > 0 {
+		want := map[graph.VertexID]float64{}
+		total := 0.0
+		for i := 0; i < s.Degree(0); i++ {
+			w := float64(s.adjs.Bias(0, int32(i))) + float64(s.adjs.Rem(0, int32(i)))
+			want[s.adjs.Dst(0, int32(i))] += w
+			total += w
+		}
+		for dst := range want {
+			want[dst] /= total
+		}
+		checkVertexDistribution(t, s, 0, want, 150000)
+	}
+}
+
+func TestSplitFloatBias(t *testing.T) {
+	ip, rem := splitFloatBias(0.554, 10)
+	if ip != 5 || math.Abs(float64(rem)-0.54) > 1e-6 {
+		t.Errorf("split(0.554, 10) = %d, %v", ip, rem)
+	}
+	ip, rem = splitFloatBias(3.0, 2)
+	if ip != 6 || rem != 0 {
+		t.Errorf("split(3.0, 2) = %d, %v", ip, rem)
+	}
+	ip, rem = splitFloatBias(0.001, 16)
+	if ip != 0 || rem <= 0 {
+		t.Errorf("split(0.001, 16) = %d, %v", ip, rem)
+	}
+}
+
+func TestDecimalGroupFallbackScan(t *testing.T) {
+	// Force pathological rejection behavior: many members with near-zero
+	// remainders plus one dominant one. The capped rejection must fall
+	// back to the exact scan and still produce the right distribution.
+	dg := &decGroup{}
+	rem := make([]float32, 101)
+	dg.growInv(101)
+	for i := int32(0); i < 100; i++ {
+		rem[i] = 1e-4
+		dg.add(i, rem[i])
+	}
+	rem[100] = 0.9
+	dg.add(100, rem[100])
+	r := xrand.New(9)
+	hits := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if dg.sample(r, rem) == 100 {
+			hits++
+		}
+	}
+	wantP := 0.9 / (0.9 + 100*1e-4)
+	got := float64(hits) / draws
+	if math.Abs(got-wantP) > 0.02 {
+		t.Errorf("dominant member frequency %v, want %v", got, wantP)
+	}
+}

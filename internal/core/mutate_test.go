@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+func TestUpdateBias(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	// Rewrite (2,1) from bias 5 to bias 8: groups 2^0/2^2 lose it,
+	// group 2^3 gains it.
+	if err := s.UpdateBias(2, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree(2) != 3 {
+		t.Fatalf("degree changed: %d", s.Degree(2))
+	}
+	checkVertexDistribution(t, s, 2, map[graph.VertexID]float64{
+		1: 8.0 / 15, 4: 4.0 / 15, 5: 3.0 / 15,
+	}, 120000)
+}
+
+func TestUpdateBiasSharedDigits(t *testing.T) {
+	// 5 (101b) → 7 (111b): only bit 1 changes; bits 0 and 2 stay put.
+	s := runningExample(t, DefaultConfig())
+	if err := s.UpdateBias(2, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkVertexDistribution(t, s, 2, map[graph.VertexID]float64{
+		1: 7.0 / 14, 4: 4.0 / 14, 5: 3.0 / 14,
+	}, 100000)
+}
+
+func TestUpdateBiasErrors(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	if err := s.UpdateBias(2, 9, 5); !errors.Is(err, ErrEdgeNotFound) {
+		t.Errorf("absent edge: %v", err)
+	}
+	if err := s.UpdateBias(2, 1, 0); !errors.Is(err, ErrZeroBias) {
+		t.Errorf("zero bias: %v", err)
+	}
+	if err := s.UpdateBias(99, 1, 5); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("bad vertex: %v", err)
+	}
+}
+
+func TestUpdateBiasFloat(t *testing.T) {
+	cfg := floatConfig()
+	cfg.Lambda = 10
+	s := paperFloatExample(t, cfg)
+	if err := s.UpdateBiasFloat(2, 4, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.554 + 0.1 + 0.320
+	checkVertexDistribution(t, s, 2, map[graph.VertexID]float64{
+		1: 0.554 / total, 4: 0.1 / total, 5: 0.320 / total,
+	}, 120000)
+	if err := s.UpdateBiasFloat(2, 4, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	si, _ := New(4, DefaultConfig())
+	if err := si.UpdateBiasFloat(0, 1, 0.5); err == nil {
+		t.Error("float update on integer sampler accepted")
+	}
+}
+
+func TestUpdateBiasRandomized(t *testing.T) {
+	s, _ := New(32, DefaultConfig())
+	r := xrand.New(41)
+	for i := 1; i < 30; i++ {
+		if err := s.Insert(0, graph.VertexID(i), uint64(1+r.Intn(1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for op := 0; op < 2000; op++ {
+		dst := graph.VertexID(1 + r.Intn(29))
+		if err := s.UpdateBias(0, dst, uint64(1+r.Intn(4000))); err != nil {
+			t.Fatal(err)
+		}
+		if op%200 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Final distribution check against adjacency.
+	want := map[graph.VertexID]float64{}
+	total := s.TotalBias(0)
+	for i := 0; i < s.Degree(0); i++ {
+		want[s.adjs.Dst(0, int32(i))] += float64(s.adjs.Bias(0, int32(i))) / total
+	}
+	checkVertexDistribution(t, s, 0, want, 120000)
+}
+
+func TestDeleteVertex(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	if err := s.DeleteVertex(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree(2) != 0 {
+		t.Fatalf("degree %d after DeleteVertex", s.Degree(2))
+	}
+	if _, ok := s.Sample(2, xrand.New(1)); ok {
+		t.Error("sampled from deleted vertex")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// In-edges remain (documented); vertex 1 still points at 2.
+	if !s.HasEdge(1, 2) {
+		t.Error("in-edge removed by out-only deletion")
+	}
+	// The vertex can be repopulated.
+	if err := s.Insert(2, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteVertex(999); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("bad vertex: %v", err)
+	}
+}
+
+func TestDeleteVertexEverywhere(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	if err := s.DeleteVertexEverywhere(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree(2) != 0 {
+		t.Error("out-edges remain")
+	}
+	for v := graph.VertexID(0); int(v) < s.NumVertices(); v++ {
+		if s.HasEdge(v, 2) {
+			t.Errorf("in-edge %d→2 remains", v)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteVertexFloat(t *testing.T) {
+	cfg := floatConfig()
+	cfg.Lambda = 10
+	s := paperFloatExample(t, cfg)
+	if err := s.DeleteVertex(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertFloat(2, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,618 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"github.com/bingo-rw/bingo/internal/adj"
+	"github.com/bingo-rw/bingo/internal/bitutil"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/sampling"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// vertex is the per-vertex sampling state: the radix groups, the decimal
+// group (float mode), and the inter-group alias table (paper Figure 4).
+type vertex struct {
+	groups []group // non-empty groups, sorted by gid
+	// slots maps an alias bucket to the group's index in groups, or -1
+	// for the decimal group. It is rebuilt by rebuildInter after every
+	// group mutation, so stored indices are never stale.
+	slots []int16
+	wts   []float64
+	inter sampling.AliasTable
+	dec   decGroup
+	dirty bool // inter table stale; only ever true inside ApplyBatch
+}
+
+// findGroup returns the slice position of gid, or the insertion point with
+// found == false.
+func (vx *vertex) findGroup(gid int16) (int, bool) {
+	// Groups are few (≤ K ≈ log2 max bias); a linear scan beats binary
+	// search at this size and is branch-predictable.
+	for i := range vx.groups {
+		if vx.groups[i].gid >= gid {
+			return i, vx.groups[i].gid == gid
+		}
+	}
+	return len(vx.groups), false
+}
+
+// ensureGroup returns the group for gid, creating an empty one in sorted
+// position if needed.
+func (vx *vertex) ensureGroup(gid int16) *group {
+	i, ok := vx.findGroup(gid)
+	if !ok {
+		vx.groups = append(vx.groups, group{})
+		copy(vx.groups[i+1:], vx.groups[i:])
+		vx.groups[i] = group{gid: gid, kind: KindEmpty, one: -1}
+	}
+	return &vx.groups[i]
+}
+
+// compactGroups drops emptied groups.
+func (vx *vertex) compactGroups() {
+	out := vx.groups[:0]
+	for i := range vx.groups {
+		if vx.groups[i].count > 0 {
+			out = append(out, vx.groups[i])
+		}
+	}
+	vx.groups = out
+}
+
+// Sampler is the Bingo engine: the dynamic graph plus the full radix-based
+// sampling structure. It is safe for concurrent Sample calls; updates
+// require external serialization with respect to sampling (the paper's
+// engine likewise orders updates before each walk computation).
+type Sampler struct {
+	cfg    Config
+	lambda float64
+	adjs   *adj.Lists
+	vx     []vertex
+
+	// cc accumulates group-conversion statistics (Table 4). Batch workers
+	// accumulate locally and merge, so only streaming updates touch this
+	// directly.
+	cc convCounters
+
+	// Phase timers (Config.Instrument): cumulative nanoseconds spent in
+	// batched insert/delete versus rebuild, for Figure 13.
+	insDelNs, rebuildNs atomic.Int64
+}
+
+// PhaseTimes is the Figure 13 batched-update time breakdown.
+type PhaseTimes struct {
+	InsertDelete, Rebuild time.Duration
+}
+
+// PhaseTimes returns cumulative batched-update phase timings (zero unless
+// Config.Instrument is set).
+func (s *Sampler) PhaseTimes() PhaseTimes {
+	return PhaseTimes{
+		InsertDelete: time.Duration(s.insDelNs.Load()),
+		Rebuild:      time.Duration(s.rebuildNs.Load()),
+	}
+}
+
+// ResetPhaseTimes zeroes the Figure 13 timers.
+func (s *Sampler) ResetPhaseTimes() {
+	s.insDelNs.Store(0)
+	s.rebuildNs.Store(0)
+}
+
+// convCounters tracks group representation transitions (Table 4): conv
+// counts conversions from→to; touches counts group visits during updates
+// (the denominator of the paper's conversion ratios).
+type convCounters struct {
+	conv    [NumKinds][NumKinds]int64
+	touches [NumKinds]int64
+}
+
+func (c *convCounters) merge(o *convCounters) {
+	for i := range c.conv {
+		for j := range c.conv[i] {
+			c.conv[i][j] += o.conv[i][j]
+		}
+		c.touches[i] += o.touches[i]
+	}
+}
+
+// ConversionStats returns the accumulated conversion matrix and per-kind
+// touch counts since construction (or the last ResetConversionStats).
+func (s *Sampler) ConversionStats() (conv [NumKinds][NumKinds]int64, touches [NumKinds]int64) {
+	return s.cc.conv, s.cc.touches
+}
+
+// ResetConversionStats zeroes the Table 4 counters.
+func (s *Sampler) ResetConversionStats() { s.cc = convCounters{} }
+
+// New creates an empty sampler over numVertices vertices.
+func New(numVertices int, cfg Config) (*Sampler, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sampler{
+		cfg:  cfg,
+		adjs: adj.New(numVertices, cfg.FloatBias, cfg.IndexThreshold),
+		vx:   make([]vertex, numVertices),
+	}
+	s.lambda = cfg.Lambda
+	if cfg.FloatBias && s.lambda == 0 {
+		s.lambda = 1024 // no snapshot to calibrate against
+	}
+	return s, nil
+}
+
+// NewFromCSR creates a sampler initialized with a snapshot. In float-bias
+// mode the snapshot's integer and fractional bias columns are combined into
+// w = Bias + FBias and scaled by λ (auto-calibrated from the snapshot when
+// Config.Lambda is zero, targeting W_D/(W_I+W_D) < 1/d as in §4.4).
+func NewFromCSR(g *graph.CSR, cfg Config) (*Sampler, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sampler{
+		cfg:  cfg,
+		adjs: adj.New(g.NumVertices(), cfg.FloatBias, cfg.IndexThreshold),
+		vx:   make([]vertex, g.NumVertices()),
+	}
+	s.lambda = cfg.Lambda
+	if cfg.FloatBias && s.lambda == 0 {
+		maxDeg := 0
+		for u := 0; u < g.NumVertices(); u++ {
+			if d := g.Degree(graph.VertexID(u)); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		s.lambda = float64(bitutil.NextPow2(uint64(maxDeg)))
+		if s.lambda < 1024 {
+			s.lambda = 1024
+		}
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		vid := graph.VertexID(u)
+		dsts := g.Neighbors(vid)
+		biases := g.Biases(vid)
+		fb := g.FBiases(vid)
+		s.adjs.Grow(vid, len(dsts))
+		for i := range dsts {
+			var ib uint64
+			var rem float32
+			if cfg.FloatBias {
+				w := float64(biases[i])
+				if fb != nil {
+					w += fb[i]
+				}
+				if err := checkFloatWeight(w, s.lambda); err != nil {
+					return nil, fmt.Errorf("edge (%d,%d): %w", u, dsts[i], err)
+				}
+				ib, rem = splitFloatBias(w, s.lambda)
+			} else {
+				ib = biases[i]
+			}
+			if ib == 0 && rem == 0 {
+				return nil, fmt.Errorf("%w: edge (%d,%d)", ErrZeroBias, u, dsts[i])
+			}
+			s.adjs.Append(vid, dsts[i], ib, rem)
+		}
+		s.bulkBuildVertex(vid)
+	}
+	return s, nil
+}
+
+// bulkBuildVertex constructs a vertex's groups from its adjacency row in
+// one pass, classifying each group once (exact Equation 9) — the O(d·K)
+// initial construction.
+func (s *Sampler) bulkBuildVertex(u graph.VertexID) {
+	vx := &s.vx[u]
+	biasRow := s.adjs.BiasRow(u)
+	d := len(biasRow)
+	vx.groups = vx.groups[:0]
+	b := s.cfg.RadixBits
+	// Count pass.
+	counts := map[int16]int32{}
+	for _, w := range biasRow {
+		n := bitutil.NumDigits(w, b)
+		for j := 0; j < n; j++ {
+			if v := bitutil.Digit(w, j, b); v != 0 {
+				counts[gidOf(j, v, b)]++
+			}
+		}
+	}
+	for gid, c := range counts {
+		kind := KindRegular
+		if s.cfg.Adaptive {
+			kind = classify(c, d, s.cfg.AlphaPct, s.cfg.BetaPct)
+		}
+		g := vx.ensureGroup(gid)
+		g.kind = kind
+		g.count = c
+		g.one = -1
+	}
+	// Fill pass for representations that carry members.
+	for i := range vx.groups {
+		g := &vx.groups[i]
+		switch g.kind {
+		case KindRegular:
+			g.list = make([]int32, 0, g.count)
+			g.inv = make([]int32, d)
+			for k := range g.inv {
+				g.inv[k] = -1
+			}
+		case KindSparse:
+			g.list = make([]int32, 0, g.count)
+		}
+		g.count = 0 // re-accumulated below via add
+	}
+	for idx := int32(0); idx < int32(d); idx++ {
+		w := biasRow[idx]
+		n := bitutil.NumDigits(w, b)
+		for j := 0; j < n; j++ {
+			v := bitutil.Digit(w, j, b)
+			if v == 0 {
+				continue
+			}
+			i, _ := vx.findGroup(gidOf(j, v, b))
+			g := &vx.groups[i]
+			switch g.kind {
+			case KindDense:
+				g.count++
+			case KindOne:
+				g.one = idx
+				g.count++
+			default:
+				g.inv0add(idx)
+			}
+		}
+	}
+	if s.cfg.FloatBias {
+		vx.dec.growInv(d)
+		remRow := s.adjs.RemRow(u)
+		for idx := int32(0); idx < int32(d); idx++ {
+			vx.dec.add(idx, remRow[idx])
+		}
+	}
+	s.rebuildInter(u)
+}
+
+// inv0add appends a member during bulk build (list pre-sized, inv already
+// allocated for regular groups).
+func (g *group) inv0add(idx int32) {
+	switch g.kind {
+	case KindSparse:
+		g.sinv.Add(uint32(idx), g.count)
+		g.list = append(g.list, idx)
+	case KindRegular:
+		g.inv[idx] = g.count
+		g.list = append(g.list, idx)
+	default:
+		panic("core: inv0add on kind without list")
+	}
+	g.count++
+}
+
+// NumVertices returns the vertex-ID space size.
+func (s *Sampler) NumVertices() int { return len(s.vx) }
+
+// NumEdges returns the live edge count.
+func (s *Sampler) NumEdges() int64 { return s.adjs.NumEdges() }
+
+// Degree returns the out-degree of u.
+func (s *Sampler) Degree(u graph.VertexID) int {
+	if int(u) >= len(s.vx) {
+		return 0
+	}
+	return s.adjs.Degree(u)
+}
+
+// HasEdge reports whether at least one edge u→dst is live (O(1) expected).
+func (s *Sampler) HasEdge(u, dst graph.VertexID) bool {
+	if int(u) >= len(s.vx) {
+		return false
+	}
+	return s.adjs.HasEdge(u, dst)
+}
+
+// Neighbor returns the destination at adjacency slot i of u.
+func (s *Sampler) Neighbor(u graph.VertexID, i int32) graph.VertexID {
+	return s.adjs.Dst(u, i)
+}
+
+// Lambda returns the float-bias amortization factor in use (0 in integer
+// mode with no calibration).
+func (s *Sampler) Lambda() float64 { return s.lambda }
+
+// Config returns the sampler's effective configuration.
+func (s *Sampler) Config() Config { return s.cfg }
+
+// TotalBias returns the total sampling mass at u (scaled mass in float
+// mode).
+func (s *Sampler) TotalBias(u graph.VertexID) float64 {
+	return s.vx[u].inter.Total()
+}
+
+func (s *Sampler) ensureVertex(u graph.VertexID) {
+	s.adjs.EnsureVertex(u)
+	for int(u) >= len(s.vx) {
+		s.vx = append(s.vx, vertex{})
+	}
+}
+
+// Insert adds edge u→dst with an integer bias (streaming path, §4.2:
+// append to each radix group, then rebuild the inter-group alias; O(K)).
+func (s *Sampler) Insert(u, dst graph.VertexID, bias uint64) error {
+	if bias == 0 {
+		return fmt.Errorf("%w: insert (%d,%d)", ErrZeroBias, u, dst)
+	}
+	if s.cfg.FloatBias {
+		// Interpret the integer bias as weight w = bias in float mode.
+		return s.InsertFloat(u, dst, float64(bias))
+	}
+	s.ensureVertex(u)
+	s.ensureVertex(dst)
+	s.insertEdge(u, dst, bias, 0, &s.cc)
+	s.rebuildInter(u)
+	return nil
+}
+
+// InsertFloat adds edge u→dst with a float bias (float mode only).
+func (s *Sampler) InsertFloat(u, dst graph.VertexID, w float64) error {
+	if !s.cfg.FloatBias {
+		return fmt.Errorf("core: InsertFloat on integer-bias sampler")
+	}
+	if w <= 0 {
+		return fmt.Errorf("%w: insert (%d,%d) weight %v", ErrZeroBias, u, dst, w)
+	}
+	if err := checkFloatWeight(w, s.lambda); err != nil {
+		return err
+	}
+	ib, rem := splitFloatBias(w, s.lambda)
+	if ib == 0 && rem == 0 {
+		return fmt.Errorf("%w: insert (%d,%d) weight %v underflows λ=%v", ErrZeroBias, u, dst, w, s.lambda)
+	}
+	s.ensureVertex(u)
+	s.ensureVertex(dst)
+	s.insertEdge(u, dst, ib, rem, &s.cc)
+	s.rebuildInter(u)
+	return nil
+}
+
+// insertEdge performs the intra-group part of an insertion (paper Figure 5
+// step (i): append) without rebuilding the inter-group table.
+func (s *Sampler) insertEdge(u, dst graph.VertexID, bias uint64, rem float32, cc *convCounters) {
+	idx := s.adjs.Append(u, dst, bias, rem)
+	vx := &s.vx[u]
+	d := s.adjs.Degree(u)
+	// Every regular inverted index (and the decimal one) tracks degree.
+	for i := range vx.groups {
+		vx.groups[i].growInv(d)
+	}
+	if s.cfg.FloatBias {
+		vx.dec.growInv(d)
+		vx.dec.add(idx, rem)
+	}
+	b := s.cfg.RadixBits
+	biasRow := s.adjs.BiasRow(u)
+	n := bitutil.NumDigits(bias, b)
+	for j := 0; j < n; j++ {
+		v := bitutil.Digit(bias, j, b)
+		if v == 0 {
+			continue
+		}
+		g := vx.ensureGroup(gidOf(j, v, b))
+		cc.touches[g.kind]++
+		if g.kind == KindOne {
+			// Occupied one-element group must grow a representation
+			// before accepting a second member.
+			target := KindRegular
+			if s.cfg.Adaptive {
+				target = classify(g.count+1, d, s.cfg.AlphaPct, s.cfg.BetaPct)
+				if target == KindOne {
+					target = KindSparse
+				}
+			}
+			s.convert(g, target, d, biasRow, cc)
+		}
+		g.add(idx)
+		s.maybeConvertStreaming(g, d, biasRow, cc)
+	}
+}
+
+// deleteEdge performs the intra-group part of a deletion (paper Figure 6):
+// radix-decompose the bias, delete-and-swap in each group, swap-delete the
+// adjacency slot, and re-point the moved neighbor's group entries.
+// It does not rebuild the inter-group table.
+func (s *Sampler) deleteEdge(u graph.VertexID, idx int32, cc *convCounters) {
+	vx := &s.vx[u]
+	bias := s.adjs.Bias(u, idx)
+	rem := s.adjs.Rem(u, idx)
+	b := s.cfg.RadixBits
+	n := bitutil.NumDigits(bias, b)
+	for j := 0; j < n; j++ {
+		v := bitutil.Digit(bias, j, b)
+		if v == 0 {
+			continue
+		}
+		i, ok := vx.findGroup(gidOf(j, v, b))
+		if !ok {
+			panic(fmt.Sprintf("core: bias digit (%d,%d) of edge (%d,#%d) has no group", j, v, u, idx))
+		}
+		cc.touches[vx.groups[i].kind]++
+		vx.groups[i].remove(idx)
+	}
+	if s.cfg.FloatBias {
+		vx.dec.remove(idx, rem)
+	}
+	moved := s.adjs.SwapDelete(u, idx)
+	if moved >= 0 {
+		mbias := s.adjs.Bias(u, idx) // the moved neighbor, now at idx
+		mn := bitutil.NumDigits(mbias, b)
+		for j := 0; j < mn; j++ {
+			v := bitutil.Digit(mbias, j, b)
+			if v == 0 {
+				continue
+			}
+			i, ok := vx.findGroup(gidOf(j, v, b))
+			if !ok {
+				panic(fmt.Sprintf("core: moved neighbor digit (%d,%d) has no group", j, v))
+			}
+			vx.groups[i].rename(moved, idx)
+		}
+		if s.cfg.FloatBias {
+			vx.dec.rename(moved, idx)
+		}
+	}
+	d := s.adjs.Degree(u)
+	biasRow := s.adjs.BiasRow(u)
+	for i := range vx.groups {
+		vx.groups[i].shrinkInv(d)
+		s.maybeConvertStreaming(&vx.groups[i], d, biasRow, cc)
+	}
+	if s.cfg.FloatBias {
+		vx.dec.shrinkInv(d)
+	}
+	vx.compactGroups()
+}
+
+// Delete removes one live instance of edge u→dst (streaming path).
+func (s *Sampler) Delete(u, dst graph.VertexID) error {
+	if int(u) >= len(s.vx) {
+		return fmt.Errorf("%w: vertex %d", ErrVertexRange, u)
+	}
+	idx := s.adjs.Find(u, dst)
+	if idx < 0 {
+		return fmt.Errorf("%w: (%d,%d)", ErrEdgeNotFound, u, dst)
+	}
+	s.deleteEdge(u, idx, &s.cc)
+	s.rebuildInter(u)
+	return nil
+}
+
+// convert rebuilds g in the target representation, recording the transition
+// for Table 4.
+func (s *Sampler) convert(g *group, target GroupKind, d int, biasRow []uint64, cc *convCounters) {
+	if g.kind == target {
+		return
+	}
+	cc.conv[g.kind][target]++
+	g.convertTo(target, d, biasRow, s.cfg.RadixBits, nil)
+}
+
+// maybeConvertStreaming applies the hysteresis conversion policy after a
+// streaming update touched g.
+func (s *Sampler) maybeConvertStreaming(g *group, d int, biasRow []uint64, cc *convCounters) {
+	if g.count == 0 {
+		return
+	}
+	if !s.cfg.Adaptive {
+		if g.kind != KindRegular {
+			s.convert(g, KindRegular, d, biasRow, cc)
+		}
+		return
+	}
+	if target, ok := wantConvert(g.kind, g.count, d, s.cfg.AlphaPct, s.cfg.BetaPct); ok {
+		s.convert(g, target, d, biasRow, cc)
+	}
+}
+
+// rebuildInter rebuilds u's inter-group alias table (paper Figure 5 step
+// (ii)). O(number of groups) = O(K).
+func (s *Sampler) rebuildInter(u graph.VertexID) {
+	vx := &s.vx[u]
+	vx.slots = vx.slots[:0]
+	vx.wts = vx.wts[:0]
+	for i := range vx.groups {
+		g := &vx.groups[i]
+		if g.count == 0 {
+			continue
+		}
+		vx.slots = append(vx.slots, int16(i))
+		vx.wts = append(vx.wts, g.weight(s.cfg.RadixBits))
+	}
+	if s.cfg.FloatBias && vx.dec.count() > 0 && vx.dec.sum > 0 {
+		vx.slots = append(vx.slots, -1)
+		vx.wts = append(vx.wts, vx.dec.sum)
+	}
+	vx.inter.Build(vx.wts)
+	vx.dirty = false
+}
+
+// Sample draws a neighbor of u with probability bias/Σbias (Theorem 4.1)
+// in O(1): stage (i) alias-samples a group, stage (ii) uniform-samples a
+// member. The second result is false when u has no sampleable mass.
+// Sample is safe for concurrent use by multiple walkers.
+func (s *Sampler) Sample(u graph.VertexID, r *xrand.RNG) (graph.VertexID, bool) {
+	if int(u) >= len(s.vx) {
+		return 0, false
+	}
+	vx := &s.vx[u]
+	if vx.dirty {
+		panic("core: Sample during unfinished batch update")
+	}
+	if vx.inter.Empty() {
+		return 0, false
+	}
+	// Fast path: a single group needs no inter-group draw.
+	slot := 0
+	if len(vx.slots) > 1 {
+		slot = vx.inter.Sample(r)
+	}
+	gi := vx.slots[slot]
+	var idx int32
+	if gi < 0 {
+		idx = vx.dec.sample(r, s.adjs.RemRow(u))
+	} else {
+		idx = vx.groups[gi].sample(r, s.adjs.BiasRow(u), s.cfg.RadixBits)
+	}
+	return s.adjs.Dst(u, idx), true
+}
+
+// SampleSlot is Sample returning the adjacency slot instead of the
+// destination, for engines that need the edge's attributes.
+func (s *Sampler) SampleSlot(u graph.VertexID, r *xrand.RNG) (int32, bool) {
+	if int(u) >= len(s.vx) {
+		return -1, false
+	}
+	vx := &s.vx[u]
+	if vx.inter.Empty() {
+		return -1, false
+	}
+	slot := 0
+	if len(vx.slots) > 1 {
+		slot = vx.inter.Sample(r)
+	}
+	gi := vx.slots[slot]
+	if gi < 0 {
+		return vx.dec.sample(r, s.adjs.RemRow(u)), true
+	}
+	return vx.groups[gi].sample(r, s.adjs.BiasRow(u), s.cfg.RadixBits), true
+}
+
+var (
+	groupStructSize  = int64(unsafe.Sizeof(group{}))
+	vertexStructSize = int64(unsafe.Sizeof(vertex{}))
+)
+
+// Footprint returns the total bytes held by the sampler: adjacency,
+// group structures, inverted indices, and alias tables. This is the
+// quantity reported in the paper's memory columns.
+func (s *Sampler) Footprint() int64 {
+	total := s.adjs.Footprint()
+	total += int64(len(s.vx)) * int64(unsafe.Sizeof(vertex{}))
+	for u := range s.vx {
+		vx := &s.vx[u]
+		total += int64(cap(vx.groups)) * groupStructSize
+		for i := range vx.groups {
+			total += vx.groups[i].footprint()
+		}
+		total += int64(cap(vx.slots))*2 + int64(cap(vx.wts))*8
+		total += vx.inter.Footprint()
+		total += vx.dec.footprint()
+	}
+	return total
+}

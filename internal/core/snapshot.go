@@ -1,0 +1,39 @@
+package core
+
+import (
+	"github.com/bingo-rw/bingo/internal/graph"
+)
+
+// Snapshot materializes the current graph state as an immutable CSR — one
+// discrete snapshot G_t of the paper's dynamic-graph model (Definition
+// 2.1). In float mode, weights are exported as integer part Bias plus
+// fractional FBias in *unscaled* user units (the λ scaling is undone), so
+// NewFromCSR(snapshot, cfg) reconstructs an equivalent sampler.
+func (s *Sampler) Snapshot() *graph.CSR {
+	n := s.NumVertices()
+	csr := &graph.CSR{
+		Offsets: make([]int64, n+1),
+		Dst:     make([]graph.VertexID, 0, s.NumEdges()),
+		Bias:    make([]uint64, 0, s.NumEdges()),
+	}
+	if s.cfg.FloatBias {
+		csr.FBias = make([]float64, 0, s.NumEdges())
+	}
+	for u := 0; u < n; u++ {
+		vid := graph.VertexID(u)
+		d := s.adjs.Degree(vid)
+		for i := int32(0); i < int32(d); i++ {
+			csr.Dst = append(csr.Dst, s.adjs.Dst(vid, i))
+			if s.cfg.FloatBias {
+				w := (float64(s.adjs.Bias(vid, i)) + float64(s.adjs.Rem(vid, i))) / s.lambda
+				ib := uint64(w)
+				csr.Bias = append(csr.Bias, ib)
+				csr.FBias = append(csr.FBias, w-float64(ib))
+			} else {
+				csr.Bias = append(csr.Bias, s.adjs.Bias(vid, i))
+			}
+		}
+		csr.Offsets[u+1] = int64(len(csr.Dst))
+	}
+	return csr
+}

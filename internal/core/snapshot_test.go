@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := runningExample(t, DefaultConfig())
+	if err := s.Insert(2, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.NumEdges() != s.NumEdges() {
+		t.Fatalf("snapshot edges %d, engine %d", snap.NumEdges(), s.NumEdges())
+	}
+	s2, err := NewFromCSR(snap, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-destination mass must match between original and round trip.
+	for u := graph.VertexID(0); int(u) < s.NumVertices(); u++ {
+		a, b := destMass(s, u), destMass(s2, u)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: destination sets differ", u)
+		}
+		for dst, m := range a {
+			if b[dst] != m {
+				t.Fatalf("vertex %d dst %d: %d vs %d", u, dst, m, b[dst])
+			}
+		}
+	}
+}
+
+func TestSnapshotFloatRoundTrip(t *testing.T) {
+	cfg := floatConfig()
+	cfg.Lambda = 10
+	s := paperFloatExample(t, cfg)
+	snap := s.Snapshot()
+	if snap.FBias == nil {
+		t.Fatal("float snapshot lost fractional column")
+	}
+	s2, err := NewFromCSR(snap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Total unscaled weight must round trip to float32 precision.
+	want := 0.554 + 0.726 + 0.320
+	got := s2.TotalBias(2) / s2.Lambda()
+	if math.Abs(got-want) > 1e-4 {
+		t.Errorf("round-trip total %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotAfterHeavyChurn(t *testing.T) {
+	s, _ := New(32, DefaultConfig())
+	r := xrand.New(50)
+	for op := 0; op < 3000; op++ {
+		u := graph.VertexID(r.Intn(32))
+		if s.Degree(u) > 0 && r.Float64() < 0.45 {
+			_ = s.Delete(u, s.Neighbor(u, int32(r.Intn(s.Degree(u)))))
+		} else {
+			_ = s.Insert(u, graph.VertexID(r.Intn(32)), uint64(1+r.Intn(500)))
+		}
+	}
+	snap := s.Snapshot()
+	if snap.NumEdges() != s.NumEdges() {
+		t.Fatalf("edges %d vs %d", snap.NumEdges(), s.NumEdges())
+	}
+	stats := snap.ComputeStats()
+	if stats.Vertices != s.NumVertices() {
+		t.Error("vertex count mismatch")
+	}
+}

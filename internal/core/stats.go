@@ -1,0 +1,141 @@
+package core
+
+import (
+	"github.com/bingo-rw/bingo/internal/graph"
+)
+
+// GroupStats aggregates group-structure statistics across all vertices,
+// feeding Figures 9 (group element ratios) and 11 (adaptive-representation
+// memory breakdown).
+type GroupStats struct {
+	// Groups counts groups by representation kind.
+	Groups [NumKinds]int64
+	// Bytes attributes group storage (member lists, inverted indices,
+	// hash indices) to the representation kind holding it.
+	Bytes [NumKinds]int64
+	// PosElements[j] is the number of sub-biases stored at digit position
+	// j across the graph (Figure 9's per-group element counts).
+	PosElements []int64
+	// PosVertices[j] is the number of vertices with at least one neighbor
+	// in digit position j; Figure 9's "group element ratio" for position j
+	// is PosElements[j] / Σ_v degree(v) over those vertices. We report
+	// the simpler graph-wide ratio PosElements[j]/TotalEdges·avgFanout.
+	PosVertices []int64
+	// Elements is the total sub-bias count Σ_i popc(w_i) (t·d in §4.4).
+	Elements int64
+	// DecimalMembers counts decimal-group members (float mode).
+	DecimalMembers int64
+	// AliasBytes is the total inter-group alias table storage.
+	AliasBytes int64
+}
+
+// CollectGroupStats scans every vertex's groups.
+func (s *Sampler) CollectGroupStats() GroupStats {
+	var gs GroupStats
+	for u := range s.vx {
+		vx := &s.vx[u]
+		for i := range vx.groups {
+			g := &vx.groups[i]
+			gs.Groups[g.kind]++
+			gs.Bytes[g.kind] += g.footprint() + groupStructSize
+			j, _ := decodeGID(g.gid, s.cfg.RadixBits)
+			for len(gs.PosElements) <= j {
+				gs.PosElements = append(gs.PosElements, 0)
+				gs.PosVertices = append(gs.PosVertices, 0)
+			}
+			gs.PosElements[j] += int64(g.count)
+			gs.PosVertices[j]++
+			gs.Elements += int64(g.count)
+		}
+		gs.DecimalMembers += int64(s.vx[u].dec.count())
+		gs.AliasBytes += vx.inter.Footprint() + int64(cap(vx.slots))*2 + int64(cap(vx.wts))*8
+	}
+	return gs
+}
+
+// GroupElementRatios returns, for each digit position j, the average over
+// vertices of |G_j|/d — Figure 9's y-axis. Vertices with zero degree are
+// skipped.
+func (s *Sampler) GroupElementRatios() []float64 {
+	var sums []float64
+	var vertices int64
+	for u := range s.vx {
+		d := s.adjs.Degree(graph.VertexID(u))
+		if d == 0 {
+			continue
+		}
+		vertices++
+		vx := &s.vx[u]
+		for i := range vx.groups {
+			g := &vx.groups[i]
+			j, _ := decodeGID(g.gid, s.cfg.RadixBits)
+			for len(sums) <= j {
+				sums = append(sums, 0)
+			}
+			sums[j] += float64(g.count) / float64(d)
+		}
+	}
+	if vertices == 0 {
+		return nil
+	}
+	out := make([]float64, len(sums))
+	for j := range sums {
+		out[j] = sums[j] / float64(vertices)
+	}
+	return out
+}
+
+// KindSavings compares, for the groups currently held in one
+// representation, their actual storage (GA) against what the same groups
+// would cost under the all-regular baseline (BS): struct header + 4·count
+// member list + 4·degree inverted index. This is the per-panel quantity of
+// Figure 11(b)–(d).
+type KindSavings struct {
+	BS, GA int64
+}
+
+// AdaptiveSavings returns per-kind BS-vs-GA storage for the current state.
+func (s *Sampler) AdaptiveSavings() [NumKinds]KindSavings {
+	var out [NumKinds]KindSavings
+	for u := range s.vx {
+		d := int64(s.adjs.Degree(graph.VertexID(u)))
+		vx := &s.vx[u]
+		for i := range vx.groups {
+			g := &vx.groups[i]
+			bs := groupStructSize + 4*int64(g.count) + 4*d
+			out[g.kind].BS += bs
+			out[g.kind].GA += groupStructSize + g.footprint()
+		}
+	}
+	return out
+}
+
+// FootprintBreakdown splits Footprint into the quantities Figure 11
+// reports: adjacency storage, per-kind group storage, alias tables, and
+// decimal groups.
+type FootprintBreakdown struct {
+	Adjacency int64
+	Kind      [NumKinds]int64
+	Alias     int64
+	Decimal   int64
+	VertexHdr int64
+	Total     int64
+}
+
+// CollectFootprint computes the Figure 11 memory breakdown.
+func (s *Sampler) CollectFootprint() FootprintBreakdown {
+	var fb FootprintBreakdown
+	fb.Adjacency = s.adjs.Footprint()
+	gs := s.CollectGroupStats()
+	fb.Kind = gs.Bytes
+	fb.Alias = gs.AliasBytes
+	for u := range s.vx {
+		fb.Decimal += s.vx[u].dec.footprint()
+	}
+	fb.VertexHdr = int64(len(s.vx)) * vertexStructSize
+	fb.Total = fb.Adjacency + fb.Alias + fb.Decimal + fb.VertexHdr
+	for _, b := range fb.Kind {
+		fb.Total += b
+	}
+	return fb
+}

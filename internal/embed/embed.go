@@ -1,0 +1,280 @@
+// Package embed implements SkipGram-with-negative-sampling (SGNS) training
+// over random-walk corpora — the downstream consumer the paper's walks
+// exist for (§2.2: walk paths "are treated as sentences and used in the
+// SkipGram model to learn the latent representation"; §1: friend
+// recommendation "uses random walks to generate the node embeddings").
+//
+// The trainer is deliberately the classic word2vec recipe transplanted to
+// vertices: a unigram^(3/4) negative-sampling distribution (drawn, fittingly,
+// through this repository's own alias sampler), a linearly decaying learning
+// rate, and a shrinking context window. It is single-threaded and meant for
+// validating the walk layer end to end and powering examples, not for
+// competing with optimized embedding systems.
+package embed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/sampling"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Config parameterizes SGNS training.
+type Config struct {
+	// Dim is the embedding dimension (default 64).
+	Dim int
+	// Window is the maximum context distance (default 5); the effective
+	// window per center is drawn uniformly from [1, Window], as in
+	// word2vec.
+	Window int
+	// Negatives is the number of negative samples per positive pair
+	// (default 5).
+	Negatives int
+	// Rate is the initial learning rate (default 0.025), decayed
+	// linearly to Rate/100 across training.
+	Rate float64
+	// Epochs is the number of passes over the corpus (default 1).
+	Epochs int
+	// Seed drives initialization and sampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.Rate <= 0 {
+		c.Rate = 0.025
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	return c
+}
+
+// Model holds trained vertex embeddings.
+type Model struct {
+	dim  int
+	vecs []float32 // input embeddings, numVertices × dim
+	n    int
+}
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.dim }
+
+// NumVertices returns the vertex count the model covers.
+func (m *Model) NumVertices() int { return m.n }
+
+// Vector returns the embedding of v. The slice aliases model storage; do
+// not mutate it.
+func (m *Model) Vector(v graph.VertexID) []float32 {
+	return m.vecs[int(v)*m.dim : (int(v)+1)*m.dim]
+}
+
+// Similarity returns the cosine similarity of two vertices' embeddings,
+// zero when either embedding has zero norm.
+func (m *Model) Similarity(a, b graph.VertexID) float64 {
+	va, vb := m.Vector(a), m.Vector(b)
+	var dot, na, nb float64
+	for i := range va {
+		dot += float64(va[i]) * float64(vb[i])
+		na += float64(va[i]) * float64(va[i])
+		nb += float64(vb[i]) * float64(vb[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Neighbor is a similarity query result.
+type Neighbor struct {
+	Vertex graph.VertexID
+	Score  float64
+}
+
+// MostSimilar returns the k vertices most cosine-similar to v (excluding v
+// itself and vertices that never appeared in the corpus).
+func (m *Model) MostSimilar(v graph.VertexID, k int, appeared func(graph.VertexID) bool) []Neighbor {
+	out := make([]Neighbor, 0, k+1)
+	for u := 0; u < m.n; u++ {
+		uid := graph.VertexID(u)
+		if uid == v || (appeared != nil && !appeared(uid)) {
+			continue
+		}
+		out = append(out, Neighbor{uid, m.Similarity(v, uid)})
+		if len(out) > 4*k && len(out) > 64 {
+			sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+			out = out[:k]
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Vertex < out[j].Vertex
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// sigmoid table, word2vec-style: precomputed over [-maxExp, maxExp].
+const (
+	expTableSize = 1000
+	maxExp       = 6.0
+)
+
+var expTable = func() [expTableSize]float32 {
+	var t [expTableSize]float32
+	for i := range t {
+		x := (float64(i)/expTableSize*2 - 1) * maxExp
+		e := math.Exp(x)
+		t[i] = float32(e / (e + 1))
+	}
+	return t
+}()
+
+func sigmoid(x float32) float32 {
+	switch {
+	case x >= maxExp:
+		return 1
+	case x <= -maxExp:
+		return 0
+	default:
+		return expTable[int((float64(x)+maxExp)/(2*maxExp)*expTableSize)%expTableSize]
+	}
+}
+
+// Train fits SGNS embeddings to a corpus of walks over numVertices
+// vertices. Walks shorter than two vertices are skipped. It returns an
+// error on an empty corpus.
+func Train(corpus [][]graph.VertexID, numVertices int, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if numVertices <= 0 {
+		return nil, fmt.Errorf("embed: no vertices")
+	}
+
+	// Vertex frequencies → unigram^0.75 negative-sampling distribution,
+	// materialized as an alias table (O(1) negatives).
+	freq := make([]float64, numVertices)
+	var pairsApprox int64
+	usable := 0
+	for _, walkPath := range corpus {
+		if len(walkPath) < 2 {
+			continue
+		}
+		usable++
+		for _, v := range walkPath {
+			if int(v) >= numVertices {
+				return nil, fmt.Errorf("embed: corpus vertex %d outside space %d", v, numVertices)
+			}
+			freq[v]++
+		}
+		pairsApprox += int64(len(walkPath)) * int64(cfg.Window)
+	}
+	if usable == 0 {
+		return nil, fmt.Errorf("embed: corpus has no usable walks")
+	}
+	for v := range freq {
+		if freq[v] > 0 {
+			freq[v] = math.Pow(freq[v], 0.75)
+		}
+	}
+	negTable := sampling.NewAlias(freq)
+
+	r := xrand.New(cfg.Seed ^ 0xe4be)
+	m := &Model{dim: cfg.Dim, n: numVertices, vecs: make([]float32, numVertices*cfg.Dim)}
+	ctxVecs := make([]float32, numVertices*cfg.Dim)
+	// Only vertices that appear in the corpus get (random) initial
+	// vectors; absent vertices keep zero vectors so similarity queries
+	// against them are well-defined zeros.
+	for v := range freq {
+		if freq[v] == 0 {
+			continue
+		}
+		vec := m.vecs[v*cfg.Dim : (v+1)*cfg.Dim]
+		for i := range vec {
+			vec[i] = (float32(r.Float64()) - 0.5) / float32(cfg.Dim)
+		}
+	}
+
+	totalSteps := pairsApprox * int64(cfg.Epochs)
+	if totalSteps == 0 {
+		totalSteps = 1
+	}
+	var step int64
+	grad := make([]float32, cfg.Dim)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, walkPath := range corpus {
+			if len(walkPath) < 2 {
+				continue
+			}
+			for ci, center := range walkPath {
+				// Linear learning-rate decay with a floor at 1%.
+				alpha := float32(cfg.Rate * (1 - float64(step)/float64(totalSteps+1)))
+				if alpha < float32(cfg.Rate)/100 {
+					alpha = float32(cfg.Rate) / 100
+				}
+				win := 1 + r.Intn(cfg.Window)
+				lo, hi := ci-win, ci+win
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(walkPath) {
+					hi = len(walkPath) - 1
+				}
+				cv := m.Vector(center)
+				for pos := lo; pos <= hi; pos++ {
+					if pos == ci {
+						continue
+					}
+					step++
+					target := walkPath[pos]
+					for i := range grad {
+						grad[i] = 0
+					}
+					// One positive + Negatives negatives.
+					for s := 0; s <= cfg.Negatives; s++ {
+						var label float32
+						var out graph.VertexID
+						if s == 0 {
+							out, label = target, 1
+						} else {
+							out = graph.VertexID(negTable.Sample(r))
+							if out == target {
+								continue
+							}
+							label = 0
+						}
+						ov := ctxVecs[int(out)*cfg.Dim : (int(out)+1)*cfg.Dim]
+						var dot float32
+						for i := range cv {
+							dot += cv[i] * ov[i]
+						}
+						g := (label - sigmoid(dot)) * alpha
+						for i := range cv {
+							grad[i] += g * ov[i]
+							ov[i] += g * cv[i]
+						}
+					}
+					for i := range cv {
+						cv[i] += grad[i]
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}

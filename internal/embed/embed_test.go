@@ -1,0 +1,176 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/walk"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Dim != 64 || c.Window != 5 || c.Negatives != 5 || c.Epochs != 1 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 0, Config{}); err == nil {
+		t.Error("no vertices accepted")
+	}
+	if _, err := Train([][]graph.VertexID{{1}}, 4, Config{}); err == nil {
+		t.Error("corpus of singleton walks accepted")
+	}
+	if _, err := Train([][]graph.VertexID{{0, 9}}, 4, Config{}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := sigmoid(0); math.Abs(float64(s)-0.5) > 0.01 {
+		t.Errorf("sigmoid(0) = %v", s)
+	}
+	if sigmoid(10) != 1 || sigmoid(-10) != 0 {
+		t.Error("saturation wrong")
+	}
+	if sigmoid(2) <= sigmoid(1) || sigmoid(-1) <= sigmoid(-2) {
+		t.Error("not monotone")
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	corpus := [][]graph.VertexID{{0, 1, 0, 1}, {1, 0, 1, 0}}
+	m, err := Train(corpus, 3, Config{Dim: 8, Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 8 || m.NumVertices() != 3 {
+		t.Error("accessors wrong")
+	}
+	if len(m.Vector(1)) != 8 {
+		t.Error("vector length wrong")
+	}
+	if s := m.Similarity(0, 0); math.Abs(s-1) > 1e-5 {
+		t.Errorf("self-similarity %v, want 1", s)
+	}
+	// Vertex 2 never appears: zero vector → zero similarity.
+	if s := m.Similarity(0, 2); s != 0 {
+		t.Errorf("similarity with untrained vertex %v, want 0", s)
+	}
+}
+
+// TestCommunitiesSeparate is the end-to-end validation: DeepWalk corpora
+// from a two-community graph must yield embeddings where intra-community
+// similarity exceeds inter-community similarity — the paper's §1 embedding
+// use case, through the full Bingo → walk → SGNS pipeline.
+func TestCommunitiesSeparate(t *testing.T) {
+	const half = 20
+	s, err := core.New(2*half, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	addClique := func(lo int) {
+		for i := 0; i < 6*half; i++ {
+			u := graph.VertexID(lo + r.Intn(half))
+			v := graph.VertexID(lo + r.Intn(half))
+			if u != v {
+				if err := s.Insert(u, v, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addClique(0)
+	addClique(half)
+	// A couple of weak bridges so walks can cross occasionally.
+	if err := s.Insert(0, half, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(half, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var corpus [][]graph.VertexID
+	starts := make([]graph.VertexID, 0, 2*half*10)
+	for rep := 0; rep < 10; rep++ {
+		for v := 0; v < 2*half; v++ {
+			starts = append(starts, graph.VertexID(v))
+		}
+	}
+	walk.DeepWalkPaths(s, walk.Config{Length: 30, Starts: starts, Seed: 9}, func(p []graph.VertexID) {
+		corpus = append(corpus, append([]graph.VertexID(nil), p...))
+	})
+
+	m, err := Train(corpus, 2*half, Config{Dim: 32, Epochs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, inter := 0.0, 0.0
+	nIntra, nInter := 0, 0
+	for a := 0; a < 2*half; a += 3 {
+		for b := a + 1; b < 2*half; b += 3 {
+			sim := m.Similarity(graph.VertexID(a), graph.VertexID(b))
+			if (a < half) == (b < half) {
+				intra += sim
+				nIntra++
+			} else {
+				inter += sim
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra <= inter+0.1 {
+		t.Errorf("communities not separated: intra %.3f vs inter %.3f", intra, inter)
+	}
+}
+
+func TestMostSimilar(t *testing.T) {
+	// Two tight pairs: (0,1) co-occur, (2,3) co-occur.
+	var corpus [][]graph.VertexID
+	for i := 0; i < 200; i++ {
+		corpus = append(corpus, []graph.VertexID{0, 1, 0, 1, 0, 1})
+		corpus = append(corpus, []graph.VertexID{2, 3, 2, 3, 2, 3})
+	}
+	m, err := Train(corpus, 4, Config{Dim: 16, Epochs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.MostSimilar(0, 1, nil)
+	if len(top) != 1 || top[0].Vertex != 1 {
+		t.Errorf("MostSimilar(0) = %+v, want vertex 1", top)
+	}
+	top = m.MostSimilar(2, 1, nil)
+	if len(top) != 1 || top[0].Vertex != 3 {
+		t.Errorf("MostSimilar(2) = %+v, want vertex 3", top)
+	}
+	// The appeared filter excludes candidates.
+	top = m.MostSimilar(0, 2, func(v graph.VertexID) bool { return v != 1 })
+	for _, n := range top {
+		if n.Vertex == 1 {
+			t.Error("filtered vertex returned")
+		}
+	}
+}
+
+func TestTrainDeterminism(t *testing.T) {
+	corpus := [][]graph.VertexID{{0, 1, 2, 1}, {2, 1, 0, 1}}
+	a, err := Train(corpus, 3, Config{Dim: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(corpus, 3, Config{Dim: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.vecs {
+		if a.vecs[i] != b.vecs[i] {
+			t.Fatal("training not deterministic for fixed seed")
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package gen
+
+import (
+	"fmt"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Dataset describes one of the paper's Table 2 graphs. Generated instances
+// are R-MAT graphs with PaperV·scale vertices and PaperE·scale edges.
+type Dataset struct {
+	Name string
+	Abbr string
+	// PaperV and PaperE are the vertex/edge counts reported in Table 2.
+	PaperV, PaperE int64
+}
+
+// Datasets lists the paper's five evaluation graphs in Table 2 order.
+var Datasets = []Dataset{
+	{Name: "Amazon", Abbr: "AM", PaperV: 403_400, PaperE: 3_400_000},
+	{Name: "Google", Abbr: "GO", PaperV: 875_700, PaperE: 5_100_000},
+	{Name: "Citation", Abbr: "CT", PaperV: 3_800_000, PaperE: 16_500_000},
+	{Name: "LiveJournal", Abbr: "LJ", PaperV: 4_800_000, PaperE: 68_500_000},
+	{Name: "Twitter", Abbr: "TW", PaperV: 41_700_000, PaperE: 1_468_400_000},
+}
+
+// DatasetByAbbr returns the dataset with the given abbreviation.
+func DatasetByAbbr(abbr string) (Dataset, error) {
+	for _, d := range Datasets {
+		if d.Abbr == abbr {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", abbr)
+}
+
+// Generate materializes the dataset at the given scale with the paper's
+// default degree-derived biases. Scale 1.0 reproduces the paper's sizes;
+// the repository default is 0.01 (see DESIGN.md).
+func (d Dataset) Generate(scale float64, seed uint64) (*graph.CSR, error) {
+	return d.GenerateBias(scale, seed, BiasConfig{Kind: BiasDegree, Seed: seed})
+}
+
+// GenerateBias is Generate with an explicit bias configuration.
+func (d Dataset) GenerateBias(scale float64, seed uint64, bias BiasConfig) (*graph.CSR, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("gen: scale %v out of (0, 1]", scale)
+	}
+	v := int(float64(d.PaperV) * scale)
+	if v < 16 {
+		v = 16
+	}
+	e := int64(float64(d.PaperE) * scale)
+	if e < 32 {
+		e = 32
+	}
+	edges := RMAT(v, e, DefaultRMAT, seed^uint64(d.PaperV))
+	AssignBiases(edges, v, bias)
+	return graph.FromEdges(v, edges)
+}
+
+// UpdateKind selects one of the paper's three dynamic-update situations.
+type UpdateKind uint8
+
+const (
+	// UpdInsertion generates insertions only.
+	UpdInsertion UpdateKind = iota
+	// UpdDeletion generates deletions only.
+	UpdDeletion
+	// UpdMixed generates an equal mix of insertions and deletions.
+	UpdMixed
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdInsertion:
+		return "Insertion"
+	case UpdDeletion:
+		return "Deletion"
+	case UpdMixed:
+		return "Mixed"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", uint8(k))
+	}
+}
+
+// Workload is a dynamic-graph benchmark instance per §6.1: an initial
+// snapshot (set A) plus a stream of updates drawn by the paper's three-step
+// protocol.
+type Workload struct {
+	Initial *graph.CSR
+	Updates []graph.Update
+	// Rounds × BatchSize == len(Updates); the evaluation workflow applies
+	// one batch then runs the application, for Rounds rounds.
+	BatchSize int
+	Rounds    int
+}
+
+// Batches returns the update stream split into Rounds batches.
+func (w *Workload) Batches() [][]graph.Update {
+	out := make([][]graph.Update, 0, w.Rounds)
+	for i := 0; i < len(w.Updates); i += w.BatchSize {
+		end := i + w.BatchSize
+		if end > len(w.Updates) {
+			end = len(w.Updates)
+		}
+		out = append(out, w.Updates[i:end])
+	}
+	return out
+}
+
+// BuildWorkload implements the paper's dynamic-update generation: (i) split
+// the edges into set A (all but rounds·batchSize edges) and set B
+// (rounds·batchSize edges) at random; (ii) draw rounds·batchSize events —
+// an insertion takes an unused edge from B, a deletion removes a random
+// live edge from A; (iii) the initial snapshot contains exactly set A.
+// Insert-only and delete-only streams force the respective event kind.
+//
+// If the graph has too few edges to reserve set B (or to survive
+// delete-only streams), batchSize is reduced proportionally.
+func BuildWorkload(g *graph.CSR, kind UpdateKind, batchSize, rounds int, seed uint64) (*Workload, error) {
+	if batchSize <= 0 || rounds <= 0 {
+		return nil, fmt.Errorf("gen: batchSize %d / rounds %d must be positive", batchSize, rounds)
+	}
+	edges := g.Edges()
+	total := batchSize * rounds
+	// Keep at least half the edges in the initial snapshot, and make sure
+	// delete-heavy streams cannot drain it.
+	if total > len(edges)/2 {
+		batchSize = len(edges) / 2 / rounds
+		if batchSize == 0 {
+			batchSize = 1
+		}
+		total = batchSize * rounds
+	}
+
+	r := xrand.New(seed ^ 0x5eed)
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	setB := edges[:total]
+	setA := append([]graph.Edge(nil), edges[total:]...)
+
+	initial, err := graph.FromEdges(g.NumVertices(), setA)
+	if err != nil {
+		return nil, err
+	}
+
+	ups := make([]graph.Update, 0, total)
+	bNext := 0
+	for len(ups) < total {
+		var doInsert bool
+		switch kind {
+		case UpdInsertion:
+			doInsert = true
+		case UpdDeletion:
+			doInsert = false
+		case UpdMixed:
+			doInsert = r.Coin(0.5)
+		default:
+			return nil, fmt.Errorf("gen: unknown update kind %v", kind)
+		}
+		if doInsert && bNext >= len(setB) {
+			doInsert = false // B exhausted: fall back to deletion
+		}
+		if !doInsert && len(setA) == 0 {
+			doInsert = true // A drained: fall back to insertion
+			if bNext >= len(setB) {
+				break // nothing left to do at all
+			}
+		}
+		if doInsert {
+			e := setB[bNext]
+			bNext++
+			ups = append(ups, graph.Update{Op: graph.OpInsert, Src: e.Src, Dst: e.Dst, Bias: e.Bias, FBias: e.FBias})
+			setA = append(setA, e)
+		} else {
+			i := r.Intn(len(setA))
+			e := setA[i]
+			setA[i] = setA[len(setA)-1]
+			setA = setA[:len(setA)-1]
+			ups = append(ups, graph.Update{Op: graph.OpDelete, Src: e.Src, Dst: e.Dst})
+		}
+	}
+	return &Workload{Initial: initial, Updates: ups, BatchSize: batchSize, Rounds: rounds}, nil
+}

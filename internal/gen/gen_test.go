@@ -1,0 +1,326 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+)
+
+func TestRMATBasicProperties(t *testing.T) {
+	edges := RMAT(1000, 5000, DefaultRMAT, 1)
+	if len(edges) != 5000 {
+		t.Fatalf("edge count %d, want 5000", len(edges))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatal("self loop generated")
+		}
+		if e.Src >= 1000 || e.Dst >= 1000 {
+			t.Fatal("vertex out of range")
+		}
+		key := uint64(e.Src)<<32 | uint64(e.Dst)
+		if seen[key] {
+			t.Fatal("duplicate edge generated")
+		}
+		seen[key] = true
+	}
+}
+
+func TestRMATDeterminism(t *testing.T) {
+	a := RMAT(500, 2000, DefaultRMAT, 7)
+	b := RMAT(500, 2000, DefaultRMAT, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := RMAT(500, 2000, DefaultRMAT, 8)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff < len(a)/2 {
+		t.Error("different seeds produced nearly identical graphs")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// R-MAT with the default parameters must produce a skewed in-degree
+	// distribution: the max degree should far exceed the average.
+	edges := RMAT(2000, 20000, DefaultRMAT, 3)
+	deg := make([]int, 2000)
+	for _, e := range edges {
+		deg[e.Dst]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(len(edges)) / 2000
+	if float64(maxDeg) < 5*avg {
+		t.Errorf("max degree %d not skewed vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestRMATSaturationClamp(t *testing.T) {
+	// Requesting more edges than half the dense graph must clamp, not hang.
+	edges := RMAT(16, 1000, DefaultRMAT, 1)
+	if len(edges) > 16*15/2 {
+		t.Errorf("generated %d edges, above clamp", len(edges))
+	}
+}
+
+func TestAssignBiasesDegree(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 1, Dst: 0}}
+	AssignBiases(edges, 3, BiasConfig{Kind: BiasDegree})
+	// deg(1) = 2, deg(0) = 1.
+	if edges[0].Bias != 2 || edges[1].Bias != 2 || edges[2].Bias != 1 {
+		t.Errorf("degree biases wrong: %+v", edges)
+	}
+}
+
+func TestAssignBiasesDistributions(t *testing.T) {
+	edges := RMAT(200, 3000, DefaultRMAT, 5)
+	for _, kind := range []BiasKind{BiasUniform, BiasGauss, BiasPowerLaw} {
+		AssignBiases(edges, 200, BiasConfig{Kind: kind, Max: 256, Seed: 9})
+		var min, max uint64 = 1 << 62, 0
+		for _, e := range edges {
+			if e.Bias < 1 {
+				t.Fatalf("%v produced bias < 1", kind)
+			}
+			if e.Bias < min {
+				min = e.Bias
+			}
+			if e.Bias > max {
+				max = e.Bias
+			}
+		}
+		if kind == BiasUniform && max > 256 {
+			t.Errorf("uniform bias above Max: %d", max)
+		}
+		if kind == BiasPowerLaw && max > 256 {
+			t.Errorf("power-law bias above Max: %d", max)
+		}
+		if max == min {
+			t.Errorf("%v produced constant biases", kind)
+		}
+	}
+}
+
+func TestAssignBiasesFloat(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}
+	AssignBiases(edges, 2, BiasConfig{Kind: BiasUniform, Float: true, Seed: 4})
+	for _, e := range edges {
+		if e.FBias < 0 || e.FBias >= 1 {
+			t.Errorf("FBias %v out of [0,1)", e.FBias)
+		}
+	}
+	AssignBiases(edges, 2, BiasConfig{Kind: BiasUniform, Seed: 4})
+	for _, e := range edges {
+		if e.FBias != 0 {
+			t.Error("FBias not cleared in integer mode")
+		}
+	}
+}
+
+func TestPowerLawShape(t *testing.T) {
+	edges := make([]graph.Edge, 50000)
+	AssignBiases(edges, 1, BiasConfig{Kind: BiasPowerLaw, Max: 1024, Alpha: 2.0, Seed: 2})
+	small, large := 0, 0
+	for _, e := range edges {
+		if e.Bias <= 4 {
+			small++
+		}
+		if e.Bias >= 512 {
+			large++
+		}
+	}
+	if small < 30*large {
+		t.Errorf("power law not heavy at the head: small=%d large=%d", small, large)
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	if len(Datasets) != 5 {
+		t.Fatalf("want 5 datasets, got %d", len(Datasets))
+	}
+	d, err := DatasetByAbbr("LJ")
+	if err != nil || d.Name != "LiveJournal" {
+		t.Errorf("DatasetByAbbr(LJ) = %+v, %v", d, err)
+	}
+	if _, err := DatasetByAbbr("XX"); err == nil {
+		t.Error("unknown abbr accepted")
+	}
+}
+
+func TestDatasetGenerate(t *testing.T) {
+	d := Datasets[0] // Amazon
+	g, err := d.Generate(0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV := int(float64(d.PaperV) * 0.002)
+	if g.NumVertices() != wantV {
+		t.Errorf("vertices %d, want %d", g.NumVertices(), wantV)
+	}
+	wantE := int64(float64(d.PaperE) * 0.002)
+	if g.NumEdges() != wantE {
+		t.Errorf("edges %d, want %d", g.NumEdges(), wantE)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, b := range g.Biases(uint32(u)) {
+			if b == 0 {
+				t.Fatal("zero bias assigned")
+			}
+		}
+	}
+}
+
+func TestDatasetGenerateBadScale(t *testing.T) {
+	if _, err := Datasets[0].Generate(0, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := Datasets[0].Generate(1.5, 1); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+}
+
+func buildTestWorkload(t *testing.T, kind UpdateKind) *Workload {
+	t.Helper()
+	edges := RMAT(300, 4000, DefaultRMAT, 11)
+	AssignBiases(edges, 300, BiasConfig{Kind: BiasDegree})
+	g, err := graph.FromEdges(300, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BuildWorkload(g, kind, 100, 10, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBuildWorkloadInsertion(t *testing.T) {
+	w := buildTestWorkload(t, UpdInsertion)
+	if len(w.Updates) != 1000 {
+		t.Fatalf("updates %d, want 1000", len(w.Updates))
+	}
+	if w.Initial.NumEdges() != 3000 {
+		t.Errorf("initial edges %d, want 3000 (A = E - 10*BS)", w.Initial.NumEdges())
+	}
+	for _, u := range w.Updates {
+		if u.Op != graph.OpInsert {
+			t.Fatal("non-insert in insertion stream")
+		}
+		if u.Bias == 0 {
+			t.Fatal("insert with zero bias")
+		}
+	}
+	// Inserted edges must be distinct from initial (they come from set B).
+	init := map[[2]uint32]bool{}
+	for _, e := range w.Initial.Edges() {
+		init[[2]uint32{e.Src, e.Dst}] = true
+	}
+	for _, u := range w.Updates {
+		if init[[2]uint32{u.Src, u.Dst}] {
+			t.Fatal("inserted edge already in initial snapshot")
+		}
+	}
+}
+
+func TestBuildWorkloadDeletion(t *testing.T) {
+	w := buildTestWorkload(t, UpdDeletion)
+	live := map[[2]uint32]int{}
+	for _, e := range w.Initial.Edges() {
+		live[[2]uint32{e.Src, e.Dst}]++
+	}
+	for i, u := range w.Updates {
+		if u.Op != graph.OpDelete {
+			t.Fatal("non-delete in deletion stream")
+		}
+		k := [2]uint32{u.Src, u.Dst}
+		if live[k] == 0 {
+			t.Fatalf("update %d deletes non-live edge %v", i, k)
+		}
+		live[k]--
+	}
+}
+
+func TestBuildWorkloadMixed(t *testing.T) {
+	w := buildTestWorkload(t, UpdMixed)
+	ins, del := 0, 0
+	live := map[[2]uint32]int{}
+	for _, e := range w.Initial.Edges() {
+		live[[2]uint32{e.Src, e.Dst}]++
+	}
+	for i, u := range w.Updates {
+		k := [2]uint32{u.Src, u.Dst}
+		switch u.Op {
+		case graph.OpInsert:
+			ins++
+			live[k]++
+		case graph.OpDelete:
+			del++
+			if live[k] == 0 {
+				t.Fatalf("update %d deletes non-live edge %v", i, k)
+			}
+			live[k]--
+		}
+	}
+	if ins == 0 || del == 0 {
+		t.Errorf("mixed stream not mixed: %d inserts, %d deletes", ins, del)
+	}
+	if ins+del != 1000 {
+		t.Errorf("total events %d, want 1000", ins+del)
+	}
+}
+
+func TestBuildWorkloadBatches(t *testing.T) {
+	w := buildTestWorkload(t, UpdMixed)
+	batches := w.Batches()
+	if len(batches) != 10 {
+		t.Fatalf("batches %d, want 10", len(batches))
+	}
+	for _, b := range batches {
+		if len(b) != 100 {
+			t.Errorf("batch size %d, want 100", len(b))
+		}
+	}
+}
+
+func TestBuildWorkloadClampsBatchSize(t *testing.T) {
+	edges := RMAT(50, 200, DefaultRMAT, 1)
+	AssignBiases(edges, 50, BiasConfig{Kind: BiasDegree})
+	g, _ := graph.FromEdges(50, edges)
+	w, err := BuildWorkload(g, UpdMixed, 1000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BatchSize*w.Rounds > 100 {
+		t.Errorf("batch size not clamped: %d×%d on 200 edges", w.BatchSize, w.Rounds)
+	}
+}
+
+func TestBuildWorkloadErrors(t *testing.T) {
+	g, _ := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1, Bias: 1}})
+	if _, err := BuildWorkload(g, UpdMixed, 0, 10, 1); err == nil {
+		t.Error("batchSize 0 accepted")
+	}
+	if _, err := BuildWorkload(g, UpdMixed, 10, 0, 1); err == nil {
+		t.Error("rounds 0 accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if UpdInsertion.String() != "Insertion" || UpdDeletion.String() != "Deletion" || UpdMixed.String() != "Mixed" {
+		t.Error("UpdateKind strings wrong")
+	}
+	if BiasDegree.String() != "degree" || BiasPowerLaw.String() != "power-law" {
+		t.Error("BiasKind strings wrong")
+	}
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEdges() []Edge {
+	return []Edge{
+		{Src: 2, Dst: 1, Bias: 5},
+		{Src: 2, Dst: 4, Bias: 4},
+		{Src: 2, Dst: 5, Bias: 3},
+		{Src: 0, Dst: 2, Bias: 1},
+		{Src: 4, Dst: 2, Bias: 6},
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(6, sampleEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 || g.NumEdges() != 5 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(2) != 3 || g.Degree(1) != 0 || g.Degree(0) != 1 {
+		t.Error("degrees wrong")
+	}
+	nb := g.Neighbors(2)
+	bs := g.Biases(2)
+	if len(nb) != 3 || nb[0] != 1 || bs[0] != 5 || nb[2] != 5 || bs[2] != 3 {
+		t.Errorf("vertex 2 adjacency wrong: %v %v", nb, bs)
+	}
+	if g.FBiases(2) != nil {
+		t.Error("float column present without float biases")
+	}
+}
+
+func TestFromEdgesOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{Src: 0, Dst: 5, Bias: 1}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := FromEdges(2, []Edge{{Src: 5, Dst: 0, Bias: 1}}); err == nil {
+		t.Error("out-of-range src accepted")
+	}
+}
+
+func TestFloatColumn(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{Src: 0, Dst: 1, Bias: 5, FBias: 0.54}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FBias == nil || g.FBiases(0)[0] != 0.54 {
+		t.Error("float biases lost")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g, _ := FromEdges(6, sampleEdges())
+	s := g.ComputeStats()
+	if s.Vertices != 6 || s.Edges != 5 || s.MaxDegree != 3 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+	if s.AvgDegree < 0.83 || s.AvgDegree > 0.84 {
+		t.Errorf("avg degree = %v", s.AvgDegree)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := sampleEdges()
+	g, _ := FromEdges(6, in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("edge count %d != %d", len(out), len(in))
+	}
+	// CSR groups by src but preserves within-src order; build multisets.
+	seen := map[Edge]int{}
+	for _, e := range in {
+		seen[e]++
+	}
+	for _, e := range out {
+		seen[e]--
+	}
+	for e, n := range seen {
+		if n != 0 {
+			t.Errorf("edge %+v count mismatch %d", e, n)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, _ := FromEdges(6, sampleEdges())
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d != %d", g2.NumEdges(), g.NumEdges())
+	}
+	if g2.Degree(2) != 3 || g2.Biases(2)[0] != 5 {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestReadEdgeListFormats(t *testing.T) {
+	in := `# comment
+% also comment
+0 1 5
+1 2
+2 0 3.25
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Biases(1)[0] != 1 {
+		t.Error("default bias not 1")
+	}
+	if g.Biases(2)[0] != 3 || g.FBiases(2)[0] != 0.25 {
+		t.Error("float bias not split")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",            // empty
+		"0\n",         // too few fields
+		"x 1\n",       // bad src
+		"0 y\n",       // bad dst
+		"0 1 -3\n",    // negative bias
+		"0 1 zebra\n", // unparseable bias
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestSortUpdatesBySrcStable(t *testing.T) {
+	ups := []Update{
+		{Op: OpInsert, Src: 3, Dst: 1},
+		{Op: OpInsert, Src: 1, Dst: 9},
+		{Op: OpDelete, Src: 3, Dst: 1},
+		{Op: OpInsert, Src: 1, Dst: 8},
+	}
+	SortUpdatesBySrc(ups)
+	if ups[0].Src != 1 || ups[1].Src != 1 || ups[2].Src != 3 || ups[3].Src != 3 {
+		t.Fatalf("not sorted: %+v", ups)
+	}
+	// Stability: vertex 1's insert 9 before insert 8; vertex 3's insert
+	// before delete.
+	if ups[0].Dst != 9 || ups[1].Dst != 8 {
+		t.Error("order within src 1 not preserved")
+	}
+	if ups[2].Op != OpInsert || ups[3].Op != OpDelete {
+		t.Error("order within src 3 not preserved")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" {
+		t.Error("Op strings wrong")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Error("unknown Op string wrong")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	g, _ := FromEdges(6, sampleEdges())
+	if g.Footprint() <= 0 {
+		t.Error("footprint should be positive")
+	}
+}

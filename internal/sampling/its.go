@@ -1,0 +1,82 @@
+package sampling
+
+import (
+	"sort"
+
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Prefix implements inverse transform sampling (ITS, paper §2.3): an array
+// of cumulative weights sampled by binary search. Sampling is O(log n);
+// construction is O(n). The zero value is empty; (re)build with Build.
+type Prefix struct {
+	cum []float64 // cum[i] = sum of weights[0..i]
+}
+
+// Build (re)constructs the CDF array from weights, reusing storage.
+func (p *Prefix) Build(weights []float64) {
+	p.cum = grow(p.cum, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("sampling: negative weight")
+		}
+		sum += w
+		p.cum[i] = sum
+	}
+}
+
+// BuildU64 is Build for integer weights, used by engines whose biases are
+// uint64 (exact for totals below 2^53).
+func (p *Prefix) BuildU64(weights []uint64) {
+	p.cum = grow(p.cum, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += float64(w)
+		p.cum[i] = sum
+	}
+}
+
+// NewPrefix builds a fresh ITS sampler from weights.
+func NewPrefix(weights []float64) *Prefix {
+	var p Prefix
+	p.Build(weights)
+	return &p
+}
+
+// N returns the number of candidates.
+func (p *Prefix) N() int { return len(p.cum) }
+
+// Total returns the total weight.
+func (p *Prefix) Total() float64 {
+	if len(p.cum) == 0 {
+		return 0
+	}
+	return p.cum[len(p.cum)-1]
+}
+
+// Empty reports whether no mass is sampleable.
+func (p *Prefix) Empty() bool { return len(p.cum) == 0 || p.Total() == 0 }
+
+// Sample draws index i with probability weight[i]/Total via binary search
+// over the CDF. It panics if the sampler is empty.
+func (p *Prefix) Sample(r *xrand.RNG) int {
+	total := p.Total()
+	if total == 0 {
+		panic("sampling: Sample on empty ITS sampler")
+	}
+	x := r.Float64() * total
+	// Find the first index with cum[i] > x. Zero-weight candidates have
+	// cum[i] == cum[i-1] and can never be returned because x < cum[i]
+	// fails for them.
+	i := sort.SearchFloat64s(p.cum, x)
+	// sort.SearchFloat64s returns the first i with cum[i] >= x; when x
+	// lands exactly on a boundary we must step past zero-weight runs.
+	for i < len(p.cum)-1 && p.cum[i] <= x {
+		i++
+	}
+	return i
+}
+
+// Footprint returns the bytes held by the CDF array.
+func (p *Prefix) Footprint() int64 { return int64(cap(p.cum)) * 8 }

@@ -1,0 +1,121 @@
+package sampling
+
+import "github.com/bingo-rw/bingo/internal/xrand"
+
+// Rejection implements classic rejection sampling (paper §2.3): pick a
+// candidate uniformly, accept with probability weight/maxWeight. Updates
+// are O(1) (append / swap-delete) but sampling cost is the paper's
+// O(d·max(w)/Σw) expectation, which is what Bingo's factorization avoids.
+//
+// The zero value is empty. Unlike AliasTable and Prefix, Rejection supports
+// in-place dynamic updates, because that is its selling point in Table 1.
+type Rejection struct {
+	weights []float64
+	max     float64
+	total   float64
+	// maxStale marks that max may exceed the true maximum after a
+	// deletion; the bound stays correct (sampling remains unbiased, only
+	// slower), and is tightened on the next rebuild.
+	maxStale bool
+}
+
+// NewRejection builds a rejection sampler over weights.
+func NewRejection(weights []float64) *Rejection {
+	var s Rejection
+	s.Build(weights)
+	return &s
+}
+
+// Build (re)constructs the sampler, reusing storage.
+func (s *Rejection) Build(weights []float64) {
+	s.weights = grow(s.weights, len(weights))
+	copy(s.weights, weights)
+	s.max, s.total = 0, 0
+	for _, w := range weights {
+		if w < 0 {
+			panic("sampling: negative weight")
+		}
+		if w > s.max {
+			s.max = w
+		}
+		s.total += w
+	}
+	s.maxStale = false
+}
+
+// N returns the number of candidates.
+func (s *Rejection) N() int { return len(s.weights) }
+
+// Total returns the total weight.
+func (s *Rejection) Total() float64 { return s.total }
+
+// Empty reports whether no mass is sampleable.
+func (s *Rejection) Empty() bool { return len(s.weights) == 0 || s.total == 0 }
+
+// Append adds a candidate with the given weight in O(1).
+func (s *Rejection) Append(w float64) {
+	if w < 0 {
+		panic("sampling: negative weight")
+	}
+	s.weights = append(s.weights, w)
+	if w > s.max {
+		s.max = w
+	}
+	s.total += w
+}
+
+// SwapDelete removes candidate i in O(1) by swapping the last candidate
+// into its slot, mirroring how every dynamic engine in this repository
+// deletes adjacency entries.
+func (s *Rejection) SwapDelete(i int) {
+	w := s.weights[i]
+	last := len(s.weights) - 1
+	s.weights[i] = s.weights[last]
+	s.weights = s.weights[:last]
+	s.total -= w
+	if w == s.max {
+		s.maxStale = true // bound now conservative; still correct
+	}
+}
+
+// Sample draws index i with probability weight[i]/Total. Expected cost is
+// O(n·max/Σw) iterations. It panics if the sampler is empty.
+func (s *Rejection) Sample(r *xrand.RNG) int {
+	if s.Empty() {
+		panic("sampling: Sample on empty rejection sampler")
+	}
+	n := len(s.weights)
+	for {
+		i := r.Intn(n)
+		if r.Float64()*s.max < s.weights[i] {
+			return i
+		}
+	}
+}
+
+// TightenBound recomputes the exact maximum in O(n). Engines call it during
+// batch rebuilds to restore the optimal rejection rate after deletions.
+func (s *Rejection) TightenBound() {
+	if !s.maxStale {
+		return
+	}
+	s.max = 0
+	for _, w := range s.weights {
+		if w > s.max {
+			s.max = w
+		}
+	}
+	s.maxStale = false
+}
+
+// ExpectedIterations returns the expected number of proposal rounds per
+// sample, n·max/Σw — the quantity Table 1 reports for rejection sampling.
+func (s *Rejection) ExpectedIterations() float64 {
+	if s.Empty() {
+		return 0
+	}
+	return float64(len(s.weights)) * s.max / s.total
+}
+
+// Footprint returns the bytes held by the sampler.
+func (s *Rejection) Footprint() int64 { return int64(cap(s.weights)) * 8 }

@@ -1,0 +1,66 @@
+package sampling
+
+import "github.com/bingo-rw/bingo/internal/xrand"
+
+// This file implements single-item weighted reservoir sampling (A-Chao),
+// the algorithm behind the FlowWalker baseline: one pass over the
+// candidates, no auxiliary structure, O(d) time per sample. FlowWalker's
+// appeal on dynamic graphs is that updates cost nothing; its weakness —
+// reproduced in Figure 16 — is that every single walk step pays O(d).
+
+// Reservoir draws index i with probability weights[i]/Σweights in a single
+// pass. It returns -1 if the total weight is zero or the slice is empty.
+func Reservoir(weights []float64, r *xrand.RNG) int {
+	chosen := -1
+	total := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		total += w
+		// Replace the current choice with probability w/total: a
+		// straightforward induction shows every prefix item then holds
+		// the reservoir with probability proportional to its weight.
+		if r.Float64()*total < w {
+			chosen = i
+		}
+	}
+	return chosen
+}
+
+// ReservoirFunc is Reservoir over a virtual array: n candidates whose
+// weights are produced by weight(i). Engines use it to sample directly off
+// adjacency rows without materializing a weight slice.
+func ReservoirFunc(n int, weight func(i int) float64, r *xrand.RNG) int {
+	chosen := -1
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := weight(i)
+		if w <= 0 {
+			continue
+		}
+		total += w
+		if r.Float64()*total < w {
+			chosen = i
+		}
+	}
+	return chosen
+}
+
+// ReservoirU64 is ReservoirFunc for integer weights, avoiding per-candidate
+// float conversion error concerns for exact biases.
+func ReservoirU64(n int, weight func(i int) uint64, r *xrand.RNG) int {
+	chosen := -1
+	var total uint64
+	for i := 0; i < n; i++ {
+		w := weight(i)
+		if w == 0 {
+			continue
+		}
+		total += w
+		if r.Uint64n(total) < w {
+			chosen = i
+		}
+	}
+	return chosen
+}

@@ -1,0 +1,343 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/stats"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// checkDistribution samples `draws` times via sample() over n candidates
+// with the given weights and chi-square-tests the empirical frequencies.
+func checkDistribution(t *testing.T, name string, weights []float64, draws int, sample func(r *xrand.RNG) int) {
+	t.Helper()
+	r := xrand.New(12345)
+	counts := make([]int64, len(weights))
+	for i := 0; i < draws; i++ {
+		idx := sample(r)
+		if idx < 0 || idx >= len(weights) {
+			t.Fatalf("%s: sample out of range: %d", name, idx)
+		}
+		if weights[idx] == 0 {
+			t.Fatalf("%s: sampled zero-weight candidate %d", name, idx)
+		}
+		counts[idx]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	probs := make([]float64, len(weights))
+	for i, w := range weights {
+		probs[i] = w / total
+	}
+	_, p, err := stats.ChiSquareGOF(counts, probs, 5)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if p < 1e-5 {
+		t.Errorf("%s: distribution rejected, p = %g (counts %v)", name, p, counts)
+	}
+}
+
+var testWeightSets = map[string][]float64{
+	"simple":    {5, 4, 3},
+	"paper-fig": {5, 4, 3}, // vertex 2 of the running example
+	"skewed":    {1000, 1, 1, 1, 1},
+	"withZeros": {0, 10, 0, 5, 0, 1},
+	"uniform":   {2, 2, 2, 2},
+	"single":    {7},
+	"tiny":      {1e-9, 2e-9, 3e-9},
+	"huge":      {1e12, 2e12, 3e12},
+}
+
+func TestAliasDistribution(t *testing.T) {
+	for name, ws := range testWeightSets {
+		tab := NewAlias(ws)
+		checkDistribution(t, "alias/"+name, ws, 100000, tab.Sample)
+	}
+}
+
+func TestITSDistribution(t *testing.T) {
+	for name, ws := range testWeightSets {
+		p := NewPrefix(ws)
+		checkDistribution(t, "its/"+name, ws, 100000, p.Sample)
+	}
+}
+
+func TestRejectionDistribution(t *testing.T) {
+	for name, ws := range testWeightSets {
+		s := NewRejection(ws)
+		checkDistribution(t, "rejection/"+name, ws, 100000, s.Sample)
+	}
+}
+
+func TestReservoirDistribution(t *testing.T) {
+	for name, ws := range testWeightSets {
+		ws := ws
+		checkDistribution(t, "reservoir/"+name, ws, 100000, func(r *xrand.RNG) int {
+			return Reservoir(ws, r)
+		})
+	}
+}
+
+func TestReservoirU64Distribution(t *testing.T) {
+	ws := []uint64{5, 4, 3, 0, 8}
+	f := []float64{5, 4, 3, 0, 8}
+	checkDistribution(t, "reservoirU64", f, 100000, func(r *xrand.RNG) int {
+		return ReservoirU64(len(ws), func(i int) uint64 { return ws[i] }, r)
+	})
+}
+
+func TestAliasRebuildReuse(t *testing.T) {
+	var tab AliasTable
+	tab.Build([]float64{1, 2, 3})
+	if tab.N() != 3 || math.Abs(tab.Total()-6) > 1e-12 {
+		t.Fatalf("bad table: n=%d total=%v", tab.N(), tab.Total())
+	}
+	// Rebuild smaller, then larger; distribution must be correct each time.
+	tab.Build([]float64{10, 1})
+	checkDistribution(t, "alias/rebuild-small", []float64{10, 1}, 50000, tab.Sample)
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	tab.Build(big)
+	checkDistribution(t, "alias/rebuild-big", big, 200000, tab.Sample)
+}
+
+func TestAliasEmpty(t *testing.T) {
+	var tab AliasTable
+	tab.Build(nil)
+	if !tab.Empty() {
+		t.Error("nil-weight table should be empty")
+	}
+	tab.Build([]float64{0, 0})
+	if !tab.Empty() {
+		t.Error("zero-weight table should be empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sample on empty table did not panic")
+		}
+	}()
+	tab.Sample(xrand.New(1))
+}
+
+func TestAliasNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative weight did not panic")
+		}
+	}()
+	NewAlias([]float64{1, -1})
+}
+
+func TestITSZeroWeightNeverSampled(t *testing.T) {
+	ws := []float64{0, 0, 1, 0, 0}
+	p := NewPrefix(ws)
+	r := xrand.New(2)
+	for i := 0; i < 10000; i++ {
+		if got := p.Sample(r); got != 2 {
+			t.Fatalf("sampled zero-weight index %d", got)
+		}
+	}
+}
+
+func TestITSBuildU64(t *testing.T) {
+	var p Prefix
+	p.BuildU64([]uint64{5, 4, 3})
+	checkDistribution(t, "its/u64", []float64{5, 4, 3}, 100000, p.Sample)
+}
+
+func TestRejectionDynamicUpdates(t *testing.T) {
+	s := NewRejection([]float64{5, 4, 3})
+	s.Append(8)
+	checkDistribution(t, "rejection/after-append", []float64{5, 4, 3, 8}, 100000, s.Sample)
+	// Delete index 0 (weight 5): last element swaps in.
+	s.SwapDelete(0)
+	checkDistribution(t, "rejection/after-delete", []float64{8, 4, 3}, 100000, s.Sample)
+	if !s.maxStale {
+		// weight 5 was not max (8 was appended), so staleness depends on
+		// which value was removed; removing 5 when max is 8 keeps bound.
+		t.Log("bound not stale, as expected when non-max deleted")
+	}
+	// Delete the max; bound becomes conservative but sampling stays exact.
+	s.SwapDelete(0) // removes 8, swaps 3 in
+	checkDistribution(t, "rejection/after-max-delete", []float64{3, 4}, 100000, s.Sample)
+	s.TightenBound()
+	if s.max != 4 {
+		t.Errorf("TightenBound: max = %v, want 4", s.max)
+	}
+}
+
+func TestRejectionExpectedIterations(t *testing.T) {
+	s := NewRejection([]float64{10, 1, 1})
+	want := 3.0 * 10 / 12
+	if got := s.ExpectedIterations(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedIterations = %v, want %v", got, want)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := xrand.New(1)
+	if Reservoir(nil, r) != -1 {
+		t.Error("empty reservoir should return -1")
+	}
+	if Reservoir([]float64{0, 0}, r) != -1 {
+		t.Error("zero-weight reservoir should return -1")
+	}
+	if ReservoirU64(0, nil, r) != -1 {
+		t.Error("empty U64 reservoir should return -1")
+	}
+}
+
+func TestAliasBucketInvariant(t *testing.T) {
+	// Structural invariant of Vose construction: all probs in [0,1],
+	// aliases in range.
+	r := xrand.New(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(40)
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = r.Float64() * 100
+		}
+		tab := NewAlias(ws)
+		for i := 0; i < tab.N(); i++ {
+			if tab.prob[i] < 0 || tab.prob[i] > 1+1e-9 {
+				t.Fatalf("prob[%d] = %v out of [0,1]", i, tab.prob[i])
+			}
+			if tab.alias[i] < 0 || int(tab.alias[i]) >= n {
+				t.Fatalf("alias[%d] = %d out of range", i, tab.alias[i])
+			}
+		}
+	}
+}
+
+// TestExactProbabilityReconstruction verifies that the alias table encodes
+// exactly the input distribution: summing bucket contributions per index
+// recovers weight[i]/total.
+func TestExactProbabilityReconstruction(t *testing.T) {
+	ws := []float64{5, 4, 3, 8, 1}
+	tab := NewAlias(ws)
+	n := tab.N()
+	got := make([]float64, n)
+	for i := 0; i < n; i++ {
+		got[i] += tab.prob[i] / float64(n)
+		got[int(tab.alias[i])] += (1 - tab.prob[i]) / float64(n)
+	}
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	for i, w := range ws {
+		if math.Abs(got[i]-w/total) > 1e-12 {
+			t.Errorf("index %d: encoded prob %v, want %v", i, got[i], w/total)
+		}
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	tab := NewAlias([]float64{1, 2, 3})
+	if tab.Footprint() <= 0 {
+		t.Error("alias footprint should be positive")
+	}
+	p := NewPrefix([]float64{1, 2, 3})
+	if p.Footprint() != 24 {
+		t.Errorf("prefix footprint = %d, want 24", p.Footprint())
+	}
+	s := NewRejection([]float64{1, 2, 3})
+	if s.Footprint() != 24 {
+		t.Errorf("rejection footprint = %d, want 24", s.Footprint())
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	ws := make([]float64, 1024)
+	r := xrand.New(1)
+	for i := range ws {
+		ws[i] = r.Float64()*100 + 1
+	}
+	tab := NewAlias(ws)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= tab.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkITSSample(b *testing.B) {
+	ws := make([]float64, 1024)
+	r := xrand.New(1)
+	for i := range ws {
+		ws[i] = r.Float64()*100 + 1
+	}
+	p := NewPrefix(ws)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkReservoirSample(b *testing.B) {
+	ws := make([]float64, 1024)
+	r := xrand.New(1)
+	for i := range ws {
+		ws[i] = r.Float64()*100 + 1
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= Reservoir(ws, r)
+	}
+	_ = sink
+}
+
+func BenchmarkAliasBuild(b *testing.B) {
+	ws := make([]float64, 1024)
+	r := xrand.New(1)
+	for i := range ws {
+		ws[i] = r.Float64()*100 + 1
+	}
+	var tab AliasTable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Build(ws)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := NewPrefix([]float64{1, 2})
+	if p.N() != 2 || p.Total() != 3 || p.Empty() {
+		t.Errorf("prefix accessors: N=%d Total=%v Empty=%v", p.N(), p.Total(), p.Empty())
+	}
+	var pe Prefix
+	pe.Build(nil)
+	if !pe.Empty() || pe.Total() != 0 {
+		t.Error("empty prefix accessors wrong")
+	}
+	rj := NewRejection([]float64{2, 4})
+	if rj.N() != 2 || rj.Total() != 6 {
+		t.Errorf("rejection accessors: N=%d Total=%v", rj.N(), rj.Total())
+	}
+	var re Rejection
+	re.Build(nil)
+	if re.ExpectedIterations() != 0 {
+		t.Error("empty rejection ExpectedIterations should be 0")
+	}
+}
+
+func TestReservoirFunc(t *testing.T) {
+	ws := []float64{5, 0, 3}
+	checkDistribution(t, "reservoirFunc", ws, 60000, func(r *xrand.RNG) int {
+		return ReservoirFunc(len(ws), func(i int) float64 { return ws[i] }, r)
+	})
+	r := xrand.New(1)
+	if ReservoirFunc(0, nil, r) != -1 {
+		t.Error("empty ReservoirFunc should return -1")
+	}
+}

@@ -1,0 +1,276 @@
+// Package stats provides the statistical machinery used to validate every
+// sampler in this repository against Theorem 4.1 of the paper (sampling
+// probabilities must be preserved exactly by the radix factorization):
+// chi-square goodness-of-fit tests, KL divergence, and summary statistics.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ChiSquareGOF computes Pearson's chi-square statistic for observed counts
+// against expected probabilities, and its p-value. Bins whose expected
+// count falls below minExpected (use 5 for the classical rule) are merged
+// into their neighbor to keep the chi-square approximation sound.
+//
+// It returns an error if the inputs are inconsistent or fewer than two
+// effective bins remain.
+func ChiSquareGOF(observed []int64, probs []float64, minExpected float64) (stat, p float64, err error) {
+	if len(observed) != len(probs) {
+		return 0, 0, errors.New("stats: observed/probs length mismatch")
+	}
+	var n int64
+	var psum float64
+	for i, o := range observed {
+		if o < 0 {
+			return 0, 0, errors.New("stats: negative observed count")
+		}
+		if probs[i] < 0 {
+			return 0, 0, errors.New("stats: negative probability")
+		}
+		n += o
+		psum += probs[i]
+	}
+	if n == 0 {
+		return 0, 0, errors.New("stats: no observations")
+	}
+	if math.Abs(psum-1) > 1e-6 {
+		return 0, 0, errors.New("stats: probabilities do not sum to 1")
+	}
+
+	// Merge small-expectation bins left to right.
+	var mo []float64
+	var me []float64
+	accO, accE := 0.0, 0.0
+	for i := range observed {
+		accO += float64(observed[i])
+		accE += probs[i] * float64(n)
+		if accE >= minExpected {
+			mo = append(mo, accO)
+			me = append(me, accE)
+			accO, accE = 0, 0
+		}
+	}
+	if accE > 0 || accO > 0 { // fold the tail into the last bin
+		if len(mo) == 0 {
+			mo = append(mo, accO)
+			me = append(me, accE)
+		} else {
+			mo[len(mo)-1] += accO
+			me[len(me)-1] += accE
+		}
+	}
+	if len(mo) < 2 {
+		return 0, 1, nil // a single bin always fits trivially
+	}
+
+	stat = 0
+	for i := range mo {
+		d := mo[i] - me[i]
+		stat += d * d / me[i]
+	}
+	df := float64(len(mo) - 1)
+	p = ChiSquareSurvival(stat, df)
+	return stat, p, nil
+}
+
+// ChiSquareSurvival returns P(X >= stat) for a chi-square distribution
+// with df degrees of freedom, i.e. the p-value of the test statistic.
+func ChiSquareSurvival(stat, df float64) float64 {
+	if stat <= 0 {
+		return 1
+	}
+	return regIncGammaQ(df/2, stat/2)
+}
+
+// regIncGammaQ is the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a), computed by the series expansion for x < a+1 and
+// the continued fraction otherwise (Numerical Recipes, gammp/gammq).
+func regIncGammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeriesP(a, x)
+	default:
+		return gammaContinuedQ(a, x)
+	}
+}
+
+const (
+	gammaEps     = 3e-14
+	gammaMaxIter = 500
+	gammaTiny    = 1e-300
+)
+
+func gammaSeriesP(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedQ(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / gammaTiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < gammaTiny {
+			d = gammaTiny
+		}
+		c = b + an/c
+		if math.Abs(c) < gammaTiny {
+			c = gammaTiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// KLDivergence returns the Kullback-Leibler divergence D(p‖q) in nats.
+// Zero p-mass terms contribute zero; a zero q with non-zero p yields +Inf.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: length mismatch")
+	}
+	d := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	return d
+}
+
+// Normalize converts counts into an empirical probability vector.
+func Normalize(counts []int64) []float64 {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	out := make([]float64, len(counts))
+	if n == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(n)
+	}
+	return out
+}
+
+// Summary holds basic descriptive statistics of a float64 sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes descriptive statistics. The input slice is not
+// modified. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	insertionSortOrStd(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	s.Mean = sum / float64(s.N)
+	variance := sumSq/float64(s.N) - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(idx)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func insertionSortOrStd(xs []float64) {
+	// Small inputs dominate in tests; fall back to an O(n log n) heap
+	// sort for large ones to keep worst-case behavior sane.
+	if len(xs) <= 64 {
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		return
+	}
+	heapSort(xs)
+}
+
+func heapSort(xs []float64) {
+	n := len(xs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(xs, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		xs[0], xs[end] = xs[end], xs[0]
+		siftDown(xs, 0, end)
+	}
+}
+
+func siftDown(xs []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && xs[child+1] > xs[child] {
+			child++
+		}
+		if xs[root] >= xs[child] {
+			return
+		}
+		xs[root], xs[child] = xs[child], xs[root]
+		root = child
+	}
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	cases := []struct {
+		stat, df, want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{9.488, 4, 0.05},
+		{6.635, 1, 0.01},
+		{23.685, 14, 0.05},
+		{0, 5, 1.0},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.stat, c.df)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("ChiSquareSurvival(%v, %v) = %v, want ~%v", c.stat, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareGOFUniformFits(t *testing.T) {
+	r := xrand.New(1)
+	const bins, draws = 16, 64000
+	obs := make([]int64, bins)
+	probs := make([]float64, bins)
+	for i := range probs {
+		probs[i] = 1.0 / bins
+	}
+	for i := 0; i < draws; i++ {
+		obs[r.Intn(bins)]++
+	}
+	_, p, err := ChiSquareGOF(obs, probs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Errorf("uniform sample rejected: p = %g", p)
+	}
+}
+
+func TestChiSquareGOFDetectsBias(t *testing.T) {
+	// Observed heavily skewed vs claimed uniform must be rejected.
+	obs := []int64{9000, 1000, 1000, 1000}
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	_, p, err := ChiSquareGOF(obs, probs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("blatant bias not detected: p = %g", p)
+	}
+}
+
+func TestChiSquareGOFMergesSmallBins(t *testing.T) {
+	// Many tiny-probability bins must not blow up the test.
+	probs := make([]float64, 100)
+	obs := make([]int64, 100)
+	probs[0] = 0.99
+	obs[0] = 990
+	rest := 0.01 / 99
+	for i := 1; i < 100; i++ {
+		probs[i] = rest
+		if i == 1 {
+			obs[i] = 10
+		}
+	}
+	_, p, err := ChiSquareGOF(obs, probs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Errorf("merged-bin uniformish sample rejected: p = %g", p)
+	}
+}
+
+func TestChiSquareGOFErrors(t *testing.T) {
+	if _, _, err := ChiSquareGOF([]int64{1}, []float64{0.5, 0.5}, 5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ChiSquareGOF([]int64{1, 1}, []float64{0.9, 0.9}, 5); err == nil {
+		t.Error("non-normalized probabilities accepted")
+	}
+	if _, _, err := ChiSquareGOF([]int64{0, 0}, []float64{0.5, 0.5}, 5); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := ChiSquareGOF([]int64{-1, 2}, []float64{0.5, 0.5}, 5); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if d := KLDivergence(p, p); d != 0 {
+		t.Errorf("D(p||p) = %v, want 0", d)
+	}
+	q := []float64{0.9, 0.1}
+	d := KLDivergence(p, q)
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("KL = %v, want %v", d, want)
+	}
+	if !math.IsInf(KLDivergence([]float64{1, 0}, []float64{0, 1}), 1) {
+		t.Error("KL with zero q-mass should be +Inf")
+	}
+	if KLDivergence([]float64{0, 1}, []float64{0.5, 0.5}) < 0 {
+		t.Error("KL must be non-negative")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]int64{1, 3, 0})
+	want := []float64{0.25, 0.75, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	zero := Normalize([]int64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("Normalize of zero counts should be zeros")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("std = %v, want sqrt(2)", s.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Error("empty summary not zero")
+	}
+}
+
+func TestSummarizeLargeUsesHeapSort(t *testing.T) {
+	r := xrand.New(4)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	s := Summarize(xs)
+	if s.P50 < 0.45 || s.P50 > 0.55 {
+		t.Errorf("median of uniform sample = %v", s.P50)
+	}
+	if s.P95 < 0.93 || s.P95 > 0.97 {
+		t.Errorf("p95 of uniform sample = %v", s.P95)
+	}
+	// Original input must be untouched (Summarize copies).
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum == 0 {
+		t.Error("input corrupted")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if p := percentile(sorted, 0.5); p != 5 {
+		t.Errorf("percentile(0.5) = %v, want 5", p)
+	}
+	if p := percentile(sorted, 1.0); p != 10 {
+		t.Errorf("percentile(1.0) = %v, want 10", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", p)
+	}
+}
+
+func TestRegIncGammaEdgeCases(t *testing.T) {
+	if !math.IsNaN(regIncGammaQ(-1, 1)) {
+		t.Error("negative a should be NaN")
+	}
+	if !math.IsNaN(regIncGammaQ(1, -1)) {
+		t.Error("negative x should be NaN")
+	}
+	if regIncGammaQ(3, 0) != 1 {
+		t.Error("Q(a, 0) must be 1")
+	}
+	// Q(1, x) = exp(-x) exactly.
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		if got, want := regIncGammaQ(1, x), math.Exp(-x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("Q(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+}

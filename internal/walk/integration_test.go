@@ -1,0 +1,173 @@
+package walk
+
+// Cross-engine integration tests: every system under test implements the
+// same Engine interface and encodes the same transition distributions, so
+// long-run walk statistics must agree across engines — a strong end-to-end
+// equivalence check of Bingo against the three baselines, through dynamic
+// updates.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/baseline"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/stats"
+)
+
+func engines(t *testing.T, g *graph.CSR) map[string]Dynamic {
+	t.Helper()
+	s, err := core.NewFromCSR(g, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Dynamic{
+		"Bingo":      s,
+		"KnightKing": baseline.NewKnightKing(g),
+		"RebuildITS": baseline.NewRebuildITS(g),
+		"FlowWalker": baseline.NewFlowWalker(g),
+	}
+}
+
+// totalVariation computes TV distance between two visit distributions.
+func totalVariation(a, b []int64) float64 {
+	var na, nb int64
+	for i := range a {
+		na += a[i]
+		nb += b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	tv := 0.0
+	for i := range a {
+		tv += math.Abs(float64(a[i])/float64(na) - float64(b[i])/float64(nb))
+	}
+	return tv / 2
+}
+
+// TestCrossEngineVisitDistributions runs the same walk workload on all four
+// engines after the same dynamic updates; per-vertex visit distributions
+// must be statistically indistinguishable.
+func TestCrossEngineVisitDistributions(t *testing.T) {
+	edges := gen.RMAT(400, 6000, gen.DefaultRMAT, 17)
+	gen.AssignBiases(edges, 400, gen.BiasConfig{Kind: gen.BiasDegree})
+	g, err := graph.FromEdges(400, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := gen.BuildWorkload(g, gen.UpdMixed, 300, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := engines(t, w.Initial)
+	for name, e := range es {
+		for _, b := range w.Batches() {
+			if err := e.ApplyUpdates(b); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	// Heavy DeepWalk from a fixed start set; different seeds per engine
+	// (we compare distributions, not paths).
+	starts := make([]graph.VertexID, 8000)
+	for i := range starts {
+		starts[i] = graph.VertexID(i % 400)
+	}
+	visits := map[string][]int64{}
+	seed := uint64(100)
+	for name, e := range es {
+		seed++
+		res := DeepWalk(e, Config{Length: 40, Starts: starts, Seed: seed, CountVisits: true})
+		if res.Steps == 0 {
+			t.Fatalf("%s: no steps", name)
+		}
+		visits[name] = res.Visits
+	}
+	ref := visits["Bingo"]
+	for name, v := range visits {
+		if name == "Bingo" {
+			continue
+		}
+		tv := totalVariation(ref, v)
+		if tv > 0.02 {
+			t.Errorf("%s: total variation vs Bingo = %.4f (> 0.02)", name, tv)
+		}
+	}
+}
+
+// TestCrossEnginePPR compares PPR visit mass across engines on a smaller
+// graph with chi-square.
+func TestCrossEnginePPR(t *testing.T) {
+	edges := gen.RMAT(100, 1200, gen.DefaultRMAT, 23)
+	gen.AssignBiases(edges, 100, gen.BiasConfig{Kind: gen.BiasUniform, Max: 64})
+	g, err := graph.FromEdges(100, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := engines(t, g)
+	starts := make([]graph.VertexID, 20000)
+	for i := range starts {
+		starts[i] = 1
+	}
+	bingoRes := PPR(es["Bingo"], Config{Starts: starts, Seed: 9, CountVisits: true})
+	var total int64
+	for _, c := range bingoRes.Visits {
+		total += c
+	}
+	probs := make([]float64, len(bingoRes.Visits))
+	for i, c := range bingoRes.Visits {
+		probs[i] = float64(c) / float64(total)
+	}
+	for _, name := range []string{"KnightKing", "FlowWalker"} {
+		res := PPR(es[name], Config{Starts: starts, Seed: 10, CountVisits: true})
+		_, p, err := stats.ChiSquareGOF(res.Visits, probs, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p < 1e-6 {
+			t.Errorf("%s PPR distribution diverges from Bingo: p = %g", name, p)
+		}
+	}
+}
+
+// TestDynamicConvergenceToNewDistribution verifies that after edges are
+// rewired, walk statistics reflect the *new* graph, not the old one — the
+// paper's core motivation (§1's fraud-detection staleness).
+func TestDynamicConvergenceToNewDistribution(t *testing.T) {
+	s, err := core.New(4, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 → {1 (heavy), 2 (light)}.
+	if err := s.Insert(0, 1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	starts := make([]graph.VertexID, 20000)
+	res := SimpleSampling(s, Config{Length: 1, Starts: starts, Seed: 3, CountVisits: true})
+	if res.Visits[1] < res.Visits[2]*20 {
+		t.Fatalf("pre-update skew missing: %v", res.Visits[:3])
+	}
+	// Rewire: flip the weights via delete+insert.
+	if err := s.Delete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 2, 99); err != nil {
+		t.Fatal(err)
+	}
+	res = SimpleSampling(s, Config{Length: 1, Starts: starts, Seed: 4, CountVisits: true})
+	if res.Visits[2] < res.Visits[1]*20 {
+		t.Errorf("post-update distribution stale: %v", res.Visits[:3])
+	}
+}

@@ -1,0 +1,133 @@
+package walk
+
+import (
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// tripartite builds an author(0-9) / paper(10-29) / venue(30-34) graph.
+func tripartite(t *testing.T) (*core.Sampler, Labeling) {
+	t.Helper()
+	s, err := core.New(35, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(8)
+	// author ↔ paper
+	for a := 0; a < 10; a++ {
+		for k := 0; k < 4; k++ {
+			p := graph.VertexID(10 + r.Intn(20))
+			if err := s.Insert(graph.VertexID(a), p, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Insert(p, graph.VertexID(a), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// paper ↔ venue
+	for p := 10; p < 30; p++ {
+		v := graph.VertexID(30 + r.Intn(5))
+		if err := s.Insert(graph.VertexID(p), v, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(v, graph.VertexID(p), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	labels := func(v graph.VertexID) uint8 {
+		switch {
+		case v < 10:
+			return 0 // author
+		case v < 30:
+			return 1 // paper
+		default:
+			return 2 // venue
+		}
+	}
+	return s, labels
+}
+
+func TestMetaPathFollowsPattern(t *testing.T) {
+	s, labels := tripartite(t)
+	// A-P-V-P cycle starting from authors.
+	pattern := []uint8{0, 1, 2, 1}
+	starts := make([]graph.VertexID, 0, 10)
+	for a := 0; a < 10; a++ {
+		starts = append(starts, graph.VertexID(a))
+	}
+	res := MetaPath(s, labels, pattern, Config{Length: 12, Starts: starts, Seed: 4, CountVisits: true})
+	if res.Steps == 0 {
+		t.Fatal("no steps taken")
+	}
+	// Walk visits must respect label proportions: venues are only visited
+	// at pattern positions ≡ 2 (1 in 4), papers at 2 of 4 positions.
+	var authors, papers, venues int64
+	for v, c := range res.Visits {
+		switch labels(graph.VertexID(v)) {
+		case 0:
+			authors += c
+		case 1:
+			papers += c
+		case 2:
+			venues += c
+		}
+	}
+	if papers == 0 || venues == 0 || authors == 0 {
+		t.Fatalf("visits missing a type: a=%d p=%d v=%d", authors, papers, venues)
+	}
+	if papers < venues {
+		t.Errorf("papers (%d) should outnumber venues (%d) in an APVP walk", papers, venues)
+	}
+}
+
+func TestMetaPathRejectsWrongStart(t *testing.T) {
+	s, labels := tripartite(t)
+	// Starting from a venue with an author-first pattern yields no steps.
+	res := MetaPath(s, labels, []uint8{0, 1}, Config{Length: 5, Starts: []graph.VertexID{30}, Seed: 1})
+	if res.Steps != 0 {
+		t.Errorf("mismatched start walked %d steps", res.Steps)
+	}
+}
+
+func TestMetaPathUnreachableLabel(t *testing.T) {
+	s, labels := tripartite(t)
+	// Authors have no venue neighbors: pattern A→V stalls immediately.
+	res := MetaPath(s, labels, []uint8{0, 2}, Config{Length: 5, Starts: []graph.VertexID{0}, Seed: 1})
+	if res.Steps != 0 {
+		t.Errorf("impossible pattern walked %d steps", res.Steps)
+	}
+}
+
+func TestMetaPathEmptyPatternPanics(t *testing.T) {
+	s, labels := tripartite(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty pattern did not panic")
+		}
+	}()
+	MetaPath(s, labels, nil, Config{Length: 5})
+}
+
+func TestMetaPathStrictAlternation(t *testing.T) {
+	// Deterministic check on a bipartite 2-cycle: labels must alternate
+	// exactly along every step.
+	s, err := core.New(2, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	labels := func(v graph.VertexID) uint8 { return uint8(v) }
+	res := MetaPath(s, labels, []uint8{0, 1}, Config{Length: 9, Starts: []graph.VertexID{0}, Seed: 2})
+	if res.Steps != 9 {
+		t.Errorf("steps = %d, want 9 (strict alternation possible)", res.Steps)
+	}
+}

@@ -1,0 +1,184 @@
+package walk
+
+import (
+	"sync"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Sharded reproduces the multi-GPU architecture of supplement §9.1:
+// vertices are 1-D partitioned into contiguous ranges, each owned by a
+// shard worker, and *walkers* are transferred between shards rather than
+// sampling structures ("the cost of transferring the sampling data
+// structure might be larger than recalculating it while transferring
+// walkers has the light burden of communication").
+//
+// Each shard worker drains its inbox, advances each walker while it remains
+// on locally-owned vertices, and forwards it to the owning shard as soon as
+// it crosses a partition boundary — the queue hand-off standing in for the
+// paper's peer-to-peer GPU transfer. Inboxes are unbounded so that
+// circular forwarding between shards can never deadlock.
+type Sharded struct {
+	e         Engine
+	shards    int
+	rangeSize int // owner(v) = v / rangeSize
+}
+
+// NewSharded wraps an engine in a shards-way 1-D partition.
+func NewSharded(e Engine, shards int) *Sharded {
+	if shards < 1 {
+		shards = 1
+	}
+	n := e.NumVertices()
+	rangeSize := (n + shards - 1) / shards
+	if rangeSize == 0 {
+		rangeSize = 1
+	}
+	return &Sharded{e: e, shards: shards, rangeSize: rangeSize}
+}
+
+// Owner returns the shard owning vertex v.
+func (s *Sharded) Owner(v graph.VertexID) int { return int(v) / s.rangeSize }
+
+// Shards returns the partition count.
+func (s *Sharded) Shards() int { return s.shards }
+
+// walker is the state transferred between shards.
+type walker struct {
+	id   uint64
+	cur  graph.VertexID
+	hops int
+}
+
+// TransferStats reports the communication volume of a sharded run.
+type TransferStats struct {
+	// Transfers counts walker hand-offs between shards.
+	Transfers int64
+	// Local counts steps that stayed within the owning shard.
+	Local int64
+}
+
+// inbox is an unbounded MPSC queue of walkers. Unboundedness is what makes
+// the shard topology deadlock-free: a forward never blocks the sender.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []walker
+	closed bool
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inbox) push(w walker) {
+	b.mu.Lock()
+	b.items = append(b.items, w)
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// pop blocks until an item is available or the inbox is closed.
+func (b *inbox) pop() (walker, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.items) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.items) == 0 {
+		return walker{}, false
+	}
+	w := b.items[0]
+	b.items = b.items[1:]
+	return w, true
+}
+
+// DeepWalk runs fixed-length first-order walks through the sharded
+// runtime. The sampled distribution is identical to the single-engine
+// DeepWalk; only the execution topology differs.
+func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
+	cfg = cfg.withDefaults(s.e.NumVertices())
+	starts := startsOf(s.e, cfg)
+	var visits []int64
+	if cfg.CountVisits {
+		visits = make([]int64, s.e.NumVertices())
+	}
+	master := xrand.New(cfg.Seed)
+	rngs := make([]*xrand.RNG, len(starts))
+	for i := range starts {
+		rngs[i] = master.Split(uint64(i))
+	}
+
+	inboxes := make([]*inbox, s.shards)
+	for i := range inboxes {
+		inboxes[i] = newInbox()
+	}
+	var stats TransferStats
+	var steps int64
+	var mu sync.Mutex
+	var pending sync.WaitGroup // one count per live walker
+	var wg sync.WaitGroup      // shard workers
+
+	for shard := 0; shard < s.shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			var localSteps, localTransfers, localStay int64
+			for {
+				wk, ok := inboxes[shard].pop()
+				if !ok {
+					break
+				}
+				r := rngs[wk.id]
+				finished := true
+				for wk.hops < cfg.Length {
+					next, sampled := s.e.Sample(wk.cur, r)
+					if !sampled {
+						break
+					}
+					localSteps++
+					wk.hops++
+					wk.cur = next
+					bump(visits, next)
+					if owner := s.Owner(next); owner != shard {
+						localTransfers++
+						inboxes[owner].push(wk)
+						finished = false
+						break
+					}
+					localStay++
+				}
+				if finished {
+					pending.Done()
+				}
+			}
+			mu.Lock()
+			steps += localSteps
+			stats.Transfers += localTransfers
+			stats.Local += localStay
+			mu.Unlock()
+		}(shard)
+	}
+
+	pending.Add(len(starts))
+	for i, st := range starts {
+		bump(visits, st)
+		inboxes[s.Owner(st)].push(walker{id: uint64(i), cur: st})
+	}
+	pending.Wait()
+	for _, b := range inboxes {
+		b.close()
+	}
+	wg.Wait()
+	return Result{Walkers: len(starts), Steps: steps, Visits: visits}, stats
+}

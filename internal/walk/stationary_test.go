@@ -1,0 +1,127 @@
+package walk
+
+// Long-run validation against an exact oracle: on a strongly connected
+// weighted graph, the visit frequencies of long biased walks converge to
+// the stationary distribution π of the transition matrix P (π = πP),
+// which we compute independently by power iteration. This checks the whole
+// stack — bias factorization, group adaptation, alias tables, walker
+// scheduling — against linear algebra rather than against itself.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// stationary computes π with π = πP by power iteration over the exact
+// transition probabilities of the engine's adjacency.
+func stationary(t *testing.T, s *core.Sampler, n int) []float64 {
+	t.Helper()
+	// Build P rows from the sampler's encoded distributions.
+	rows := make([]map[int32]float64, n)
+	dsts := make([][]graph.VertexID, n)
+	for u := 0; u < n; u++ {
+		rows[u] = s.VertexProbabilities(graph.VertexID(u))
+		dsts[u] = make([]graph.VertexID, 0, len(rows[u]))
+	}
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < 2000; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			for slot, p := range rows[u] {
+				next[s.Neighbor(graph.VertexID(u), slot)] += pi[u] * p
+			}
+		}
+		diff := 0.0
+		for i := range pi {
+			diff += math.Abs(next[i] - pi[i])
+		}
+		copy(pi, next)
+		if diff < 1e-12 {
+			break
+		}
+	}
+	return pi
+}
+
+func TestDeepWalkConvergesToStationary(t *testing.T) {
+	// A strongly connected biased graph: ring + random chords, weights
+	// 1..16 (so the radix structure has real multi-bit groups).
+	const n = 24
+	s, err := core.New(n, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(12)
+	for u := 0; u < n; u++ {
+		if err := s.Insert(graph.VertexID(u), graph.VertexID((u+1)%n), uint64(1+r.Intn(16))); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			v := graph.VertexID(r.Intn(n))
+			if int(v) != u {
+				if err := s.Insert(graph.VertexID(u), v, uint64(1+r.Intn(16))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	pi := stationary(t, s, n)
+
+	// One long walk per vertex; pool visit counts.
+	res := DeepWalk(s, Config{Length: 30000, Seed: 77, CountVisits: true})
+	var total int64
+	for _, c := range res.Visits {
+		total += c
+	}
+	maxErr := 0.0
+	for v := 0; v < n; v++ {
+		emp := float64(res.Visits[v]) / float64(total)
+		if e := math.Abs(emp - pi[v]); e > maxErr {
+			maxErr = e
+		}
+	}
+	// With ~720k pooled steps, per-state error should be well under 1%.
+	if maxErr > 0.01 {
+		t.Errorf("max |empirical - stationary| = %v", maxErr)
+	}
+
+	// Repeat after dynamic churn: delete and reinsert chords, then
+	// convergence must hold for the *new* chain.
+	for u := 0; u < n; u += 2 {
+		for s.Degree(graph.VertexID(u)) > 1 {
+			dst := s.Neighbor(graph.VertexID(u), 1)
+			if err := s.Delete(graph.VertexID(u), dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Insert(graph.VertexID(u), graph.VertexID((u+n/2)%n), uint64(1+r.Intn(32))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi2 := stationary(t, s, n)
+	res2 := DeepWalk(s, Config{Length: 30000, Seed: 99, CountVisits: true})
+	total = 0
+	for _, c := range res2.Visits {
+		total += c
+	}
+	maxErr = 0
+	for v := 0; v < n; v++ {
+		emp := float64(res2.Visits[v]) / float64(total)
+		if e := math.Abs(emp - pi2[v]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.01 {
+		t.Errorf("post-churn max |empirical - stationary| = %v", maxErr)
+	}
+}

@@ -1,0 +1,380 @@
+// Package walk implements the random-walk engine and the paper's four
+// application kernels (§6): biased DeepWalk, node2vec, personalized
+// PageRank (PPR), and simple sampling. Walks run step by step — each step
+// samples the next vertex from the underlying engine — and are parallelized
+// across walkers with one deterministic RNG stream per walker, the CPU
+// analogue of the paper's massively parallel GPU walkers.
+//
+// The package is engine-agnostic: Bingo (internal/core) and all baselines
+// (internal/baseline) implement the same Engine/Dynamic interfaces, which
+// is what makes the Table 3 comparison apples-to-apples.
+package walk
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Engine is the sampling interface every system under test implements.
+type Engine interface {
+	// Sample draws a neighbor of u with probability proportional to edge
+	// bias. ok is false when u has no sampleable out-edge.
+	Sample(u graph.VertexID, r *xrand.RNG) (v graph.VertexID, ok bool)
+	// Degree returns u's out-degree.
+	Degree(u graph.VertexID) int
+	// HasEdge reports whether edge u→dst is live (used by node2vec's
+	// second-order rejection test).
+	HasEdge(u, dst graph.VertexID) bool
+	// NumVertices returns the vertex-ID space size.
+	NumVertices() int
+}
+
+// Dynamic extends Engine with the update operations the evaluation drives.
+type Dynamic interface {
+	Engine
+	// InsertEdge adds u→dst with integer bias plus fractional part.
+	InsertEdge(u, dst graph.VertexID, bias uint64, fbias float64) error
+	// DeleteEdge removes one live instance of u→dst.
+	DeleteEdge(u, dst graph.VertexID) error
+	// ApplyUpdates ingests a batch (engines free to process it their
+	// preferred way: incrementally, or rebuild-per-round like the
+	// adapted static systems in §6.2).
+	ApplyUpdates(ups []graph.Update) error
+	// Footprint returns the engine's memory consumption in bytes.
+	Footprint() int64
+}
+
+// Config parameterizes a walk run.
+type Config struct {
+	// Length is the walk length (paper default 80). For PPR it bounds
+	// the maximum length; termination is geometric with TermProb.
+	Length int
+	// Starts are the start vertices; nil means every vertex (the paper
+	// initializes "the vertex count number of random walkers").
+	Starts []graph.VertexID
+	// Workers bounds parallelism (0 = GOMAXPROCS via the caller's
+	// runtime; we treat 0 as 1 worker per 4096 walkers capped at 16).
+	Workers int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// TermProb is PPR's per-step termination probability (default 1/80).
+	TermProb float64
+	// P and Q are node2vec's return/in-out hyper-parameters (paper
+	// defaults 0.5 and 2).
+	P, Q float64
+	// CountVisits enables per-vertex visit counting (needed by PPR-style
+	// frequency queries; costs one atomic add per step).
+	CountVisits bool
+}
+
+func (c Config) withDefaults(numVertices int) Config {
+	if c.Length <= 0 {
+		c.Length = 80
+	}
+	if c.TermProb <= 0 {
+		c.TermProb = 1.0 / 80
+	}
+	if c.P <= 0 {
+		c.P = 0.5
+	}
+	if c.Q <= 0 {
+		c.Q = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Result summarizes a walk run.
+type Result struct {
+	// Walkers is the number of walks performed.
+	Walkers int
+	// Steps is the total number of sampling steps taken.
+	Steps int64
+	// Visits[v] counts arrivals at v across all walks (nil unless
+	// Config.CountVisits).
+	Visits []int64
+}
+
+// starts materializes the configured start set.
+func startsOf(e Engine, cfg Config) []graph.VertexID {
+	if cfg.Starts != nil {
+		return cfg.Starts
+	}
+	all := make([]graph.VertexID, e.NumVertices())
+	for i := range all {
+		all[i] = graph.VertexID(i)
+	}
+	return all
+}
+
+// runParallel fans walkers out over workers. Each walker gets stream
+// master.Split(walkerIndex), so results are independent of worker count.
+func runParallel(e Engine, cfg Config, walk func(start graph.VertexID, r *xrand.RNG, visits []int64) int64) Result {
+	cfg = cfg.withDefaults(e.NumVertices())
+	starts := startsOf(e, cfg)
+	var visits []int64
+	if cfg.CountVisits {
+		visits = make([]int64, e.NumVertices())
+	}
+	master := xrand.New(cfg.Seed)
+	res := Result{Walkers: len(starts), Visits: visits}
+
+	if cfg.Workers <= 1 || len(starts) < 2*cfg.Workers {
+		var steps int64
+		for i, s := range starts {
+			steps += walk(s, master.Split(uint64(i)), visits)
+		}
+		res.Steps = steps
+		return res
+	}
+
+	var wg sync.WaitGroup
+	var steps atomic.Int64
+	chunk := (len(starts) + cfg.Workers - 1) / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		lo := w * chunk
+		if lo >= len(starts) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(starts) {
+			hi = len(starts)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += walk(starts[i], master.Split(uint64(i)), visits)
+			}
+			steps.Add(local)
+		}(lo, hi)
+	}
+	wg.Wait()
+	res.Steps = steps.Load()
+	return res
+}
+
+func bump(visits []int64, v graph.VertexID) {
+	if visits != nil {
+		atomic.AddInt64(&visits[v], 1)
+	}
+}
+
+// DeepWalk runs first-order biased random walks of fixed length from every
+// start (paper §2.2: "walkers stop when they reach the given path length").
+func DeepWalk(e Engine, cfg Config) Result {
+	cfg = cfg.withDefaults(e.NumVertices())
+	return runParallel(e, cfg, func(start graph.VertexID, r *xrand.RNG, visits []int64) int64 {
+		cur := start
+		bump(visits, cur)
+		var steps int64
+		for hop := 0; hop < cfg.Length; hop++ {
+			next, ok := e.Sample(cur, r)
+			if !ok {
+				break
+			}
+			steps++
+			cur = next
+			bump(visits, cur)
+		}
+		return steps
+	})
+}
+
+// node2vecRejectionCap bounds second-order rejection rounds before falling
+// back to accepting the static proposal; acceptance is at least
+// min(1/p,1,1/q)/max(1/p,1,1/q) per round, so the cap is effectively
+// unreachable and exists to bound the tail deterministically.
+const node2vecRejectionCap = 256
+
+// Node2Vec runs second-order walks using the KnightKing approach the paper
+// adopts (§7.3): sample a candidate from the static distribution, then
+// accept with probability f(prev, v)/max(f), where f is Equation 1.
+func Node2Vec(e Engine, cfg Config) Result {
+	cfg = cfg.withDefaults(e.NumVertices())
+	invP, invQ := 1/cfg.P, 1/cfg.Q
+	maxF := invP
+	if 1 > maxF {
+		maxF = 1
+	}
+	if invQ > maxF {
+		maxF = invQ
+	}
+	return runParallel(e, cfg, func(start graph.VertexID, r *xrand.RNG, visits []int64) int64 {
+		prev := graph.VertexID(0)
+		hasPrev := false
+		cur := start
+		bump(visits, cur)
+		var steps int64
+		for hop := 0; hop < cfg.Length; hop++ {
+			var next graph.VertexID
+			if !hasPrev {
+				v, ok := e.Sample(cur, r)
+				if !ok {
+					break
+				}
+				next = v
+			} else {
+				accepted := false
+				for round := 0; round < node2vecRejectionCap; round++ {
+					v, ok := e.Sample(cur, r)
+					if !ok {
+						return steps
+					}
+					f := invQ // distance 2 by default
+					if v == prev {
+						f = invP // distance 0: backtrack
+					} else if e.HasEdge(prev, v) || e.HasEdge(v, prev) {
+						f = 1 // distance 1
+					}
+					if r.Float64()*maxF < f {
+						next = v
+						accepted = true
+						break
+					}
+				}
+				if !accepted {
+					v, ok := e.Sample(cur, r)
+					if !ok {
+						return steps
+					}
+					next = v
+				}
+			}
+			steps++
+			prev, hasPrev = cur, true
+			cur = next
+			bump(visits, cur)
+		}
+		return steps
+	})
+}
+
+// PPR runs personalized-PageRank walks: from each start, walk until a
+// geometric termination coin (probability TermProb per step) or a dead end;
+// the visit frequencies estimate PPR values (paper §1). Length caps the
+// walk as a safety bound at 64× the expected length.
+func PPR(e Engine, cfg Config) Result {
+	cfg = cfg.withDefaults(e.NumVertices())
+	maxLen := cfg.Length * 64
+	return runParallel(e, cfg, func(start graph.VertexID, r *xrand.RNG, visits []int64) int64 {
+		cur := start
+		bump(visits, cur)
+		var steps int64
+		for int(steps) < maxLen {
+			if r.Float64() < cfg.TermProb {
+				break
+			}
+			next, ok := e.Sample(cur, r)
+			if !ok {
+				break
+			}
+			steps++
+			cur = next
+			bump(visits, cur)
+		}
+		return steps
+	})
+}
+
+// SimpleSampling is the paper's random_walk_simple_sampling kernel: Length
+// independent one-hop samples from each start. It isolates raw sampling
+// throughput (Figure 16(b)).
+func SimpleSampling(e Engine, cfg Config) Result {
+	cfg = cfg.withDefaults(e.NumVertices())
+	return runParallel(e, cfg, func(start graph.VertexID, r *xrand.RNG, visits []int64) int64 {
+		var steps int64
+		for i := 0; i < cfg.Length; i++ {
+			v, ok := e.Sample(start, r)
+			if !ok {
+				break
+			}
+			steps++
+			bump(visits, v)
+		}
+		return steps
+	})
+}
+
+// DeepWalkPaths runs DeepWalk and streams every completed path to emit.
+// The slice passed to emit is reused between calls; copy it to retain.
+// Paths are what DeepWalk feeds to SkipGram training (paper §2.2: "the
+// paths are treated as sentences"). Emission is sequential even when
+// sampling is parallel would complicate ordering guarantees, so this
+// kernel runs single-threaded; use DeepWalk for throughput measurements.
+func DeepWalkPaths(e Engine, cfg Config, emit func(path []graph.VertexID)) Result {
+	cfg = cfg.withDefaults(e.NumVertices())
+	starts := startsOf(e, cfg)
+	master := xrand.New(cfg.Seed)
+	res := Result{Walkers: len(starts)}
+	buf := make([]graph.VertexID, 0, cfg.Length+1)
+	for i, start := range starts {
+		r := master.Split(uint64(i))
+		buf = buf[:0]
+		cur := start
+		buf = append(buf, cur)
+		for hop := 0; hop < cfg.Length; hop++ {
+			next, ok := e.Sample(cur, r)
+			if !ok {
+				break
+			}
+			res.Steps++
+			cur = next
+			buf = append(buf, cur)
+		}
+		emit(buf)
+	}
+	return res
+}
+
+// App identifies one of the paper's application kernels.
+type App uint8
+
+const (
+	// AppDeepWalk is biased DeepWalk.
+	AppDeepWalk App = iota
+	// AppNode2Vec is second-order node2vec.
+	AppNode2Vec
+	// AppPPR is personalized PageRank.
+	AppPPR
+	// AppSimple is the simple-sampling kernel.
+	AppSimple
+)
+
+func (a App) String() string {
+	switch a {
+	case AppDeepWalk:
+		return "DeepWalk"
+	case AppNode2Vec:
+		return "node2vec"
+	case AppPPR:
+		return "PPR"
+	case AppSimple:
+		return "simple"
+	default:
+		return fmt.Sprintf("App(%d)", uint8(a))
+	}
+}
+
+// Run dispatches to the kernel selected by app.
+func Run(app App, e Engine, cfg Config) Result {
+	switch app {
+	case AppDeepWalk:
+		return DeepWalk(e, cfg)
+	case AppNode2Vec:
+		return Node2Vec(e, cfg)
+	case AppPPR:
+		return PPR(e, cfg)
+	case AppSimple:
+		return SimpleSampling(e, cfg)
+	default:
+		panic(fmt.Sprintf("walk: unknown app %v", app))
+	}
+}

@@ -1,0 +1,212 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(7)
+	if got := r.Uint64(); got != first {
+		t.Errorf("Seed did not reset stream: got %d want %d", got, first)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	master := New(1)
+	s0 := master.Split(0)
+	s1 := master.Split(1)
+	// Same split index from an untouched master must be reproducible.
+	master2 := New(1)
+	s0b := master2.Split(0)
+	for i := 0; i < 100; i++ {
+		if s0.Uint64() != s0b.Uint64() {
+			t.Fatal("Split(0) not reproducible")
+		}
+	}
+	// Different split indices should not track each other.
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s1.Uint64() == master.Split(2).Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams correlated: %d/1000 identical", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square-ish check without the stats package (it depends on us):
+	// counts of a small modulus should be near-uniform.
+	r := New(11)
+	const n, draws = 10, 200000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+		sum += f
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %f far from 0.5", mean)
+	}
+}
+
+func TestCoin(t *testing.T) {
+	r := New(9)
+	const draws = 100000
+	heads := 0
+	for i := 0; i < draws; i++ {
+		if r.Coin(0.25) {
+			heads++
+		}
+	}
+	p := float64(heads) / draws
+	if math.Abs(p-0.25) > 0.01 {
+		t.Errorf("Coin(0.25) frequency %f", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	dst := make([]int, 100)
+	r.Perm(dst)
+	seen := make([]bool, 100)
+	for _, v := range dst {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", dst)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleFairnessSmoke(t *testing.T) {
+	// Position 0 of a 3-element shuffle should hold each element ~1/3 of
+	// the time.
+	r := New(17)
+	var firstCounts [3]int
+	for i := 0; i < 30000; i++ {
+		a := [3]int{0, 1, 2}
+		r.Shuffle(3, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		firstCounts[a[0]]++
+	}
+	for i, c := range firstCounts {
+		if math.Abs(float64(c)-10000) > 500 {
+			t.Errorf("element %d first %d times, want ~10000", i, c)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(21)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %f", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance %f", variance)
+	}
+}
+
+func TestZeroStateRecovery(t *testing.T) {
+	// A pathological seed must not produce an absorbing all-zero state.
+	var r RNG
+	r.Seed(0)
+	zero := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zero++
+		}
+	}
+	if zero > 2 {
+		t.Errorf("seed 0 produced %d zero outputs in 100", zero)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Intn(1000003)
+	}
+	_ = sink
+}

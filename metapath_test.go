@@ -1,0 +1,47 @@
+package bingo
+
+import "testing"
+
+func TestPublicMetaPath(t *testing.T) {
+	// Bipartite user(0-4)/item(5-9) graph.
+	var edges []Edge
+	r := NewRand(6)
+	for u := VertexID(0); u < 5; u++ {
+		for k := 0; k < 3; k++ {
+			item := VertexID(5 + r.Intn(5))
+			edges = append(edges, Edge{Src: u, Dst: item, Weight: 1},
+				Edge{Src: item, Dst: u, Weight: 1})
+		}
+	}
+	eng, err := FromEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := func(v VertexID) uint8 {
+		if v < 5 {
+			return 0
+		}
+		return 1
+	}
+	res := eng.MetaPath(labels, []uint8{0, 1}, WalkOptions{Length: 10, Seed: 2, CountVisits: true})
+	if res.Steps == 0 {
+		t.Fatal("no metapath steps")
+	}
+	// Walks start only from users; item starts contribute zero steps but
+	// still count as walkers.
+	if res.Walkers != eng.NumVertices() {
+		t.Errorf("walkers %d, want %d", res.Walkers, eng.NumVertices())
+	}
+	// User→item alternation: roughly equal visits to both sides.
+	var users, items int64
+	for v, c := range res.Visits {
+		if labels(VertexID(v)) == 0 {
+			users += c
+		} else {
+			items += c
+		}
+	}
+	if users == 0 || items == 0 {
+		t.Errorf("alternation broken: users %d, items %d", users, items)
+	}
+}
