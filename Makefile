@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-critical packages: the walk-while-ingest
+# engine, the core sampler it wraps, and the live service.
+race:
+	$(GO) test -race ./internal/concurrent/ ./internal/core/ ./internal/walk/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/bingobench -exp concurrent -scale 0.002 -json BENCH_concurrent.json
+
+# Short local fuzz session against the sampler's structural invariants.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSamplerMutate -fuzztime 30s ./internal/core/
+
+clean:
+	rm -f BENCH_concurrent.json

@@ -301,10 +301,28 @@ func (e *Engine) insert(u, dst VertexID, weight float64) error {
 	if e.s.Config().FloatBias {
 		return e.s.InsertFloat(u, dst, weight)
 	}
-	if weight <= 0 || uint64(weight) == 0 {
-		return fmt.Errorf("bingo: weight %v invalid in integer mode", weight)
+	ib, err := intWeight(weight)
+	if err != nil {
+		return err
 	}
-	return e.s.Insert(u, dst, uint64(weight))
+	return e.s.Insert(u, dst, ib)
+}
+
+// maxIntWeight bounds integer-mode weights: beyond 2^62 the float→uint64
+// conversion result is implementation-specific per the Go spec, and two
+// such biases could overflow a vertex's uint64 total mass.
+const maxIntWeight = float64(1 << 62)
+
+// intWeight validates and truncates an integer-mode weight; shared by the
+// sequential and concurrent public entry points so their rules cannot
+// diverge.
+func intWeight(weight float64) (uint64, error) {
+	// Rejects NaN (self-inequality), ≤0, Inf/out-of-range, and values that
+	// truncate to zero.
+	if weight != weight || weight <= 0 || weight >= maxIntWeight || uint64(weight) == 0 {
+		return 0, fmt.Errorf("bingo: weight %v invalid in integer mode", weight)
+	}
+	return uint64(weight), nil
 }
 
 // Delete removes one live instance of edge u→dst (streaming path, O(K)).
@@ -317,10 +335,11 @@ func (e *Engine) UpdateWeight(u, dst VertexID, weight float64) error {
 	if e.s.Config().FloatBias {
 		return e.s.UpdateBiasFloat(u, dst, weight)
 	}
-	if weight <= 0 || uint64(weight) == 0 {
-		return fmt.Errorf("bingo: weight %v invalid in integer mode", weight)
+	ib, err := intWeight(weight)
+	if err != nil {
+		return err
 	}
-	return e.s.UpdateBias(u, dst, uint64(weight))
+	return e.s.UpdateBias(u, dst, ib)
 }
 
 // DeleteVertex removes every out-edge of u (O(degree)). In-edges pointing
@@ -336,8 +355,11 @@ func (e *Engine) DeleteVertexEverywhere(u VertexID) error {
 
 // toInternal converts a public update to the internal representation.
 func (e *Engine) toInternal(ups []Update) ([]graph.Update, error) {
+	return toInternalUpdates(e.s.Config().FloatBias, ups)
+}
+
+func toInternalUpdates(floatMode bool, ups []Update) ([]graph.Update, error) {
 	out := make([]graph.Update, len(ups))
-	floatMode := e.s.Config().FloatBias
 	for i, up := range ups {
 		g := graph.Update{Src: up.Src, Dst: up.Dst}
 		switch up.Op {

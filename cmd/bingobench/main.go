@@ -33,6 +33,7 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset abbrs (default all: AM,GO,CT,LJ,TW)")
 		systems  = flag.String("systems", "", "comma-separated systems for table3 (default Bingo,KnightKing,RebuildITS,FlowWalker)")
 		apps     = flag.String("apps", "", "comma-separated apps for table3 (default DeepWalk,node2vec,PPR)")
+		jsonPath = flag.String("json", "BENCH_concurrent.json", "output path for the concurrent scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -66,6 +67,7 @@ func main() {
 	o.Datasets = split(*datasets)
 	o.Systems = split(*systems)
 	o.Apps = split(*apps)
+	o.JSONPath = *jsonPath
 	o.Verbose = *verbose
 
 	if err := bench.Run(*exp, o); err != nil {

@@ -14,12 +14,15 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
+	"github.com/bingo-rw/bingo/internal/concurrent"
 	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/gen"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/walk"
+	"github.com/bingo-rw/bingo/internal/xrand"
 )
 
 func main() {
@@ -34,8 +37,19 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "seed")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = 1)")
 		top       = flag.Int("top", 10, "print the top-N visited vertices")
+		live      = flag.Bool("live", false, "serve walk queries concurrently with a streaming update feed")
+		liveQ     = flag.Int("live-queries", 10000, "walk queries to issue in -live mode")
+		liveUps   = flag.Int("live-updates", 100000, "updates streamed during serving in -live mode")
+		liveBatch = flag.Int("live-batch", 256, "feed batch size in -live mode")
 	)
 	flag.Parse()
+
+	if *live {
+		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
 	if err != nil {
@@ -142,4 +156,83 @@ func loadGraph(path, dataset string, scale float64, seed uint64) (*graph.CSR, er
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "bingowalk:", err)
 	os.Exit(1)
+}
+
+// runLive is the -live mode: a walker pool serves queries while a feeder
+// streams update batches into the same engine — the walk-while-ingest
+// serving scenario (see DESIGN.md, "Concurrency model").
+func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers int) error {
+	g, err := loadGraph(graphPath, dataset, scale, seed)
+	if err != nil {
+		return err
+	}
+	if updates <= 0 {
+		updates = 1
+	}
+	w, err := gen.BuildWorkload(g, gen.UpdMixed, updates, 1, seed)
+	if err != nil {
+		return err
+	}
+	// Report the snapshot the engine actually starts from: BuildWorkload
+	// withholds the tape's deletable edges from the initial graph.
+	st := w.Initial.ComputeStats()
+	fmt.Printf("graph: %d vertices, %d initial edges, avg degree %.1f (+%d updates to stream)\n",
+		st.Vertices, st.Edges, st.AvgDegree, len(w.Updates))
+	eng, err := core.NewFromCSR(w.Initial, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	ce := concurrent.Wrap(eng, concurrent.Config{})
+	if workers <= 0 {
+		workers = 1 // the -workers contract: 0 = 1
+	}
+	svc := walk.NewLiveService(ce, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed})
+	fmt.Printf("live: %d pool walkers, %d lock stripes, feeding %d updates in batches of %d\n",
+		workers, ce.Stripes(), len(w.Updates), batchSize)
+
+	t0 := time.Now()
+	var feeder sync.WaitGroup
+	feeder.Add(1)
+	go func() {
+		defer feeder.Done()
+		for lo := 0; lo < len(w.Updates); lo += batchSize {
+			hi := lo + batchSize
+			if hi > len(w.Updates) {
+				hi = len(w.Updates)
+			}
+			if err := svc.Feed(w.Updates[lo:hi]); err != nil {
+				fmt.Fprintln(os.Stderr, "bingowalk: feed:", err)
+				return
+			}
+		}
+	}()
+
+	var clients sync.WaitGroup
+	clientN := workers
+	perClient := (queries + clientN - 1) / clientN
+	for c := 0; c < clientN; c++ {
+		clients.Add(1)
+		go func(c int) {
+			defer clients.Done()
+			r := xrand.New(seed + uint64(c) + 1)
+			for q := 0; q < perClient; q++ {
+				if _, err := svc.Query(graph.VertexID(r.Intn(g.NumVertices())), length); err != nil {
+					fmt.Fprintln(os.Stderr, "bingowalk: query:", err)
+					return
+				}
+			}
+		}(c)
+	}
+	clients.Wait()
+	feeder.Wait()
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	d := time.Since(t0)
+	ls := svc.Stats()
+	fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f queries/s, %.0f steps/s, %.0f updates/s\n",
+		float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
+	fmt.Printf("final graph: %d edges, engine memory %.2f MB\n", ce.NumEdges(), float64(ce.Footprint())/1e6)
+	return nil
 }

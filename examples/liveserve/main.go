@@ -1,0 +1,128 @@
+// Liveserve: walk-while-ingest serving, the production scenario the
+// concurrent engine exists for. A recommendation service answers walk
+// queries ("give me a personalized trail from this user") from a walker
+// pool while the interaction stream keeps mutating the graph — no
+// update/walk phasing, no stop-the-world ingestion.
+//
+// Contrast with examples/fraudstream, which interleaves updates and walks
+// sequentially: here both genuinely overlap through Engine.Concurrent()
+// and Serve().
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	bingo "github.com/bingo-rw/bingo"
+)
+
+const (
+	users    = 3000
+	items    = 2000
+	nVerts   = users + items
+	queries  = 4000
+	clients  = 4
+	feedSize = 128
+	rounds   = 60
+)
+
+func item(i int) bingo.VertexID { return bingo.VertexID(users + i%items) }
+
+func main() {
+	r := bingo.NewRand(7)
+
+	// Bootstrap: a bipartite-ish interaction graph (users→items→users).
+	var edges []bingo.Edge
+	for i := 0; i < 20000; i++ {
+		u := bingo.VertexID(r.Intn(users))
+		it := item(r.Intn(items))
+		w := float64(1 + r.Intn(50))
+		edges = append(edges, bingo.Edge{Src: u, Dst: it, Weight: w})
+		edges = append(edges, bingo.Edge{Src: it, Dst: u, Weight: w / 2})
+	}
+	eng, err := bingo.FromEdges(edges, bingo.WithFloatWeights(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Upgrade to the concurrent engine and start serving.
+	svc := eng.Concurrent().Serve(bingo.LiveOptions{
+		Walkers:    4,
+		WalkLength: 16,
+		Seed:       7,
+	})
+
+	t0 := time.Now()
+
+	// The interaction stream: fresh clicks arrive in bursts while queries
+	// are in flight.
+	var feeder sync.WaitGroup
+	feeder.Add(1)
+	go func() {
+		defer feeder.Done()
+		fr := bingo.NewRand(99)
+		for round := 0; round < rounds; round++ {
+			batch := make([]bingo.Update, 0, feedSize)
+			for i := 0; i < feedSize; i++ {
+				u := bingo.VertexID(fr.Intn(users))
+				batch = append(batch, bingo.Insert(u, item(fr.Intn(items)), float64(1+fr.Intn(20))))
+			}
+			if err := svc.Feed(batch); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+
+	// Query clients: each asks for walk trails from random users and
+	// tallies the items its trails visit (the recommendation signal).
+	recs := make([]int64, items)
+	var mu sync.Mutex
+	var cl sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		cl.Add(1)
+		go func(c int) {
+			defer cl.Done()
+			qr := bingo.NewRand(uint64(c) + 1)
+			local := make([]int64, items)
+			for q := 0; q < queries/clients; q++ {
+				path, err := svc.Query(bingo.VertexID(qr.Intn(users)), 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for _, v := range path {
+					if int(v) >= users {
+						local[int(v)-users]++
+					}
+				}
+			}
+			mu.Lock()
+			for i, n := range local {
+				recs[i] += n
+			}
+			mu.Unlock()
+		}(c)
+	}
+	cl.Wait()
+	feeder.Wait()
+	if err := svc.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	elapsed := time.Since(t0)
+	st := svc.Stats()
+	fmt.Printf("served %d walk queries (%d steps) while ingesting %d updates in %d batches\n",
+		st.Queries, st.Steps, st.Updates, st.Batches)
+	fmt.Printf("wall time %v — %.0f queries/s concurrent with %.0f updates/s\n",
+		elapsed.Round(time.Millisecond),
+		float64(st.Queries)/elapsed.Seconds(), float64(st.Updates)/elapsed.Seconds())
+
+	best, bestN := 0, int64(0)
+	for i, n := range recs {
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	fmt.Printf("hottest item across live trails: item %d (%d visits)\n", best, bestN)
+}

@@ -1,0 +1,3 @@
+module github.com/bingo-rw/bingo
+
+go 1.22

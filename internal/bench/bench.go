@@ -55,6 +55,9 @@ type Options struct {
 	Apps []string
 	// Out receives the report (required).
 	Out io.Writer
+	// JSONPath, when non-empty, is where the concurrent scenario writes
+	// its machine-readable BENCH_concurrent.json report.
+	JSONPath string
 	// Verbose adds progress lines.
 	Verbose bool
 
@@ -314,6 +317,7 @@ var registry = []runner{
 	{"fig15c", "bias distribution impact on time and memory", runFig15c},
 	{"fig16", "piecewise breakdown: updates and sampling vs FlowWalker", runFig16},
 	{"ablation", "design ablations: radix base, α/β thresholds, lookup index", runAblation},
+	{"concurrent", "walk-while-ingest throughput at 0/10/50% update load (BENCH_concurrent.json)", runConcurrent},
 }
 
 // Experiments lists available experiment names with descriptions.

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -51,20 +54,21 @@ func TestExperimentsList(t *testing.T) {
 // the output contains the expected headers.
 func TestEveryExperimentRuns(t *testing.T) {
 	wantHeader := map[string]string{
-		"table1":   "ns/sample",
-		"table2":   "avgDeg",
-		"table3":   "avg speedup vs Bingo",
-		"table4":   "from \\ to",
-		"fig9":     "Power-law",
-		"fig11":    "saving×",
-		"fig12":    "updates/s batched",
-		"fig13":    "rebuild(s)",
-		"fig14":    "float time(s)",
-		"fig15a":   "RebuildITS time(s)",
-		"fig15b":   "walk length",
-		"fig15c":   "dense-group %",
-		"fig16":    "FlowWalker_R(s)",
-		"ablation": "groups/vertex",
+		"table1":     "ns/sample",
+		"table2":     "avgDeg",
+		"table3":     "avg speedup vs Bingo",
+		"table4":     "from \\ to",
+		"fig9":       "Power-law",
+		"fig11":      "saving×",
+		"fig12":      "updates/s batched",
+		"fig13":      "rebuild(s)",
+		"fig14":      "float time(s)",
+		"fig15a":     "RebuildITS time(s)",
+		"fig15b":     "walk length",
+		"fig15c":     "dense-group %",
+		"fig16":      "FlowWalker_R(s)",
+		"ablation":   "groups/vertex",
+		"concurrent": "walks/s",
 	}
 	for _, r := range registry {
 		r := r
@@ -126,5 +130,34 @@ func TestWalkersCapAndCoverage(t *testing.T) {
 	small := o.walkers(50)
 	if len(small) != 50 {
 		t.Errorf("small-graph walkers %d, want 50", len(small))
+	}
+}
+
+func TestConcurrentScenarioWritesJSON(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Datasets = []string{"AM"}
+	o.JSONPath = filepath.Join(t.TempDir(), "BENCH_concurrent.json")
+	if err := Run("concurrent", o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.JSONPath)
+	if err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+	var rep ConcurrentReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON report unparseable: %v", err)
+	}
+	if rep.Scenario != "ConcurrentThroughput" || len(rep.Series) != len(concurrentLoads) {
+		t.Fatalf("report %+v: want scenario ConcurrentThroughput with %d series", rep, len(concurrentLoads))
+	}
+	for i, ser := range rep.Series {
+		if ser.Walks <= 0 || ser.StepsPerSec <= 0 {
+			t.Errorf("series %d has no walk throughput: %+v", i, ser)
+		}
+	}
+	if rep.Series[0].Updates != 0 {
+		t.Errorf("0%% load applied %d updates", rep.Series[0].Updates)
 	}
 }

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bingo-rw/bingo/internal/concurrent"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// ConcurrentThroughput is the walk-while-ingest scenario: a walker fleet
+// runs fixed-length walks over the concurrent engine while a feeder applies
+// update batches paced to a target share of total operations. It seeds the
+// perf trajectory of the serving path the same way the table/figure runners
+// seed the paper reproductions, and emits machine-readable JSON
+// (Options.JSONPath, cmd/bingobench -json) so successive runs can be
+// diffed.
+
+// ConcurrentSeries is one measured load point.
+type ConcurrentSeries struct {
+	UpdateLoadPct   float64 `json:"update_load_pct"` // nominal target share
+	Walks           int64   `json:"walks"`
+	Steps           int64   `json:"steps"`
+	Updates         int64   `json:"updates"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	WalksPerSec     float64 `json:"walks_per_sec"`
+	StepsPerSec     float64 `json:"steps_per_sec"`
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+	AchievedLoadPct float64 `json:"achieved_load_pct"` // updates/(updates+steps)
+}
+
+// ConcurrentReport is the BENCH_concurrent.json document.
+type ConcurrentReport struct {
+	Scenario   string             `json:"scenario"`
+	Dataset    string             `json:"dataset"`
+	Vertices   int                `json:"vertices"`
+	Edges      int64              `json:"edges"`
+	Walkers    int                `json:"walkers"`
+	WalkLength int                `json:"walk_length"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Stripes    int                `json:"stripes"`
+	Series     []ConcurrentSeries `json:"series"`
+}
+
+// concurrentLoads are the nominal update shares the scenario sweeps.
+var concurrentLoads = []float64{0, 0.10, 0.50}
+
+func runConcurrent(o *Options) error {
+	abbr := o.Datasets[0]
+	_, g, err := o.dataset(abbr)
+	if err != nil {
+		return err
+	}
+	w, err := o.workload(abbr, g, gen.UpdMixed, 4096)
+	if err != nil {
+		return err
+	}
+
+	// Honor the Workers contract every runner documents ("0 = 1"): an
+	// explicit -workers 1 means a single-walker baseline, not GOMAXPROCS.
+	walkers := o.Workers
+	totalWalks := o.MaxWalkers
+	if totalWalks < walkers {
+		totalWalks = walkers
+	}
+	walksPer := totalWalks / walkers
+
+	rep := ConcurrentReport{
+		Scenario:   "ConcurrentThroughput",
+		Dataset:    abbr,
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		Walkers:    walkers,
+		WalkLength: o.WalkLength,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	tbl := newTable(o.Out)
+	tbl.row("update load", "walks/s", "steps/s", "updates/s", "achieved load")
+	for _, load := range concurrentLoads {
+		// A fresh engine per load point: the feeder mutates the graph.
+		s, err := core.NewFromCSR(g, o.bingoConfig())
+		if err != nil {
+			return err
+		}
+		e := concurrent.Wrap(s, concurrent.Config{})
+		rep.Stripes = e.Stripes()
+
+		var stepsDone, updatesDone atomic.Int64
+		done := make(chan struct{})
+		var feedErr error
+		var feeder sync.WaitGroup
+		if load > 0 {
+			feeder.Add(1)
+			go func() {
+				defer feeder.Done()
+				ratio := load / (1 - load) // updates per walk step
+				next := 0
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					budget := int64(ratio*float64(stepsDone.Load())) - updatesDone.Load()
+					if budget < 256 {
+						// Sleep rather than spin: a hot pacer would steal a
+						// core from the walker fleet inside the measured
+						// window and distort the load sweep.
+						time.Sleep(100 * time.Microsecond)
+						continue
+					}
+					hi := next + 256
+					if hi > len(w.Updates) {
+						hi = len(w.Updates)
+					}
+					batch := append([]graph.Update(nil), w.Updates[next:hi]...)
+					if _, err := e.ApplyBatch(batch); err != nil {
+						feedErr = err
+						return
+					}
+					updatesDone.Add(int64(len(batch)))
+					next = hi
+					if next >= len(w.Updates) {
+						next = 0 // cycle the tape; re-deletes are tolerated
+					}
+				}
+			}()
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for wi := 0; wi < walkers; wi++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := xrand.New(o.Seed ^ seed)
+				var buf []graph.VertexID
+				for q := 0; q < walksPer; q++ {
+					start := graph.VertexID(r.Intn(g.NumVertices()))
+					buf, _ = e.WalkFrom(start, o.WalkLength, r, buf)
+					// Publish per walk: the feeder paces itself off this.
+					stepsDone.Add(int64(len(buf) - 1))
+				}
+			}(uint64(wi) + 1)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		// Snapshot counters at the same instant as elapsed: the feeder may
+		// still be mid-batch, and updates landing after the window would
+		// inflate updates/s and the achieved-load figure.
+		steps := stepsDone.Load()
+		updates := updatesDone.Load()
+		close(done)
+		feeder.Wait()
+		if feedErr != nil {
+			return fmt.Errorf("feeder at load %.0f%%: %w", load*100, feedErr)
+		}
+
+		walks := int64(walkers * walksPer)
+		achieved := 0.0
+		if steps+updates > 0 {
+			achieved = float64(updates) / float64(steps+updates)
+		}
+		ser := ConcurrentSeries{
+			UpdateLoadPct:   load * 100,
+			Walks:           walks,
+			Steps:           steps,
+			Updates:         updates,
+			ElapsedSec:      elapsed.Seconds(),
+			WalksPerSec:     float64(walks) / elapsed.Seconds(),
+			StepsPerSec:     float64(steps) / elapsed.Seconds(),
+			UpdatesPerSec:   float64(updates) / elapsed.Seconds(),
+			AchievedLoadPct: achieved * 100,
+		}
+		rep.Series = append(rep.Series, ser)
+		tbl.row(
+			fmt.Sprintf("%.0f%%", ser.UpdateLoadPct),
+			fmt.Sprintf("%.0f", ser.WalksPerSec),
+			fmt.Sprintf("%.0f", ser.StepsPerSec),
+			fmt.Sprintf("%.0f", ser.UpdatesPerSec),
+			fmt.Sprintf("%.1f%%", ser.AchievedLoadPct),
+		)
+	}
+	tbl.flush()
+
+	if o.JSONPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "wrote %s\n", o.JSONPath)
+	}
+	return nil
+}

@@ -1,0 +1,470 @@
+// Package concurrent layers walk-while-ingest concurrency control on top of
+// core.Sampler: the Engine wrapper lets any number of walker goroutines
+// sample while writer goroutines insert, delete, and batch-apply updates —
+// the production serving scenario of a live graph (Wharf's snapshot-style
+// walk/ingest overlap, KnightKing's concurrent walker fleet).
+//
+// # Locking model
+//
+// Vertices are hashed onto a fixed array of lock stripes (default
+// GOMAXPROCS×8, rounded up to a power of two). Every operation on vertex u
+// acquires stripe(u): readers (Sample, SampleSeq, Degree, HasEdge) take the
+// stripe's RWMutex in read mode, mutators (Insert, Delete, UpdateBias,
+// ApplyBatch) in write mode. Because an update to u's row touches only u's
+// row — the invariant internal/core's own batch parallelism relies on, plus
+// atomic global counters — operations on vertices in distinct stripes never
+// contend, and readers of the same stripe share it.
+//
+// The one piece of genuinely global mutable state is the vertex-ID space
+// itself (the samplers' top-level slices grow when an update references an
+// unseen vertex). Growth is a stop-the-world event: the grower acquires
+// every stripe in ascending order, grows, and releases. Operations hold at
+// most one stripe at a time, so this cannot deadlock.
+//
+// # Epoch protocol
+//
+// Each stripe carries a seqlock-style epoch counter: a writer increments it
+// to odd after acquiring the stripe and back to even before releasing.
+// Every individual read is already linearizable via the stripe lock; the
+// epochs exist for *cross-call* consistency. A walker that reads the epoch,
+// performs a step, and revalidates knows whether the stripe mutated inside
+// its step window — Step retries the draw in that case (bounded by
+// MaxStepRetries), so a multi-call step sequence (e.g. a sample followed by
+// a HasEdge probe against the same vertex) can be made effectively
+// atomic-or-retried instead of observing two different graph versions.
+package concurrent
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// DefaultStripesPerProc scales the default stripe count with GOMAXPROCS.
+const DefaultStripesPerProc = 8
+
+// DefaultMaxStepRetries bounds epoch-validation retries per walk step.
+const DefaultMaxStepRetries = 4
+
+// Config parameterizes the wrapper. The zero value selects all defaults.
+type Config struct {
+	// Stripes is the lock-stripe count, rounded up to a power of two.
+	// Zero selects GOMAXPROCS × DefaultStripesPerProc.
+	Stripes int
+	// MaxStepRetries bounds how often Step re-draws when the stripe's
+	// epoch advanced inside the step window. Zero selects
+	// DefaultMaxStepRetries. After the bound the (still linearizable)
+	// locked sample is accepted.
+	MaxStepRetries int
+	// Workers bounds ApplyBatch fan-out; zero defers to the sampler's
+	// core.Config.Workers.
+	Workers int
+}
+
+func (c Config) normalized() Config {
+	if c.Stripes <= 0 {
+		c.Stripes = runtime.GOMAXPROCS(0) * DefaultStripesPerProc
+	}
+	n := 1
+	for n < c.Stripes {
+		n <<= 1
+	}
+	c.Stripes = n
+	if c.MaxStepRetries <= 0 {
+		c.MaxStepRetries = DefaultMaxStepRetries
+	}
+	return c
+}
+
+// stripe is one lock unit, padded to its own cache line so that stripe
+// metadata of busy neighbors does not false-share.
+type stripe struct {
+	mu    sync.RWMutex
+	epoch atomic.Uint64
+	_     [64 - 32]byte
+}
+
+// Engine is a concurrency-safe facade over a core.Sampler. All methods are
+// safe for arbitrary concurrent use (each goroutine needs its own RNG).
+// The wrapped sampler must not be used directly while the Engine is live
+// except through Quiesce.
+type Engine struct {
+	s       *core.Sampler
+	stripes []stripe
+	mask    uint32
+	retries int
+	workers int
+}
+
+// Wrap takes ownership of an existing sampler.
+func Wrap(s *core.Sampler, cfg Config) *Engine {
+	cfg = cfg.normalized()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = s.Config().Workers
+	}
+	return &Engine{
+		s:       s,
+		stripes: make([]stripe, cfg.Stripes),
+		mask:    uint32(cfg.Stripes - 1),
+		retries: cfg.MaxStepRetries,
+		workers: workers,
+	}
+}
+
+// New creates an empty sampler over numVertices vertices and wraps it.
+func New(numVertices int, ccfg core.Config, cfg Config) (*Engine, error) {
+	s, err := core.New(numVertices, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(s, cfg), nil
+}
+
+// stripeOf hashes u onto its stripe. The multiplicative mix spreads
+// contiguous vertex IDs (the common ID assignment) across stripes.
+func (e *Engine) stripeOf(u graph.VertexID) *stripe {
+	h := uint32(u) * 2654435761 // Knuth's golden-ratio multiplier
+	return &e.stripes[(h^(h>>16))&e.mask]
+}
+
+// Stripes returns the stripe count.
+func (e *Engine) Stripes() int { return len(e.stripes) }
+
+// Config returns the wrapped sampler's configuration (immutable).
+func (e *Engine) Config() core.Config { return e.s.Config() }
+
+// lockAll acquires every stripe in ascending order and marks every epoch
+// busy — the stop-the-world path used for vertex-space growth and Quiesce.
+func (e *Engine) lockAll() {
+	for i := range e.stripes {
+		e.stripes[i].mu.Lock()
+		e.stripes[i].epoch.Add(1)
+	}
+}
+
+func (e *Engine) unlockAll() {
+	for i := range e.stripes {
+		e.stripes[i].epoch.Add(1)
+		e.stripes[i].mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Readers
+
+// Sample draws a neighbor of u with probability bias/Σbias. It is the
+// walk.Engine sampling entry point; calls on vertices in distinct stripes
+// proceed without contention.
+func (e *Engine) Sample(u graph.VertexID, r *xrand.RNG) (graph.VertexID, bool) {
+	st := e.stripeOf(u)
+	st.mu.RLock()
+	v, ok := e.s.Sample(u, r)
+	st.mu.RUnlock()
+	return v, ok
+}
+
+// SampleSeq draws up to len(dst) independent samples from u under a single
+// stripe acquisition, amortizing the lock over the sequence. It returns the
+// number of samples drawn (0 when u has no sampleable mass). All samples
+// observe the same graph version.
+func (e *Engine) SampleSeq(u graph.VertexID, dst []graph.VertexID, r *xrand.RNG) int {
+	st := e.stripeOf(u)
+	st.mu.RLock()
+	n := 0
+	for n < len(dst) {
+		v, ok := e.s.Sample(u, r)
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	st.mu.RUnlock()
+	return n
+}
+
+// Degree returns u's out-degree.
+func (e *Engine) Degree(u graph.VertexID) int {
+	st := e.stripeOf(u)
+	st.mu.RLock()
+	d := e.s.Degree(u)
+	st.mu.RUnlock()
+	return d
+}
+
+// HasEdge reports whether at least one edge u→dst is live.
+func (e *Engine) HasEdge(u, dst graph.VertexID) bool {
+	st := e.stripeOf(u)
+	st.mu.RLock()
+	ok := e.s.HasEdge(u, dst)
+	st.mu.RUnlock()
+	return ok
+}
+
+// NumVertices returns the vertex-ID space size. Holding any stripe excludes
+// space growth (growth takes every stripe), so a single read lock suffices.
+func (e *Engine) NumVertices() int {
+	st := &e.stripes[0]
+	st.mu.RLock()
+	n := e.s.NumVertices()
+	st.mu.RUnlock()
+	return n
+}
+
+// NumEdges returns the live edge count (maintained atomically; no lock).
+func (e *Engine) NumEdges() int64 { return e.s.NumEdges() }
+
+// Footprint returns the sampler's memory footprint. It walks every row and
+// therefore quiesces the engine.
+func (e *Engine) Footprint() int64 {
+	var b int64
+	e.Quiesce(func(s *core.Sampler) { b = s.Footprint() })
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Epoch protocol
+
+// Epoch returns the current epoch of u's stripe. Even values are stable;
+// odd values mean a writer currently holds the stripe.
+func (e *Engine) Epoch(u graph.VertexID) uint64 {
+	return e.stripeOf(u).epoch.Load()
+}
+
+// Validate reports whether u's stripe is stable and has not mutated since
+// epoch was observed.
+func (e *Engine) Validate(u graph.VertexID, epoch uint64) bool {
+	return epoch&1 == 0 && e.stripeOf(u).epoch.Load() == epoch
+}
+
+// Step draws one walk step from cur with epoch validation. The locked
+// sample is already linearizable on its own; what the validate-and-retry
+// adds is *freshness* — a step accepted on a clean epoch window reflects
+// the graph version current across the whole window, and a walker
+// composing Step with other per-stripe reads (HasEdge, Degree) under the
+// same epoch gets cross-call consistency it can check with Validate. If
+// the stripe mutated inside the window the draw is retried; after
+// MaxStepRetries the locked sample is accepted. retried reports how many
+// re-draws occurred (telemetry for the differential harness).
+func (e *Engine) Step(cur graph.VertexID, r *xrand.RNG) (next graph.VertexID, ok bool, retried int) {
+	st := e.stripeOf(cur)
+	for try := 0; ; try++ {
+		e0 := st.epoch.Load()
+		st.mu.RLock()
+		v, sampled := e.s.Sample(cur, r)
+		st.mu.RUnlock()
+		if e0&1 == 0 && st.epoch.Load() == e0 {
+			return v, sampled, try
+		}
+		if try >= e.retries {
+			return v, sampled, try
+		}
+	}
+}
+
+// WalkFrom performs a first-order walk of up to length steps from start,
+// appending visited vertices (including start) to buf and returning it plus
+// the total number of epoch retries along the way. Each step is drawn with
+// Step's validate-and-retry protocol, so every hop individually reflects a
+// stable graph version even while writers interleave.
+func (e *Engine) WalkFrom(start graph.VertexID, length int, r *xrand.RNG, buf []graph.VertexID) ([]graph.VertexID, int) {
+	buf = append(buf[:0], start)
+	cur := start
+	retries := 0
+	for hop := 0; hop < length; hop++ {
+		next, ok, retried := e.Step(cur, r)
+		retries += retried
+		if !ok {
+			break
+		}
+		cur = next
+		buf = append(buf, cur)
+	}
+	return buf, retries
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+
+// write runs fn with stripe(u) held in write mode and the epoch marked
+// busy. need is the smallest vertex-space size fn requires, or 0 when fn
+// must never grow the space (deletes and bias updates fail fast on unseen
+// vertices instead — growing stop-the-world for an edge that cannot exist
+// would let one garbage ID stall every walker and inflate memory). When
+// the space is too small for a growing op, the mutation instead runs under
+// a stop-the-world acquisition so the growth of the sampler's top-level
+// slices cannot race with readers on other stripes.
+func (e *Engine) write(u graph.VertexID, need int, fn func() error) error {
+	st := e.stripeOf(u)
+	st.mu.Lock()
+	if e.s.NumVertices() >= need {
+		st.epoch.Add(1)
+		err := fn()
+		st.epoch.Add(1)
+		st.mu.Unlock()
+		return err
+	}
+	st.mu.Unlock()
+	e.lockAll()
+	e.s.EnsureVertexSpace(need)
+	err := fn()
+	e.unlockAll()
+	return err
+}
+
+func maxNeed(u, dst graph.VertexID) int {
+	if dst > u {
+		u = dst
+	}
+	return int(u) + 1
+}
+
+// validateInsert rejects an insertion's bias before any lock or growth —
+// a garbage insert with a huge vertex ID must not trigger stop-the-world
+// space growth only to fail inside the sampler afterwards. ValidateUpdates
+// reads only immutable sampler state, so no lock is needed.
+func (e *Engine) validateInsert(u, dst graph.VertexID, bias uint64, fbias float64) error {
+	up := [1]graph.Update{{Op: graph.OpInsert, Src: u, Dst: dst, Bias: bias, FBias: fbias}}
+	_, err := e.s.ValidateUpdates(up[:])
+	return err
+}
+
+// Insert adds edge u→dst with an integer bias (streaming path, O(K)).
+func (e *Engine) Insert(u, dst graph.VertexID, bias uint64) error {
+	if err := e.validateInsert(u, dst, bias, 0); err != nil {
+		return err
+	}
+	return e.write(u, maxNeed(u, dst), func() error { return e.s.Insert(u, dst, bias) })
+}
+
+// InsertFloat adds edge u→dst with a float weight (float mode only).
+func (e *Engine) InsertFloat(u, dst graph.VertexID, w float64) error {
+	if !e.s.Config().FloatBias {
+		// Fails fast inside the sampler; no growth for a doomed insert.
+		return e.write(u, 0, func() error { return e.s.InsertFloat(u, dst, w) })
+	}
+	if err := e.validateInsert(u, dst, 0, w); err != nil {
+		return err
+	}
+	return e.write(u, maxNeed(u, dst), func() error { return e.s.InsertFloat(u, dst, w) })
+}
+
+// InsertEdge adapts Insert/InsertFloat to the walk.Dynamic signature.
+func (e *Engine) InsertEdge(u, dst graph.VertexID, bias uint64, fbias float64) error {
+	if err := e.validateInsert(u, dst, bias, fbias); err != nil {
+		return err
+	}
+	return e.write(u, maxNeed(u, dst), func() error { return e.s.InsertEdge(u, dst, bias, fbias) })
+}
+
+// Delete removes one live instance of edge u→dst (streaming path, O(K)).
+// An unseen u fails with core.ErrVertexRange without growing the space.
+func (e *Engine) Delete(u, dst graph.VertexID) error {
+	return e.write(u, 0, func() error { return e.s.Delete(u, dst) })
+}
+
+// DeleteEdge is Delete under the walk.Dynamic signature.
+func (e *Engine) DeleteEdge(u, dst graph.VertexID) error { return e.Delete(u, dst) }
+
+// UpdateBias rewrites the bias of one live instance of edge u→dst (O(K)).
+// An unseen u fails with core.ErrVertexRange without growing the space.
+func (e *Engine) UpdateBias(u, dst graph.VertexID, bias uint64) error {
+	return e.write(u, 0, func() error { return e.s.UpdateBias(u, dst, bias) })
+}
+
+// UpdateBiasFloat is UpdateBias for float-mode weights.
+func (e *Engine) UpdateBiasFloat(u, dst graph.VertexID, w float64) error {
+	return e.write(u, 0, func() error { return e.s.UpdateBiasFloat(u, dst, w) })
+}
+
+// ensureSpace grows the vertex-ID space to n under a stop-the-world
+// acquisition, or returns immediately when it already suffices.
+func (e *Engine) ensureSpace(n int) {
+	st := &e.stripes[0]
+	st.mu.RLock()
+	enough := e.s.NumVertices() >= n
+	st.mu.RUnlock()
+	if enough {
+		return
+	}
+	e.lockAll()
+	e.s.EnsureVertexSpace(n)
+	e.unlockAll()
+}
+
+// ApplyBatch ingests a batch through the §5.2 per-vertex workflow while
+// walkers keep running: updates are validated, then the shared
+// core.ApplyPerSource orchestration (stable source reorder, per-vertex
+// runs, worker fan-out) applies each run with only the stripe of the
+// vertex it touches held. Concurrent Sample calls on untouched stripes are
+// never blocked; samples on a touched vertex serialize with that vertex's
+// application, observing either the pre- or post-batch row, never a torn
+// one.
+func (e *Engine) ApplyBatch(ups []graph.Update) (core.BatchResult, error) {
+	if len(ups) == 0 {
+		return core.BatchResult{}, nil
+	}
+	maxV, err := e.s.ValidateUpdates(ups)
+	if err != nil {
+		return core.BatchResult{}, err
+	}
+	e.ensureSpace(int(maxV) + 1)
+	res := e.s.ApplyPerSource(ups, e.workers, func(u graph.VertexID, ops []graph.Update, sc *core.Scratch) core.BatchResult {
+		st := e.stripeOf(u)
+		st.mu.Lock()
+		st.epoch.Add(1)
+		r := e.s.ApplyVertexUpdates(u, ops, sc)
+		st.epoch.Add(1)
+		st.mu.Unlock()
+		return r
+	})
+	return res, nil
+}
+
+// ApplyUpdates adapts ApplyBatch to the walk.Dynamic signature (tolerant
+// deletions, result discarded).
+func (e *Engine) ApplyUpdates(ups []graph.Update) error {
+	_, err := e.ApplyBatch(ups)
+	return err
+}
+
+// ApplyStream ingests updates one at a time through the streaming path,
+// preserving the slice's order. Deletions of missing edges are skipped, as
+// in core.ApplyUpdatesStreaming.
+func (e *Engine) ApplyStream(ups []graph.Update) error {
+	for i := range ups {
+		up := &ups[i]
+		var err error
+		switch up.Op {
+		case graph.OpInsert:
+			err = e.InsertEdge(up.Src, up.Dst, up.Bias, up.FBias)
+		case graph.OpDelete:
+			e.Delete(up.Src, up.Dst) //nolint:errcheck // tolerant semantics
+		default:
+			err = fmt.Errorf("concurrent: unknown op %v", up.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Quiescence
+
+// Quiesce stops the world — every stripe write-locked, epochs marked — and
+// runs fn against the raw sampler. Use it for snapshots, invariant checks,
+// and any whole-graph read; fn may also mutate (walkers validating across
+// the quiescent period will observe the epoch change and retry).
+func (e *Engine) Quiesce(fn func(s *core.Sampler)) {
+	e.lockAll()
+	fn(e.s)
+	e.unlockAll()
+}

@@ -1,0 +1,362 @@
+// The race-hardened differential harness of the walk-while-ingest engine:
+// writer goroutines replay a random update tape while walker goroutines
+// sample, and afterwards the concurrent engine must be *equivalent* to a
+// sequential core.Sampler replay of the same tape — identical live edge
+// sets and a sampling distribution the chi-square test cannot tell apart.
+//
+// Equivalence holds because the harness partitions the tape by source
+// vertex (each source's events stay with one writer, in tape order): the
+// engine guarantees per-vertex linearizability and updates on distinct
+// sources commute, so any interleaving of the writers reaches the
+// sequential replay's final state. Run with -race; the locking protocol is
+// the thing under test.
+package concurrent_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/concurrent"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/stats"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+const (
+	diffVertices = 1200
+	diffTapeLen  = 12000 // ≥ 10k per the harness contract
+	diffWriters  = 4
+	diffWalkers  = 4
+	diffSamples  = 120000 // ≥ 1e5 chi-square draws
+)
+
+type pairKey struct{ src, dst graph.VertexID }
+
+// buildTape generates a random update tape in which every (src,dst) pair
+// has at most one live instance at any point (so a deletion is unambiguous
+// and batched/streaming/concurrent replays agree edge-for-edge), plus a
+// sprinkle of not-found deletions to exercise the tolerant path.
+func buildTape(n, numVertices int, floatMode bool, seed uint64) []graph.Update {
+	r := xrand.New(seed)
+	live := make([]pairKey, 0, n)
+	liveAt := make(map[pairKey]int, n)
+	tape := make([]graph.Update, 0, n)
+	for len(tape) < n {
+		roll := r.Float64()
+		switch {
+		case roll < 0.25 && len(live) > 8:
+			// Delete a live pair.
+			i := r.Intn(len(live))
+			p := live[i]
+			last := len(live) - 1
+			live[i] = live[last]
+			liveAt[live[i]] = i
+			live = live[:last]
+			delete(liveAt, p)
+			tape = append(tape, graph.Update{Op: graph.OpDelete, Src: p.src, Dst: p.dst})
+		case roll < 0.30:
+			// Not-found delete: a pair that is not live right now.
+			p := pairKey{graph.VertexID(r.Intn(numVertices)), graph.VertexID(r.Intn(numVertices))}
+			if _, ok := liveAt[p]; ok {
+				continue
+			}
+			tape = append(tape, graph.Update{Op: graph.OpDelete, Src: p.src, Dst: p.dst})
+		default:
+			p := pairKey{graph.VertexID(r.Intn(numVertices)), graph.VertexID(r.Intn(numVertices))}
+			if _, ok := liveAt[p]; ok {
+				continue
+			}
+			up := graph.Update{Op: graph.OpInsert, Src: p.src, Dst: p.dst, Bias: uint64(1 + r.Intn(1000))}
+			if floatMode {
+				up.FBias = r.Float64() * 0.999
+			}
+			liveAt[p] = len(live)
+			live = append(live, p)
+			tape = append(tape, up)
+		}
+	}
+	return tape
+}
+
+// partitionBySource splits the tape into writer sub-tapes, keeping all
+// events of one source with one writer in tape order.
+func partitionBySource(tape []graph.Update, writers int) [][]graph.Update {
+	parts := make([][]graph.Update, writers)
+	for _, up := range tape {
+		w := int(up.Src) % writers
+		parts[w] = append(parts[w], up)
+	}
+	return parts
+}
+
+type flatEdge struct {
+	src, dst graph.VertexID
+	bias     uint64
+	fbias    float64
+}
+
+// edgeSet flattens a snapshot into a canonically sorted edge multiset.
+func edgeSet(g *graph.CSR) []flatEdge {
+	out := make([]flatEdge, 0, g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		vid := graph.VertexID(u)
+		dsts := g.Neighbors(vid)
+		biases := g.Biases(vid)
+		fb := g.FBiases(vid)
+		for i := range dsts {
+			e := flatEdge{src: vid, dst: dsts[i], bias: biases[i]}
+			if fb != nil {
+				e.fbias = fb[i]
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.bias < b.bias
+	})
+	return out
+}
+
+// replaySequential builds the ground-truth sampler: the whole tape, one
+// goroutine, streaming path.
+func replaySequential(t *testing.T, tape []graph.Update, ccfg core.Config) *core.Sampler {
+	t.Helper()
+	seq, err := core.New(diffVertices, ccfg)
+	if err != nil {
+		t.Fatalf("sequential sampler: %v", err)
+	}
+	if err := seq.ApplyUpdatesStreaming(append([]graph.Update(nil), tape...)); err != nil {
+		t.Fatalf("sequential replay: %v", err)
+	}
+	return seq
+}
+
+// runWalkersWhile runs walker goroutines that keep walking until writers
+// signal completion — but each completes at least minWalksPerWalker walks
+// so read/write overlap is guaranteed even when the writers finish first.
+func runWalkersWhile(t *testing.T, e *concurrent.Engine, done <-chan struct{}) (walks, retries int64) {
+	t.Helper()
+	const minWalksPerWalker = 64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < diffWalkers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			var buf []graph.VertexID
+			var localWalks, localRetries int64
+			for {
+				if localWalks >= minWalksPerWalker {
+					select {
+					case <-done:
+						mu.Lock()
+						walks += localWalks
+						retries += localRetries
+						mu.Unlock()
+						return
+					default:
+					}
+				}
+				start := graph.VertexID(r.Intn(diffVertices))
+				var n int
+				buf, n = e.WalkFrom(start, 32, r, buf)
+				localRetries += int64(n)
+				localWalks++
+				// Exercise the read surface beyond Sample.
+				if len(buf) > 1 {
+					e.HasEdge(buf[0], buf[1])
+					e.Degree(buf[len(buf)-1])
+				}
+			}
+		}(0xFACE + uint64(w))
+	}
+	wg.Wait()
+	return walks, retries
+}
+
+// compareDistributions chi-squares empirical frequencies from the
+// concurrent engine against the sequential sampler's exact probabilities on
+// the highest-degree vertices.
+func compareDistributions(t *testing.T, e *concurrent.Engine, seq *core.Sampler) {
+	t.Helper()
+	type cand struct {
+		u graph.VertexID
+		d int
+	}
+	var cands []cand
+	for u := 0; u < diffVertices; u++ {
+		if d := seq.Degree(graph.VertexID(u)); d >= 4 {
+			cands = append(cands, cand{graph.VertexID(u), d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d > cands[j].d })
+	if len(cands) > 8 {
+		cands = cands[:8]
+	}
+	if len(cands) == 0 {
+		t.Fatalf("no test vertices with degree ≥ 4 — tape generator broken")
+	}
+	perVertex := diffSamples / len(cands)
+	r := xrand.New(0xC41)
+	for _, c := range cands {
+		// Exact distribution by destination (pairs are unique, so a
+		// destination identifies an edge).
+		slotProbs := seq.VertexProbabilities(c.u)
+		probByDst := map[graph.VertexID]float64{}
+		for slot, p := range slotProbs {
+			probByDst[seq.Neighbor(c.u, slot)] += p
+		}
+		dsts := make([]graph.VertexID, 0, len(probByDst))
+		for d := range probByDst {
+			dsts = append(dsts, d)
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+		probs := make([]float64, len(dsts))
+		index := make(map[graph.VertexID]int, len(dsts))
+		for i, d := range dsts {
+			probs[i] = probByDst[d]
+			index[d] = i
+		}
+		observed := make([]int64, len(dsts))
+		for i := 0; i < perVertex; i++ {
+			v, ok := e.Sample(c.u, r)
+			if !ok {
+				t.Fatalf("vertex %d: concurrent Sample failed with degree %d", c.u, c.d)
+			}
+			slot, ok := index[v]
+			if !ok {
+				t.Fatalf("vertex %d: sampled %d, not a live neighbor", c.u, v)
+			}
+			observed[slot]++
+		}
+		stat, p, err := stats.ChiSquareGOF(observed, probs, 5)
+		if err != nil {
+			t.Fatalf("vertex %d: chi-square: %v", c.u, err)
+		}
+		if p < 1e-4 {
+			t.Errorf("vertex %d (degree %d): chi-square stat %.2f p=%.2e — concurrent distribution diverges from sequential replay", c.u, c.d, stat, p)
+		}
+	}
+}
+
+// runDifferential is the harness body, parameterized by bias mode and by
+// how writers apply their sub-tapes.
+func runDifferential(t *testing.T, ccfg core.Config, apply func(e *concurrent.Engine, part []graph.Update) error) {
+	t.Helper()
+	tape := buildTape(diffTapeLen, diffVertices, ccfg.FloatBias, 0xB1260)
+	e, err := concurrent.New(diffVertices, ccfg, concurrent.Config{})
+	if err != nil {
+		t.Fatalf("concurrent engine: %v", err)
+	}
+
+	parts := partitionBySource(tape, diffWriters)
+	done := make(chan struct{})
+	var writerWg sync.WaitGroup
+	errCh := make(chan error, diffWriters)
+	for w := 0; w < diffWriters; w++ {
+		writerWg.Add(1)
+		go func(part []graph.Update) {
+			defer writerWg.Done()
+			if err := apply(e, part); err != nil {
+				errCh <- err
+			}
+		}(parts[w])
+	}
+	walkDone := make(chan struct{})
+	var walks, retries int64
+	go func() {
+		walks, retries = runWalkersWhile(t, e, done)
+		close(walkDone)
+	}()
+	writerWg.Wait()
+	close(done)
+	<-walkDone
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("writer: %v", err)
+	}
+	t.Logf("replayed %d updates under %d writers while %d walkers completed %d walks (%d epoch retries)",
+		len(tape), diffWriters, diffWalkers, walks, retries)
+	if walks < int64(diffWalkers) {
+		t.Fatalf("walker overlap too thin: %d walks", walks)
+	}
+
+	seq := replaySequential(t, tape, ccfg)
+
+	var snap *graph.CSR
+	e.Quiesce(func(s *core.Sampler) {
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("concurrent engine invariants: %v", err)
+		}
+		snap = s.Snapshot()
+	})
+	if err := seq.CheckInvariants(); err != nil {
+		t.Fatalf("sequential replay invariants: %v", err)
+	}
+
+	got, want := edgeSet(snap), edgeSet(seq.Snapshot())
+	if len(got) != len(want) {
+		t.Fatalf("edge count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("edge multiset diverges at %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	compareDistributions(t, e, seq)
+}
+
+// TestDifferentialWalkWhileIngest replays the tape through the streaming
+// write path (Insert/Delete) under full walker load, in both bias modes.
+func TestDifferentialWalkWhileIngest(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"integer", core.DefaultConfig()},
+		{"float", func() core.Config {
+			c := core.DefaultConfig()
+			c.FloatBias = true
+			c.Lambda = 1024
+			return c
+		}()},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			runDifferential(t, m.cfg, func(e *concurrent.Engine, part []graph.Update) error {
+				return e.ApplyStream(part)
+			})
+		})
+	}
+}
+
+// TestDifferentialBatchedIngest replays each writer's sub-tape in chunked
+// ApplyBatch calls — the path a production feed would use — and must reach
+// the same state as the sequential streaming replay.
+func TestDifferentialBatchedIngest(t *testing.T) {
+	runDifferential(t, core.DefaultConfig(), func(e *concurrent.Engine, part []graph.Update) error {
+		const chunk = 64
+		for lo := 0; lo < len(part); lo += chunk {
+			hi := lo + chunk
+			if hi > len(part) {
+				hi = len(part)
+			}
+			if _, err := e.ApplyBatch(part[lo:hi]); err != nil {
+				return fmt.Errorf("chunk [%d,%d): %w", lo, hi, err)
+			}
+		}
+		return nil
+	})
+}

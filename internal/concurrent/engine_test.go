@@ -1,0 +1,321 @@
+package concurrent_test
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/concurrent"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/walk"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// The wrapper must plug into every harness the sequential engines do.
+var (
+	_ walk.Engine     = (*concurrent.Engine)(nil)
+	_ walk.Dynamic    = (*concurrent.Engine)(nil)
+	_ walk.LiveEngine = (*concurrent.Engine)(nil)
+)
+
+func newEngine(t *testing.T, numVertices int, ccfg core.Config, cfg concurrent.Config) *concurrent.Engine {
+	t.Helper()
+	e, err := concurrent.New(numVertices, ccfg, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func TestBasicOpsVisible(t *testing.T) {
+	e := newEngine(t, 8, core.DefaultConfig(), concurrent.Config{})
+	if err := e.Insert(0, 1, 3); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := e.Insert(0, 2, 1); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if !e.HasEdge(0, 1) || !e.HasEdge(0, 2) {
+		t.Fatalf("inserted edges not visible")
+	}
+	if d := e.Degree(0); d != 2 {
+		t.Fatalf("Degree(0) = %d, want 2", d)
+	}
+	if n := e.NumEdges(); n != 2 {
+		t.Fatalf("NumEdges = %d, want 2", n)
+	}
+	r := xrand.New(7)
+	counts := map[graph.VertexID]int{}
+	for i := 0; i < 4000; i++ {
+		v, ok := e.Sample(0, r)
+		if !ok {
+			t.Fatalf("Sample failed")
+		}
+		counts[v]++
+	}
+	// Bias 3:1 — crude band check (±5σ of Binomial(4000, 0.75)).
+	if c := counts[1]; c < 2850 || c > 3140 {
+		t.Fatalf("bias-3 destination sampled %d/4000, want ≈3000", c)
+	}
+	if err := e.Delete(0, 1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if e.HasEdge(0, 1) {
+		t.Fatalf("deleted edge still visible")
+	}
+	if err := e.UpdateBias(0, 2, 9); err != nil {
+		t.Fatalf("UpdateBias: %v", err)
+	}
+	e.Quiesce(func(s *core.Sampler) {
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}
+
+func TestSampleSeq(t *testing.T) {
+	e := newEngine(t, 4, core.DefaultConfig(), concurrent.Config{})
+	if err := e.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]graph.VertexID, 16)
+	n := e.SampleSeq(0, buf, xrand.New(1))
+	if n != 16 {
+		t.Fatalf("SampleSeq drew %d, want 16", n)
+	}
+	for _, v := range buf {
+		if v != 1 {
+			t.Fatalf("SampleSeq drew %d, want 1", v)
+		}
+	}
+	if n := e.SampleSeq(2, buf, xrand.New(1)); n != 0 {
+		t.Fatalf("SampleSeq on empty vertex drew %d, want 0", n)
+	}
+}
+
+func TestEpochProtocol(t *testing.T) {
+	e := newEngine(t, 8, core.DefaultConfig(), concurrent.Config{Stripes: 4})
+	ep := e.Epoch(3)
+	if ep&1 != 0 {
+		t.Fatalf("idle epoch %d is odd", ep)
+	}
+	if !e.Validate(3, ep) {
+		t.Fatalf("Validate failed with no mutation")
+	}
+	if err := e.Insert(3, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Validate(3, ep) {
+		t.Fatalf("Validate passed across a mutation of the stripe")
+	}
+	ep2 := e.Epoch(3)
+	if ep2&1 != 0 || ep2 == ep {
+		t.Fatalf("post-mutation epoch %d (was %d): want even and advanced", ep2, ep)
+	}
+}
+
+// TestVertexSpaceGrowth exercises the stop-the-world growth path while
+// readers hammer existing vertices.
+func TestVertexSpaceGrowth(t *testing.T) {
+	e := newEngine(t, 2, core.DefaultConfig(), concurrent.Config{Stripes: 8})
+	if err := e.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e.Sample(0, r)
+				e.Degree(1)
+			}
+		}(uint64(w))
+	}
+	for i := 2; i < 300; i++ {
+		if err := e.Insert(graph.VertexID(i), graph.VertexID(i-1), uint64(i%7+1)); err != nil {
+			t.Fatalf("growth insert %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := e.NumVertices(); n != 300 {
+		t.Fatalf("NumVertices = %d, want 300", n)
+	}
+	e.Quiesce(func(s *core.Sampler) {
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after growth: %v", err)
+		}
+	})
+}
+
+func TestWalkFromRunsUnderMutation(t *testing.T) {
+	e := newEngine(t, 64, core.DefaultConfig(), concurrent.Config{Stripes: 2, MaxStepRetries: 3})
+	// Ring so walks never dead-end.
+	for i := 0; i < 64; i++ {
+		if err := e.Insert(graph.VertexID(i), graph.VertexID((i+1)%64), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // churn extra edges on a few vertices: epochs keep moving
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := graph.VertexID(i % 64)
+			if err := e.Insert(u, graph.VertexID((i+2)%64), 2); err != nil {
+				t.Errorf("churn insert: %v", err)
+				return
+			}
+			if err := e.Delete(u, graph.VertexID((i+2)%64)); err != nil {
+				t.Errorf("churn delete: %v", err)
+				return
+			}
+		}
+	}()
+	r := xrand.New(11)
+	totalRetries := 0
+	for q := 0; q < 200; q++ {
+		path, retries := e.WalkFrom(graph.VertexID(q%64), 40, r, nil)
+		totalRetries += retries
+		if len(path) != 41 {
+			t.Fatalf("walk %d length %d, want 41 (ring has no dead ends)", q, len(path))
+		}
+		for i := 1; i < len(path); i++ {
+			// Every hop must be a ring successor or a churn edge (+2).
+			d := (int(path[i]) - int(path[i-1]) + 64) % 64
+			if d != 1 && d != 2 {
+				t.Fatalf("walk %d hop %d: %d→%d is not an edge", q, i, path[i-1], path[i])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	t.Logf("epoch retries across 200 walks: %d", totalRetries)
+}
+
+func TestApplyBatchMatchesSequential(t *testing.T) {
+	ups := []graph.Update{
+		{Op: graph.OpInsert, Src: 0, Dst: 1, Bias: 5},
+		{Op: graph.OpInsert, Src: 0, Dst: 2, Bias: 3},
+		{Op: graph.OpInsert, Src: 1, Dst: 2, Bias: 7},
+		{Op: graph.OpDelete, Src: 0, Dst: 1},
+		{Op: graph.OpDelete, Src: 3, Dst: 0}, // not found
+	}
+	e := newEngine(t, 4, core.DefaultConfig(), concurrent.Config{})
+	res, err := e.ApplyBatch(append([]graph.Update(nil), ups...))
+	if err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	if res.Inserted != 3 || res.Deleted != 1 || res.NotFound != 1 {
+		t.Fatalf("BatchResult = %+v, want {3 1 1}", res)
+	}
+	seq, err := core.New(4, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.ApplyBatch(append([]graph.Update(nil), ups...)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.NumEdges(), seq.NumEdges(); got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	e.Quiesce(func(s *core.Sampler) {
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	})
+}
+
+func TestApplyBatchValidation(t *testing.T) {
+	e := newEngine(t, 4, core.DefaultConfig(), concurrent.Config{})
+	_, err := e.ApplyBatch([]graph.Update{{Op: graph.OpInsert, Src: 0, Dst: 1, Bias: 0}})
+	if err == nil {
+		t.Fatalf("zero-bias batch accepted")
+	}
+	if n := e.NumEdges(); n != 0 {
+		t.Fatalf("failed batch mutated the graph: %d edges", n)
+	}
+}
+
+// TestDeleteDoesNotGrowVertexSpace: a garbage Src in a delete (or bias
+// update) must fail fast, not stop the world to allocate millions of empty
+// vertex rows.
+func TestDeleteDoesNotGrowVertexSpace(t *testing.T) {
+	e := newEngine(t, 4, core.DefaultConfig(), concurrent.Config{})
+	if err := e.Delete(50_000_000, 2); !errors.Is(err, core.ErrVertexRange) {
+		t.Fatalf("Delete on unseen vertex: err = %v, want ErrVertexRange", err)
+	}
+	if err := e.UpdateBias(50_000_000, 2, 7); !errors.Is(err, core.ErrVertexRange) {
+		t.Fatalf("UpdateBias on unseen vertex: err = %v, want ErrVertexRange", err)
+	}
+	if n := e.NumVertices(); n != 4 {
+		t.Fatalf("vertex space grew to %d on a failed delete, want 4", n)
+	}
+	// ApplyStream tolerates the same garbage delete without growing.
+	if err := e.ApplyStream([]graph.Update{{Op: graph.OpDelete, Src: 50_000_000, Dst: 2}}); err != nil {
+		t.Fatalf("ApplyStream: %v", err)
+	}
+	if n := e.NumVertices(); n != 4 {
+		t.Fatalf("vertex space grew to %d via ApplyStream delete, want 4", n)
+	}
+}
+
+// TestInvalidInsertDoesNotGrowVertexSpace: a zero-bias (or otherwise
+// invalid) insert naming a huge vertex ID must be rejected before the
+// stop-the-world growth path runs.
+func TestInvalidInsertDoesNotGrowVertexSpace(t *testing.T) {
+	e := newEngine(t, 4, core.DefaultConfig(), concurrent.Config{})
+	if err := e.Insert(50_000_000, 0, 0); err == nil {
+		t.Fatalf("zero-bias insert accepted")
+	}
+	if err := e.InsertEdge(50_000_000, 0, 0, 0); err == nil {
+		t.Fatalf("zero-bias InsertEdge accepted")
+	}
+	if n := e.NumVertices(); n != 4 {
+		t.Fatalf("vertex space grew to %d on a rejected insert, want 4", n)
+	}
+
+	fcfg := core.DefaultConfig()
+	fcfg.FloatBias = true
+	fcfg.Lambda = 1024
+	fe := newEngine(t, 4, fcfg, concurrent.Config{})
+	if err := fe.InsertFloat(50_000_000, 0, math.NaN()); err == nil {
+		t.Fatalf("NaN-weight insert accepted")
+	}
+	if err := fe.InsertFloat(50_000_000, 0, -1); err == nil {
+		t.Fatalf("negative-weight insert accepted")
+	}
+	if n := fe.NumVertices(); n != 4 {
+		t.Fatalf("float vertex space grew to %d on a rejected insert, want 4", n)
+	}
+}
+
+// Underflow float weights must be rejected by validation, before growth.
+func TestUnderflowInsertDoesNotGrowVertexSpace(t *testing.T) {
+	fcfg := core.DefaultConfig()
+	fcfg.FloatBias = true
+	fcfg.Lambda = 1024
+	fe := newEngine(t, 4, fcfg, concurrent.Config{})
+	if err := fe.InsertFloat(50_000_000, 0, 1e-300); err == nil {
+		t.Fatalf("λ-underflow insert accepted")
+	}
+	if n := fe.NumVertices(); n != 4 {
+		t.Fatalf("vertex space grew to %d on an underflow insert, want 4", n)
+	}
+}

@@ -38,30 +38,25 @@ func (s *Sampler) ApplyBatch(ups []graph.Update) (BatchResult, error) {
 		return res, nil
 	}
 	// Validate before mutating anything.
-	var maxV graph.VertexID
-	for i := range ups {
-		up := &ups[i]
-		if up.Src > maxV {
-			maxV = up.Src
-		}
-		if up.Dst > maxV {
-			maxV = up.Dst
-		}
-		if up.Op == graph.OpInsert {
-			if s.cfg.FloatBias {
-				w := float64(up.Bias) + up.FBias
-				if w <= 0 {
-					return res, fmt.Errorf("%w: batch insert (%d,%d)", ErrZeroBias, up.Src, up.Dst)
-				}
-				if err := checkFloatWeight(w, s.lambda); err != nil {
-					return res, fmt.Errorf("batch insert (%d,%d): %w", up.Src, up.Dst, err)
-				}
-			} else if up.Bias == 0 {
-				return res, fmt.Errorf("%w: batch insert (%d,%d)", ErrZeroBias, up.Src, up.Dst)
-			}
-		}
+	maxV, err := s.ValidateUpdates(ups)
+	if err != nil {
+		return res, err
 	}
 	s.ensureVertex(maxV)
+	return s.ApplyPerSource(ups, s.cfg.Workers, s.ApplyVertexUpdates), nil
+}
+
+// ApplyPerSource is the batched workflow's orchestration, shared with
+// external coordinators (internal/concurrent): sort ups stably by source,
+// partition into per-source runs, fan the runs out over workers, and sum
+// the results. apply receives a per-worker Scratch whose conversion stats
+// are flushed once per worker. The updates must already have passed
+// ValidateUpdates and the vertex space must cover every referenced ID.
+func (s *Sampler) ApplyPerSource(ups []graph.Update, workers int, apply func(u graph.VertexID, ops []graph.Update, sc *Scratch) BatchResult) BatchResult {
+	var res BatchResult
+	if len(ups) == 0 {
+		return res
+	}
 	graph.SortUpdatesBySrc(ups)
 
 	// Partition into per-vertex runs.
@@ -75,20 +70,19 @@ func (s *Sampler) ApplyBatch(ups []graph.Update) (BatchResult, error) {
 		}
 	}
 
-	workers := s.cfg.Workers
 	if workers > len(runs) {
 		workers = len(runs)
 	}
 	if workers <= 1 {
-		sc := newBatchScratch()
+		sc := NewScratch()
 		for _, rn := range runs {
-			r := s.applyVertexBatch(ups[rn.lo].Src, ups[rn.lo:rn.hi], sc)
+			r := apply(ups[rn.lo].Src, ups[rn.lo:rn.hi], sc)
 			res.Inserted += r.Inserted
 			res.Deleted += r.Deleted
 			res.NotFound += r.NotFound
 		}
-		s.cc.merge(&sc.cc)
-		return res, nil
+		s.FlushScratch(sc)
+		return res
 	}
 
 	runCh := make(chan run, workers)
@@ -99,18 +93,18 @@ func (s *Sampler) ApplyBatch(ups []graph.Update) (BatchResult, error) {
 		go func() {
 			defer wg.Done()
 			local := BatchResult{}
-			sc := newBatchScratch()
+			sc := NewScratch()
 			for rn := range runCh {
-				r := s.applyVertexBatch(ups[rn.lo].Src, ups[rn.lo:rn.hi], sc)
+				r := apply(ups[rn.lo].Src, ups[rn.lo:rn.hi], sc)
 				local.Inserted += r.Inserted
 				local.Deleted += r.Deleted
 				local.NotFound += r.NotFound
 			}
+			s.FlushScratch(sc)
 			mu.Lock()
 			res.Inserted += local.Inserted
 			res.Deleted += local.Deleted
 			res.NotFound += local.NotFound
-			s.cc.merge(&sc.cc)
 			mu.Unlock()
 		}()
 	}
@@ -119,7 +113,7 @@ func (s *Sampler) ApplyBatch(ups []graph.Update) (BatchResult, error) {
 	}
 	close(runCh)
 	wg.Wait()
-	return res, nil
+	return res
 }
 
 // batchScratch is per-worker reusable state: the staging maps of the
@@ -222,7 +216,7 @@ func (s *Sampler) applyVertexBatch(u graph.VertexID, ops []graph.Update, sc *bat
 		biasRow := s.adjs.BiasRow(u)
 		for gid, delta := range sc.deltas {
 			g := vx.ensureGroup(gid)
-			cc.touches[g.kind]++
+			cc.touch(g.kind)
 			working := KindRegular
 			if s.cfg.Adaptive {
 				working = classify(g.count+delta, dAfterIns, s.cfg.AlphaPct, s.cfg.BetaPct)
@@ -404,7 +398,7 @@ func (s *Sampler) twoPhaseDelete(u graph.VertexID, slots []int32, sc *batchScrat
 			if !ok {
 				panic("core: batch delete: missing group")
 			}
-			cc.touches[vx.groups[i].kind]++
+			cc.touch(vx.groups[i].kind)
 			vx.groups[i].remove(slot)
 		}
 		if s.cfg.FloatBias {

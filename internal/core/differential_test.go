@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/stats"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Differential test (§5.2 batched path vs §4.2 streaming path): replaying
+// the same random tape through ApplyUpdates (chunked batches) and
+// ApplyUpdatesStreaming must produce identical live edge sets and
+// statistically indistinguishable sampling distributions. Tapes keep at
+// most one live instance per (src,dst) pair so deletions are unambiguous
+// between the two paths' duplicate-resolution policies.
+
+type diffPair struct{ src, dst graph.VertexID }
+
+func buildDiffTape(n, numVertices int, floatMode bool, seed uint64) []graph.Update {
+	r := xrand.New(seed)
+	live := make([]diffPair, 0, n)
+	liveAt := make(map[diffPair]int, n)
+	tape := make([]graph.Update, 0, n)
+	for len(tape) < n {
+		roll := r.Float64()
+		switch {
+		case roll < 0.30 && len(live) > 4:
+			i := r.Intn(len(live))
+			p := live[i]
+			last := len(live) - 1
+			live[i] = live[last]
+			liveAt[live[i]] = i
+			live = live[:last]
+			delete(liveAt, p)
+			tape = append(tape, graph.Update{Op: graph.OpDelete, Src: p.src, Dst: p.dst})
+		case roll < 0.35:
+			p := diffPair{graph.VertexID(r.Intn(numVertices)), graph.VertexID(r.Intn(numVertices))}
+			if _, ok := liveAt[p]; ok {
+				continue
+			}
+			tape = append(tape, graph.Update{Op: graph.OpDelete, Src: p.src, Dst: p.dst})
+		default:
+			p := diffPair{graph.VertexID(r.Intn(numVertices)), graph.VertexID(r.Intn(numVertices))}
+			if _, ok := liveAt[p]; ok {
+				continue
+			}
+			up := graph.Update{Op: graph.OpInsert, Src: p.src, Dst: p.dst, Bias: uint64(1 + r.Intn(500))}
+			if floatMode {
+				up.FBias = r.Float64() * 0.999
+			}
+			liveAt[p] = len(live)
+			live = append(live, p)
+			tape = append(tape, up)
+		}
+	}
+	return tape
+}
+
+type diffEdge struct {
+	src, dst graph.VertexID
+	bias     uint64
+	fbias    float64
+}
+
+func sortedEdges(t *testing.T, s *Sampler) []diffEdge {
+	t.Helper()
+	g := s.Snapshot()
+	out := make([]diffEdge, 0, g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		vid := graph.VertexID(u)
+		dsts := g.Neighbors(vid)
+		biases := g.Biases(vid)
+		fb := g.FBiases(vid)
+		for i := range dsts {
+			e := diffEdge{src: vid, dst: dsts[i], bias: biases[i]}
+			if fb != nil {
+				e.fbias = fb[i]
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.bias < b.bias
+	})
+	return out
+}
+
+// probsByDst folds a vertex's exact slot distribution onto destinations
+// (pairs are unique, so this is a bijection).
+func probsByDst(s *Sampler, u graph.VertexID) map[graph.VertexID]float64 {
+	out := map[graph.VertexID]float64{}
+	for slot, p := range s.VertexProbabilities(u) {
+		out[s.Neighbor(u, slot)] += p
+	}
+	return out
+}
+
+func TestBatchedVsStreamingDifferential(t *testing.T) {
+	const (
+		nV      = 400
+		tapeLen = 6000
+		chunk   = 113 // deliberately not a divisor of the tape length
+	)
+	cases := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"integer", DefaultConfig},
+		{"integer-baseline", func() Config {
+			c := DefaultConfig()
+			c.Adaptive = false
+			return c
+		}},
+		{"float", func() Config {
+			c := DefaultConfig()
+			c.FloatBias = true
+			c.Lambda = 2048
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			tape := buildDiffTape(tapeLen, nV, cfg.FloatBias, 0xD1FF+uint64(len(tc.name)))
+
+			batched, err := New(nV, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for lo := 0; lo < len(tape); lo += chunk {
+				hi := lo + chunk
+				if hi > len(tape) {
+					hi = len(tape)
+				}
+				if err := batched.ApplyUpdates(append([]graph.Update(nil), tape[lo:hi]...)); err != nil {
+					t.Fatalf("batched chunk [%d,%d): %v", lo, hi, err)
+				}
+			}
+
+			streaming, err := New(nV, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := streaming.ApplyUpdatesStreaming(tape); err != nil {
+				t.Fatalf("streaming replay: %v", err)
+			}
+
+			if err := batched.CheckInvariants(); err != nil {
+				t.Fatalf("batched invariants: %v", err)
+			}
+			if err := streaming.CheckInvariants(); err != nil {
+				t.Fatalf("streaming invariants: %v", err)
+			}
+
+			// Identical live edge sets.
+			be, se := sortedEdges(t, batched), sortedEdges(t, streaming)
+			if len(be) != len(se) {
+				t.Fatalf("edge count: batched %d, streaming %d", len(be), len(se))
+			}
+			for i := range be {
+				if be[i] != se[i] {
+					t.Fatalf("edge multiset diverges at %d: batched %+v, streaming %+v", i, be[i], se[i])
+				}
+			}
+
+			// Exact per-vertex distributions agree.
+			for u := 0; u < nV; u++ {
+				vid := graph.VertexID(u)
+				bp, sp := probsByDst(batched, vid), probsByDst(streaming, vid)
+				if len(bp) != len(sp) {
+					t.Fatalf("vertex %d: support size %d vs %d", u, len(bp), len(sp))
+				}
+				for d, p := range sp {
+					if math.Abs(bp[d]-p) > 1e-9 {
+						t.Fatalf("vertex %d → %d: batched prob %v, streaming %v", u, d, bp[d], p)
+					}
+				}
+			}
+
+			// Empirical check: the batched engine's draws fit the streaming
+			// engine's exact distribution on the busiest vertices.
+			type cand struct {
+				u graph.VertexID
+				d int
+			}
+			var cands []cand
+			for u := 0; u < nV; u++ {
+				if d := streaming.Degree(graph.VertexID(u)); d >= 4 {
+					cands = append(cands, cand{graph.VertexID(u), d})
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].d > cands[j].d })
+			if len(cands) > 4 {
+				cands = cands[:4]
+			}
+			r := xrand.New(0xE0)
+			for _, c := range cands {
+				sp := probsByDst(streaming, c.u)
+				dsts := make([]graph.VertexID, 0, len(sp))
+				for d := range sp {
+					dsts = append(dsts, d)
+				}
+				sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+				probs := make([]float64, len(dsts))
+				index := make(map[graph.VertexID]int, len(dsts))
+				for i, d := range dsts {
+					probs[i] = sp[d]
+					index[d] = i
+				}
+				observed := make([]int64, len(dsts))
+				const draws = 30000
+				for i := 0; i < draws; i++ {
+					v, ok := batched.Sample(c.u, r)
+					if !ok {
+						t.Fatalf("vertex %d: Sample failed", c.u)
+					}
+					observed[index[v]]++
+				}
+				stat, p, err := stats.ChiSquareGOF(observed, probs, 5)
+				if err != nil {
+					t.Fatalf("vertex %d: chi-square: %v", c.u, err)
+				}
+				if p < 1e-4 {
+					t.Errorf("vertex %d (degree %d): chi-square stat %.2f p=%.2e — batched draws diverge from streaming distribution", c.u, c.d, stat, p)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
@@ -134,8 +135,14 @@ func splitFloatBias(w, lambda float64) (uint64, float32) {
 	return ip, float32(scaled - float64(ip))
 }
 
-// checkFloatWeight validates a float-mode weight against λ overflow.
+// checkFloatWeight validates a float-mode weight against λ overflow. NaN
+// is rejected here because it slips past the callers' w <= 0 guards (every
+// NaN comparison is false) and would make the uint64 conversion in
+// splitFloatBias undefined.
 func checkFloatWeight(w, lambda float64) error {
+	if math.IsNaN(w) {
+		return fmt.Errorf("core: weight is NaN")
+	}
 	if w*lambda >= maxScaledBias {
 		return fmt.Errorf("core: weight %v overflows λ=%v scaling (max %g)", w, lambda, maxScaledBias/lambda)
 	}

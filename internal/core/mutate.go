@@ -62,6 +62,7 @@ func (s *Sampler) UpdateBiasFloat(u, dst graph.VertexID, w float64) error {
 // inter-group alias once.
 func (s *Sampler) rewriteBias(u graph.VertexID, idx int32, newBias uint64, newRem float32) {
 	vx := &s.vx[u]
+	var cc convCounters
 	b := s.cfg.RadixBits
 	oldBias := s.adjs.Bias(u, idx)
 	oldRem := s.adjs.Rem(u, idx)
@@ -85,7 +86,7 @@ func (s *Sampler) rewriteBias(u graph.VertexID, idx int32, newBias uint64, newRe
 		if !ok {
 			panic(fmt.Sprintf("core: bias rewrite: missing group (%d,%d)", j, ov))
 		}
-		s.cc.touches[vx.groups[i].kind]++
+		cc.touch(vx.groups[i].kind)
 		vx.groups[i].remove(idx)
 	}
 	s.adjs.SetBias(u, idx, newBias, newRem)
@@ -97,7 +98,7 @@ func (s *Sampler) rewriteBias(u graph.VertexID, idx int32, newBias uint64, newRe
 			continue
 		}
 		g := vx.ensureGroup(gidOf(j, nv, b))
-		s.cc.touches[g.kind]++
+		cc.touch(g.kind)
 		if g.kind == KindOne {
 			target := KindRegular
 			if s.cfg.Adaptive {
@@ -106,7 +107,7 @@ func (s *Sampler) rewriteBias(u graph.VertexID, idx int32, newBias uint64, newRe
 					target = KindSparse
 				}
 			}
-			s.convert(g, target, d, biasRow, &s.cc)
+			s.convert(g, target, d, biasRow, &cc)
 		}
 		g.growInv(d)
 		g.add(idx)
@@ -121,10 +122,11 @@ func (s *Sampler) rewriteBias(u graph.VertexID, idx int32, newBias uint64, newRe
 		}
 	}
 	for i := range vx.groups {
-		s.maybeConvertStreaming(&vx.groups[i], d, s.adjs.BiasRow(u), &s.cc)
+		s.maybeConvertStreaming(&vx.groups[i], d, s.adjs.BiasRow(u), &cc)
 	}
 	vx.compactGroups()
 	s.rebuildInter(u)
+	s.cc.merge(&cc)
 }
 
 // DeleteVertex removes every out-edge of u in one pass (O(d + K)) and

@@ -105,25 +105,46 @@ func (s *Sampler) ResetPhaseTimes() {
 
 // convCounters tracks group representation transitions (Table 4): conv
 // counts conversions from→to; touches counts group visits during updates
-// (the denominator of the paper's conversion ratios).
+// (the denominator of the paper's conversion ratios). Mutators always
+// accumulate into a caller-local instance with plain increments (the hot
+// path stays atomics-free) and fold it into the sampler's shared counters
+// via merge, whose destination adds are atomic — with the concurrent
+// wrapper (internal/concurrent), updates on distinct vertices merge in
+// parallel.
 type convCounters struct {
 	conv    [NumKinds][NumKinds]int64
 	touches [NumKinds]int64
 }
 
+func (c *convCounters) touch(k GroupKind)             { c.touches[k]++ }
+func (c *convCounters) conversion(from, to GroupKind) { c.conv[from][to]++ }
+
+// merge atomically folds o into c, skipping zero entries (a streaming op
+// touches only a handful of kinds). c may be shared; o must be local to
+// the caller.
 func (c *convCounters) merge(o *convCounters) {
 	for i := range c.conv {
 		for j := range c.conv[i] {
-			c.conv[i][j] += o.conv[i][j]
+			if v := o.conv[i][j]; v != 0 {
+				atomic.AddInt64(&c.conv[i][j], v)
+			}
 		}
-		c.touches[i] += o.touches[i]
+		if v := o.touches[i]; v != 0 {
+			atomic.AddInt64(&c.touches[i], v)
+		}
 	}
 }
 
 // ConversionStats returns the accumulated conversion matrix and per-kind
 // touch counts since construction (or the last ResetConversionStats).
 func (s *Sampler) ConversionStats() (conv [NumKinds][NumKinds]int64, touches [NumKinds]int64) {
-	return s.cc.conv, s.cc.touches
+	for i := range s.cc.conv {
+		for j := range s.cc.conv[i] {
+			conv[i][j] = atomic.LoadInt64(&s.cc.conv[i][j])
+		}
+		touches[i] = atomic.LoadInt64(&s.cc.touches[i])
+	}
+	return conv, touches
 }
 
 // ResetConversionStats zeroes the Table 4 counters.
@@ -355,8 +376,10 @@ func (s *Sampler) Insert(u, dst graph.VertexID, bias uint64) error {
 	}
 	s.ensureVertex(u)
 	s.ensureVertex(dst)
-	s.insertEdge(u, dst, bias, 0, &s.cc)
+	var cc convCounters
+	s.insertEdge(u, dst, bias, 0, &cc)
 	s.rebuildInter(u)
+	s.cc.merge(&cc)
 	return nil
 }
 
@@ -377,8 +400,10 @@ func (s *Sampler) InsertFloat(u, dst graph.VertexID, w float64) error {
 	}
 	s.ensureVertex(u)
 	s.ensureVertex(dst)
-	s.insertEdge(u, dst, ib, rem, &s.cc)
+	var cc convCounters
+	s.insertEdge(u, dst, ib, rem, &cc)
 	s.rebuildInter(u)
+	s.cc.merge(&cc)
 	return nil
 }
 
@@ -405,7 +430,7 @@ func (s *Sampler) insertEdge(u, dst graph.VertexID, bias uint64, rem float32, cc
 			continue
 		}
 		g := vx.ensureGroup(gidOf(j, v, b))
-		cc.touches[g.kind]++
+		cc.touch(g.kind)
 		if g.kind == KindOne {
 			// Occupied one-element group must grow a representation
 			// before accepting a second member.
@@ -442,7 +467,7 @@ func (s *Sampler) deleteEdge(u graph.VertexID, idx int32, cc *convCounters) {
 		if !ok {
 			panic(fmt.Sprintf("core: bias digit (%d,%d) of edge (%d,#%d) has no group", j, v, u, idx))
 		}
-		cc.touches[vx.groups[i].kind]++
+		cc.touch(vx.groups[i].kind)
 		vx.groups[i].remove(idx)
 	}
 	if s.cfg.FloatBias {
@@ -488,8 +513,10 @@ func (s *Sampler) Delete(u, dst graph.VertexID) error {
 	if idx < 0 {
 		return fmt.Errorf("%w: (%d,%d)", ErrEdgeNotFound, u, dst)
 	}
-	s.deleteEdge(u, idx, &s.cc)
+	var cc convCounters
+	s.deleteEdge(u, idx, &cc)
 	s.rebuildInter(u)
+	s.cc.merge(&cc)
 	return nil
 }
 
@@ -499,7 +526,7 @@ func (s *Sampler) convert(g *group, target GroupKind, d int, biasRow []uint64, c
 	if g.kind == target {
 		return
 	}
-	cc.conv[g.kind][target]++
+	cc.conversion(g.kind, target)
 	g.convertTo(target, d, biasRow, s.cfg.RadixBits, nil)
 }
 

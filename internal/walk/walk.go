@@ -316,19 +316,8 @@ func DeepWalkPaths(e Engine, cfg Config, emit func(path []graph.VertexID)) Resul
 	res := Result{Walkers: len(starts)}
 	buf := make([]graph.VertexID, 0, cfg.Length+1)
 	for i, start := range starts {
-		r := master.Split(uint64(i))
-		buf = buf[:0]
-		cur := start
-		buf = append(buf, cur)
-		for hop := 0; hop < cfg.Length; hop++ {
-			next, ok := e.Sample(cur, r)
-			if !ok {
-				break
-			}
-			res.Steps++
-			cur = next
-			buf = append(buf, cur)
-		}
+		buf = walkPath(e, start, cfg.Length, master.Split(uint64(i)), buf)
+		res.Steps += int64(len(buf) - 1)
 		emit(buf)
 	}
 	return res

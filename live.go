@@ -1,0 +1,226 @@
+package bingo
+
+// This file is the public face of the walk-while-ingest subsystem
+// (internal/concurrent + walk.LiveService): Engine.Concurrent() upgrades an
+// engine to full concurrency, and ConcurrentEngine.Serve() turns it into a
+// query/feed service. See DESIGN.md ("Concurrency model") for the stripe and
+// epoch protocol and its guarantees.
+
+import (
+	"github.com/bingo-rw/bingo/internal/concurrent"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/walk"
+)
+
+// ConcurrentConfig tunes the concurrency wrapper. The zero value selects
+// all defaults.
+type ConcurrentConfig struct {
+	// Stripes is the lock-stripe count (rounded up to a power of two;
+	// default GOMAXPROCS×8). More stripes mean less writer/walker
+	// contention at a few cache lines each.
+	Stripes int
+	// MaxStepRetries bounds epoch-validation re-draws per walk step
+	// (default 4).
+	MaxStepRetries int
+	// Workers bounds ApplyBatch fan-out (default: the engine's worker
+	// setting).
+	Workers int
+}
+
+// ConcurrentEngine is a fully concurrent Bingo engine: any number of
+// goroutines may sample, walk, insert, delete, and batch-apply updates
+// simultaneously. Sampling stays O(1) and updates O(K); operations on
+// vertices in distinct lock stripes do not contend.
+type ConcurrentEngine struct {
+	ce        *concurrent.Engine
+	floatMode bool
+}
+
+// Concurrent upgrades the engine for concurrent walk-while-ingest use. The
+// returned wrapper takes ownership of the underlying engine: after this
+// call the original Engine must no longer be used directly.
+func (e *Engine) Concurrent() *ConcurrentEngine {
+	return e.ConcurrentWith(ConcurrentConfig{})
+}
+
+// ConcurrentWith is Concurrent with explicit tuning.
+func (e *Engine) ConcurrentWith(cfg ConcurrentConfig) *ConcurrentEngine {
+	ce := concurrent.Wrap(e.s, concurrent.Config{
+		Stripes:        cfg.Stripes,
+		MaxStepRetries: cfg.MaxStepRetries,
+		Workers:        cfg.Workers,
+	})
+	return &ConcurrentEngine{ce: ce, floatMode: e.s.Config().FloatBias}
+}
+
+// NumVertices returns the vertex-ID space size.
+func (c *ConcurrentEngine) NumVertices() int { return c.ce.NumVertices() }
+
+// NumEdges returns the live edge count.
+func (c *ConcurrentEngine) NumEdges() int64 { return c.ce.NumEdges() }
+
+// Degree returns u's out-degree.
+func (c *ConcurrentEngine) Degree(u VertexID) int { return c.ce.Degree(u) }
+
+// HasEdge reports whether at least one edge u→dst is live.
+func (c *ConcurrentEngine) HasEdge(u, dst VertexID) bool { return c.ce.HasEdge(u, dst) }
+
+// Memory returns the engine's memory footprint in bytes (quiesces briefly).
+func (c *ConcurrentEngine) Memory() int64 { return c.ce.Footprint() }
+
+// Sample draws a neighbor of u with probability weight/Σweights. Safe for
+// arbitrary concurrent use; each goroutine needs its own Rand.
+func (c *ConcurrentEngine) Sample(u VertexID, r *Rand) (VertexID, bool) {
+	return c.ce.Sample(u, r)
+}
+
+// SampleSeq draws up to len(dst) independent samples of u's neighbors under
+// one lock acquisition, all against the same graph version. It returns the
+// number drawn.
+func (c *ConcurrentEngine) SampleSeq(u VertexID, dst []VertexID, r *Rand) int {
+	return c.ce.SampleSeq(u, dst, r)
+}
+
+// Walk performs a first-order walk of up to length steps from start and
+// returns the visited path (start included). Each step is drawn with the
+// epoch validate-and-retry protocol, so hops reflect stable graph versions
+// even while updates interleave.
+func (c *ConcurrentEngine) Walk(start VertexID, length int, r *Rand) []VertexID {
+	path, _ := c.ce.WalkFrom(start, length, r, nil)
+	return path
+}
+
+// Insert adds edge u→dst with the given weight (streaming path, O(K)).
+func (c *ConcurrentEngine) Insert(u, dst VertexID, weight float64) error {
+	if c.floatMode {
+		return c.ce.InsertFloat(u, dst, weight)
+	}
+	ib, err := intWeight(weight)
+	if err != nil {
+		return err
+	}
+	return c.ce.Insert(u, dst, ib)
+}
+
+// Delete removes one live instance of edge u→dst (streaming path, O(K)).
+func (c *ConcurrentEngine) Delete(u, dst VertexID) error { return c.ce.Delete(u, dst) }
+
+// UpdateWeight rewrites the weight of one live instance of edge u→dst.
+func (c *ConcurrentEngine) UpdateWeight(u, dst VertexID, weight float64) error {
+	if c.floatMode {
+		return c.ce.UpdateBiasFloat(u, dst, weight)
+	}
+	ib, err := intWeight(weight)
+	if err != nil {
+		return err
+	}
+	return c.ce.UpdateBias(u, dst, ib)
+}
+
+// ApplyBatch ingests updates through the batched path while walkers keep
+// running: only the lock stripes of touched vertices block, and each only
+// for its own per-vertex application.
+func (c *ConcurrentEngine) ApplyBatch(ups []Update) (BatchResult, error) {
+	internal, err := toInternalUpdates(c.floatMode, ups)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	res, err := c.ce.ApplyBatch(internal)
+	return BatchResult{Inserted: res.Inserted, Deleted: res.Deleted, NotFound: res.NotFound}, err
+}
+
+// DeepWalk runs biased DeepWalk over the live graph; updates may proceed
+// concurrently.
+func (c *ConcurrentEngine) DeepWalk(o WalkOptions) WalkResult {
+	return fromWalk(walk.DeepWalk(c.ce, o.internal()))
+}
+
+// Node2Vec runs second-order node2vec walks over the live graph.
+func (c *ConcurrentEngine) Node2Vec(o WalkOptions) WalkResult {
+	return fromWalk(walk.Node2Vec(c.ce, o.internal()))
+}
+
+// PPR runs personalized-PageRank walks over the live graph.
+func (c *ConcurrentEngine) PPR(o WalkOptions) WalkResult {
+	return fromWalk(walk.PPR(c.ce, o.internal()))
+}
+
+// SimpleSampling runs the independent one-hop sampling kernel over the
+// live graph.
+func (c *ConcurrentEngine) SimpleSampling(o WalkOptions) WalkResult {
+	return fromWalk(walk.SimpleSampling(c.ce, o.internal()))
+}
+
+// CheckInvariants quiesces the engine and verifies structural invariants
+// (tests and debugging; O(V + E·K)).
+func (c *ConcurrentEngine) CheckInvariants() error {
+	var err error
+	c.ce.Quiesce(func(s *core.Sampler) { err = s.CheckInvariants() })
+	return err
+}
+
+// LiveOptions configure Serve.
+type LiveOptions struct {
+	// Walkers is the walker-pool size (default GOMAXPROCS).
+	Walkers int
+	// QueueDepth buffers queries and feed batches (default 256); a full
+	// feed queue makes Feed block (backpressure).
+	QueueDepth int
+	// WalkLength is the default for Query length <= 0 (default 80).
+	WalkLength int
+	// Seed makes walker RNG streams reproducible.
+	Seed uint64
+}
+
+// LiveStats snapshots a LiveWalker's counters.
+type LiveStats struct {
+	// Queries and Steps count served walk queries and their total steps.
+	Queries, Steps int64
+	// Batches and Updates count ingested feed batches and their events.
+	Batches, Updates int64
+}
+
+// LiveWalker serves walk queries from a walker pool while a streaming
+// update feed mutates the graph — the paper's dynamic-graph serving
+// scenario as an API.
+type LiveWalker struct {
+	svc       *walk.LiveService
+	floatMode bool
+}
+
+// Serve starts a walker pool plus ingest loop over the engine.
+func (c *ConcurrentEngine) Serve(o LiveOptions) *LiveWalker {
+	svc := walk.NewLiveService(c.ce, walk.LiveConfig{
+		Walkers:    o.Walkers,
+		QueueDepth: o.QueueDepth,
+		WalkLength: o.WalkLength,
+		Seed:       o.Seed,
+	})
+	return &LiveWalker{svc: svc, floatMode: c.floatMode}
+}
+
+// Query walks from start for up to length steps (<= 0 selects the default)
+// and returns the visited path, start included.
+func (lw *LiveWalker) Query(start VertexID, length int) ([]VertexID, error) {
+	return lw.svc.Query(start, length)
+}
+
+// Feed enqueues updates for ingestion. It blocks when the feed queue is
+// full and fails with an error after Close.
+func (lw *LiveWalker) Feed(ups []Update) error {
+	internal, err := toInternalUpdates(lw.floatMode, ups)
+	if err != nil {
+		return err
+	}
+	return lw.svc.Feed(internal)
+}
+
+// Stats snapshots the service counters.
+func (lw *LiveWalker) Stats() LiveStats {
+	st := lw.svc.Stats()
+	return LiveStats{Queries: st.Queries, Steps: st.Steps, Batches: st.Batches, Updates: st.Updates}
+}
+
+// Close drains both queues, stops the pool, and returns the first ingest
+// error. Idempotent.
+func (lw *LiveWalker) Close() error { return lw.svc.Close() }

@@ -1,0 +1,102 @@
+package bingo_test
+
+import (
+	"sync"
+	"testing"
+
+	bingo "github.com/bingo-rw/bingo"
+)
+
+func TestConcurrentEngineEndToEnd(t *testing.T) {
+	const nV = 128
+	edges := make([]bingo.Edge, 0, nV)
+	for i := 0; i < nV; i++ {
+		edges = append(edges, bingo.Edge{Src: bingo.VertexID(i), Dst: bingo.VertexID((i + 1) % nV), Weight: 2})
+	}
+	eng, err := bingo.FromEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := eng.Concurrent()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: churn chord edges
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			u := bingo.VertexID(i % nV)
+			d := bingo.VertexID((i + 9) % nV)
+			if err := ce.Insert(u, d, 5); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+			if err := ce.Delete(u, d); err != nil {
+				t.Errorf("Delete: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // batch writer
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			u := bingo.VertexID((i * 3) % nV)
+			if _, err := ce.ApplyBatch([]bingo.Update{
+				bingo.Insert(u, bingo.VertexID((i+40)%nV), 7),
+				bingo.Delete(u, bingo.VertexID((i+40)%nV)),
+			}); err != nil {
+				t.Errorf("ApplyBatch: %v", err)
+				return
+			}
+		}
+	}()
+	r := bingo.NewRand(5)
+	for q := 0; q < 200; q++ {
+		path := ce.Walk(bingo.VertexID(q%nV), 20, r)
+		if len(path) != 21 {
+			t.Fatalf("walk %d returned %d hops, want 21 (ring never dead-ends)", q, len(path)-1)
+		}
+	}
+	wg.Wait()
+
+	if err := ce.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if n := ce.NumEdges(); n != nV {
+		t.Fatalf("NumEdges = %d, want %d (all churn cancels)", n, nV)
+	}
+	res := ce.DeepWalk(bingo.WalkOptions{Length: 10, Workers: 2, Seed: 1})
+	if res.Steps != int64(nV*10) {
+		t.Fatalf("DeepWalk steps %d, want %d", res.Steps, nV*10)
+	}
+}
+
+func TestLiveWalkerServe(t *testing.T) {
+	eng, err := bingo.FromEdges([]bingo.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1}, {Src: 3, Dst: 0, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := eng.Concurrent().Serve(bingo.LiveOptions{Walkers: 2, WalkLength: 8, Seed: 2})
+	if err := lw.Feed([]bingo.Update{bingo.Insert(0, 2, 3)}); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		path, err := lw.Query(bingo.VertexID(i%4), 0)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if len(path) != 9 {
+			t.Fatalf("path length %d, want 9", len(path))
+		}
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := lw.Stats()
+	if st.Queries != 20 || st.Updates != 1 || st.Batches != 1 {
+		t.Fatalf("stats %+v, want 20 queries / 1 batch / 1 update", st)
+	}
+}
