@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz clean
+.PHONY: all build vet test race bench bench-smoke fuzz clean
 
 all: vet build test
 
@@ -22,9 +22,17 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) run ./cmd/bingobench -exp concurrent -scale 0.002 -json BENCH_concurrent.json
 
+# Tiny-scale pass over the JSON-emitting serving scenarios — the CI smoke
+# step. Verifies the runners execute end to end and the BENCH_*.json
+# reports appear; absolute numbers at this scale are meaningless.
+bench-smoke:
+	$(GO) run ./cmd/bingobench -exp concurrent,sharded -datasets AM -scale 0.002 -walkers 500 -workers 2 \
+		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json
+	test -s BENCH_concurrent.json && test -s BENCH_sharded.json
+
 # Short local fuzz session against the sampler's structural invariants.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSamplerMutate -fuzztime 30s ./internal/core/
 
 clean:
-	rm -f BENCH_concurrent.json
+	rm -f BENCH_concurrent.json BENCH_sharded.json

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (see -list); 'all' runs everything")
+		exp      = flag.String("exp", "", "experiment(s) to run, comma-separated (see -list); 'all' runs everything")
 		list     = flag.Bool("list", false, "list available experiments")
 		scale    = flag.Float64("scale", 0.01, "dataset scale relative to the paper's sizes")
 		maxEdges = flag.Int64("max-edges", 2_000_000, "cap on generated edges per dataset")
@@ -34,6 +34,7 @@ func main() {
 		systems  = flag.String("systems", "", "comma-separated systems for table3 (default Bingo,KnightKing,RebuildITS,FlowWalker)")
 		apps     = flag.String("apps", "", "comma-separated apps for table3 (default DeepWalk,node2vec,PPR)")
 		jsonPath = flag.String("json", "BENCH_concurrent.json", "output path for the concurrent scenario's JSON report ('' disables)")
+		jsonSh   = flag.String("json-sharded", "BENCH_sharded.json", "output path for the sharded scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 	o.Systems = split(*systems)
 	o.Apps = split(*apps)
 	o.JSONPath = *jsonPath
+	o.ShardedJSONPath = *jsonSh
 	o.Verbose = *verbose
 
 	if err := bench.Run(*exp, o); err != nil {

@@ -41,11 +41,12 @@ func main() {
 		liveQ     = flag.Int("live-queries", 10000, "walk queries to issue in -live mode")
 		liveUps   = flag.Int("live-updates", 100000, "updates streamed during serving in -live mode")
 		liveBatch = flag.Int("live-batch", 256, "feed batch size in -live mode")
+		shards    = flag.Int("shards", 1, "partition -live serving across N shard engines (walker-transfer topology)")
 	)
 	flag.Parse()
 
 	if *live {
-		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers); err != nil {
+		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards); err != nil {
 			fail(err)
 		}
 		return
@@ -158,10 +159,20 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// liveServer abstracts the two serving runtimes the -live mode can drive:
+// the single-engine LiveService and the sharded walker-transfer service.
+type liveServer interface {
+	Query(start graph.VertexID, length int) ([]graph.VertexID, error)
+	Feed(ups []graph.Update) error
+	Close() error
+}
+
 // runLive is the -live mode: a walker pool serves queries while a feeder
 // streams update batches into the same engine — the walk-while-ingest
-// serving scenario (see DESIGN.md, "Concurrency model").
-func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers int) error {
+// serving scenario (see DESIGN.md, "Concurrency model"). With -shards N>1
+// the graph is 1-D partitioned across N engines and walks cross shard
+// boundaries by walker transfer (supplement §9.1).
+func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int) error {
 	g, err := loadGraph(graphPath, dataset, scale, seed)
 	if err != nil {
 		return err
@@ -178,17 +189,49 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 	st := w.Initial.ComputeStats()
 	fmt.Printf("graph: %d vertices, %d initial edges, avg degree %.1f (+%d updates to stream)\n",
 		st.Vertices, st.Edges, st.AvgDegree, len(w.Updates))
-	eng, err := core.NewFromCSR(w.Initial, core.DefaultConfig())
-	if err != nil {
-		return err
-	}
-	ce := concurrent.Wrap(eng, concurrent.Config{})
 	if workers <= 0 {
 		workers = 1 // the -workers contract: 0 = 1
 	}
-	svc := walk.NewLiveService(ce, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed})
-	fmt.Printf("live: %d pool walkers, %d lock stripes, feeding %d updates in batches of %d\n",
-		workers, ce.Stripes(), len(w.Updates), batchSize)
+
+	var svc liveServer
+	var single *concurrent.Engine
+	var sharded *walk.ShardedLiveService
+	var shardEngines []*concurrent.Engine
+	if shards > 1 {
+		plan := walk.NewShardPlan(w.Initial.NumVertices(), shards)
+		engines, err := walk.BootstrapShards(w.Initial, plan, func() (walk.LiveEngine, error) {
+			s, err := core.New(w.Initial.NumVertices(), core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return concurrent.Wrap(s, concurrent.Config{}), nil
+		})
+		if err != nil {
+			return err
+		}
+		shardEngines = make([]*concurrent.Engine, plan.Shards)
+		for i, e := range engines {
+			shardEngines[i] = e.(*concurrent.Engine)
+		}
+		sharded, err = walk.NewShardedLiveService(engines, plan, walk.ShardedLiveConfig{
+			WalkersPerShard: workers, WalkLength: length, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		svc = sharded
+		fmt.Printf("live: %d shards × %d crew walkers (range size %d), feeding %d updates in batches of %d\n",
+			plan.Shards, workers, plan.RangeSize, len(w.Updates), batchSize)
+	} else {
+		eng, err := core.NewFromCSR(w.Initial, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		single = concurrent.Wrap(eng, concurrent.Config{})
+		svc = walk.NewLiveService(single, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed})
+		fmt.Printf("live: %d pool walkers, %d lock stripes, feeding %d updates in batches of %d\n",
+			workers, single.Stripes(), len(w.Updates), batchSize)
+	}
 
 	t0 := time.Now()
 	var feeder sync.WaitGroup
@@ -208,7 +251,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 	}()
 
 	var clients sync.WaitGroup
-	clientN := workers
+	clientN := workers * max(1, shards)
 	perClient := (queries + clientN - 1) / clientN
 	for c := 0; c < clientN; c++ {
 		clients.Add(1)
@@ -229,10 +272,27 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		return err
 	}
 	d := time.Since(t0)
-	ls := svc.Stats()
+
+	if sharded != nil {
+		ls := sharded.Stats()
+		fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
+		fmt.Printf("throughput: %.0f queries/s, %.0f steps/s, %.0f updates/s\n",
+			float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
+		fmt.Printf("walker transfer: %d cross-shard hand-offs, %d local steps (ratio %.3f)\n",
+			ls.Transfers, ls.Local, ls.TransferRatio())
+		var edges, mem int64
+		for _, e := range shardEngines {
+			edges += e.NumEdges()
+			mem += e.Footprint()
+		}
+		fmt.Printf("final graph: %d edges across %d shards, engine memory %.2f MB\n",
+			edges, len(shardEngines), float64(mem)/1e6)
+		return nil
+	}
+	ls := svc.(*walk.LiveService).Stats()
 	fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f queries/s, %.0f steps/s, %.0f updates/s\n",
 		float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
-	fmt.Printf("final graph: %d edges, engine memory %.2f MB\n", ce.NumEdges(), float64(ce.Footprint())/1e6)
+	fmt.Printf("final graph: %d edges, engine memory %.2f MB\n", single.NumEdges(), float64(single.Footprint())/1e6)
 	return nil
 }

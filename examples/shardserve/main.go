@@ -1,0 +1,176 @@
+// Shardserve: partitioned live serving with walker transfer — the
+// supplement §9.1 multi-device topology as a CPU service. A social
+// platform's "who to follow" walks are served by four shard engines, each
+// owning a block-cyclic slice of the user space, while the follow stream
+// keeps mutating the graph AND new users keep signing up: vertex IDs the
+// partition has never seen arrive mid-flight, exercising the re-derived
+// ownership that makes sharding safe under live growth.
+//
+// Contrast with examples/liveserve, where one engine (one lock domain)
+// absorbs all walkers and the whole feed: here each shard has its own
+// engine, walker crew, and ingester, and a walk hops between shards only
+// when it crosses a partition boundary — the transfer ratio printed at the
+// end is the price of scale the paper argues is cheap.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bingo "github.com/bingo-rw/bingo"
+)
+
+const (
+	seedUsers = 4000 // users present at launch
+	newUsers  = 1200 // users who sign up while serving (vertex-space growth)
+	shards    = 4
+	queries   = 6000
+	clients   = 4
+	feedSize  = 96
+	rounds    = 80
+)
+
+func main() {
+	r := bingo.NewRand(21)
+
+	// Bootstrap: a follow graph among the launch-day users.
+	var edges []bingo.Edge
+	for i := 0; i < 6*seedUsers; i++ {
+		u := bingo.VertexID(r.Intn(seedUsers))
+		v := bingo.VertexID(r.Intn(seedUsers))
+		if u == v {
+			continue
+		}
+		edges = append(edges, bingo.Edge{Src: u, Dst: v, Weight: float64(1 + r.Intn(9))})
+	}
+	eng, err := bingo.FromEdges(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Partition into shard engines and start the sharded serving runtime.
+	svc, err := eng.ServeSharded(shards, bingo.ShardedOptions{
+		WalkersPerShard: 2,
+		WalkLength:      20,
+		Seed:            21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t0 := time.Now()
+
+	// The follow stream: existing users follow each other, and every round
+	// a few *new* users sign up — IDs beyond the partitioned space, owned
+	// by whichever shard the block-cyclic plan wraps them onto.
+	var signups atomic.Int64
+	var feeder sync.WaitGroup
+	feeder.Add(1)
+	go func() {
+		defer feeder.Done()
+		fr := bingo.NewRand(99)
+		nextNew := seedUsers
+		for round := 0; round < rounds; round++ {
+			batch := make([]bingo.Update, 0, feedSize+8)
+			for i := 0; i < feedSize; i++ {
+				u := bingo.VertexID(fr.Intn(seedUsers))
+				v := bingo.VertexID(fr.Intn(seedUsers))
+				if u == v {
+					continue
+				}
+				batch = append(batch, bingo.Insert(u, v, float64(1+fr.Intn(9))))
+			}
+			for i := 0; i < newUsers/rounds; i++ {
+				nu := bingo.VertexID(nextNew)
+				nextNew++
+				signups.Add(1)
+				// The newcomer follows a few accounts and gets followed back
+				// by one — wiring the grown region into live walks.
+				for f := 0; f < 3; f++ {
+					batch = append(batch, bingo.Insert(nu, bingo.VertexID(fr.Intn(seedUsers)), 5))
+				}
+				batch = append(batch, bingo.Insert(bingo.VertexID(fr.Intn(seedUsers)), nu, 8))
+			}
+			if err := svc.Feed(batch); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+
+	// Query clients: follow-recommendation trails from random users,
+	// tallying which accounts the walks surface.
+	reach := make(map[bingo.VertexID]int64)
+	var mu sync.Mutex
+	var cl sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		cl.Add(1)
+		go func(c int) {
+			defer cl.Done()
+			qr := bingo.NewRand(uint64(c) + 7)
+			local := make(map[bingo.VertexID]int64)
+			for q := 0; q < queries/clients; q++ {
+				path, err := svc.Query(bingo.VertexID(qr.Intn(seedUsers)), 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for _, v := range path[1:] {
+					local[v]++
+				}
+			}
+			mu.Lock()
+			for v, n := range local {
+				reach[v] += n
+			}
+			mu.Unlock()
+		}(c)
+	}
+	cl.Wait()
+	feeder.Wait()
+	if err := svc.Sync(); err != nil {
+		log.Fatal(err)
+	}
+
+	// One bulk refresh over everything, concurrently shard-parallel.
+	bulkStarts := make([]bingo.VertexID, seedUsers)
+	for i := range bulkStarts {
+		bulkStarts[i] = bingo.VertexID(i)
+	}
+	bulkRes, bulkStats, err := svc.DeepWalk(bingo.WalkOptions{Length: 12, Seed: 5, Starts: bulkStarts})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := svc.Close(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	st := svc.Stats()
+
+	fmt.Printf("served %d walk queries (%d steps) while ingesting %d updates in %d batches\n",
+		st.Queries, st.Steps, st.Updates, st.Batches)
+	fmt.Printf("wall time %v — %.0f queries/s concurrent with %.0f updates/s across %d shards\n",
+		elapsed.Round(time.Millisecond),
+		float64(st.Queries)/elapsed.Seconds(), float64(st.Updates)/elapsed.Seconds(), svc.Shards())
+	fmt.Printf("walker transfer: %d cross-shard hand-offs vs %d local steps (ratio %.3f)\n",
+		st.Transfers, st.Local, st.TransferRatio())
+	fmt.Printf("bulk refresh: %d walkers, %d steps, transfer ratio %.3f\n",
+		bulkRes.Walkers, bulkRes.Steps, bulkStats.TransferRatio())
+
+	var newReach int64
+	var hot bingo.VertexID
+	var hotN int64
+	for v, n := range reach {
+		if int(v) >= seedUsers {
+			newReach += n
+		}
+		if n > hotN {
+			hot, hotN = v, n
+		}
+	}
+	fmt.Printf("%d signups joined mid-flight; live trails reached grown vertices %d times\n",
+		signups.Load(), newReach)
+	fmt.Printf("most-recommended account: user %d (%d trail visits)\n", hot, hotN)
+}

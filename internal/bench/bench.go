@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -58,6 +59,9 @@ type Options struct {
 	// JSONPath, when non-empty, is where the concurrent scenario writes
 	// its machine-readable BENCH_concurrent.json report.
 	JSONPath string
+	// ShardedJSONPath, when non-empty, is where the sharded scenario
+	// writes its machine-readable BENCH_sharded.json report.
+	ShardedJSONPath string
 	// Verbose adds progress lines.
 	Verbose bool
 
@@ -318,6 +322,7 @@ var registry = []runner{
 	{"fig16", "piecewise breakdown: updates and sampling vs FlowWalker", runFig16},
 	{"ablation", "design ablations: radix base, α/β thresholds, lookup index", runAblation},
 	{"concurrent", "walk-while-ingest throughput at 0/10/50% update load (BENCH_concurrent.json)", runConcurrent},
+	{"sharded", "sharded live serving: walks/s and transfer ratio at 0/10/50% load × 1/2/4/8 shards (BENCH_sharded.json)", runSharded},
 }
 
 // Experiments lists available experiment names with descriptions.
@@ -329,7 +334,8 @@ func Experiments() []string {
 	return out
 }
 
-// Run executes the named experiment ("all" runs every one in order).
+// Run executes the named experiments: a single name, a comma-separated
+// list run in the given order, or "all" for every registered runner.
 func Run(name string, o Options) error {
 	if err := o.normalize(); err != nil {
 		return err
@@ -343,16 +349,31 @@ func Run(name string, o Options) error {
 		}
 		return nil
 	}
-	for _, r := range registry {
-		if r.name == name {
-			fmt.Fprintf(o.Out, "==== %s: %s ====\n", r.name, r.desc)
-			return r.fn(&o)
+	var run []runner
+	for _, want := range strings.Split(name, ",") {
+		want = strings.TrimSpace(want)
+		found := false
+		for _, r := range registry {
+			if r.name == want {
+				run = append(run, r)
+				found = true
+				break
+			}
+		}
+		if !found {
+			names := make([]string, len(registry))
+			for i, r := range registry {
+				names[i] = r.name
+			}
+			sort.Strings(names)
+			return fmt.Errorf("bench: unknown experiment %q (have %v)", want, names)
 		}
 	}
-	names := make([]string, len(registry))
-	for i, r := range registry {
-		names[i] = r.name
+	for _, r := range run {
+		fmt.Fprintf(o.Out, "==== %s: %s ====\n", r.name, r.desc)
+		if err := r.fn(&o); err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
 	}
-	sort.Strings(names)
-	return fmt.Errorf("bench: unknown experiment %q (have %v)", name, names)
+	return nil
 }

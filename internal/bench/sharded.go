@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/bingo-rw/bingo/internal/concurrent"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/gen"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/walk"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// ShardedThroughput is the partitioned serving scenario: a client fleet
+// queries a ShardedLiveService — N per-shard engines, ingest router,
+// cross-shard walker transfer — while a feeder paces update batches to a
+// target share of total operations. Sweeping shard count × update load
+// measures what the multi-lock-domain topology buys (and what the walker
+// transfers cost) relative to the single-engine `concurrent` scenario,
+// and emits BENCH_sharded.json so successive runs can be diffed.
+
+// ShardedSeries is one measured (shards, load) grid cell.
+type ShardedSeries struct {
+	Shards          int     `json:"shards"`
+	UpdateLoadPct   float64 `json:"update_load_pct"` // nominal target share
+	Walks           int64   `json:"walks"`
+	Steps           int64   `json:"steps"`
+	Updates         int64   `json:"updates"`
+	Transfers       int64   `json:"transfers"`
+	Local           int64   `json:"local"`
+	ElapsedSec      float64 `json:"elapsed_sec"`
+	WalksPerSec     float64 `json:"walks_per_sec"`
+	StepsPerSec     float64 `json:"steps_per_sec"`
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+	TransferRatio   float64 `json:"transfer_ratio"`    // transfers/(transfers+local)
+	AchievedLoadPct float64 `json:"achieved_load_pct"` // updates/(updates+steps)
+}
+
+// ShardedReport is the BENCH_sharded.json document.
+type ShardedReport struct {
+	Scenario   string          `json:"scenario"`
+	Dataset    string          `json:"dataset"`
+	Vertices   int             `json:"vertices"`
+	Edges      int64           `json:"edges"`
+	Clients    int             `json:"clients"`
+	WalkLength int             `json:"walk_length"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Series     []ShardedSeries `json:"series"`
+}
+
+// shardedShards and shardedLoads span the measured grid.
+var (
+	shardedShards = []int{1, 2, 4, 8}
+	shardedLoads  = []float64{0, 0.10, 0.50}
+)
+
+func runSharded(o *Options) error {
+	abbr := o.Datasets[0]
+	_, g, err := o.dataset(abbr)
+	if err != nil {
+		return err
+	}
+	w, err := o.workload(abbr, g, gen.UpdMixed, 4096)
+	if err != nil {
+		return err
+	}
+
+	// Honor the Workers contract every runner documents ("0 = 1"). The
+	// client fleet size is held constant across the shard sweep so the
+	// comparison isolates the serving topology, and the per-shard crews
+	// split the same worker budget.
+	clients := o.Workers
+	totalWalks := o.MaxWalkers
+	if totalWalks < clients {
+		totalWalks = clients
+	}
+	walksPer := totalWalks / clients
+
+	rep := ShardedReport{
+		Scenario:   "ShardedThroughput",
+		Dataset:    abbr,
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		Clients:    clients,
+		WalkLength: o.WalkLength,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	tbl := newTable(o.Out)
+	tbl.row("shards", "update load", "walks/s", "steps/s", "updates/s", "transfer ratio", "achieved load")
+	for _, shards := range shardedShards {
+		for _, load := range shardedLoads {
+			ser, err := shardedCell(o, g, w, shards, load, clients, walksPer)
+			if err != nil {
+				return fmt.Errorf("shards=%d load=%.0f%%: %w", shards, load*100, err)
+			}
+			rep.Series = append(rep.Series, ser)
+			tbl.row(
+				fmt.Sprintf("%d", ser.Shards),
+				fmt.Sprintf("%.0f%%", ser.UpdateLoadPct),
+				fmt.Sprintf("%.0f", ser.WalksPerSec),
+				fmt.Sprintf("%.0f", ser.StepsPerSec),
+				fmt.Sprintf("%.0f", ser.UpdatesPerSec),
+				fmt.Sprintf("%.3f", ser.TransferRatio),
+				fmt.Sprintf("%.1f%%", ser.AchievedLoadPct),
+			)
+		}
+	}
+	tbl.flush()
+
+	if o.ShardedJSONPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.ShardedJSONPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "wrote %s\n", o.ShardedJSONPath)
+	}
+	return nil
+}
+
+// shardedCell measures one (shards, load) point on fresh engines (the
+// feeder mutates the graph, so cells must not share state).
+func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, shards int, load float64, clients, walksPer int) (ShardedSeries, error) {
+	plan := walk.NewShardPlan(g.NumVertices(), shards)
+	engines, err := walk.BootstrapShards(g, plan, func() (walk.LiveEngine, error) {
+		s, err := core.New(g.NumVertices(), o.bingoConfig())
+		if err != nil {
+			return nil, err
+		}
+		return concurrent.Wrap(s, concurrent.Config{}), nil
+	})
+	if err != nil {
+		return ShardedSeries{}, err
+	}
+	crew := clients / shards
+	if crew < 1 {
+		crew = 1
+	}
+	svc, err := walk.NewShardedLiveService(engines, plan, walk.ShardedLiveConfig{
+		WalkersPerShard: crew,
+		WalkLength:      o.WalkLength,
+		Seed:            o.Seed,
+	})
+	if err != nil {
+		return ShardedSeries{}, err
+	}
+
+	done := make(chan struct{})
+	var feeder sync.WaitGroup
+	if load > 0 {
+		feeder.Add(1)
+		go func() {
+			defer feeder.Done()
+			ratio := load / (1 - load) // updates per walk step
+			next := 0
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := svc.Stats()
+				budget := int64(ratio*float64(st.Steps)) - st.Updates
+				if budget < 256 {
+					// Sleep rather than spin: a hot pacer would steal a core
+					// from the shard crews inside the measured window.
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				hi := next + 256
+				if hi > len(w.Updates) {
+					hi = len(w.Updates)
+				}
+				batch := append([]graph.Update(nil), w.Updates[next:hi]...)
+				if err := svc.Feed(batch); err != nil {
+					return // Close raced the pacer; Err is checked below
+				}
+				next = hi
+				if next >= len(w.Updates) {
+					next = 0 // cycle the tape; re-deletes are tolerated
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(o.Seed ^ seed)
+			for q := 0; q < walksPer; q++ {
+				st := graph.VertexID(r.Intn(g.NumVertices()))
+				if _, err := svc.Query(st, o.WalkLength); err != nil {
+					return
+				}
+			}
+		}(uint64(c) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Snapshot counters at the same instant as elapsed: updates landing
+	// after the window would inflate updates/s and the achieved load.
+	st := svc.Stats()
+	close(done)
+	feeder.Wait()
+	if err := svc.Close(); err != nil {
+		return ShardedSeries{}, fmt.Errorf("ingest: %w", err)
+	}
+	if st.Dropped > 0 {
+		return ShardedSeries{}, fmt.Errorf("%d feed batches dropped", st.Dropped)
+	}
+
+	achieved := 0.0
+	if st.Steps+st.Updates > 0 {
+		achieved = float64(st.Updates) / float64(st.Steps+st.Updates)
+	}
+	return ShardedSeries{
+		Shards:          shards,
+		UpdateLoadPct:   load * 100,
+		Walks:           st.Queries,
+		Steps:           st.Steps,
+		Updates:         st.Updates,
+		Transfers:       st.Transfers,
+		Local:           st.Local,
+		ElapsedSec:      elapsed.Seconds(),
+		WalksPerSec:     float64(st.Queries) / elapsed.Seconds(),
+		StepsPerSec:     float64(st.Steps) / elapsed.Seconds(),
+		UpdatesPerSec:   float64(st.Updates) / elapsed.Seconds(),
+		TransferRatio:   st.TransferRatio(),
+		AchievedLoadPct: achieved * 100,
+	}, nil
+}

@@ -58,6 +58,11 @@ type LiveStats struct {
 	Steps int64
 	// Batches and Updates count ingested feed batches and their events.
 	Batches, Updates int64
+	// Dropped counts feed batches whose application failed. The batch is
+	// skipped whole (validation rejects it before any update applies), the
+	// first such error is retained for Err, and ingestion continues —
+	// one malformed batch must not silently void the rest of the feed.
+	Dropped int64
 }
 
 type liveReq struct {
@@ -100,7 +105,7 @@ type LiveService struct {
 	errMu     sync.Mutex
 	ingestErr error
 
-	queries, steps, batches, updates atomic.Int64
+	queries, steps, batches, updates, dropped atomic.Int64
 }
 
 // NewLiveService starts the walker pool and the ingest loop.
@@ -144,6 +149,7 @@ func (ls *LiveService) ingestLoop() {
 	defer ls.ingestRun.Done()
 	for b := range ls.feed {
 		if err := ls.e.ApplyUpdates(b); err != nil {
+			ls.dropped.Add(1)
 			ls.errMu.Lock()
 			if ls.ingestErr == nil {
 				ls.ingestErr = err
@@ -223,6 +229,7 @@ func (ls *LiveService) Stats() LiveStats {
 		Steps:   ls.steps.Load(),
 		Batches: ls.batches.Load(),
 		Updates: ls.updates.Load(),
+		Dropped: ls.dropped.Load(),
 	}
 }
 

@@ -143,3 +143,49 @@ func TestLiveServiceIngestError(t *testing.T) {
 		t.Fatalf("Close returned nil, want the zero-bias ingest error")
 	}
 }
+
+// TestLiveServiceDroppedBatches pins the failed-batch accounting: a batch
+// that fails validation is dropped whole and counted, the FIRST error is
+// what Err and Close report, and later good batches still apply — one
+// malformed batch must not silently void the rest of the feed.
+func TestLiveServiceDroppedBatches(t *testing.T) {
+	e := newLiveEngine(t, 16)
+	svc := walk.NewLiveService(e, walk.LiveConfig{Walkers: 1})
+
+	good := func(src, dst graph.VertexID) []graph.Update {
+		return []graph.Update{{Op: graph.OpInsert, Src: src, Dst: dst, Bias: 5}}
+	}
+	feeds := [][]graph.Update{
+		good(0, 9),
+		{{Op: graph.OpInsert, Src: 1, Dst: 2, Bias: 0}},                                                 // zero bias: dropped (first error)
+		{{Op: graph.OpInsert, Src: 2, Dst: 3, Bias: 0}, {Op: graph.OpInsert, Src: 3, Dst: 12, Bias: 7}}, // dropped whole
+		good(4, 12),
+	}
+	for _, b := range feeds {
+		if err := svc.Feed(b); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
+	}
+	err := svc.Close()
+	if err == nil {
+		t.Fatal("Close returned nil, want first ingest error")
+	}
+	if got := svc.Err(); got != err {
+		t.Fatalf("Err() = %v, Close = %v — first-error semantics broken", got, err)
+	}
+
+	st := svc.Stats()
+	if st.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", st.Dropped)
+	}
+	if st.Batches != 2 || st.Updates != 2 {
+		t.Fatalf("Batches/Updates = %d/%d, want 2/2 (good batches must survive a bad one)", st.Batches, st.Updates)
+	}
+	// The good batches applied; nothing from the dropped ones leaked in.
+	if !e.HasEdge(0, 9) || !e.HasEdge(4, 12) {
+		t.Fatal("good batches after the failure were not applied")
+	}
+	if e.HasEdge(3, 12) {
+		t.Fatal("an update from a dropped batch leaked into the engine")
+	}
+}

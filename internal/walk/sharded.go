@@ -1,11 +1,145 @@
 package walk
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
+
+// ShardPlan fixes the 1-D partition geometry of a sharded run: vertices
+// are assigned to shards in contiguous blocks of RangeSize, block-cyclic.
+// For the vertex space the plan was derived from, block-cyclic assignment
+// coincides with the classic contiguous split (vertex v in range
+// [i·RangeSize, (i+1)·RangeSize) belongs to shard i); beyond it the blocks
+// wrap around, so ownership is *total* over the entire uint32 ID space.
+//
+// Totality is the load-bearing property under live growth: a dynamic
+// engine grows its vertex space whenever an update references an unseen
+// ID, and a walker can step onto such a vertex mid-walk. A plan frozen to
+// "owner = v / RangeSize" would then yield an owner index ≥ Shards and
+// index out of range; the block-cyclic wrap instead distributes every
+// future vertex across the existing shards in balanced blocks, without
+// ever reassigning a vertex the plan already placed.
+type ShardPlan struct {
+	// Shards is the partition count (≥ 1).
+	Shards int
+	// RangeSize is the contiguous block length (≥ 1).
+	RangeSize int
+}
+
+// NewShardPlan derives the partition geometry for a vertex space of
+// numVertices split shards ways.
+func NewShardPlan(numVertices, shards int) ShardPlan {
+	if shards < 1 {
+		shards = 1
+	}
+	rangeSize := (numVertices + shards - 1) / shards
+	if rangeSize == 0 {
+		rangeSize = 1
+	}
+	return ShardPlan{Shards: shards, RangeSize: rangeSize}
+}
+
+// Owner returns the shard owning vertex v. It is defined for every
+// possible vertex ID, including IDs beyond the space the plan was derived
+// from (see the type comment).
+func (p ShardPlan) Owner(v graph.VertexID) int {
+	return int(uint64(v) / uint64(p.RangeSize) % uint64(p.Shards))
+}
+
+// PartitionCSR splits a snapshot's edges into per-shard insert batches:
+// edge u→dst lands in the batch of Owner(u), preserving the snapshot's
+// per-source adjacency order. Feeding batch i into shard i's engine
+// reconstructs exactly the rows that shard owns — the bootstrap step of a
+// sharded live service.
+func (p ShardPlan) PartitionCSR(g *graph.CSR) [][]graph.Update {
+	parts := make([][]graph.Update, p.Shards)
+	for u := 0; u < g.NumVertices(); u++ {
+		vid := graph.VertexID(u)
+		dsts := g.Neighbors(vid)
+		if len(dsts) == 0 {
+			continue
+		}
+		biases := g.Biases(vid)
+		fb := g.FBiases(vid)
+		owner := p.Owner(vid)
+		for i := range dsts {
+			up := graph.Update{Op: graph.OpInsert, Src: vid, Dst: dsts[i], Bias: biases[i]}
+			if fb != nil {
+				up.FBias = fb[i]
+			}
+			parts[owner] = append(parts[owner], up)
+		}
+	}
+	return parts
+}
+
+// BootstrapShards builds the per-shard engine set of a sharded live
+// service from a snapshot: newEngine constructs one empty live engine
+// (that is where config choices live), and each engine is fed exactly the
+// rows plan assigns to its shard. Shared by Engine.ServeSharded, the CLI,
+// and the bench runner so bootstrap semantics cannot drift between them.
+func BootstrapShards(g *graph.CSR, plan ShardPlan, newEngine func() (LiveEngine, error)) ([]LiveEngine, error) {
+	engines := make([]LiveEngine, plan.Shards)
+	for i, part := range plan.PartitionCSR(g) {
+		e, err := newEngine()
+		if err != nil {
+			return nil, err
+		}
+		if len(part) > 0 {
+			if err := e.ApplyUpdates(part); err != nil {
+				return nil, fmt.Errorf("walk: bootstrapping shard %d: %w", i, err)
+			}
+		}
+		engines[i] = e
+	}
+	return engines, nil
+}
+
+// visitCounter is a growable atomic visit tally. Fixed-size visit slices
+// belong to the same frozen-size family of bugs as the old frozen
+// ownership: a live engine can grow the vertex space mid-walk, and the
+// next step may land on a vertex past the slice's end. In-range bumps
+// share the read lock and stay one atomic add; an out-of-range bump
+// upgrades to the write lock and grows the tally first.
+type visitCounter struct {
+	mu     sync.RWMutex
+	counts []int64
+}
+
+func newVisitCounter(n int) *visitCounter {
+	return &visitCounter{counts: make([]int64, n)}
+}
+
+func (c *visitCounter) bump(v graph.VertexID) {
+	c.mu.RLock()
+	if int(v) < len(c.counts) {
+		atomic.AddInt64(&c.counts[v], 1)
+		c.mu.RUnlock()
+		return
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	for int(v) >= len(c.counts) {
+		grown := len(c.counts) * 2
+		if grown <= int(v) {
+			grown = int(v) + 1
+		}
+		c.counts = append(c.counts, make([]int64, grown-len(c.counts))...)
+	}
+	c.counts[v]++
+	c.mu.Unlock()
+}
+
+// snapshot returns the tally; the counter must no longer be bumped.
+func (c *visitCounter) snapshot() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
 
 // Sharded reproduces the multi-GPU architecture of supplement §9.1:
 // vertices are 1-D partitioned into contiguous ranges, each owned by a
@@ -20,29 +154,24 @@ import (
 // paper's peer-to-peer GPU transfer. Inboxes are unbounded so that
 // circular forwarding between shards can never deadlock.
 type Sharded struct {
-	e         Engine
-	shards    int
-	rangeSize int // owner(v) = v / rangeSize
+	e    Engine
+	plan ShardPlan
 }
 
 // NewSharded wraps an engine in a shards-way 1-D partition.
 func NewSharded(e Engine, shards int) *Sharded {
-	if shards < 1 {
-		shards = 1
-	}
-	n := e.NumVertices()
-	rangeSize := (n + shards - 1) / shards
-	if rangeSize == 0 {
-		rangeSize = 1
-	}
-	return &Sharded{e: e, shards: shards, rangeSize: rangeSize}
+	return &Sharded{e: e, plan: NewShardPlan(e.NumVertices(), shards)}
 }
 
-// Owner returns the shard owning vertex v.
-func (s *Sharded) Owner(v graph.VertexID) int { return int(v) / s.rangeSize }
+// Owner returns the shard owning vertex v (total over the ID space, so
+// safe for vertices added after construction).
+func (s *Sharded) Owner(v graph.VertexID) int { return s.plan.Owner(v) }
 
 // Shards returns the partition count.
-func (s *Sharded) Shards() int { return s.shards }
+func (s *Sharded) Shards() int { return s.plan.Shards }
+
+// Plan returns the partition geometry.
+func (s *Sharded) Plan() ShardPlan { return s.plan }
 
 // walker is the state transferred between shards.
 type walker struct {
@@ -55,48 +184,54 @@ type walker struct {
 type TransferStats struct {
 	// Transfers counts walker hand-offs between shards.
 	Transfers int64
-	// Local counts steps that stayed within the owning shard.
+	// Local counts steps that did not cause a hand-off: steps staying
+	// within the owning shard, plus a walk's final hop even when it
+	// crossed a boundary (a finished walker retires where it is).
 	Local int64
 }
 
-// inbox is an unbounded MPSC queue of walkers. Unboundedness is what makes
-// the shard topology deadlock-free: a forward never blocks the sender.
-type inbox struct {
+// inbox is an unbounded MPMC walker queue, shared by the Sharded demo
+// kernel (element: walker value) and the ShardedLiveService crews
+// (element: *liveWalker). Unboundedness is what makes the shard topology
+// deadlock-free: a forward never blocks the sender.
+type inbox[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []walker
+	items  []T
 	closed bool
 }
 
-func newInbox() *inbox {
-	b := &inbox{}
+func newInbox[T any]() *inbox[T] {
+	b := &inbox[T]{}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-func (b *inbox) push(w walker) {
+func (b *inbox[T]) push(w T) {
 	b.mu.Lock()
 	b.items = append(b.items, w)
 	b.mu.Unlock()
 	b.cond.Signal()
 }
 
-func (b *inbox) close() {
+func (b *inbox[T]) close() {
 	b.mu.Lock()
 	b.closed = true
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }
 
-// pop blocks until an item is available or the inbox is closed.
-func (b *inbox) pop() (walker, bool) {
+// pop blocks until an item is available or the inbox is closed; queued
+// items are drained before the closure is observed.
+func (b *inbox[T]) pop() (T, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for len(b.items) == 0 && !b.closed {
 		b.cond.Wait()
 	}
 	if len(b.items) == 0 {
-		return walker{}, false
+		var zero T
+		return zero, false
 	}
 	w := b.items[0]
 	b.items = b.items[1:]
@@ -109,9 +244,9 @@ func (b *inbox) pop() (walker, bool) {
 func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 	cfg = cfg.withDefaults(s.e.NumVertices())
 	starts := startsOf(s.e, cfg)
-	var visits []int64
+	var vc *visitCounter
 	if cfg.CountVisits {
-		visits = make([]int64, s.e.NumVertices())
+		vc = newVisitCounter(s.e.NumVertices())
 	}
 	master := xrand.New(cfg.Seed)
 	rngs := make([]*xrand.RNG, len(starts))
@@ -119,9 +254,9 @@ func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 		rngs[i] = master.Split(uint64(i))
 	}
 
-	inboxes := make([]*inbox, s.shards)
+	inboxes := make([]*inbox[walker], s.plan.Shards)
 	for i := range inboxes {
-		inboxes[i] = newInbox()
+		inboxes[i] = newInbox[walker]()
 	}
 	var stats TransferStats
 	var steps int64
@@ -129,7 +264,7 @@ func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 	var pending sync.WaitGroup // one count per live walker
 	var wg sync.WaitGroup      // shard workers
 
-	for shard := 0; shard < s.shards; shard++ {
+	for shard := 0; shard < s.plan.Shards; shard++ {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
@@ -149,8 +284,14 @@ func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 					localSteps++
 					wk.hops++
 					wk.cur = next
-					bump(visits, next)
-					if owner := s.Owner(next); owner != shard {
+					if vc != nil {
+						vc.bump(next)
+					}
+					// Forward only walkers with hops left: a walker whose
+					// final hop crossed the boundary has nothing to do on
+					// the other side, so it retires here instead of paying
+					// a pointless transfer plus queue round trip.
+					if owner := s.Owner(next); owner != shard && wk.hops < cfg.Length {
 						localTransfers++
 						inboxes[owner].push(wk)
 						finished = false
@@ -172,7 +313,9 @@ func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 
 	pending.Add(len(starts))
 	for i, st := range starts {
-		bump(visits, st)
+		if vc != nil {
+			vc.bump(st)
+		}
 		inboxes[s.Owner(st)].push(walker{id: uint64(i), cur: st})
 	}
 	pending.Wait()
@@ -180,5 +323,9 @@ func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 		b.close()
 	}
 	wg.Wait()
-	return Result{Walkers: len(starts), Steps: steps, Visits: visits}, stats
+	res := Result{Walkers: len(starts), Steps: steps}
+	if vc != nil {
+		res.Visits = vc.snapshot()
+	}
+	return res, stats
 }

@@ -178,6 +178,9 @@ type LiveStats struct {
 	Queries, Steps int64
 	// Batches and Updates count ingested feed batches and their events.
 	Batches, Updates int64
+	// Dropped counts feed batches whose application failed; the first
+	// error is reported by Close, and ingestion continues past it.
+	Dropped int64
 }
 
 // LiveWalker serves walk queries from a walker pool while a streaming
@@ -218,9 +221,142 @@ func (lw *LiveWalker) Feed(ups []Update) error {
 // Stats snapshots the service counters.
 func (lw *LiveWalker) Stats() LiveStats {
 	st := lw.svc.Stats()
-	return LiveStats{Queries: st.Queries, Steps: st.Steps, Batches: st.Batches, Updates: st.Updates}
+	return LiveStats{Queries: st.Queries, Steps: st.Steps, Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped}
 }
 
 // Close drains both queues, stops the pool, and returns the first ingest
 // error. Idempotent.
 func (lw *LiveWalker) Close() error { return lw.svc.Close() }
+
+// ---------------------------------------------------------------------------
+// Sharded serving
+
+// ShardedOptions configure ServeSharded.
+type ShardedOptions struct {
+	// WalkersPerShard sizes each shard's walker crew (default
+	// max(1, GOMAXPROCS / shards)).
+	WalkersPerShard int
+	// QueueDepth buffers the feed and per-shard ingest queues (default
+	// 256); a full feed queue makes Feed block (backpressure).
+	QueueDepth int
+	// WalkLength is the default for Query length <= 0 (default 80).
+	WalkLength int
+	// Seed makes query RNG streams reproducible.
+	Seed uint64
+	// Concurrency tunes each shard's concurrency wrapper (zero value =
+	// defaults).
+	Concurrency ConcurrentConfig
+}
+
+// ShardedLiveStats snapshots a ShardedLiveWalker's counters. Transfers
+// and Local split walk steps into cross-shard hand-offs and steps that
+// stayed on the owning shard.
+type ShardedLiveStats struct {
+	Queries, Steps            int64
+	Batches, Updates, Dropped int64
+	Transfers, Local          int64
+}
+
+// TransferRatio is the share of walk steps that crossed a shard boundary.
+func (s ShardedLiveStats) TransferRatio() float64 {
+	if s.Transfers+s.Local == 0 {
+		return 0
+	}
+	return float64(s.Transfers) / float64(s.Transfers+s.Local)
+}
+
+// ShardedLiveWalker serves walk queries through the sharded live runtime:
+// N per-shard concurrent engines, an ingest router splitting feed batches
+// by owner shard, and cross-shard walker transfer — the supplement §9.1
+// partitioned topology as a live Query/Feed service. The API mirrors
+// LiveWalker, plus Sync (an ingest barrier) and transfer telemetry.
+type ShardedLiveWalker struct {
+	svc       *walk.ShardedLiveService
+	floatMode bool
+}
+
+// ServeSharded partitions the engine's current graph into shards vertex
+// ranges (block-cyclic, so ownership stays total while the live feed grows
+// the vertex space), builds one concurrent engine per shard, and starts
+// the sharded serving runtime. The engine's graph is snapshotted at this
+// call; the original Engine remains usable but further mutations to it are
+// not reflected in the service — feed them through the service instead.
+func (e *Engine) ServeSharded(shards int, o ShardedOptions) (*ShardedLiveWalker, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	g := e.s.Snapshot()
+	plan := walk.NewShardPlan(g.NumVertices(), shards)
+	engines, err := walk.BootstrapShards(g, plan, func() (walk.LiveEngine, error) {
+		s, err := core.New(g.NumVertices(), e.s.Config())
+		if err != nil {
+			return nil, err
+		}
+		return concurrent.Wrap(s, concurrent.Config{
+			Stripes:        o.Concurrency.Stripes,
+			MaxStepRetries: o.Concurrency.MaxStepRetries,
+			Workers:        o.Concurrency.Workers,
+		}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := walk.NewShardedLiveService(engines, plan, walk.ShardedLiveConfig{
+		WalkersPerShard: o.WalkersPerShard,
+		QueueDepth:      o.QueueDepth,
+		WalkLength:      o.WalkLength,
+		Seed:            o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedLiveWalker{svc: svc, floatMode: e.s.Config().FloatBias}, nil
+}
+
+// Shards returns the partition count.
+func (sw *ShardedLiveWalker) Shards() int { return sw.svc.Shards() }
+
+// Query walks from start for up to length steps (<= 0 selects the
+// default) across the sharded runtime and returns the visited path, start
+// included.
+func (sw *ShardedLiveWalker) Query(start VertexID, length int) ([]VertexID, error) {
+	return sw.svc.Query(start, length)
+}
+
+// Feed enqueues updates; the router splits them by owner shard while
+// preserving per-source order. It blocks when the feed queue is full and
+// fails with an error after Close.
+func (sw *ShardedLiveWalker) Feed(ups []Update) error {
+	internal, err := toInternalUpdates(sw.floatMode, ups)
+	if err != nil {
+		return err
+	}
+	return sw.svc.Feed(internal)
+}
+
+// Sync blocks until every batch accepted before the call is applied on
+// its shards, then reports the first ingest error — the barrier between
+// "fed" and "visible to queries".
+func (sw *ShardedLiveWalker) Sync() error { return sw.svc.Sync() }
+
+// DeepWalk runs a bulk first-order walk through the sharded runtime while
+// the feed keeps ingesting, returning the run's transfer stats alongside
+// the result.
+func (sw *ShardedLiveWalker) DeepWalk(o WalkOptions) (WalkResult, ShardedLiveStats, error) {
+	res, ts, err := sw.svc.DeepWalk(o.internal())
+	return fromWalk(res), ShardedLiveStats{Steps: res.Steps, Transfers: ts.Transfers, Local: ts.Local}, err
+}
+
+// Stats snapshots the service counters.
+func (sw *ShardedLiveWalker) Stats() ShardedLiveStats {
+	st := sw.svc.Stats()
+	return ShardedLiveStats{
+		Queries: st.Queries, Steps: st.Steps,
+		Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped,
+		Transfers: st.Transfers, Local: st.Local,
+	}
+}
+
+// Close drains the feed, waits for in-flight walkers, stops the shard
+// crews, and returns the first ingest error. Idempotent.
+func (sw *ShardedLiveWalker) Close() error { return sw.svc.Close() }

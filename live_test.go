@@ -100,3 +100,92 @@ func TestLiveWalkerServe(t *testing.T) {
 		t.Fatalf("stats %+v, want 20 queries / 1 batch / 1 update", st)
 	}
 }
+
+func TestShardedLiveWalkerServe(t *testing.T) {
+	const nV = 96
+	edges := make([]bingo.Edge, 0, nV)
+	for i := 0; i < nV; i++ {
+		edges = append(edges, bingo.Edge{Src: bingo.VertexID(i), Dst: bingo.VertexID((i + 1) % nV), Weight: 2})
+	}
+	eng, err := bingo.FromEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := eng.ServeSharded(4, bingo.ShardedOptions{WalkersPerShard: 2, WalkLength: 12, Seed: 3})
+	if err != nil {
+		t.Fatalf("ServeSharded: %v", err)
+	}
+	if sw.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", sw.Shards())
+	}
+
+	// Ring queries are deterministic and cross shard boundaries.
+	for i := 0; i < 30; i++ {
+		start := bingo.VertexID((i * 11) % nV)
+		path, err := sw.Query(start, 0)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if len(path) != 13 {
+			t.Fatalf("path length %d, want 13", len(path))
+		}
+		for j, v := range path {
+			if want := bingo.VertexID((int(start) + j) % nV); v != want {
+				t.Fatalf("path[%d] = %d, want %d", j, v, want)
+			}
+		}
+	}
+
+	// Feed growth-inducing updates (vertex IDs beyond the snapshot space),
+	// sync, and walk into the grown region.
+	if err := sw.Feed([]bingo.Update{
+		bingo.Insert(0, bingo.VertexID(5000), 1e9),
+		bingo.Insert(bingo.VertexID(5000), 1, 1),
+	}); err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	if err := sw.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	path, err := sw.Query(0, 2)
+	if err != nil {
+		t.Fatalf("Query after growth: %v", err)
+	}
+	if len(path) != 3 || path[1] != 5000 {
+		t.Fatalf("growth walk path %v, want 0→5000→1 (weight 1e9 dominates)", path)
+	}
+
+	// Bulk kernel through the sharded runtime.
+	res, bulk, err := sw.DeepWalk(bingo.WalkOptions{Length: 8, Seed: 5, Starts: mkStarts(nV)})
+	if err != nil {
+		t.Fatalf("DeepWalk: %v", err)
+	}
+	if res.Walkers != nV || res.Steps != int64(nV*8) {
+		t.Fatalf("bulk %d walkers / %d steps, want %d / %d", res.Walkers, res.Steps, nV, nV*8)
+	}
+	if bulk.Transfers == 0 {
+		t.Fatal("bulk walks across 4 shards must transfer")
+	}
+
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := sw.Stats()
+	if st.Queries != 31 || st.Updates != 2 || st.Dropped != 0 {
+		t.Fatalf("stats %+v, want 31 queries / 2 updates / 0 dropped", st)
+	}
+	if st.Transfers == 0 || st.TransferRatio() <= 0 {
+		t.Fatalf("stats %+v: no transfer telemetry", st)
+	}
+	if _, err := sw.Query(0, 1); err == nil {
+		t.Fatal("Query after Close must fail")
+	}
+}
+
+func mkStarts(n int) []bingo.VertexID {
+	s := make([]bingo.VertexID, n)
+	for i := range s {
+		s[i] = bingo.VertexID(i)
+	}
+	return s
+}
