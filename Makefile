@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz clean
+.PHONY: all build vet test race bench bench-smoke distserve-smoke fuzz clean
 
 all: vet build test
 
@@ -29,6 +29,14 @@ bench-smoke:
 	$(GO) run ./cmd/bingobench -exp concurrent,sharded -datasets AM -scale 0.002 -walkers 500 -workers 2 \
 		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json
 	test -s BENCH_concurrent.json && test -s BENCH_sharded.json
+
+# Multi-process serving smoke: spawns shard daemons (real bingowalk
+# -shard-serve processes) on loopback, drives queries plus a
+# growth-inducing feed through the ServeRemote coordinator, and checks a
+# ≥1e5-draw chi-square over the served distribution plus edge-for-edge
+# equality against a sequential replay.
+distserve-smoke:
+	$(GO) test -run TestDistServeLoopbackDifferential -count 1 -v .
 
 # Short local fuzz session against the sampler's structural invariants.
 fuzz:

@@ -34,6 +34,7 @@ func main() {
 		systems  = flag.String("systems", "", "comma-separated systems for table3 (default Bingo,KnightKing,RebuildITS,FlowWalker)")
 		apps     = flag.String("apps", "", "comma-separated apps for table3 (default DeepWalk,node2vec,PPR)")
 		jsonPath = flag.String("json", "BENCH_concurrent.json", "output path for the concurrent scenario's JSON report ('' disables)")
+		transp   = flag.String("transports", "", "comma-separated sharded-scenario transports (default inproc,tcp)")
 		jsonSh   = flag.String("json-sharded", "BENCH_sharded.json", "output path for the sharded scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
@@ -70,6 +71,7 @@ func main() {
 	o.Apps = split(*apps)
 	o.JSONPath = *jsonPath
 	o.ShardedJSONPath = *jsonSh
+	o.Transports = split(*transp)
 	o.Verbose = *verbose
 
 	if err := bench.Run(*exp, o); err != nil {

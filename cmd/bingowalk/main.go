@@ -7,6 +7,16 @@
 //
 //	bingowalk -graph edges.txt -app deepwalk -length 80
 //	bingowalk -dataset LJ -scale 0.005 -app ppr -updates 10000
+//
+// Serving modes form a ladder: -live serves one engine, -live -shards N
+// partitions it across N in-process shard engines, and the pair
+// -shard-serve / -live -connect crosses the process boundary — each
+// shard runs as its own daemon and the coordinator drives them over the
+// TCP shard fabric:
+//
+//	bingowalk -shard-serve -addr 127.0.0.1:7431 -shard 0/2
+//	bingowalk -shard-serve -addr 127.0.0.1:7432 -shard 1/2
+//	bingowalk -live -connect 127.0.0.1:7431,127.0.0.1:7432 -dataset AM
 package main
 
 import (
@@ -14,11 +24,15 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	bingo "github.com/bingo-rw/bingo"
 	"github.com/bingo-rw/bingo/internal/concurrent"
 	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/fabric/tcpgob"
 	"github.com/bingo-rw/bingo/internal/gen"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/walk"
@@ -42,11 +56,21 @@ func main() {
 		liveUps   = flag.Int("live-updates", 100000, "updates streamed during serving in -live mode")
 		liveBatch = flag.Int("live-batch", 256, "feed batch size in -live mode")
 		shards    = flag.Int("shards", 1, "partition -live serving across N shard engines (walker-transfer topology)")
+		connect   = flag.String("connect", "", "comma-separated shard-daemon addresses: -live drives them over the TCP fabric instead of in-process shards")
+		shardSrv  = flag.Bool("shard-serve", false, "host one shard daemon: listen on -addr, serve one coordinator session, exit")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address for -shard-serve")
+		shardSpec = flag.String("shard", "0/1", "this daemon's position K/N for -shard-serve")
 	)
 	flag.Parse()
 
+	if *shardSrv {
+		if err := runShardServe(*addr, *shardSpec, *workers); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *live {
-		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards); err != nil {
+		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect); err != nil {
 			fail(err)
 		}
 		return
@@ -159,8 +183,32 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// liveServer abstracts the two serving runtimes the -live mode can drive:
-// the single-engine LiveService and the sharded walker-transfer service.
+// runShardServe is the -shard-serve mode: host one shard of a
+// multi-process serving session until the coordinator (a
+// `bingowalk -live -connect …` elsewhere) closes it. The listen address
+// is printed first so drivers can scrape it when -addr ends in ":0".
+func runShardServe(addr, spec string, workers int) error {
+	var k, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &k, &n); err != nil || n < 1 || k < 0 || k >= n {
+		return fmt.Errorf("-shard %q: want K/N with 0 <= K < N", spec)
+	}
+	st, err := bingo.ServeShard(addr, k, n, bingo.ShardServeOptions{
+		Walkers: workers,
+		OnListen: func(a string) {
+			fmt.Printf("shard-serve: shard %d/%d listening on %s\n", k, n, a)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard-serve: session over: %d steps (%d transfers out), %d updates applied (%d dropped), %d edges across %d vertices\n",
+		st.Steps, st.Transfers, st.Updates, st.Dropped, st.Edges, st.Vertices)
+	return nil
+}
+
+// liveServer abstracts the serving runtimes the -live mode can drive:
+// the single-engine LiveService, the sharded walker-transfer service,
+// and the remote multi-process coordinator.
 type liveServer interface {
 	Query(start graph.VertexID, length int) ([]graph.VertexID, error)
 	Feed(ups []graph.Update) error
@@ -171,8 +219,9 @@ type liveServer interface {
 // streams update batches into the same engine — the walk-while-ingest
 // serving scenario (see DESIGN.md, "Concurrency model"). With -shards N>1
 // the graph is 1-D partitioned across N engines and walks cross shard
-// boundaries by walker transfer (supplement §9.1).
-func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int) error {
+// boundaries by walker transfer (supplement §9.1); with -connect the
+// shards are separate daemon processes behind the TCP fabric.
+func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string) error {
 	g, err := loadGraph(graphPath, dataset, scale, seed)
 	if err != nil {
 		return err
@@ -196,8 +245,31 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 	var svc liveServer
 	var single *concurrent.Engine
 	var sharded *walk.ShardedLiveService
+	var remote *walk.RemoteService
 	var shardEngines []*concurrent.Engine
-	if shards > 1 {
+	if connect != "" {
+		addrs := strings.Split(connect, ",")
+		plan := walk.NewShardPlan(w.Initial.NumVertices(), len(addrs))
+		port, err := tcpgob.Dial(addrs, fabric.Hello{
+			RangeSize:   plan.RangeSize,
+			NumVertices: w.Initial.NumVertices(),
+		})
+		if err != nil {
+			return err
+		}
+		remote, err = walk.NewRemoteService(port, plan, w.Initial.NumVertices(), walk.ShardedLiveConfig{
+			WalkLength: length, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := remote.Bootstrap(w.Initial); err != nil {
+			return fmt.Errorf("bootstrap: %w", err)
+		}
+		svc = remote
+		fmt.Printf("live: %d shard daemons over the TCP fabric (range size %d), feeding %d updates in batches of %d\n",
+			plan.Shards, plan.RangeSize, len(w.Updates), batchSize)
+	} else if shards > 1 {
 		plan := walk.NewShardPlan(w.Initial.NumVertices(), shards)
 		engines, err := walk.BootstrapShards(w.Initial, plan, func() (walk.LiveEngine, error) {
 			s, err := core.New(w.Initial.NumVertices(), core.DefaultConfig())
@@ -268,11 +340,28 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 	}
 	clients.Wait()
 	feeder.Wait()
+	if remote != nil {
+		// Final barrier so the session's ingest tallies are exact before
+		// the stats snapshot.
+		if err := remote.Sync(); err != nil {
+			return err
+		}
+	}
 	if err := svc.Close(); err != nil {
 		return err
 	}
 	d := time.Since(t0)
 
+	if remote != nil {
+		ls := remote.Stats()
+		fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
+		fmt.Printf("throughput: %.0f queries/s, %.0f steps/s, %.0f updates/s\n",
+			float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
+		fmt.Printf("walker transfer: %d cross-shard hand-offs, %d local steps (ratio %.3f)\n",
+			ls.Transfers, ls.Local, ls.TransferRatio())
+		fmt.Printf("final graph: %d vertices across %d shard daemons\n", remote.NumVertices(), remote.Shards())
+		return nil
+	}
 	if sharded != nil {
 		ls := sharded.Stats()
 		fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))

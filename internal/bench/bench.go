@@ -62,6 +62,10 @@ type Options struct {
 	// ShardedJSONPath, when non-empty, is where the sharded scenario
 	// writes its machine-readable BENCH_sharded.json report.
 	ShardedJSONPath string
+	// Transports filters the sharded scenario's transport dimension:
+	// "inproc" (in-process fabric) and/or "tcp" (loopback tcpgob fabric).
+	// Nil means both.
+	Transports []string
 	// Verbose adds progress lines.
 	Verbose bool
 
@@ -116,6 +120,14 @@ func (o *Options) normalize() error {
 	}
 	if len(o.Apps) == 0 {
 		o.Apps = []string{"DeepWalk", "node2vec", "PPR"}
+	}
+	if len(o.Transports) == 0 {
+		o.Transports = []string{"inproc", "tcp"}
+	}
+	for _, tr := range o.Transports {
+		if tr != "inproc" && tr != "tcp" {
+			return fmt.Errorf("bench: unknown transport %q (want inproc or tcp)", tr)
+		}
 	}
 	if o.graphCache == nil {
 		o.graphCache = map[string]*graph.CSR{}
@@ -322,7 +334,7 @@ var registry = []runner{
 	{"fig16", "piecewise breakdown: updates and sampling vs FlowWalker", runFig16},
 	{"ablation", "design ablations: radix base, α/β thresholds, lookup index", runAblation},
 	{"concurrent", "walk-while-ingest throughput at 0/10/50% update load (BENCH_concurrent.json)", runConcurrent},
-	{"sharded", "sharded live serving: walks/s and transfer ratio at 0/10/50% load × 1/2/4/8 shards (BENCH_sharded.json)", runSharded},
+	{"sharded", "sharded live serving: walks/s and transfer ratio at 0/10/50% load × 1/2/4/8 shards × inproc/tcp transports (BENCH_sharded.json)", runSharded},
 }
 
 // Experiments lists available experiment names with descriptions.

@@ -53,6 +53,12 @@ type ConcurrentReport struct {
 // concurrentLoads are the nominal update shares the scenario sweeps.
 var concurrentLoads = []float64{0, 0.10, 0.50}
 
+// concurrentMinWindow is the minimum measurement window: walkers keep
+// walking past their quota until it elapses, so the pacer's 100 µs sleep
+// cycle always gets to feed (the old ~3 ms windows at smoke scale ended
+// before the first batch landed, recording updates: 0 at every load).
+const concurrentMinWindow = 250 * time.Millisecond
+
 func runConcurrent(o *Options) error {
 	abbr := o.Datasets[0]
 	_, g, err := o.dataset(abbr)
@@ -94,6 +100,21 @@ func runConcurrent(o *Options) error {
 		e := concurrent.Wrap(s, concurrent.Config{})
 		rep.Stripes = e.Stripes()
 
+		// Prime the feed path before the clock starts: the first batch
+		// applies outside the window (and outside the measured counters),
+		// so the pacer never starts cold.
+		next := 0
+		if load > 0 {
+			hi := 256
+			if hi > len(w.Updates) {
+				hi = len(w.Updates)
+			}
+			if _, err := e.ApplyBatch(append([]graph.Update(nil), w.Updates[:hi]...)); err != nil {
+				return fmt.Errorf("prime at load %.0f%%: %w", load*100, err)
+			}
+			next = hi
+		}
+
 		var stepsDone, updatesDone atomic.Int64
 		done := make(chan struct{})
 		var feedErr error
@@ -103,7 +124,6 @@ func runConcurrent(o *Options) error {
 			go func() {
 				defer feeder.Done()
 				ratio := load / (1 - load) // updates per walk step
-				next := 0
 				for {
 					select {
 					case <-done:
@@ -136,7 +156,11 @@ func runConcurrent(o *Options) error {
 			}()
 		}
 
+		// Walkers issue their quota, then keep walking until the minimum
+		// window has elapsed — short cells otherwise end before the pacer's
+		// first sleep cycle and record a dishonest zero load.
 		start := time.Now()
+		var walksDone atomic.Int64
 		var wg sync.WaitGroup
 		for wi := 0; wi < walkers; wi++ {
 			wg.Add(1)
@@ -144,28 +168,32 @@ func runConcurrent(o *Options) error {
 				defer wg.Done()
 				r := xrand.New(o.Seed ^ seed)
 				var buf []graph.VertexID
-				for q := 0; q < walksPer; q++ {
+				for q := 0; ; q++ {
+					if q >= walksPer && time.Since(start) >= concurrentMinWindow {
+						return
+					}
 					start := graph.VertexID(r.Intn(g.NumVertices()))
 					buf, _ = e.WalkFrom(start, o.WalkLength, r, buf)
 					// Publish per walk: the feeder paces itself off this.
 					stepsDone.Add(int64(len(buf) - 1))
+					walksDone.Add(1)
 				}
 			}(uint64(wi) + 1)
 		}
 		wg.Wait()
+		close(done)
+		// The feeder applies synchronously, so once it stops every counted
+		// update has landed; charging its last mid-flight batch to the
+		// window keeps updates/s and achieved load honest.
+		feeder.Wait()
 		elapsed := time.Since(start)
-		// Snapshot counters at the same instant as elapsed: the feeder may
-		// still be mid-batch, and updates landing after the window would
-		// inflate updates/s and the achieved-load figure.
 		steps := stepsDone.Load()
 		updates := updatesDone.Load()
-		close(done)
-		feeder.Wait()
 		if feedErr != nil {
 			return fmt.Errorf("feeder at load %.0f%%: %w", load*100, feedErr)
 		}
 
-		walks := int64(walkers * walksPer)
+		walks := walksDone.Load()
 		achieved := 0.0
 		if steps+updates > 0 {
 			achieved = float64(updates) / float64(steps+updates)

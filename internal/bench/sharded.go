@@ -6,10 +6,13 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bingo-rw/bingo/internal/concurrent"
 	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/fabric/tcpgob"
 	"github.com/bingo-rw/bingo/internal/gen"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/walk"
@@ -17,15 +20,18 @@ import (
 )
 
 // ShardedThroughput is the partitioned serving scenario: a client fleet
-// queries a ShardedLiveService — N per-shard engines, ingest router,
+// queries a sharded live service — N per-shard engines, ingest router,
 // cross-shard walker transfer — while a feeder paces update batches to a
-// target share of total operations. Sweeping shard count × update load
-// measures what the multi-lock-domain topology buys (and what the walker
-// transfers cost) relative to the single-engine `concurrent` scenario,
-// and emits BENCH_sharded.json so successive runs can be diffed.
+// target share of total operations. The grid sweeps shard count × update
+// load × *transport*: `inproc` runs the shards over the in-process fabric
+// (the ShardedLiveService channels), `tcp` runs the identical node and
+// coordinator logic over loopback TCP (the tcpgob fabric RemoteService
+// and the shard daemons speak), so the inproc→tcp delta is the measured
+// cost of crossing the wire. Emits BENCH_sharded.json for diffing runs.
 
-// ShardedSeries is one measured (shards, load) grid cell.
+// ShardedSeries is one measured (transport, shards, load) grid cell.
 type ShardedSeries struct {
+	Transport       string  `json:"transport"`
 	Shards          int     `json:"shards"`
 	UpdateLoadPct   float64 `json:"update_load_pct"` // nominal target share
 	Walks           int64   `json:"walks"`
@@ -53,11 +59,18 @@ type ShardedReport struct {
 	Series     []ShardedSeries `json:"series"`
 }
 
-// shardedShards and shardedLoads span the measured grid.
+// shardedShards and shardedLoads span the measured grid (transports come
+// from Options.Transports).
 var (
 	shardedShards = []int{1, 2, 4, 8}
 	shardedLoads  = []float64{0, 0.10, 0.50}
 )
+
+// shardedMinWindow is the minimum measurement window: clients keep
+// issuing walks past their quota until it elapses, so the pacer's
+// 100 µs sleep cycle always gets to feed (the old ~3 ms windows ended
+// before the first batch landed, recording updates: 0 at every load).
+const shardedMinWindow = 250 * time.Millisecond
 
 func runSharded(o *Options) error {
 	abbr := o.Datasets[0]
@@ -92,23 +105,26 @@ func runSharded(o *Options) error {
 	}
 
 	tbl := newTable(o.Out)
-	tbl.row("shards", "update load", "walks/s", "steps/s", "updates/s", "transfer ratio", "achieved load")
-	for _, shards := range shardedShards {
-		for _, load := range shardedLoads {
-			ser, err := shardedCell(o, g, w, shards, load, clients, walksPer)
-			if err != nil {
-				return fmt.Errorf("shards=%d load=%.0f%%: %w", shards, load*100, err)
+	tbl.row("transport", "shards", "update load", "walks/s", "steps/s", "updates/s", "transfer ratio", "achieved load")
+	for _, transport := range o.Transports {
+		for _, shards := range shardedShards {
+			for _, load := range shardedLoads {
+				ser, err := shardedCell(o, g, w, transport, shards, load, clients, walksPer)
+				if err != nil {
+					return fmt.Errorf("%s shards=%d load=%.0f%%: %w", transport, shards, load*100, err)
+				}
+				rep.Series = append(rep.Series, ser)
+				tbl.row(
+					ser.Transport,
+					fmt.Sprintf("%d", ser.Shards),
+					fmt.Sprintf("%.0f%%", ser.UpdateLoadPct),
+					fmt.Sprintf("%.0f", ser.WalksPerSec),
+					fmt.Sprintf("%.0f", ser.StepsPerSec),
+					fmt.Sprintf("%.0f", ser.UpdatesPerSec),
+					fmt.Sprintf("%.3f", ser.TransferRatio),
+					fmt.Sprintf("%.1f%%", ser.AchievedLoadPct),
+				)
 			}
-			rep.Series = append(rep.Series, ser)
-			tbl.row(
-				fmt.Sprintf("%d", ser.Shards),
-				fmt.Sprintf("%.0f%%", ser.UpdateLoadPct),
-				fmt.Sprintf("%.0f", ser.WalksPerSec),
-				fmt.Sprintf("%.0f", ser.StepsPerSec),
-				fmt.Sprintf("%.0f", ser.UpdatesPerSec),
-				fmt.Sprintf("%.3f", ser.TransferRatio),
-				fmt.Sprintf("%.1f%%", ser.AchievedLoadPct),
-			)
 		}
 	}
 	tbl.flush()
@@ -126,49 +142,140 @@ func runSharded(o *Options) error {
 	return nil
 }
 
-// shardedCell measures one (shards, load) point on fresh engines (the
-// feeder mutates the graph, so cells must not share state).
-func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, shards int, load float64, clients, walksPer int) (ShardedSeries, error) {
+// shardedService is what a cell measures: both *walk.ShardedLiveService
+// (inproc fabric) and *walk.RemoteService (tcp fabric) satisfy it.
+type shardedService interface {
+	Query(start graph.VertexID, length int) ([]graph.VertexID, error)
+	Feed(ups []graph.Update) error
+	Sync() error
+	Stats() walk.ShardedLiveStats
+	Close() error
+}
+
+// newShardedService builds a bootstrapped serving runtime for one cell on
+// the chosen transport. For tcp, the shard nodes run in-process but
+// behind real loopback sockets — the same frames, handshake, and
+// per-peer streams `bingowalk -shard-serve` daemons speak — so the cell
+// isolates wire cost without fork/exec noise.
+func newShardedService(o *Options, g *graph.CSR, transport string, shards, crew int) (shardedService, error) {
 	plan := walk.NewShardPlan(g.NumVertices(), shards)
-	engines, err := walk.BootstrapShards(g, plan, func() (walk.LiveEngine, error) {
-		s, err := core.New(g.NumVertices(), o.bingoConfig())
+	cfg := walk.ShardedLiveConfig{WalkersPerShard: crew, WalkLength: o.WalkLength, Seed: o.Seed}
+	newEngine := func(numVertices int) (walk.LiveEngine, error) {
+		s, err := core.New(numVertices, o.bingoConfig())
 		if err != nil {
 			return nil, err
 		}
 		return concurrent.Wrap(s, concurrent.Config{}), nil
-	})
-	if err != nil {
-		return ShardedSeries{}, err
 	}
+	switch transport {
+	case "inproc":
+		engines, err := walk.BootstrapShards(g, plan, func() (walk.LiveEngine, error) {
+			return newEngine(g.NumVertices())
+		})
+		if err != nil {
+			return nil, err
+		}
+		return walk.NewShardedLiveService(engines, plan, cfg)
+	case "tcp":
+		conns := make([]*tcpgob.ShardConn, shards)
+		addrs := make([]string, shards)
+		for i := 0; i < shards; i++ {
+			sc, err := tcpgob.Listen("127.0.0.1:0", i, shards)
+			if err != nil {
+				return nil, err
+			}
+			conns[i] = sc
+			addrs[i] = sc.Addr().String()
+		}
+		for i := 0; i < shards; i++ {
+			go func(i int) {
+				hello, err := conns[i].Accept()
+				if err != nil {
+					return
+				}
+				e, err := newEngine(hello.NumVertices)
+				if err != nil {
+					conns[i].Close()
+					return
+				}
+				nodePlan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
+				walk.RunShardNode(e, nodePlan, i, conns[i], crew)
+				conns[i].Close()
+			}(i)
+		}
+		port, err := tcpgob.Dial(addrs, fabric.Hello{
+			RangeSize:   plan.RangeSize,
+			NumVertices: g.NumVertices(),
+			FloatBias:   o.bingoConfig().FloatBias,
+		})
+		if err != nil {
+			return nil, err
+		}
+		svc, err := walk.NewRemoteService(port, plan, g.NumVertices(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.Bootstrap(g); err != nil {
+			svc.Close()
+			return nil, err
+		}
+		return svc, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown transport %q", transport)
+	}
+}
+
+// shardedCell measures one (transport, shards, load) point on fresh
+// engines (the feeder mutates the graph, so cells must not share state).
+func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, transport string, shards int, load float64, clients, walksPer int) (ShardedSeries, error) {
 	crew := clients / shards
 	if crew < 1 {
 		crew = 1
 	}
-	svc, err := walk.NewShardedLiveService(engines, plan, walk.ShardedLiveConfig{
-		WalkersPerShard: crew,
-		WalkLength:      o.WalkLength,
-		Seed:            o.Seed,
-	})
+	svc, err := newShardedService(o, g, transport, shards, crew)
 	if err != nil {
 		return ShardedSeries{}, err
 	}
 
+	// Prime the feed path before the clock starts: the first batch lands
+	// and syncs outside the window, so the pacer never starts cold, and
+	// its updates are excluded from the measured tallies below.
+	next := 0
+	if load > 0 {
+		hi := 256
+		if hi > len(w.Updates) {
+			hi = len(w.Updates)
+		}
+		if err := svc.Feed(append([]graph.Update(nil), w.Updates[:hi]...)); err != nil {
+			return ShardedSeries{}, fmt.Errorf("prime: %w", err)
+		}
+		if err := svc.Sync(); err != nil {
+			return ShardedSeries{}, fmt.Errorf("prime: %w", err)
+		}
+		next = hi
+	}
+	// The pre-window baseline: bootstrap (tcp transport) plus the primed
+	// batch. Measured updates are deltas against it.
+	baseUpdates := svc.Stats().Updates
+
 	done := make(chan struct{})
+	var fed atomic.Int64 // updates accepted by the pacer inside the window
 	var feeder sync.WaitGroup
 	if load > 0 {
 		feeder.Add(1)
 		go func() {
 			defer feeder.Done()
 			ratio := load / (1 - load) // updates per walk step
-			next := 0
 			for {
 				select {
 				case <-done:
 					return
 				default:
 				}
-				st := svc.Stats()
-				budget := int64(ratio*float64(st.Steps)) - st.Updates
+				// Pace against the service's live step counter and the
+				// pacer's own accepted count (service-side Updates lag a
+				// Sync on the tcp transport, so they cannot pace).
+				budget := int64(ratio*float64(svc.Stats().Steps)) - fed.Load()
 				if budget < 256 {
 					// Sleep rather than spin: a hot pacer would steal a core
 					// from the shard crews inside the measured window.
@@ -183,6 +290,7 @@ func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, shards int, load flo
 				if err := svc.Feed(batch); err != nil {
 					return // Close raced the pacer; Err is checked below
 				}
+				fed.Add(int64(len(batch)))
 				next = hi
 				if next >= len(w.Updates) {
 					next = 0 // cycle the tape; re-deletes are tolerated
@@ -191,28 +299,40 @@ func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, shards int, load flo
 		}()
 	}
 
+	// Clients issue their walk quota, then keep walking until the minimum
+	// window has elapsed — short cells otherwise end before the pacer's
+	// first sleep cycle and record a dishonest zero load.
 	start := time.Now()
+	var walks atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
 			r := xrand.New(o.Seed ^ seed)
-			for q := 0; q < walksPer; q++ {
+			for q := 0; ; q++ {
+				if q >= walksPer && time.Since(start) >= shardedMinWindow {
+					return
+				}
 				st := graph.VertexID(r.Intn(g.NumVertices()))
 				if _, err := svc.Query(st, o.WalkLength); err != nil {
 					return
 				}
+				walks.Add(1)
 			}
 		}(uint64(c) + 1)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-	// Snapshot counters at the same instant as elapsed: updates landing
-	// after the window would inflate updates/s and the achieved load.
-	st := svc.Stats()
 	close(done)
 	feeder.Wait()
+	// Sync before snapshotting: batches accepted inside the window are
+	// fully applied, so the achieved load is honest, and the drain time
+	// is charged to the window that caused it.
+	if err := svc.Sync(); err != nil {
+		return ShardedSeries{}, fmt.Errorf("ingest: %w", err)
+	}
+	elapsed := time.Since(start)
+	st := svc.Stats()
 	if err := svc.Close(); err != nil {
 		return ShardedSeries{}, fmt.Errorf("ingest: %w", err)
 	}
@@ -220,22 +340,24 @@ func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, shards int, load flo
 		return ShardedSeries{}, fmt.Errorf("%d feed batches dropped", st.Dropped)
 	}
 
+	updates := st.Updates - baseUpdates
 	achieved := 0.0
-	if st.Steps+st.Updates > 0 {
-		achieved = float64(st.Updates) / float64(st.Steps+st.Updates)
+	if st.Steps+updates > 0 {
+		achieved = float64(updates) / float64(st.Steps+updates)
 	}
 	return ShardedSeries{
+		Transport:       transport,
 		Shards:          shards,
 		UpdateLoadPct:   load * 100,
-		Walks:           st.Queries,
+		Walks:           walks.Load(),
 		Steps:           st.Steps,
-		Updates:         st.Updates,
+		Updates:         updates,
 		Transfers:       st.Transfers,
 		Local:           st.Local,
 		ElapsedSec:      elapsed.Seconds(),
-		WalksPerSec:     float64(st.Queries) / elapsed.Seconds(),
+		WalksPerSec:     float64(walks.Load()) / elapsed.Seconds(),
 		StepsPerSec:     float64(st.Steps) / elapsed.Seconds(),
-		UpdatesPerSec:   float64(st.Updates) / elapsed.Seconds(),
+		UpdatesPerSec:   float64(updates) / elapsed.Seconds(),
 		TransferRatio:   st.TransferRatio(),
 		AchievedLoadPct: achieved * 100,
 	}, nil

@@ -468,3 +468,30 @@ func (e *Engine) Quiesce(fn func(s *core.Sampler)) {
 	fn(e.s)
 	e.unlockAll()
 }
+
+// DumpEdges returns a quiescent flattening of the live edge multiset —
+// the walk.EdgeDumper capability the shard fabric's dump barrier uses to
+// read a remote shard's state back for verification.
+func (e *Engine) DumpEdges() []graph.Edge {
+	var out []graph.Edge
+	e.Quiesce(func(s *core.Sampler) {
+		g := s.Snapshot()
+		for u := 0; u < g.NumVertices(); u++ {
+			vid := graph.VertexID(u)
+			dsts := g.Neighbors(vid)
+			if len(dsts) == 0 {
+				continue
+			}
+			biases := g.Biases(vid)
+			fb := g.FBiases(vid)
+			for i := range dsts {
+				ed := graph.Edge{Src: vid, Dst: dsts[i], Bias: biases[i]}
+				if fb != nil {
+					ed.FBias = fb[i]
+				}
+				out = append(out, ed)
+			}
+		}
+	})
+	return out
+}

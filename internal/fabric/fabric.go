@@ -1,0 +1,197 @@
+// Package fabric defines the shard interconnect of the sharded serving
+// runtime: the message vocabulary (walker hand-offs, routed update
+// batches, sync barriers, retire/ack replies) and the two port interfaces
+// — one per shard node, one for the coordinator — that every transport
+// implements.
+//
+// The in-process ShardedLiveService and the multi-process shard-daemon
+// mode run the *same* walk/ingest logic over different fabrics:
+//
+//   - fabric/inproc carries messages over channels and unbounded
+//     mailboxes inside one address space (the original ShardedLiveService
+//     plumbing, extracted);
+//   - fabric/tcpgob carries them as length-prefixed gob frames over TCP,
+//     one ordered stream per peer pair, which is what lets
+//     `bingowalk -shard-serve` host a shard in its own process.
+//
+// Every message is plain serializable data. In particular a Walker carries
+// its RNG *state*, not a generator pointer — the walk's random stream
+// continues draw-for-draw across an address-space boundary, which is what
+// makes the in-process and multi-process topologies sample identically.
+//
+// Ordering contract (what the differential-equivalence argument needs):
+//
+//   - The coordinator→shard publish stream is FIFO: PublishUpdates calls
+//     for one shard are applied in call order, and a PublishBarrier is
+//     observed by a shard only after every batch published to it before
+//     the barrier. Per-source update order is therefore preserved end to
+//     end (single router upstream, single ingester downstream).
+//   - Walker hand-offs need no cross-walker ordering: a walker is owned
+//     by exactly one crew at a time, so its own hops are trivially
+//     sequential and hops of distinct walkers commute.
+//   - Retires and acks may arrive at the coordinator in any order across
+//     shards; each carries the identity needed to route it.
+package fabric
+
+import (
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Walker is the serializable walk state handed between shards — the
+// paper's "transferring walkers has the light burden of communication"
+// (supplement §9.1) as a wire message. Exactly one crew owns a walker at
+// a time; a hand-off transfers ownership whole.
+type Walker struct {
+	// ID routes the retire back to the coordinator's pending entry
+	// (query reply or bulk-run tally).
+	ID uint64
+	// Cur is the walker's current vertex; Left the hops remaining.
+	Cur  graph.VertexID
+	Left int
+	// Rng is the walk's serialized RNG stream; the receiving crew resumes
+	// it exactly where the sender stopped.
+	Rng xrand.State
+	// Record makes crews append every visited vertex to Path (queries
+	// always record; bulk walkers record when the run counts visits).
+	// An explicit flag rather than Path != nil: gob does not distinguish
+	// empty from nil slices on the wire.
+	Record bool
+	// Path is the recorded visit sequence (for queries, Path[0] is the
+	// start vertex).
+	Path []graph.VertexID
+	// Steps, Transfers, and Local accumulate the walk's own telemetry:
+	// hops taken, cross-shard hand-offs, and steps that stayed on the
+	// owning shard.
+	Steps, Transfers, Local int64
+	// Failed marks a walk the fabric cut short (a hand-off toward a dead
+	// peer): the retire must surface an error to the waiting caller, not
+	// a truncated path posing as a complete walk.
+	Failed bool
+}
+
+// Ingest is one element of a shard's ordered ingest stream: a routed
+// sub-batch of updates, or (Ups nil, Barrier != 0) a sync barrier the
+// shard acknowledges with an Ack carrying the same sequence number.
+type Ingest struct {
+	// Ups is the update sub-batch (every Src owned by the receiving
+	// shard).
+	Ups []graph.Update
+	// Barrier is the barrier sequence number (0 = not a barrier).
+	Barrier uint64
+	// Dump asks the shard to attach its full edge snapshot to the
+	// barrier's Ack — the coordinator's way to read back distributed
+	// state for verification.
+	Dump bool
+}
+
+// IsBarrier reports whether the element is a barrier token.
+func (in *Ingest) IsBarrier() bool { return in.Barrier != 0 }
+
+// Ack is a shard's acknowledgement of a barrier. Updates/Dropped are the
+// shard's *cumulative* ingest tallies at the barrier point, so the latest
+// ack per shard is a consistent snapshot of distributed ingest progress.
+type Ack struct {
+	Shard   int
+	Seq     uint64
+	Updates int64  // cumulative successfully applied update events
+	Dropped int64  // cumulative dropped sub-batches
+	Err     string // first ingest error observed ("" if none)
+	// Vertices is the shard engine's current vertex-space size
+	// (telemetry; shards grow independently under the feed).
+	Vertices int
+	// Edges is the shard's edge snapshot, attached only when the barrier
+	// carried Dump.
+	Edges []graph.Edge
+}
+
+// EventKind discriminates coordinator-bound events.
+type EventKind uint8
+
+const (
+	// EvRetire delivers a finished walker.
+	EvRetire EventKind = iota
+	// EvAck delivers a barrier acknowledgement.
+	EvAck
+)
+
+// Event is one element of the coordinator's inbound stream.
+type Event struct {
+	Kind   EventKind
+	Walker *Walker // EvRetire
+	Ack    *Ack    // EvAck
+}
+
+// ShardPort is one shard node's endpoint on the fabric.
+//
+// NextWalker and NextIngest block; they return ok=false — after draining
+// everything already delivered — once the coordinator has closed the
+// session. ForwardWalker/Retire/Ack must not be called after the node's
+// loops have exited. Close releases the port and signals the coordinator
+// that this shard has finished producing events; the node calls it after
+// both its loops have exited.
+type ShardPort interface {
+	// Shard returns this node's shard index.
+	Shard() int
+	// NextWalker pops the next inbound walker (coordinator launches and
+	// peer transfers share one stream; ordering between walkers is
+	// irrelevant — see the package comment).
+	NextWalker() (*Walker, bool)
+	// NextIngest pops the next element of the ordered ingest stream.
+	NextIngest() (*Ingest, bool)
+	// ForwardWalker hands a walker to shard dst's crew. It must not
+	// block indefinitely on a slow peer (unbounded delivery is what
+	// keeps circular forwarding deadlock-free).
+	ForwardWalker(dst int, w *Walker) error
+	// Retire sends a finished walker back to the coordinator.
+	Retire(w *Walker) error
+	// Ack sends a barrier acknowledgement to the coordinator.
+	Ack(a *Ack) error
+	// Close signals that this shard is done producing events.
+	Close() error
+}
+
+// CoordPort is the coordinator's endpoint on the fabric.
+//
+// LaunchWalker/PublishUpdates/PublishBarrier must not be called after
+// Close. NextEvent blocks; it returns ok=false once every shard has
+// closed its port after a Close. Close initiates session shutdown: each
+// shard's NextWalker/NextIngest streams end once already-delivered items
+// drain.
+type CoordPort interface {
+	// Shards returns the session's shard count.
+	Shards() int
+	// LaunchWalker starts a walker on shard dst.
+	LaunchWalker(dst int, w *Walker) error
+	// PublishUpdates appends a routed sub-batch to shard dst's ingest
+	// stream (FIFO per shard; may block for backpressure).
+	PublishUpdates(dst int, ups []graph.Update) error
+	// PublishBarrier appends a barrier token to every shard's ingest
+	// stream, ordered after all previously published batches.
+	PublishBarrier(in Ingest) error
+	// NextEvent pops the next coordinator-bound event.
+	NextEvent() (Event, bool)
+	// Close ends the session.
+	Close() error
+}
+
+// Hello is the session spec the coordinator sends a shard daemon on
+// connect: enough to reconstruct the partition geometry and build an
+// empty, compatible engine. It lives here (not in internal/walk) because
+// transports carry it and walk already imports fabric.
+type Hello struct {
+	// Shards and Shard are the partition count and the receiver's index
+	// (the daemon sanity-checks them against its -shard K/N flags).
+	Shards, Shard int
+	// RangeSize is the ShardPlan block length (ownership geometry).
+	RangeSize int
+	// NumVertices sizes the shard engine's initial vertex space; the
+	// feed grows it live like any other engine.
+	NumVertices int
+	// FloatBias selects the engine's float-bias mode (§4.3); update
+	// batches carry FBias fractions only in this mode.
+	FloatBias bool
+	// Peers are the daemon addresses indexed by shard, for direct
+	// shard-to-shard walker transfer.
+	Peers []string
+}

@@ -1,0 +1,158 @@
+// Package inproc is the in-process shard fabric: the channel-and-mailbox
+// plumbing the original ShardedLiveService hard-wired, extracted behind
+// the fabric port interfaces. It is the behavior-identical baseline the
+// sharded differential harness validates, and the reference point the
+// loopback-TCP transport is measured against.
+//
+// Topology: per shard, one unbounded walker mailbox (launches and peer
+// transfers) and one *bounded* ingest channel (the bound is the
+// backpressure the router propagates to Feed, exactly as before the
+// extraction); one unbounded event mailbox carries retires and acks back
+// to the coordinator. The event mailbox closes only after every shard
+// port has closed — the shard-done handshake that lets the coordinator's
+// event loop drain everything a shard produced before exiting.
+package inproc
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/graph"
+)
+
+// Fabric is an in-process shard interconnect. Create one per session,
+// hand CoordPort to the coordinator and ShardPort(i) to shard i's node.
+type Fabric struct {
+	shards  int
+	walkers []*fabric.Mailbox[*fabric.Walker]
+	ingests []chan *fabric.Ingest
+	events  *fabric.Mailbox[fabric.Event]
+
+	mu         sync.Mutex
+	coordDone  bool
+	shardsOpen int
+}
+
+// New builds a fabric for shards nodes with the given ingest-queue bound.
+func New(shards, queueDepth int) *Fabric {
+	if queueDepth <= 0 {
+		queueDepth = 256
+	}
+	f := &Fabric{
+		shards:     shards,
+		walkers:    make([]*fabric.Mailbox[*fabric.Walker], shards),
+		ingests:    make([]chan *fabric.Ingest, shards),
+		events:     fabric.NewMailbox[fabric.Event](),
+		shardsOpen: shards,
+	}
+	for i := range f.walkers {
+		f.walkers[i] = fabric.NewMailbox[*fabric.Walker]()
+		f.ingests[i] = make(chan *fabric.Ingest, queueDepth)
+	}
+	return f
+}
+
+// CoordPort returns the coordinator's endpoint.
+func (f *Fabric) CoordPort() fabric.CoordPort { return (*coordPort)(f) }
+
+// ShardPort returns shard k's endpoint.
+func (f *Fabric) ShardPort(k int) fabric.ShardPort {
+	if k < 0 || k >= f.shards {
+		panic(fmt.Sprintf("inproc: shard %d of %d", k, f.shards))
+	}
+	return &shardPort{f: f, shard: k}
+}
+
+// shardDone records one shard port closing; the last one closes the
+// event stream.
+func (f *Fabric) shardDone() {
+	f.mu.Lock()
+	f.shardsOpen--
+	last := f.shardsOpen == 0
+	f.mu.Unlock()
+	if last {
+		f.events.Close()
+	}
+}
+
+type coordPort Fabric
+
+func (c *coordPort) Shards() int { return c.shards }
+
+func (c *coordPort) LaunchWalker(dst int, w *fabric.Walker) error {
+	c.walkers[dst].Push(w)
+	return nil
+}
+
+func (c *coordPort) PublishUpdates(dst int, ups []graph.Update) error {
+	c.ingests[dst] <- &fabric.Ingest{Ups: ups}
+	return nil
+}
+
+func (c *coordPort) PublishBarrier(in fabric.Ingest) error {
+	for i := range c.ingests {
+		tok := in
+		c.ingests[i] <- &tok
+	}
+	return nil
+}
+
+func (c *coordPort) NextEvent() (fabric.Event, bool) { return c.events.Pop() }
+
+// Close ends the session: every shard's ingest channel is closed (the
+// single ingester drains what is queued, then exits) and the walker
+// mailboxes close (crews drain, then exit). The caller guarantees no
+// publisher or launcher is still running — the coordinator stops its
+// router and waits for in-flight walkers first. Idempotent.
+func (c *coordPort) Close() error {
+	c.mu.Lock()
+	done := c.coordDone
+	c.coordDone = true
+	c.mu.Unlock()
+	if done {
+		return nil
+	}
+	for i := range c.ingests {
+		close(c.ingests[i])
+		c.walkers[i].Close()
+	}
+	return nil
+}
+
+type shardPort struct {
+	f     *Fabric
+	shard int
+	once  sync.Once
+}
+
+func (p *shardPort) Shard() int { return p.shard }
+
+func (p *shardPort) NextWalker() (*fabric.Walker, bool) {
+	return p.f.walkers[p.shard].Pop()
+}
+
+func (p *shardPort) NextIngest() (*fabric.Ingest, bool) {
+	in, ok := <-p.f.ingests[p.shard]
+	return in, ok
+}
+
+func (p *shardPort) ForwardWalker(dst int, w *fabric.Walker) error {
+	p.f.walkers[dst].Push(w)
+	return nil
+}
+
+func (p *shardPort) Retire(w *fabric.Walker) error {
+	p.f.events.Push(fabric.Event{Kind: fabric.EvRetire, Walker: w})
+	return nil
+}
+
+func (p *shardPort) Ack(a *fabric.Ack) error {
+	p.f.events.Push(fabric.Event{Kind: fabric.EvAck, Ack: a})
+	return nil
+}
+
+func (p *shardPort) Close() error {
+	p.once.Do(p.f.shardDone)
+	return nil
+}

@@ -1,0 +1,61 @@
+package fabric
+
+import "sync"
+
+// Mailbox is an unbounded MPMC queue with drain-then-close semantics: Pop
+// blocks until an item arrives or the mailbox closes, and items pushed
+// before Close are always delivered. Pushes after Close are dropped.
+// Unboundedness is the fabric's deadlock-freedom argument: delivering a
+// walker or event never blocks the sender on a slow consumer. It mirrors
+// the inbox the original in-process sharded service used, generalized so
+// every transport's receive side can reuse it.
+type Mailbox[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox[T any]() *Mailbox[T] {
+	m := &Mailbox[T]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Push appends an item; it is dropped if the mailbox is closed.
+func (m *Mailbox[T]) Push(v T) {
+	m.mu.Lock()
+	if !m.closed {
+		m.items = append(m.items, v)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// Pop blocks until an item is available or the mailbox is closed; items
+// queued before Close are drained before ok=false is observed.
+func (m *Mailbox[T]) Pop() (T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := m.items[0]
+	var zero T
+	m.items[0] = zero // release the reference
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Close marks the mailbox closed and wakes all poppers. Idempotent.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

@@ -1,0 +1,509 @@
+// Package tcpgob is the wire shard fabric: fabric messages travel as
+// length-prefixed gob frames over TCP, one ordered full-duplex stream per
+// peer pair, with reconnect-free single-session semantics.
+//
+// Topology. Each shard daemon listens on one address. The coordinator
+// dials every daemon and opens the session by sending a Hello (partition
+// geometry, engine spec, peer addresses); all coordinator→shard traffic
+// (walker launches, routed update batches, barriers, shutdown) and all
+// shard→coordinator traffic (retires, acks) flows on that connection.
+// Shard-to-shard walker transfers use direct peer connections, dialed
+// lazily on the first transfer toward each peer.
+//
+// Ordering. TCP gives each connection a FIFO byte stream and every
+// connection has a single locked writer, so the fabric ordering contract
+// (per-shard publish order, barrier-after-batches) holds by construction.
+// Each daemon demultiplexes inbound frames into unbounded mailboxes
+// (walkers vs ingest), so a crew blocked on an empty walker queue never
+// stalls update delivery on the shared connection.
+//
+// Framing. Every frame is a 4-byte big-endian length followed by a
+// self-contained gob encoding of one frame struct (a fresh encoder per
+// frame: no cross-frame codec state, so a frame can be decoded in
+// isolation and a torn stream fails loudly instead of desynchronizing).
+package tcpgob
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/graph"
+)
+
+// maxFrame bounds a single frame's payload (sanity check against a torn
+// or hostile stream; bootstrap batches and edge dumps are the big ones).
+const maxFrame = 1 << 30
+
+// frame kinds.
+const (
+	kHelloCoord = uint8(iota + 1) // coordinator session open (Hello)
+	kHelloPeer                    // peer transfer stream open (From)
+	kWalker                       // walker launch or transfer
+	kUpdates                      // routed update sub-batch
+	kBarrier                      // barrier token (Ingest)
+	kRetire                       // finished walker, shard → coordinator
+	kAck                          // barrier ack, shard → coordinator
+	kShutdown                     // session end, coordinator → shard
+)
+
+// frame is the single wire message shape. Value fields: gob omits
+// zero-valued fields, so unused payloads cost nothing on the wire, and a
+// nil pointer can never poison an encode.
+type frame struct {
+	Kind   uint8
+	From   int // kHelloPeer: sender shard index
+	Hello  fabric.Hello
+	Walker fabric.Walker
+	Ups    []graph.Update
+	Ingest fabric.Ingest
+	Ack    fabric.Ack
+}
+
+// link is one connection with a locked writer. Reads are owned by exactly
+// one goroutine and need no lock.
+type link struct {
+	conn net.Conn
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+func newLink(conn net.Conn) *link {
+	return &link{conn: conn, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}
+}
+
+// write encodes f as one length-prefixed frame and flushes it.
+func (l *link) write(f *frame) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("tcpgob: encode frame kind %d: %w", f.Kind, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := l.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.bw.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return l.bw.Flush()
+}
+
+// read decodes the next frame (blocking).
+func (l *link) read() (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(l.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcpgob: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(l.br, payload); err != nil {
+		return nil, err
+	}
+	f := new(frame)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(f); err != nil {
+		return nil, fmt.Errorf("tcpgob: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shard daemon side
+
+// ShardConn is a shard daemon's end of one serving session. It implements
+// fabric.ShardPort once Accept has returned.
+type ShardConn struct {
+	shard, shards int
+	ln            net.Listener
+
+	walkers *fabric.Mailbox[*fabric.Walker]
+	ingests *fabric.Mailbox[*fabric.Ingest]
+
+	helloCh   chan fabric.Hello
+	helloOnce sync.Once
+
+	coordMu sync.Mutex
+	coord   *link
+
+	peerMu    sync.Mutex
+	peerAddrs []string
+	peers     map[int]*link
+
+	downOnce  sync.Once
+	closeOnce sync.Once
+}
+
+// Listen binds addr and starts accepting. shard/shards are this daemon's
+// claimed position, validated against the coordinator's Hello (pass
+// shards <= 0 to accept any count). Call Accept to block for the session.
+func Listen(addr string, shard, shards int) (*ShardConn, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardConn{
+		shard:   shard,
+		shards:  shards,
+		ln:      ln,
+		walkers: fabric.NewMailbox[*fabric.Walker](),
+		ingests: fabric.NewMailbox[*fabric.Ingest](),
+		helloCh: make(chan fabric.Hello, 1),
+		peers:   map[int]*link{},
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *ShardConn) Addr() net.Addr { return s.ln.Addr() }
+
+// Accept blocks until the coordinator opens the session and returns its
+// Hello. After Accept, the ShardConn serves as the node's fabric port.
+func (s *ShardConn) Accept() (fabric.Hello, error) {
+	h, ok := <-s.helloCh
+	if !ok {
+		return fabric.Hello{}, fmt.Errorf("tcpgob: listener closed before a coordinator connected")
+	}
+	return h, nil
+}
+
+func (s *ShardConn) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.helloOnce.Do(func() { close(s.helloCh) })
+			return
+		}
+		go s.handleConn(newLink(conn))
+	}
+}
+
+// handleConn demultiplexes one inbound connection: the first frame names
+// the dialer (coordinator session or peer transfer stream), the rest is
+// that stream's traffic.
+func (s *ShardConn) handleConn(l *link) {
+	first, err := l.read()
+	if err != nil {
+		l.conn.Close()
+		return
+	}
+	switch first.Kind {
+	case kHelloCoord:
+		h := first.Hello
+		if h.Shard != s.shard || (s.shards > 0 && h.Shards != s.shards) {
+			// A session for a different position than this daemon was
+			// started for: refuse loudly rather than corrupt ownership.
+			l.conn.Close()
+			return
+		}
+		// Install the session state inside the once: only the first (real)
+		// coordinator may touch it — a later duplicate must not hijack the
+		// live session's retire/ack path — and it must be fully installed
+		// before Accept can return the Hello, or a fast node could start
+		// forwarding walkers against a nil peer table.
+		delivered := false
+		s.helloOnce.Do(func() {
+			s.coordMu.Lock()
+			s.coord = l
+			s.coordMu.Unlock()
+			s.peerMu.Lock()
+			s.peerAddrs = h.Peers
+			s.peerMu.Unlock()
+			s.helloCh <- h
+			delivered = true
+		})
+		if !delivered {
+			// Second coordinator: single-session semantics.
+			l.conn.Close()
+			return
+		}
+		s.readCoord(l)
+	case kHelloPeer:
+		for {
+			f, err := l.read()
+			if err != nil || f.Kind != kWalker {
+				l.conn.Close()
+				return
+			}
+			s.walkers.Push(&f.Walker)
+		}
+	default:
+		l.conn.Close()
+	}
+}
+
+// readCoord drains the coordinator stream until shutdown or EOF, either
+// of which ends the session: the local mailboxes close (drain-then-stop)
+// so the node's loops wind down.
+func (s *ShardConn) readCoord(l *link) {
+	for {
+		f, err := l.read()
+		if err != nil {
+			s.sessionDown()
+			return
+		}
+		switch f.Kind {
+		case kWalker:
+			s.walkers.Push(&f.Walker)
+		case kUpdates:
+			s.ingests.Push(&fabric.Ingest{Ups: f.Ups})
+		case kBarrier:
+			in := f.Ingest
+			s.ingests.Push(&in)
+		case kShutdown:
+			s.sessionDown()
+			return
+		}
+	}
+}
+
+func (s *ShardConn) sessionDown() {
+	s.downOnce.Do(func() {
+		s.walkers.Close()
+		s.ingests.Close()
+	})
+}
+
+// Shard returns this daemon's shard index.
+func (s *ShardConn) Shard() int { return s.shard }
+
+// NextWalker pops the next inbound walker.
+func (s *ShardConn) NextWalker() (*fabric.Walker, bool) { return s.walkers.Pop() }
+
+// NextIngest pops the next ingest-stream element.
+func (s *ShardConn) NextIngest() (*fabric.Ingest, bool) { return s.ingests.Pop() }
+
+// peerLink returns (dialing lazily) the transfer stream toward shard dst.
+func (s *ShardConn) peerLink(dst int) (*link, error) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if l, ok := s.peers[dst]; ok {
+		return l, nil
+	}
+	if dst < 0 || dst >= len(s.peerAddrs) {
+		return nil, fmt.Errorf("tcpgob: no peer address for shard %d", dst)
+	}
+	conn, err := net.Dial("tcp", s.peerAddrs[dst])
+	if err != nil {
+		return nil, fmt.Errorf("tcpgob: dialing peer shard %d: %w", dst, err)
+	}
+	l := newLink(conn)
+	if err := l.write(&frame{Kind: kHelloPeer, From: s.shard}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.peers[dst] = l
+	return l, nil
+}
+
+// ForwardWalker hands a walker to peer shard dst.
+func (s *ShardConn) ForwardWalker(dst int, w *fabric.Walker) error {
+	l, err := s.peerLink(dst)
+	if err != nil {
+		return err
+	}
+	return l.write(&frame{Kind: kWalker, Walker: *w})
+}
+
+func (s *ShardConn) coordLink() (*link, error) {
+	s.coordMu.Lock()
+	defer s.coordMu.Unlock()
+	if s.coord == nil {
+		return nil, fmt.Errorf("tcpgob: no coordinator session")
+	}
+	return s.coord, nil
+}
+
+// Retire sends a finished walker back to the coordinator.
+func (s *ShardConn) Retire(w *fabric.Walker) error {
+	l, err := s.coordLink()
+	if err != nil {
+		return err
+	}
+	return l.write(&frame{Kind: kRetire, Walker: *w})
+}
+
+// Ack sends a barrier acknowledgement to the coordinator.
+func (s *ShardConn) Ack(a *fabric.Ack) error {
+	l, err := s.coordLink()
+	if err != nil {
+		return err
+	}
+	return l.write(&frame{Kind: kAck, Ack: *a})
+}
+
+// Close releases the daemon's end: peer streams, the coordinator
+// connection (whose EOF is the shard-done signal the coordinator's event
+// stream waits for), and the listener. Idempotent.
+func (s *ShardConn) Close() error {
+	s.closeOnce.Do(func() {
+		s.sessionDown()
+		s.peerMu.Lock()
+		for _, l := range s.peers {
+			l.conn.Close()
+		}
+		s.peerMu.Unlock()
+		s.coordMu.Lock()
+		if s.coord != nil {
+			s.coord.conn.Close()
+		}
+		s.coordMu.Unlock()
+		s.ln.Close()
+		s.helloOnce.Do(func() { close(s.helloCh) })
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side
+
+// CoordConn is the coordinator's end of a session across a set of shard
+// daemons. It implements fabric.CoordPort.
+type CoordConn struct {
+	links  []*link
+	events *fabric.Mailbox[fabric.Event]
+
+	mu      sync.Mutex
+	readers int
+	closed  bool
+}
+
+// Dial opens a session: it connects to every daemon address in shard
+// order and sends each its Hello (hello.Shard and hello.Peers are filled
+// in per shard from addrs). The daemons must already be listening.
+func Dial(addrs []string, hello fabric.Hello) (*CoordConn, error) {
+	c := &CoordConn{
+		links:   make([]*link, len(addrs)),
+		events:  fabric.NewMailbox[fabric.Event](),
+		readers: len(addrs),
+	}
+	hello.Shards = len(addrs)
+	hello.Peers = addrs
+	for i, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.abort(i)
+			return nil, fmt.Errorf("tcpgob: dialing shard %d at %s: %w", i, addr, err)
+		}
+		l := newLink(conn)
+		h := hello
+		h.Shard = i
+		if err := l.write(&frame{Kind: kHelloCoord, Hello: h}); err != nil {
+			conn.Close()
+			c.abort(i)
+			return nil, fmt.Errorf("tcpgob: hello to shard %d: %w", i, err)
+		}
+		c.links[i] = l
+	}
+	for _, l := range c.links {
+		go c.readShard(l)
+	}
+	return c, nil
+}
+
+// abort closes the links dialed so far ([0, n)) after a Dial failure.
+func (c *CoordConn) abort(n int) {
+	for i := 0; i < n; i++ {
+		c.links[i].conn.Close()
+	}
+	c.events.Close()
+}
+
+// readShard pumps one daemon's retires and acks into the event stream.
+// When the last reader exits (daemons close their connections after
+// draining, post-shutdown), the event stream closes. A reader exiting
+// *before* Close means a daemon died mid-session: the fabric is
+// single-session, so the whole session is over — every link is closed so
+// the remaining readers unblock and the coordinator's event loop can
+// fail whatever is pending instead of waiting forever.
+func (c *CoordConn) readShard(l *link) {
+	defer func() {
+		l.conn.Close()
+		c.mu.Lock()
+		c.readers--
+		last := c.readers == 0
+		closed := c.closed
+		c.mu.Unlock()
+		if !closed {
+			for _, peer := range c.links {
+				peer.conn.Close()
+			}
+		}
+		if last {
+			c.events.Close()
+		}
+	}()
+	for {
+		f, err := l.read()
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case kRetire:
+			c.events.Push(fabric.Event{Kind: fabric.EvRetire, Walker: &f.Walker})
+		case kAck:
+			c.events.Push(fabric.Event{Kind: fabric.EvAck, Ack: &f.Ack})
+		}
+	}
+}
+
+// Shards returns the session's shard count.
+func (c *CoordConn) Shards() int { return len(c.links) }
+
+// LaunchWalker starts a walker on shard dst.
+func (c *CoordConn) LaunchWalker(dst int, w *fabric.Walker) error {
+	return c.links[dst].write(&frame{Kind: kWalker, Walker: *w})
+}
+
+// PublishUpdates appends a routed sub-batch to shard dst's ingest stream.
+func (c *CoordConn) PublishUpdates(dst int, ups []graph.Update) error {
+	return c.links[dst].write(&frame{Kind: kUpdates, Ups: ups})
+}
+
+// PublishBarrier appends a barrier token to every shard's ingest stream.
+func (c *CoordConn) PublishBarrier(in fabric.Ingest) error {
+	var first error
+	for _, l := range c.links {
+		if err := l.write(&frame{Kind: kBarrier, Ingest: in}); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NextEvent pops the next retire or ack.
+func (c *CoordConn) NextEvent() (fabric.Event, bool) { return c.events.Pop() }
+
+// Close ends the session: a shutdown frame goes to every daemon, which
+// drains its queues, retires its last walkers, and closes its connection;
+// the event stream ends when the last connection does. A read deadline
+// bounds teardown against a wedged daemon (single-session semantics: no
+// reconnects, no retries).
+func (c *CoordConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, l := range c.links {
+		l.write(&frame{Kind: kShutdown})
+		l.conn.SetReadDeadline(deadline)
+	}
+	return nil
+}

@@ -1,0 +1,496 @@
+package walk
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// ErrFabricDown is returned by coordinator-side calls whose shard fabric
+// session ended before the reply arrived (a daemon died or the transport
+// failed — the fabric is single-session, so the service is over).
+var ErrFabricDown = errors.New("walk: shard fabric session ended")
+
+// coordinator is the front half of a sharded serving runtime over any
+// shard fabric: it launches walkers (queries and bulk runs), routes feed
+// batches by owner shard, pushes sync barriers, and consumes the event
+// stream (retires and acks) to complete them. ShardedLiveService runs it
+// over the in-process fabric; RemoteService runs the identical logic over
+// a wire fabric — the coordinator cannot tell the difference, which is
+// the point of the extraction.
+type coordinator struct {
+	port fabric.CoordPort
+	plan ShardPlan
+	cfg  ShardedLiveConfig
+
+	feed   chan coordMsg
+	master *xrand.RNG // Split-only after construction (reads, no state advance)
+	idSeq  atomic.Uint64
+	barSeq atomic.Uint64
+
+	// sendMu serializes Query/Feed/Sync/DeepWalk senders against Close,
+	// exactly as in LiveService: senders hold it in read mode across
+	// their enqueue.
+	sendMu sync.RWMutex
+	closed bool
+
+	pending sync.WaitGroup // in-flight walkers (queries and bulk)
+	routing sync.WaitGroup // router loop
+	evloop  sync.WaitGroup // event loop
+
+	// mu guards the pending-completion tables the event loop resolves,
+	// and the dead flag that fences new registrations once it has exited.
+	mu      sync.Mutex
+	dead    bool // event stream ended; nothing will ever complete again
+	replies map[uint64]chan []graph.VertexID
+	bulks   map[uint64]*bulkRun
+	syncs   map[uint64]*barrierWait
+	acks    []fabric.Ack // latest ack per shard (cumulative tallies)
+
+	queries, steps, batches, transfers, local atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// coordMsg is one element of the coordinator's feed queue: an update
+// batch to route, or a barrier to push (the shared queue is what orders
+// barriers after every batch accepted before them).
+type coordMsg struct {
+	ups []graph.Update
+	bar *barrierWait
+}
+
+// barrierWait tracks one barrier's acknowledgements.
+type barrierWait struct {
+	seq       uint64
+	dump      bool
+	remaining int
+	err       error
+	edges     [][]graph.Edge // per shard, dump barriers only
+	done      chan struct{}
+}
+
+// bulkRun aggregates one DeepWalk invocation across its walkers.
+type bulkRun struct {
+	steps, transfers, local atomic.Int64
+	visits                  *visitCounter
+	wg                      sync.WaitGroup
+}
+
+func newCoordinator(port fabric.CoordPort, plan ShardPlan, cfg ShardedLiveConfig) *coordinator {
+	c := &coordinator{
+		port:    port,
+		plan:    plan,
+		cfg:     cfg,
+		feed:    make(chan coordMsg, cfg.QueueDepth),
+		master:  xrand.New(cfg.Seed),
+		replies: map[uint64]chan []graph.VertexID{},
+		bulks:   map[uint64]*bulkRun{},
+		syncs:   map[uint64]*barrierWait{},
+		acks:    make([]fabric.Ack, plan.Shards),
+	}
+	c.routing.Add(1)
+	go c.routerLoop()
+	c.evloop.Add(1)
+	go c.eventLoop()
+	return c
+}
+
+func (c *coordinator) setErr(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// Err returns the first error the coordinator observed through acks (nil
+// if none). The in-process service prefers its nodes' own records; the
+// remote service has only this.
+func (c *coordinator) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// routerLoop splits each feed batch by owner shard, preserving per-source
+// order (single router, FIFO per-shard publish streams), and forwards
+// barriers to every shard ordered after the batches before them.
+func (c *coordinator) routerLoop() {
+	defer c.routing.Done()
+	for m := range c.feed {
+		if m.bar != nil {
+			if err := c.port.PublishBarrier(fabric.Ingest{Barrier: m.bar.seq, Dump: m.bar.dump}); err != nil {
+				c.setErr(err)
+			}
+			continue
+		}
+		c.batches.Add(1)
+		parts := make([][]graph.Update, c.plan.Shards)
+		for _, up := range m.ups {
+			o := c.plan.Owner(up.Src)
+			parts[o] = append(parts[o], up)
+		}
+		for i, p := range parts {
+			if len(p) > 0 {
+				if err := c.port.PublishUpdates(i, p); err != nil {
+					c.setErr(err)
+				}
+			}
+		}
+	}
+}
+
+// eventLoop consumes retires and acks until the fabric's event stream
+// ends, then fails whatever is still pending (a clean Close leaves
+// nothing pending; a dead session must not leave callers blocked).
+func (c *coordinator) eventLoop() {
+	defer c.evloop.Done()
+	for {
+		ev, ok := c.port.NextEvent()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case fabric.EvRetire:
+			c.onRetire(ev.Walker)
+		case fabric.EvAck:
+			c.onAck(ev.Ack)
+		}
+	}
+	c.failPending()
+}
+
+func (c *coordinator) onRetire(w *fabric.Walker) {
+	c.steps.Add(w.Steps)
+	c.transfers.Add(w.Transfers)
+	c.local.Add(w.Local)
+	if w.Failed {
+		c.setErr(ErrFabricDown)
+	}
+	c.mu.Lock()
+	if reply, ok := c.replies[w.ID]; ok {
+		delete(c.replies, w.ID)
+		c.mu.Unlock()
+		c.queries.Add(1)
+		if w.Failed {
+			reply <- nil // Query maps a nil path to ErrFabricDown
+		} else {
+			reply <- w.Path
+		}
+		c.pending.Done()
+		return
+	}
+	run, ok := c.bulks[w.ID]
+	if ok {
+		delete(c.bulks, w.ID)
+	}
+	c.mu.Unlock()
+	if ok {
+		run.steps.Add(w.Steps)
+		run.transfers.Add(w.Transfers)
+		run.local.Add(w.Local)
+		if run.visits != nil {
+			for _, v := range w.Path {
+				run.visits.bump(v)
+			}
+		}
+		run.wg.Done()
+		c.pending.Done()
+	}
+}
+
+func (c *coordinator) onAck(a *fabric.Ack) {
+	if a.Err != "" {
+		c.setErr(errors.New(a.Err))
+	}
+	c.mu.Lock()
+	if a.Shard >= 0 && a.Shard < len(c.acks) {
+		// Cache the scalar tallies only: a dump barrier's edge snapshot
+		// (already handed to its barrierWait below) must not stay live in
+		// the session-long table.
+		cached := *a
+		cached.Edges = nil
+		c.acks[a.Shard] = cached
+	}
+	bw := c.syncs[a.Seq]
+	if bw != nil {
+		if a.Err != "" && bw.err == nil {
+			bw.err = errors.New(a.Err)
+		}
+		if bw.edges != nil && a.Shard >= 0 && a.Shard < len(bw.edges) {
+			bw.edges[a.Shard] = a.Edges
+		}
+		bw.remaining--
+		if bw.remaining <= 0 {
+			delete(c.syncs, a.Seq)
+			close(bw.done)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// failPending unblocks every caller still waiting when the event stream
+// dies: queries get a nil path (their Query call maps it to
+// ErrFabricDown), bulk runs and barriers complete with the error. It
+// also marks the coordinator dead under the same lock registrations take,
+// so no later caller can register into a table nothing will ever resolve.
+func (c *coordinator) failPending() {
+	c.mu.Lock()
+	c.dead = true
+	replies := c.replies
+	bulks := c.bulks
+	syncs := c.syncs
+	c.replies = map[uint64]chan []graph.VertexID{}
+	c.bulks = map[uint64]*bulkRun{}
+	c.syncs = map[uint64]*barrierWait{}
+	c.mu.Unlock()
+	for _, ch := range replies {
+		ch <- nil
+		c.pending.Done()
+	}
+	for _, run := range bulks {
+		run.wg.Done()
+		c.pending.Done()
+	}
+	for _, bw := range syncs {
+		if bw.err == nil {
+			bw.err = ErrFabricDown
+		}
+		close(bw.done)
+	}
+	if len(replies)+len(bulks)+len(syncs) > 0 {
+		c.setErr(ErrFabricDown)
+	}
+}
+
+// Query walks from start for up to length steps (<= 0 selects the
+// configured default) and returns the visited path, start included. The
+// walk begins on the shard owning start and follows the walker-transfer
+// topology; the call blocks until the walker retires.
+func (c *coordinator) Query(start graph.VertexID, length int) ([]graph.VertexID, error) {
+	if length <= 0 {
+		length = c.cfg.WalkLength
+	}
+	c.sendMu.RLock()
+	if c.closed {
+		c.sendMu.RUnlock()
+		return nil, ErrLiveClosed
+	}
+	id := c.idSeq.Add(1)
+	path := make([]graph.VertexID, 1, length+1)
+	path[0] = start
+	wk := &fabric.Walker{
+		ID:     id,
+		Cur:    start,
+		Left:   length,
+		Rng:    c.master.Split(id).State(),
+		Record: true,
+		Path:   path,
+	}
+	reply := make(chan []graph.VertexID, 1)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		c.sendMu.RUnlock()
+		return nil, ErrFabricDown
+	}
+	// pending.Add must happen before the registration is visible: the
+	// matching Done comes from the event loop (retire or failPending),
+	// which may run the instant the lock is released.
+	c.pending.Add(1)
+	c.replies[id] = reply
+	c.mu.Unlock()
+	if err := c.port.LaunchWalker(c.plan.Owner(start), wk); err != nil {
+		c.mu.Lock()
+		if _, still := c.replies[id]; still {
+			delete(c.replies, id)
+			c.pending.Done()
+		}
+		c.mu.Unlock()
+		c.sendMu.RUnlock()
+		return nil, err
+	}
+	c.sendMu.RUnlock()
+	p := <-reply
+	if p == nil {
+		return nil, ErrFabricDown
+	}
+	return p, nil
+}
+
+// Feed enqueues a batch for routed ingestion. It blocks when the feed
+// queue is full (backpressure) and returns ErrLiveClosed after Close. The
+// batch slice is owned by the coordinator once accepted; per-source order
+// across Feed calls is preserved shard-side (the LiveService contract).
+func (c *coordinator) Feed(ups []graph.Update) error {
+	c.sendMu.RLock()
+	defer c.sendMu.RUnlock()
+	if c.closed {
+		return ErrLiveClosed
+	}
+	c.feed <- coordMsg{ups: ups}
+	return nil
+}
+
+// barrier pushes a sync (optionally dump) barrier through the feed queue
+// and blocks until every shard acknowledged it.
+func (c *coordinator) barrier(dump bool) (*barrierWait, error) {
+	c.sendMu.RLock()
+	if c.closed {
+		c.sendMu.RUnlock()
+		return nil, ErrLiveClosed
+	}
+	bw := &barrierWait{
+		seq:       c.barSeq.Add(1),
+		dump:      dump,
+		remaining: c.plan.Shards,
+		done:      make(chan struct{}),
+	}
+	if dump {
+		bw.edges = make([][]graph.Edge, c.plan.Shards)
+	}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		c.sendMu.RUnlock()
+		return nil, ErrFabricDown
+	}
+	c.syncs[bw.seq] = bw
+	c.mu.Unlock()
+	c.feed <- coordMsg{bar: bw}
+	c.sendMu.RUnlock()
+	<-bw.done
+	return bw, nil
+}
+
+// Sync blocks until every feed batch accepted before the call has been
+// applied (or dropped) on its shards, then reports the first ingest
+// error observed anywhere.
+func (c *coordinator) Sync() error {
+	bw, err := c.barrier(false)
+	if err != nil {
+		return err
+	}
+	if bw.err != nil {
+		return bw.err
+	}
+	return c.Err()
+}
+
+// DumpEdges drives a dump barrier: it returns every shard's live edge
+// multiset as of a point after all previously accepted feed batches
+// (the read-back path distributed verification is built on).
+func (c *coordinator) DumpEdges() ([][]graph.Edge, error) {
+	bw, err := c.barrier(true)
+	if err != nil {
+		return nil, err
+	}
+	return bw.edges, bw.err
+}
+
+// DeepWalk runs a bulk first-order walk through the sharded runtime while
+// the feed keeps ingesting: every start becomes a transferable walker
+// with its own RNG stream. numVertices is the caller's view of the
+// current vertex space (default start set and visit-tally sizing).
+//
+// Visit counting rides on walker paths: a CountVisits run makes every
+// walker record its hops and the coordinator folds them into the tally at
+// retire, which is what lets the identical protocol cross a process
+// boundary (shards share no counter). The cost is O(len(starts) × Length)
+// transient path memory across in-flight walkers — bound the start set
+// for visit-counting runs over very large graphs.
+func (c *coordinator) DeepWalk(cfg Config, numVertices int) (Result, TransferStats, error) {
+	cfg = cfg.withDefaults(numVertices)
+	starts := cfg.Starts
+	if starts == nil {
+		starts = make([]graph.VertexID, numVertices)
+		for i := range starts {
+			starts[i] = graph.VertexID(i)
+		}
+	}
+	run := &bulkRun{}
+	if cfg.CountVisits {
+		run.visits = newVisitCounter(numVertices)
+	}
+	bulkMaster := xrand.New(cfg.Seed)
+
+	c.sendMu.RLock()
+	if c.closed {
+		c.sendMu.RUnlock()
+		return Result{}, TransferStats{}, ErrLiveClosed
+	}
+	// Register every walker before launching any: a retire must never
+	// find its run missing. The Adds precede the registrations for the
+	// same reason as in Query: failPending may Done them the instant the
+	// lock drops.
+	ids := make([]uint64, len(starts))
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		c.sendMu.RUnlock()
+		return Result{}, TransferStats{}, ErrFabricDown
+	}
+	run.wg.Add(len(starts))
+	c.pending.Add(len(starts))
+	for i := range starts {
+		ids[i] = c.idSeq.Add(1)
+		c.bulks[ids[i]] = run
+	}
+	c.mu.Unlock()
+	for i, st := range starts {
+		if run.visits != nil {
+			run.visits.bump(st)
+		}
+		wk := &fabric.Walker{
+			ID:     ids[i],
+			Cur:    st,
+			Left:   cfg.Length,
+			Rng:    bulkMaster.Split(uint64(i)).State(),
+			Record: cfg.CountVisits,
+		}
+		if err := c.port.LaunchWalker(c.plan.Owner(st), wk); err != nil {
+			c.setErr(err)
+			c.mu.Lock()
+			if _, still := c.bulks[ids[i]]; still {
+				delete(c.bulks, ids[i])
+				run.wg.Done()
+				c.pending.Done()
+			}
+			c.mu.Unlock()
+		}
+	}
+	c.sendMu.RUnlock()
+	run.wg.Wait()
+
+	res := Result{Walkers: len(starts), Steps: run.steps.Load()}
+	if run.visits != nil {
+		res.Visits = run.visits.snapshot()
+	}
+	return res, TransferStats{Transfers: run.transfers.Load(), Local: run.local.Load()}, nil
+}
+
+// Close drains the feed (queued batches are routed and applied), waits
+// for every in-flight walker to retire, ends the fabric session, and
+// waits for the event stream to wind down. Idempotent.
+func (c *coordinator) Close() error {
+	c.sendMu.Lock()
+	first := !c.closed
+	if first {
+		c.closed = true
+		close(c.feed)
+	}
+	c.sendMu.Unlock()
+	if first {
+		c.routing.Wait() // every accepted batch published
+		c.pending.Wait() // every accepted walker retired
+		c.port.Close()
+	}
+	c.evloop.Wait()
+	return c.Err()
+}

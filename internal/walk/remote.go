@@ -1,0 +1,142 @@
+package walk
+
+import (
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/graph"
+)
+
+// RemoteService drives a sharded serving session whose shard nodes live
+// behind a fabric the coordinator cannot see into — in practice N
+// `bingowalk -shard-serve` daemons reached over the tcpgob fabric. It is
+// the exact coordinator ShardedLiveService runs in-process; only the port
+// differs. One machine's lock domains become N processes' address spaces,
+// and the API stays Query/Feed/Sync/DeepWalk.
+//
+// Because the shards are remote, ingest-side counters (Updates, Dropped)
+// and the grown vertex space are observed through barrier acks: they are
+// exact as of the last Sync (every ack carries cumulative tallies), not
+// continuously live the way the in-process service's are.
+//
+// Backpressure caveat: only the coordinator's feed queue bounds Feed.
+// Past it, batches drain to the sockets and queue unbounded daemon-side
+// (a bounded ingest mailbox there would stall walker delivery on the
+// shared connection). A feeder that persistently outruns the daemons'
+// apply rate therefore grows daemon memory; pace the feed or Sync
+// periodically (credited ingest acks are a ROADMAP item).
+type RemoteService struct {
+	coord *coordinator
+	verts int // construction-time vertex space (acks can only widen it)
+}
+
+// NewRemoteService starts a coordinator over the given fabric port.
+// numVertices is the construction-time vertex space (the daemons size
+// their engines from the same session Hello); the plan must match the
+// geometry announced to the daemons. The service takes ownership of the
+// port: Close ends the session.
+func NewRemoteService(port fabric.CoordPort, plan ShardPlan, numVertices int, cfg ShardedLiveConfig) (*RemoteService, error) {
+	cfg = cfg.withDefaults(plan.Shards)
+	return &RemoteService{
+		coord: newCoordinator(port, plan, cfg),
+		verts: numVertices,
+	}, nil
+}
+
+// Shards returns the partition count.
+func (s *RemoteService) Shards() int { return s.coord.plan.Shards }
+
+// Plan returns the partition geometry.
+func (s *RemoteService) Plan() ShardPlan { return s.coord.plan }
+
+// NumVertices returns the widest vertex space observed across the shard
+// daemons (exact as of the last Sync; at least the construction-time
+// space).
+func (s *RemoteService) NumVertices() int {
+	n := s.verts
+	s.coord.mu.Lock()
+	for _, a := range s.coord.acks {
+		if a.Vertices > n {
+			n = a.Vertices
+		}
+	}
+	s.coord.mu.Unlock()
+	return n
+}
+
+// Query walks from start for up to length steps (<= 0 selects the
+// configured default) across the shard daemons and returns the visited
+// path, start included.
+func (s *RemoteService) Query(start graph.VertexID, length int) ([]graph.VertexID, error) {
+	return s.coord.Query(start, length)
+}
+
+// Feed enqueues a batch for routed ingestion across the daemons
+// (backpressure via the feed queue; ErrLiveClosed after Close).
+func (s *RemoteService) Feed(ups []graph.Update) error {
+	return s.coord.Feed(ups)
+}
+
+// Bootstrap ships a snapshot to the daemons through the fabric itself:
+// each shard's rows travel as routed update batches (the wire analogue
+// of BootstrapShards), and a confirming barrier makes the call return
+// only once every daemon holds exactly the rows it owns. Shared by
+// Engine.ServeRemote, the CLI -connect path, and the bench tcp transport
+// so bootstrap semantics cannot drift between them.
+func (s *RemoteService) Bootstrap(g *graph.CSR) error {
+	for _, part := range s.coord.plan.PartitionCSR(g) {
+		if len(part) == 0 {
+			continue
+		}
+		if err := s.Feed(part); err != nil {
+			return err
+		}
+	}
+	return s.Sync()
+}
+
+// Sync blocks until every feed batch accepted before the call has been
+// applied (or dropped) on its daemons, then reports the first ingest
+// error observed anywhere. It also refreshes the ack-carried tallies
+// Stats and NumVertices read.
+func (s *RemoteService) Sync() error { return s.coord.Sync() }
+
+// DeepWalk runs a bulk first-order walk across the shard daemons while
+// the feed keeps ingesting.
+func (s *RemoteService) DeepWalk(cfg Config) (Result, TransferStats, error) {
+	return s.coord.DeepWalk(cfg, s.NumVertices())
+}
+
+// DumpEdges reads back every daemon's live edge multiset (indexed by
+// shard), consistent with all feed batches accepted before the call —
+// the verification path the loopback differential harness uses to match
+// a distributed session against a sequential replay edge-for-edge.
+func (s *RemoteService) DumpEdges() ([][]graph.Edge, error) {
+	return s.coord.DumpEdges()
+}
+
+// Stats snapshots the service counters. Walk-side counters accumulate as
+// walkers retire; Updates and Dropped are exact as of the last Sync.
+func (s *RemoteService) Stats() ShardedLiveStats {
+	st := ShardedLiveStats{
+		Queries:   s.coord.queries.Load(),
+		Steps:     s.coord.steps.Load(),
+		Batches:   s.coord.batches.Load(),
+		Transfers: s.coord.transfers.Load(),
+		Local:     s.coord.local.Load(),
+	}
+	s.coord.mu.Lock()
+	for _, a := range s.coord.acks {
+		st.Updates += a.Updates
+		st.Dropped += a.Dropped
+	}
+	s.coord.mu.Unlock()
+	return st
+}
+
+// Err returns the first error observed through barrier acks (nil if
+// none).
+func (s *RemoteService) Err() error { return s.coord.Err() }
+
+// Close drains the feed, waits for in-flight walkers, ends the session
+// (the daemons drain, report, and exit), and returns the first observed
+// error. Idempotent.
+func (s *RemoteService) Close() error { return s.coord.Close() }

@@ -1,0 +1,90 @@
+package walk_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bingo-rw/bingo/internal/concurrent"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/fabric/tcpgob"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/walk"
+)
+
+// TestRemoteServiceSessionDeath pins the dead-session contract: when a
+// shard daemon dies mid-session (its connection drops without a
+// shutdown), the whole single-session fabric is over — in-flight and
+// *subsequent* Sync/Query/Close calls must fail promptly instead of
+// blocking forever on acks and retires that will never arrive.
+func TestRemoteServiceSessionDeath(t *testing.T) {
+	const shards = 2
+	conns := make([]*tcpgob.ShardConn, shards)
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		sc, err := tcpgob.Listen("127.0.0.1:0", i, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = sc
+		addrs[i] = sc.Addr().String()
+	}
+	// Shard 1 is a healthy node; shard 0 accepts the session and then
+	// "crashes" (closes everything without serving).
+	go func() {
+		hello, err := conns[1].Accept()
+		if err != nil {
+			return
+		}
+		s, err := core.New(hello.NumVertices, core.DefaultConfig())
+		if err != nil {
+			return
+		}
+		e := concurrent.Wrap(s, concurrent.Config{})
+		plan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
+		walk.RunShardNode(e, plan, 1, conns[1], 1)
+		conns[1].Close()
+	}()
+	go func() {
+		if _, err := conns[0].Accept(); err != nil {
+			return
+		}
+		conns[0].Close()
+	}()
+
+	const verts = 64
+	plan := walk.NewShardPlan(verts, shards)
+	port, err := tcpgob.Dial(addrs, fabric.Hello{RangeSize: plan.RangeSize, NumVertices: verts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := walk.NewRemoteService(port, plan, verts, walk.ShardedLiveConfig{WalkLength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything below must complete well inside the test timeout: the
+	// dead shard never acks the bootstrap barrier, so only the
+	// death-propagation path can unblock these calls.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := svc.Feed([]graph.Update{{Op: graph.OpInsert, Src: 1, Dst: 2, Bias: 1}}); err != nil {
+			t.Logf("Feed after death: %v", err)
+		}
+		if err := svc.Sync(); err == nil {
+			t.Error("Sync on a dead session returned nil")
+		}
+		if _, err := svc.Query(1, 4); err == nil {
+			t.Error("Query on a dead session returned nil error")
+		}
+		if err := svc.Close(); err == nil {
+			t.Error("Close on a dead session returned nil")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("dead session left callers blocked")
+	}
+}

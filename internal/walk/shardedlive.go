@@ -3,11 +3,9 @@ package walk
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"github.com/bingo-rw/bingo/internal/fabric/inproc"
 	"github.com/bingo-rw/bingo/internal/graph"
-	"github.com/bingo-rw/bingo/internal/xrand"
 )
 
 // ShardedLiveService is the multi-lock-domain serving runtime: N per-shard
@@ -21,13 +19,13 @@ import (
 //
 //   - Walkers, not sampling structures, move. A query walk starts on the
 //     shard owning its start vertex, advances while it remains on owned
-//     vertices, and is handed to the owning shard's inbox the moment it
-//     crosses a partition boundary ("transferring walkers has the light
-//     burden of communication").
+//     vertices, and is handed to the owning shard the moment it crosses a
+//     partition boundary ("transferring walkers has the light burden of
+//     communication").
 //   - Feed batches pass through a single router that splits them by
-//     Owner(Src) and enqueues the pieces on per-shard ingest queues. One
+//     Owner(Src) and publishes the pieces on per-shard ingest streams. One
 //     router plus one ingester per shard keeps per-source order: all of a
-//     source's updates land on one queue, in feed order.
+//     source's updates land on one stream, in feed order.
 //   - Ownership is total over the vertex-ID space (ShardPlan is
 //     block-cyclic), so engines growing their vertex space under the feed
 //     never produce an out-of-range owner. A walker stepping onto a vertex
@@ -35,35 +33,21 @@ import (
 //     the same dead-end the unsharded engine reports before the inserting
 //     batch lands.
 //
-// Inboxes are unbounded and replies are buffered, so circular forwarding
-// between shards cannot deadlock. Close drains the feed, waits for
-// in-flight walkers, and stops the crews.
+// Since the shard-fabric extraction, the service is literally a
+// coordinator plus N shard nodes wired over the in-process fabric
+// (internal/fabric/inproc): all cross-shard communication — walker
+// hand-offs, routed update publishes, barriers, retires — flows through
+// fabric ports, and the identical coordinator/node logic runs across
+// processes over the TCP fabric (RemoteService, `bingowalk -shard-serve`).
+// Walker delivery is unbounded and retires never block, so circular
+// forwarding between shards cannot deadlock. Close drains the feed, waits
+// for in-flight walkers, and stops the crews.
 type ShardedLiveService struct {
 	engines []LiveEngine
+	nodes   []*shardNode
+	coord   *coordinator
 	plan    ShardPlan
 	cfg     ShardedLiveConfig
-
-	feed    chan shardBatch
-	ingests []chan shardBatch
-	inboxes []*inbox[*liveWalker]
-
-	master *xrand.RNG // Split-only after construction (reads, no state advance)
-	seq    atomic.Uint64
-
-	// sendMu serializes Query/Feed/Sync senders against Close, exactly as
-	// in LiveService: senders hold it in read mode across their enqueue.
-	sendMu sync.RWMutex
-	closed bool
-
-	pending sync.WaitGroup // in-flight walkers (queries and bulk)
-	crews   sync.WaitGroup // shard walker goroutines
-	routing sync.WaitGroup // router + per-shard ingesters
-
-	errMu     sync.Mutex
-	ingestErr error
-
-	queries, steps, batches, updates, dropped atomic.Int64
-	transfers, local                          atomic.Int64
 }
 
 // ShardedLiveConfig parameterizes a ShardedLiveService.
@@ -115,64 +99,28 @@ func (s ShardedLiveStats) TransferRatio() float64 {
 	return float64(s.Transfers) / float64(s.Transfers+s.Local)
 }
 
-// shardBatch is a routed feed element: a sub-batch of updates, or a sync
-// barrier (ups nil, ack non-nil) that every ingester acknowledges.
-type shardBatch struct {
-	ups []graph.Update
-	ack *sync.WaitGroup
-}
-
-// liveWalker is the walk state handed between shard crews. Exactly one
-// crew owns it at a time; the inbox hand-off publishes it to the next.
-type liveWalker struct {
-	cur  graph.VertexID
-	left int // hops remaining
-	r    *xrand.RNG
-
-	path  []graph.VertexID      // accumulated visits (queries)
-	reply chan []graph.VertexID // non-nil for queries
-	bulk  *bulkRun              // non-nil for bulk walks
-	steps int64                 // hops taken so far (bulk accounting)
-}
-
-// bulkRun aggregates one DeepWalk invocation across its walkers.
-type bulkRun struct {
-	steps, transfers, local atomic.Int64
-	visits                  *visitCounter
-	wg                      sync.WaitGroup
-}
-
 // NewShardedLiveService starts the shard crews, the ingest router, and one
-// ingester per shard. engines[i] must already hold exactly the rows of the
-// vertices plan assigns to shard i (see ShardPlan.PartitionCSR) and be
-// safe for concurrent sampling and updating (e.g. concurrent.Engine).
-// The service takes ownership of the engines.
+// ingester per shard, wired over the in-process shard fabric. engines[i]
+// must already hold exactly the rows of the vertices plan assigns to shard
+// i (see ShardPlan.PartitionCSR) and be safe for concurrent sampling and
+// updating (e.g. concurrent.Engine). The service takes ownership of the
+// engines.
 func NewShardedLiveService(engines []LiveEngine, plan ShardPlan, cfg ShardedLiveConfig) (*ShardedLiveService, error) {
 	if len(engines) == 0 || len(engines) != plan.Shards {
 		return nil, fmt.Errorf("walk: %d shard engines for a %d-shard plan", len(engines), plan.Shards)
 	}
 	cfg = cfg.withDefaults(plan.Shards)
+	fab := inproc.New(plan.Shards, cfg.QueueDepth)
 	s := &ShardedLiveService{
 		engines: engines,
+		nodes:   make([]*shardNode, plan.Shards),
 		plan:    plan,
 		cfg:     cfg,
-		feed:    make(chan shardBatch, cfg.QueueDepth),
-		ingests: make([]chan shardBatch, plan.Shards),
-		inboxes: make([]*inbox[*liveWalker], plan.Shards),
-		master:  xrand.New(cfg.Seed),
 	}
-	for i := 0; i < plan.Shards; i++ {
-		s.ingests[i] = make(chan shardBatch, cfg.QueueDepth)
-		s.inboxes[i] = newInbox[*liveWalker]()
-		for w := 0; w < cfg.WalkersPerShard; w++ {
-			s.crews.Add(1)
-			go s.crewLoop(i)
-		}
-		s.routing.Add(1)
-		go s.ingestLoop(i)
+	for i := range engines {
+		s.nodes[i] = startShardNode(engines[i], plan, i, fab.ShardPort(i), cfg.WalkersPerShard)
 	}
-	s.routing.Add(1)
-	go s.routerLoop()
+	s.coord = newCoordinator(fab.CoordPort(), plan, cfg)
 	return s, nil
 }
 
@@ -194,144 +142,12 @@ func (s *ShardedLiveService) NumVertices() int {
 	return n
 }
 
-// crewLoop is one walker of a shard's crew: it pops walkers from the
-// shard's inbox, advances them while they stay on owned vertices, and
-// forwards them on boundary crossings.
-func (s *ShardedLiveService) crewLoop(shard int) {
-	defer s.crews.Done()
-	e := s.engines[shard]
-	for {
-		wk, ok := s.inboxes[shard].pop()
-		if !ok {
-			return
-		}
-		var segSteps, segTransfers, segLocal int64
-		forwarded := false
-		for wk.left > 0 {
-			next, sampled := e.Sample(wk.cur, wk.r)
-			if !sampled {
-				break
-			}
-			segSteps++
-			wk.steps++
-			wk.left--
-			wk.cur = next
-			if wk.path != nil {
-				wk.path = append(wk.path, next)
-			}
-			if wk.bulk != nil && wk.bulk.visits != nil {
-				wk.bulk.visits.bump(next)
-			}
-			// Forward only walkers with hops left — a finished walker
-			// retires wherever its last hop landed.
-			if owner := s.plan.Owner(next); owner != shard && wk.left > 0 {
-				segTransfers++
-				if wk.bulk != nil {
-					wk.bulk.transfers.Add(1)
-				}
-				s.inboxes[owner].push(wk)
-				forwarded = true
-				break
-			}
-			segLocal++
-			if wk.bulk != nil {
-				wk.bulk.local.Add(1)
-			}
-		}
-		s.steps.Add(segSteps)
-		s.transfers.Add(segTransfers)
-		s.local.Add(segLocal)
-		if forwarded {
-			continue
-		}
-		if wk.reply != nil {
-			s.queries.Add(1)
-			wk.reply <- wk.path
-		}
-		if wk.bulk != nil {
-			wk.bulk.steps.Add(wk.steps)
-			wk.bulk.wg.Done()
-		}
-		s.pending.Done()
-	}
-}
-
-// routerLoop splits each feed batch by owner shard, preserving per-source
-// order (single router, FIFO per-shard queues, one ingester each).
-func (s *ShardedLiveService) routerLoop() {
-	defer s.routing.Done()
-	for b := range s.feed {
-		if b.ack != nil {
-			for i := range s.ingests {
-				s.ingests[i] <- b
-			}
-			continue
-		}
-		s.batches.Add(1)
-		parts := make([][]graph.Update, s.plan.Shards)
-		for _, up := range b.ups {
-			o := s.plan.Owner(up.Src)
-			parts[o] = append(parts[o], up)
-		}
-		for i, p := range parts {
-			if len(p) > 0 {
-				s.ingests[i] <- shardBatch{ups: p}
-			}
-		}
-	}
-	for i := range s.ingests {
-		close(s.ingests[i])
-	}
-}
-
-// ingestLoop applies one shard's routed sub-batches in arrival order.
-func (s *ShardedLiveService) ingestLoop(shard int) {
-	defer s.routing.Done()
-	e := s.engines[shard]
-	for b := range s.ingests[shard] {
-		if b.ack != nil {
-			b.ack.Done()
-			continue
-		}
-		if err := e.ApplyUpdates(b.ups); err != nil {
-			s.dropped.Add(1)
-			s.errMu.Lock()
-			if s.ingestErr == nil {
-				s.ingestErr = err
-			}
-			s.errMu.Unlock()
-			continue
-		}
-		s.updates.Add(int64(len(b.ups)))
-	}
-}
-
 // Query walks from start for up to length steps (<= 0 selects the
 // configured default) and returns the visited path, start included. The
 // walk begins on the shard owning start and follows the walker-transfer
 // topology across shards; it blocks until the walker retires.
 func (s *ShardedLiveService) Query(start graph.VertexID, length int) ([]graph.VertexID, error) {
-	if length <= 0 {
-		length = s.cfg.WalkLength
-	}
-	s.sendMu.RLock()
-	if s.closed {
-		s.sendMu.RUnlock()
-		return nil, ErrLiveClosed
-	}
-	path := make([]graph.VertexID, 1, length+1)
-	path[0] = start
-	wk := &liveWalker{
-		cur:   start,
-		left:  length,
-		r:     s.master.Split(s.seq.Add(1)),
-		path:  path,
-		reply: make(chan []graph.VertexID, 1),
-	}
-	s.pending.Add(1)
-	s.inboxes[s.plan.Owner(start)].push(wk)
-	s.sendMu.RUnlock()
-	return <-wk.reply, nil
+	return s.coord.Query(start, length)
 }
 
 // Feed enqueues a batch for routed ingestion. It blocks when the feed
@@ -340,29 +156,20 @@ func (s *ShardedLiveService) Query(start graph.VertexID, length int) ([]graph.Ve
 // across Feed calls is preserved shard-side as long as the caller submits
 // each source's updates in order (the LiveService contract, unchanged).
 func (s *ShardedLiveService) Feed(ups []graph.Update) error {
-	s.sendMu.RLock()
-	defer s.sendMu.RUnlock()
-	if s.closed {
-		return ErrLiveClosed
-	}
-	s.feed <- shardBatch{ups: ups}
-	return nil
+	return s.coord.Feed(ups)
 }
 
 // Sync blocks until every feed batch accepted before the call has been
 // applied (or dropped) on its shards, then reports the first ingest error.
 // It is the barrier between "fed" and "visible to walkers".
 func (s *ShardedLiveService) Sync() error {
-	s.sendMu.RLock()
-	if s.closed {
-		s.sendMu.RUnlock()
-		return ErrLiveClosed
+	bw, err := s.coord.barrier(false)
+	if err != nil {
+		return err
 	}
-	var ack sync.WaitGroup
-	ack.Add(s.plan.Shards)
-	s.feed <- shardBatch{ack: &ack}
-	s.sendMu.RUnlock()
-	ack.Wait()
+	if bw.err != nil {
+		return bw.err
+	}
 	return s.Err()
 }
 
@@ -371,67 +178,35 @@ func (s *ShardedLiveService) Sync() error {
 // its own RNG stream. It returns the run's own result and transfer stats
 // (service counters accumulate them too).
 func (s *ShardedLiveService) DeepWalk(cfg Config) (Result, TransferStats, error) {
-	cfg = cfg.withDefaults(s.NumVertices())
-	starts := cfg.Starts
-	if starts == nil {
-		n := s.NumVertices()
-		starts = make([]graph.VertexID, n)
-		for i := range starts {
-			starts[i] = graph.VertexID(i)
-		}
-	}
-	run := &bulkRun{}
-	if cfg.CountVisits {
-		run.visits = newVisitCounter(s.NumVertices())
-	}
-	bulkMaster := xrand.New(cfg.Seed)
-
-	s.sendMu.RLock()
-	if s.closed {
-		s.sendMu.RUnlock()
-		return Result{}, TransferStats{}, ErrLiveClosed
-	}
-	run.wg.Add(len(starts))
-	s.pending.Add(len(starts))
-	for i, st := range starts {
-		if run.visits != nil {
-			run.visits.bump(st)
-		}
-		s.inboxes[s.plan.Owner(st)].push(&liveWalker{
-			cur:  st,
-			left: cfg.Length,
-			r:    bulkMaster.Split(uint64(i)),
-			bulk: run,
-		})
-	}
-	s.sendMu.RUnlock()
-	run.wg.Wait()
-
-	res := Result{Walkers: len(starts), Steps: run.steps.Load()}
-	if run.visits != nil {
-		res.Visits = run.visits.snapshot()
-	}
-	return res, TransferStats{Transfers: run.transfers.Load(), Local: run.local.Load()}, nil
+	return s.coord.DeepWalk(cfg, s.NumVertices())
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters. Walk-side counters
+// (Steps, Transfers, Local) are read live from the shard nodes; Queries
+// and Batches from the coordinator.
 func (s *ShardedLiveService) Stats() ShardedLiveStats {
-	return ShardedLiveStats{
-		Queries:   s.queries.Load(),
-		Steps:     s.steps.Load(),
-		Batches:   s.batches.Load(),
-		Updates:   s.updates.Load(),
-		Dropped:   s.dropped.Load(),
-		Transfers: s.transfers.Load(),
-		Local:     s.local.Load(),
+	st := ShardedLiveStats{
+		Queries: s.coord.queries.Load(),
+		Batches: s.coord.batches.Load(),
 	}
+	for _, n := range s.nodes {
+		st.Steps += n.steps.Load()
+		st.Transfers += n.transfers.Load()
+		st.Local += n.local.Load()
+		st.Updates += n.updates.Load()
+		st.Dropped += n.dropped.Load()
+	}
+	return st
 }
 
 // Err returns the first ingest error observed (nil if none).
 func (s *ShardedLiveService) Err() error {
-	s.errMu.Lock()
-	defer s.errMu.Unlock()
-	return s.ingestErr
+	for _, n := range s.nodes {
+		if err := n.firstErr(); err != nil {
+			return err
+		}
+	}
+	return s.coord.Err()
 }
 
 // Close drains the feed (queued batches are applied), waits for every
@@ -439,20 +214,9 @@ func (s *ShardedLiveService) Err() error {
 // the first ingest error. Close is idempotent; Query, Feed, Sync, and
 // DeepWalk fail with ErrLiveClosed afterwards.
 func (s *ShardedLiveService) Close() error {
-	s.sendMu.Lock()
-	first := !s.closed
-	if first {
-		s.closed = true
-		close(s.feed)
+	s.coord.Close()
+	for _, n := range s.nodes {
+		n.wait()
 	}
-	s.sendMu.Unlock()
-	if first {
-		s.routing.Wait() // router + ingesters drained
-		s.pending.Wait() // every accepted walker retired
-		for _, b := range s.inboxes {
-			b.close()
-		}
-	}
-	s.crews.Wait()
 	return s.Err()
 }

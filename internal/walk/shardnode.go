@@ -1,0 +1,212 @@
+package walk
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// shardNode hosts one shard's engine behind a fabric port: a crew of
+// walker goroutines drains the walker stream (advance while on owned
+// vertices, forward on boundary crossings, retire to the coordinator),
+// and a single ingester drains the ordered ingest stream (apply batches,
+// acknowledge barriers). The same node logic runs inside the in-process
+// ShardedLiveService and inside a `bingowalk -shard-serve` daemon — the
+// fabric is the only thing that changes.
+type shardNode struct {
+	e     LiveEngine
+	plan  ShardPlan
+	shard int
+	port  fabric.ShardPort
+
+	loops sync.WaitGroup // crews + ingester
+	done  sync.WaitGroup // loops + the port-close watcher
+
+	steps, transfers, local atomic.Int64
+	updates, dropped        atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// EdgeDumper is the optional LiveEngine capability behind the fabric's
+// dump barrier: a consistent flattening of the engine's live edge
+// multiset. concurrent.Engine implements it; engines that don't simply
+// answer dump barriers without edges.
+type EdgeDumper interface {
+	DumpEdges() []graph.Edge
+}
+
+// startShardNode spawns the node's crew and ingester. When both have
+// exited (the coordinator closed the session and the queues drained), the
+// node closes its port — the shard-done signal the coordinator's event
+// stream waits for.
+func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int) *shardNode {
+	if crew < 1 {
+		crew = 1
+	}
+	n := &shardNode{e: e, plan: plan, shard: shard, port: port}
+	n.loops.Add(crew + 1)
+	for i := 0; i < crew; i++ {
+		go n.crewLoop()
+	}
+	go n.ingestLoop()
+	n.done.Add(1)
+	go func() {
+		defer n.done.Done()
+		n.loops.Wait()
+		n.port.Close()
+	}()
+	return n
+}
+
+// wait blocks until the node has fully wound down (port closed).
+func (n *shardNode) wait() { n.done.Wait() }
+
+func (n *shardNode) setErr(err error) {
+	n.errMu.Lock()
+	if n.err == nil {
+		n.err = err
+	}
+	n.errMu.Unlock()
+}
+
+func (n *shardNode) firstErr() error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return n.err
+}
+
+// crewLoop is one walker of the shard's crew. A popped walker is advanced
+// while it stays on owned vertices; its RNG stream is materialized from
+// the carried state and re-serialized before the walker leaves this
+// address space (forward or retire), so the stream continues draw-for-draw
+// wherever the walker lands next.
+func (n *shardNode) crewLoop() {
+	defer n.loops.Done()
+	for {
+		wk, ok := n.port.NextWalker()
+		if !ok {
+			return
+		}
+		r := xrand.FromState(wk.Rng)
+		var segSteps, segTransfers, segLocal int64
+		forwarded := false
+		for wk.Left > 0 {
+			next, sampled := n.e.Sample(wk.Cur, r)
+			if !sampled {
+				break
+			}
+			segSteps++
+			wk.Steps++
+			wk.Left--
+			wk.Cur = next
+			if wk.Record {
+				wk.Path = append(wk.Path, next)
+			}
+			// Forward only walkers with hops left — a finished walker
+			// retires wherever its last hop landed.
+			if owner := n.plan.Owner(next); owner != n.shard && wk.Left > 0 {
+				segTransfers++
+				wk.Transfers++
+				wk.Rng = r.State()
+				if err := n.port.ForwardWalker(owner, wk); err != nil {
+					// The peer stream is gone (single-session fabric, no
+					// reconnects): retire the walker as failed so the
+					// coordinator unblocks its caller with an error
+					// instead of passing off a truncated walk.
+					n.setErr(err)
+					wk.Failed = true
+					break
+				}
+				forwarded = true
+				break
+			}
+			segLocal++
+			wk.Local++
+		}
+		n.steps.Add(segSteps)
+		n.transfers.Add(segTransfers)
+		n.local.Add(segLocal)
+		if forwarded {
+			continue
+		}
+		wk.Rng = r.State()
+		if err := n.port.Retire(wk); err != nil {
+			n.setErr(err)
+		}
+	}
+}
+
+// ingestLoop applies the shard's routed sub-batches in arrival order and
+// acknowledges barriers with the node's cumulative tallies (the ack is
+// what makes distributed ingest progress observable at the coordinator).
+func (n *shardNode) ingestLoop() {
+	defer n.loops.Done()
+	for {
+		in, ok := n.port.NextIngest()
+		if !ok {
+			return
+		}
+		if in.IsBarrier() {
+			a := &fabric.Ack{
+				Shard:    n.shard,
+				Seq:      in.Barrier,
+				Updates:  n.updates.Load(),
+				Dropped:  n.dropped.Load(),
+				Vertices: n.e.NumVertices(),
+			}
+			if err := n.firstErr(); err != nil {
+				a.Err = err.Error()
+			}
+			if in.Dump {
+				if d, ok := n.e.(EdgeDumper); ok {
+					a.Edges = d.DumpEdges()
+				}
+			}
+			if err := n.port.Ack(a); err != nil {
+				n.setErr(err)
+			}
+			continue
+		}
+		if err := n.e.ApplyUpdates(in.Ups); err != nil {
+			n.dropped.Add(1)
+			n.setErr(err)
+			continue
+		}
+		n.updates.Add(int64(len(in.Ups)))
+	}
+}
+
+// ShardNodeStats summarizes one hosted shard's activity (daemon telemetry).
+type ShardNodeStats struct {
+	Steps, Transfers, Local int64
+	Updates, Dropped        int64
+	Vertices                int
+	Edges                   int64
+}
+
+// RunShardNode hosts engine e as shard `shard` of plan behind the given
+// fabric port: crew walker goroutines plus one ingester, exactly the
+// node half of ShardedLiveService. It blocks until the coordinator ends
+// the session (or the fabric fails), then reports the node's tallies and
+// the first ingest error. This is the body of `bingowalk -shard-serve`.
+func RunShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int) (ShardNodeStats, error) {
+	n := startShardNode(e, plan, shard, port, crew)
+	n.wait()
+	st := ShardNodeStats{
+		Steps:     n.steps.Load(),
+		Transfers: n.transfers.Load(),
+		Local:     n.local.Load(),
+		Updates:   n.updates.Load(),
+		Dropped:   n.dropped.Load(),
+		Vertices:  e.NumVertices(),
+	}
+	if ne, ok := e.(interface{ NumEdges() int64 }); ok {
+		st.Edges = ne.NumEdges()
+	}
+	return st, n.firstErr()
+}

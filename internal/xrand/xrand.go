@@ -60,6 +60,28 @@ func (r *RNG) Split(i uint64) *RNG {
 	return New(splitmix64(&x))
 }
 
+// State is the full serializable generator state. It exists so a walker's
+// RNG stream can cross a process boundary (the shard fabric hands walker
+// state, not generator pointers, between shards) and resume exactly where
+// it left off: FromState(r.State()) continues r's stream draw-for-draw.
+type State struct {
+	S0, S1, S2, S3 uint64
+}
+
+// State captures the generator's current state.
+func (r *RNG) State() State { return State{r.s0, r.s1, r.s2, r.s3} }
+
+// FromState reconstructs a generator from a captured state. The all-zero
+// state (never produced by a valid generator, but representable on the
+// wire) is mapped to the state New(0) would produce rather than the
+// absorbing zero state.
+func FromState(st State) *RNG {
+	if st.S0|st.S1|st.S2|st.S3 == 0 {
+		return New(0)
+	}
+	return &RNG{s0: st.S0, s1: st.S1, s2: st.S2, s3: st.S3}
+}
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
 	res := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0

@@ -7,8 +7,13 @@ package bingo
 // epoch protocol and its guarantees.
 
 import (
+	"fmt"
+	"runtime"
+
 	"github.com/bingo-rw/bingo/internal/concurrent"
 	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/fabric/tcpgob"
 	"github.com/bingo-rw/bingo/internal/walk"
 )
 
@@ -360,3 +365,183 @@ func (sw *ShardedLiveWalker) Stats() ShardedLiveStats {
 // Close drains the feed, waits for in-flight walkers, stops the shard
 // crews, and returns the first ingest error. Idempotent.
 func (sw *ShardedLiveWalker) Close() error { return sw.svc.Close() }
+
+// ---------------------------------------------------------------------------
+// Multi-process serving (shard daemons over the TCP fabric)
+
+// RemoteOptions configure ServeRemote.
+type RemoteOptions struct {
+	// QueueDepth buffers the coordinator's feed queue (default 256); a
+	// full queue makes Feed block (backpressure).
+	QueueDepth int
+	// WalkLength is the default for Query length <= 0 (default 80).
+	WalkLength int
+	// Seed makes query RNG streams reproducible.
+	Seed uint64
+}
+
+// RemoteWalker serves walk queries across a set of shard-daemon
+// processes: the same coordinator ShardedLiveWalker runs in-process,
+// driving walker transfers, routed feeds, and sync barriers over the TCP
+// shard fabric instead of channels. The API mirrors ShardedLiveWalker;
+// ingest-side counters (Updates, Dropped) are exact as of the last Sync,
+// since the shards report them through barrier acknowledgements.
+type RemoteWalker struct {
+	svc       *walk.RemoteService
+	floatMode bool
+}
+
+// ServeRemote partitions the engine's current graph across one shard
+// daemon per address (each a `bingowalk -shard-serve` process, already
+// listening) and starts a serving session: every daemon receives the
+// partition geometry and engine spec, is fed exactly the rows it owns,
+// and the call returns once a sync barrier confirms the bootstrap landed.
+// The engine's graph is snapshotted at this call; feed later mutations
+// through the returned walker.
+func (e *Engine) ServeRemote(addrs []string, o RemoteOptions) (*RemoteWalker, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("bingo: ServeRemote needs at least one shard address")
+	}
+	g := e.s.Snapshot()
+	plan := walk.NewShardPlan(g.NumVertices(), len(addrs))
+	floatMode := e.s.Config().FloatBias
+	port, err := tcpgob.Dial(addrs, fabric.Hello{
+		RangeSize:   plan.RangeSize,
+		NumVertices: g.NumVertices(),
+		FloatBias:   floatMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := walk.NewRemoteService(port, plan, g.NumVertices(), walk.ShardedLiveConfig{
+		QueueDepth: o.QueueDepth,
+		WalkLength: o.WalkLength,
+		Seed:       o.Seed,
+	})
+	if err != nil {
+		port.Close()
+		return nil, err
+	}
+	if err := svc.Bootstrap(g); err != nil {
+		svc.Close()
+		return nil, fmt.Errorf("bingo: bootstrapping shards: %w", err)
+	}
+	return &RemoteWalker{svc: svc, floatMode: floatMode}, nil
+}
+
+// Shards returns the partition (daemon) count.
+func (rw *RemoteWalker) Shards() int { return rw.svc.Shards() }
+
+// NumVertices returns the widest vertex space observed across the shard
+// daemons (exact as of the last Sync).
+func (rw *RemoteWalker) NumVertices() int { return rw.svc.NumVertices() }
+
+// Query walks from start for up to length steps (<= 0 selects the
+// default) across the shard daemons and returns the visited path, start
+// included.
+func (rw *RemoteWalker) Query(start VertexID, length int) ([]VertexID, error) {
+	return rw.svc.Query(start, length)
+}
+
+// Feed enqueues updates; the coordinator routes them to their owner
+// daemons preserving per-source order. It blocks when the feed queue is
+// full and fails with an error after Close.
+func (rw *RemoteWalker) Feed(ups []Update) error {
+	internal, err := toInternalUpdates(rw.floatMode, ups)
+	if err != nil {
+		return err
+	}
+	return rw.svc.Feed(internal)
+}
+
+// Sync blocks until every batch accepted before the call is applied on
+// its daemons, then reports the first ingest error — and refreshes the
+// ack-carried tallies Stats reads.
+func (rw *RemoteWalker) Sync() error { return rw.svc.Sync() }
+
+// DeepWalk runs a bulk first-order walk across the shard daemons while
+// the feed keeps ingesting.
+func (rw *RemoteWalker) DeepWalk(o WalkOptions) (WalkResult, ShardedLiveStats, error) {
+	res, ts, err := rw.svc.DeepWalk(o.internal())
+	return fromWalk(res), ShardedLiveStats{Steps: res.Steps, Transfers: ts.Transfers, Local: ts.Local}, err
+}
+
+// Stats snapshots the session counters (Updates/Dropped as of the last
+// Sync).
+func (rw *RemoteWalker) Stats() ShardedLiveStats {
+	st := rw.svc.Stats()
+	return ShardedLiveStats{
+		Queries: st.Queries, Steps: st.Steps,
+		Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped,
+		Transfers: st.Transfers, Local: st.Local,
+	}
+}
+
+// Close ends the session: the feed drains, in-flight walkers retire, the
+// daemons wind down and exit their serving loop. Idempotent.
+func (rw *RemoteWalker) Close() error { return rw.svc.Close() }
+
+// ShardServeOptions configure ServeShard.
+type ShardServeOptions struct {
+	// Walkers is the hosted shard's crew size (default GOMAXPROCS — the
+	// daemon owns its process).
+	Walkers int
+	// Concurrency tunes the shard's concurrency wrapper (zero value =
+	// defaults).
+	Concurrency ConcurrentConfig
+	// OnListen, if non-nil, receives the bound listen address before the
+	// call blocks waiting for a coordinator (useful with ":0" ports).
+	OnListen func(addr string)
+}
+
+// ShardServeStats summarizes a completed shard-daemon session.
+type ShardServeStats struct {
+	Steps, Transfers, Local int64
+	Updates, Dropped        int64
+	Vertices                int
+	Edges                   int64
+}
+
+// ServeShard hosts one shard of a multi-process serving session: it
+// listens on addr, waits for a coordinator (an Engine.ServeRemote call
+// elsewhere) to open the session, builds a concurrent engine from the
+// announced spec, and serves walker transfers and routed ingest until the
+// coordinator closes the session. shard/shards are this daemon's claimed
+// position, validated against the coordinator's session (pass shards <= 0
+// to accept any count). This is the body of `bingowalk -shard-serve`.
+func ServeShard(addr string, shard, shards int, o ShardServeOptions) (ShardServeStats, error) {
+	sc, err := tcpgob.Listen(addr, shard, shards)
+	if err != nil {
+		return ShardServeStats{}, err
+	}
+	defer sc.Close()
+	if o.OnListen != nil {
+		o.OnListen(sc.Addr().String())
+	}
+	hello, err := sc.Accept()
+	if err != nil {
+		return ShardServeStats{}, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.FloatBias = hello.FloatBias
+	s, err := core.New(hello.NumVertices, cfg)
+	if err != nil {
+		return ShardServeStats{}, err
+	}
+	eng := concurrent.Wrap(s, concurrent.Config{
+		Stripes:        o.Concurrency.Stripes,
+		MaxStepRetries: o.Concurrency.MaxStepRetries,
+		Workers:        o.Concurrency.Workers,
+	})
+	walkers := o.Walkers
+	if walkers <= 0 {
+		walkers = runtime.GOMAXPROCS(0)
+	}
+	plan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
+	st, err := walk.RunShardNode(eng, plan, shard, sc, walkers)
+	return ShardServeStats{
+		Steps: st.Steps, Transfers: st.Transfers, Local: st.Local,
+		Updates: st.Updates, Dropped: st.Dropped,
+		Vertices: st.Vertices, Edges: st.Edges,
+	}, err
+}
