@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: all build vet test race bench bench-smoke distserve-smoke fuzz clean
+.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fuzz clean
 
 all: vet build test
 
@@ -10,13 +11,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Install the pinned tool with:
+#   go install honnef.co/go/tools/cmd/staticcheck@2024.1.1
+lint:
+	$(STATICCHECK) ./...
+
 test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-critical packages: the walk-while-ingest
-# engine, the core sampler it wraps, and the live service.
+# engine, the core sampler it wraps, the live service, and the wire
+# fabric (batched senders + multi-session listener).
 race:
-	$(GO) test -race ./internal/concurrent/ ./internal/core/ ./internal/walk/
+	$(GO) test -race ./internal/concurrent/ ./internal/core/ ./internal/walk/ ./internal/fabric/tcpgob/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -35,6 +35,7 @@ func main() {
 		apps     = flag.String("apps", "", "comma-separated apps for table3 (default DeepWalk,node2vec,PPR)")
 		jsonPath = flag.String("json", "BENCH_concurrent.json", "output path for the concurrent scenario's JSON report ('' disables)")
 		transp   = flag.String("transports", "", "comma-separated sharded-scenario transports (default inproc,tcp)")
+		cacheM   = flag.String("cache-modes", "", "comma-separated sharded-scenario hub-cache modes (default on,off)")
 		jsonSh   = flag.String("json-sharded", "BENCH_sharded.json", "output path for the sharded scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
@@ -72,6 +73,7 @@ func main() {
 	o.JSONPath = *jsonPath
 	o.ShardedJSONPath = *jsonSh
 	o.Transports = split(*transp)
+	o.CacheModes = split(*cacheM)
 	o.Verbose = *verbose
 
 	if err := bench.Run(*exp, o); err != nil {

@@ -57,20 +57,24 @@ func main() {
 		liveBatch = flag.Int("live-batch", 256, "feed batch size in -live mode")
 		shards    = flag.Int("shards", 1, "partition -live serving across N shard engines (walker-transfer topology)")
 		connect   = flag.String("connect", "", "comma-separated shard-daemon addresses: -live drives them over the TCP fabric instead of in-process shards")
-		shardSrv  = flag.Bool("shard-serve", false, "host one shard daemon: listen on -addr, serve one coordinator session, exit")
+		shardSrv  = flag.Bool("shard-serve", false, "host one shard daemon: listen on -addr and serve coordinator sessions (see -sessions)")
 		addr      = flag.String("addr", "127.0.0.1:0", "listen address for -shard-serve")
 		shardSpec = flag.String("shard", "0/1", "this daemon's position K/N for -shard-serve")
+		sessions  = flag.Int("sessions", 0, "coordinator sessions a -shard-serve daemon serves before exiting (0 = loop forever)")
+		cacheOff  = flag.Bool("hub-cache-off", false, "disable the hub-vertex view caches in the serving modes")
+		hubDeg    = flag.Int("hub-degree", 0, "hub-cache admission degree threshold (0 = default)")
 	)
 	flag.Parse()
 
+	hubCache := bingo.HubCacheOptions{Off: *cacheOff, MinDegree: *hubDeg}
 	if *shardSrv {
-		if err := runShardServe(*addr, *shardSpec, *workers); err != nil {
+		if err := runShardServe(*addr, *shardSpec, *workers, *sessions); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *live {
-		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect); err != nil {
+		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, hubCache); err != nil {
 			fail(err)
 		}
 		return
@@ -184,26 +188,35 @@ func fail(err error) {
 }
 
 // runShardServe is the -shard-serve mode: host one shard of a
-// multi-process serving session until the coordinator (a
-// `bingowalk -live -connect …` elsewhere) closes it. The listen address
-// is printed first so drivers can scrape it when -addr ends in ":0".
-func runShardServe(addr, spec string, workers int) error {
+// multi-process serving topology. Each coordinator session (a
+// `bingowalk -live -connect …` elsewhere) gets a fresh engine; after its
+// teardown the daemon loops back to accepting the next coordinator
+// Hello, for -sessions sessions (0 = forever). The listen address is
+// printed first so drivers can scrape it when -addr ends in ":0".
+func runShardServe(addr, spec string, workers, sessions int) error {
 	var k, n int
 	if _, err := fmt.Sscanf(spec, "%d/%d", &k, &n); err != nil || n < 1 || k < 0 || k >= n {
 		return fmt.Errorf("-shard %q: want K/N with 0 <= K < N", spec)
 	}
-	st, err := bingo.ServeShard(addr, k, n, bingo.ShardServeOptions{
-		Walkers: workers,
+	if sessions <= 0 {
+		sessions = -1 // serve until killed
+	}
+	_, err := bingo.ServeShard(addr, k, n, bingo.ShardServeOptions{
+		Walkers:  workers,
+		Sessions: sessions,
 		OnListen: func(a string) {
 			fmt.Printf("shard-serve: shard %d/%d listening on %s\n", k, n, a)
 		},
+		OnSession: func(i int, st bingo.ShardServeStats, err error) {
+			if err != nil {
+				fmt.Printf("shard-serve: session %d failed: %v\n", i, err)
+				return
+			}
+			fmt.Printf("shard-serve: session %d over: %d steps (%d transfers out, %d hub-cache hits, %d remote-view hops), %d updates applied (%d dropped), %d edges across %d vertices\n",
+				i, st.Steps, st.Transfers, st.Cache.LocalHits, st.Cache.RemoteHits, st.Updates, st.Dropped, st.Edges, st.Vertices)
+		},
 	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("shard-serve: session over: %d steps (%d transfers out), %d updates applied (%d dropped), %d edges across %d vertices\n",
-		st.Steps, st.Transfers, st.Updates, st.Dropped, st.Edges, st.Vertices)
-	return nil
+	return err
 }
 
 // liveServer abstracts the serving runtimes the -live mode can drive:
@@ -221,7 +234,7 @@ type liveServer interface {
 // the graph is 1-D partitioned across N engines and walks cross shard
 // boundaries by walker transfer (supplement §9.1); with -connect the
 // shards are separate daemon processes behind the TCP fabric.
-func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string) error {
+func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, hubCache bingo.HubCacheOptions) error {
 	g, err := loadGraph(graphPath, dataset, scale, seed)
 	if err != nil {
 		return err
@@ -242,6 +255,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		workers = 1 // the -workers contract: 0 = 1
 	}
 
+	cacheSpec := fabric.CacheSpec{Off: hubCache.Off, MinDegree: hubCache.MinDegree}
 	var svc liveServer
 	var single *concurrent.Engine
 	var sharded *walk.ShardedLiveService
@@ -253,6 +267,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		port, err := tcpgob.Dial(addrs, fabric.Hello{
 			RangeSize:   plan.RangeSize,
 			NumVertices: w.Initial.NumVertices(),
+			Cache:       cacheSpec,
 		})
 		if err != nil {
 			return err
@@ -286,7 +301,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			shardEngines[i] = e.(*concurrent.Engine)
 		}
 		sharded, err = walk.NewShardedLiveService(engines, plan, walk.ShardedLiveConfig{
-			WalkersPerShard: workers, WalkLength: length, Seed: seed,
+			WalkersPerShard: workers, WalkLength: length, Seed: seed, Cache: cacheSpec,
 		})
 		if err != nil {
 			return err
@@ -300,7 +315,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			return err
 		}
 		single = concurrent.Wrap(eng, concurrent.Config{})
-		svc = walk.NewLiveService(single, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed})
+		svc = walk.NewLiveService(single, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed, Cache: cacheSpec})
 		fmt.Printf("live: %d pool walkers, %d lock stripes, feeding %d updates in batches of %d\n",
 			workers, single.Stripes(), len(w.Updates), batchSize)
 	}
@@ -359,6 +374,8 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
 		fmt.Printf("walker transfer: %d cross-shard hand-offs, %d local steps (ratio %.3f)\n",
 			ls.Transfers, ls.Local, ls.TransferRatio())
+		fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
+			ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
 		fmt.Printf("final graph: %d vertices across %d shard daemons\n", remote.NumVertices(), remote.Shards())
 		return nil
 	}
@@ -369,6 +386,8 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
 		fmt.Printf("walker transfer: %d cross-shard hand-offs, %d local steps (ratio %.3f)\n",
 			ls.Transfers, ls.Local, ls.TransferRatio())
+		fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
+			ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
 		var edges, mem int64
 		for _, e := range shardEngines {
 			edges += e.NumEdges()
@@ -382,6 +401,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 	fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f queries/s, %.0f steps/s, %.0f updates/s\n",
 		float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
+	fmt.Printf("hub cache: %d lock-free hops, %d stale views refreshed\n", ls.CacheHits, ls.CacheStale)
 	fmt.Printf("final graph: %d edges, engine memory %.2f MB\n", single.NumEdges(), float64(single.Footprint())/1e6)
 	return nil
 }

@@ -58,9 +58,12 @@ func buildDaemonBinary(t *testing.T) string {
 // returned wait function blocks for (and asserts) a clean exit.
 func spawnShardDaemon(t *testing.T, bin string, shard, shards int) (string, func()) {
 	t.Helper()
+	// -sessions 1: the daemon default is to serve coordinator sessions
+	// indefinitely; the harness asserts a clean exit after this one.
 	cmd := exec.Command(bin,
 		"-shard-serve", "-addr", "127.0.0.1:0",
 		"-shard", fmt.Sprintf("%d/%d", shard, shards),
+		"-sessions", "1",
 		"-workers", "2")
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()

@@ -66,6 +66,9 @@ type Options struct {
 	// "inproc" (in-process fabric) and/or "tcp" (loopback tcpgob fabric).
 	// Nil means both.
 	Transports []string
+	// CacheModes filters the sharded scenario's hub-cache dimension:
+	// "on" and/or "off". Nil means both.
+	CacheModes []string
 	// Verbose adds progress lines.
 	Verbose bool
 
@@ -127,6 +130,14 @@ func (o *Options) normalize() error {
 	for _, tr := range o.Transports {
 		if tr != "inproc" && tr != "tcp" {
 			return fmt.Errorf("bench: unknown transport %q (want inproc or tcp)", tr)
+		}
+	}
+	if len(o.CacheModes) == 0 {
+		o.CacheModes = []string{"on", "off"}
+	}
+	for _, m := range o.CacheModes {
+		if m != "on" && m != "off" {
+			return fmt.Errorf("bench: unknown cache mode %q (want on or off)", m)
 		}
 	}
 	if o.graphCache == nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,17 +22,26 @@ import (
 
 // ShardedThroughput is the partitioned serving scenario: a client fleet
 // queries a sharded live service — N per-shard engines, ingest router,
-// cross-shard walker transfer — while a feeder paces update batches to a
-// target share of total operations. The grid sweeps shard count × update
-// load × *transport*: `inproc` runs the shards over the in-process fabric
-// (the ShardedLiveService channels), `tcp` runs the identical node and
+// cross-shard walker transfer, hub-view caches — while a feeder paces
+// update batches to a target share of total operations. The grid sweeps
+// shard count × update load × *transport* × *cache* × *workload*:
+// `inproc` runs the shards over the in-process fabric (the
+// ShardedLiveService channels), `tcp` runs the identical node and
 // coordinator logic over loopback TCP (the tcpgob fabric RemoteService
 // and the shard daemons speak), so the inproc→tcp delta is the measured
-// cost of crossing the wire. Emits BENCH_sharded.json for diffing runs.
+// cost of crossing the wire; cache `on`/`off` toggles the two hub-view
+// cache layers, so the off→on delta is the measured value of serving
+// hub hops lock-free and without hand-offs; workload `uniform` starts
+// walks anywhere, `hubskew` starts them on the highest-degree vertices
+// (the hub-revisit-heavy serving pattern the cache targets). Emits
+// BENCH_sharded.json for diffing runs.
 
-// ShardedSeries is one measured (transport, shards, load) grid cell.
+// ShardedSeries is one measured (workload, transport, cache, shards,
+// load) grid cell.
 type ShardedSeries struct {
+	Workload        string  `json:"workload"` // uniform | hubskew
 	Transport       string  `json:"transport"`
+	Cache           string  `json:"cache"` // on | off
 	Shards          int     `json:"shards"`
 	UpdateLoadPct   float64 `json:"update_load_pct"` // nominal target share
 	Walks           int64   `json:"walks"`
@@ -39,11 +49,16 @@ type ShardedSeries struct {
 	Updates         int64   `json:"updates"`
 	Transfers       int64   `json:"transfers"`
 	Local           int64   `json:"local"`
+	LocalHits       int64   `json:"local_hits"`  // crew-cache lock-free hops
+	RemoteHits      int64   `json:"remote_hits"` // hand-offs absorbed by remote views
+	LocalStale      int64   `json:"local_stale"`
+	ViewRequests    int64   `json:"view_requests"`
 	ElapsedSec      float64 `json:"elapsed_sec"`
 	WalksPerSec     float64 `json:"walks_per_sec"`
 	StepsPerSec     float64 `json:"steps_per_sec"`
 	UpdatesPerSec   float64 `json:"updates_per_sec"`
-	TransferRatio   float64 `json:"transfer_ratio"`    // transfers/(transfers+local)
+	TransferRatio   float64 `json:"transfer_ratio"`    // hand-offs per sampled hop: transfers/steps
+	LocalHitRate    float64 `json:"local_hit_rate"`    // local_hits/steps
 	AchievedLoadPct float64 `json:"achieved_load_pct"` // updates/(updates+steps)
 }
 
@@ -59,11 +74,16 @@ type ShardedReport struct {
 	Series     []ShardedSeries `json:"series"`
 }
 
-// shardedShards and shardedLoads span the measured grid (transports come
-// from Options.Transports).
+// shardedShards and the load vectors span the measured grid (transports
+// and cache modes come from Options). The hub-skewed workload measures
+// hop throughput under hub revisits, so it sweeps the lighter loads
+// only.
 var (
-	shardedShards = []int{1, 2, 4, 8}
-	shardedLoads  = []float64{0, 0.10, 0.50}
+	shardedShards      = []int{1, 2, 4, 8}
+	shardedLoads       = []float64{0, 0.10, 0.50}
+	shardedHubLoads    = []float64{0, 0.10}
+	shardedWorkloads   = []string{"uniform", "hubskew"}
+	shardedHubFraction = 0.01 // top-degree share forming the hub start set
 )
 
 // shardedMinWindow is the minimum measurement window: clients keep
@@ -104,26 +124,40 @@ func runSharded(o *Options) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
+	hubs := hubStarts(g)
 	tbl := newTable(o.Out)
-	tbl.row("transport", "shards", "update load", "walks/s", "steps/s", "updates/s", "transfer ratio", "achieved load")
-	for _, transport := range o.Transports {
-		for _, shards := range shardedShards {
-			for _, load := range shardedLoads {
-				ser, err := shardedCell(o, g, w, transport, shards, load, clients, walksPer)
-				if err != nil {
-					return fmt.Errorf("%s shards=%d load=%.0f%%: %w", transport, shards, load*100, err)
+	tbl.row("workload", "transport", "cache", "shards", "update load", "walks/s", "steps/s", "updates/s", "transfer ratio", "hit rate", "achieved load")
+	for _, workload := range shardedWorkloads {
+		loads := shardedLoads
+		var starts []graph.VertexID
+		if workload == "hubskew" {
+			loads = shardedHubLoads
+			starts = hubs
+		}
+		for _, transport := range o.Transports {
+			for _, cacheMode := range o.CacheModes {
+				for _, shards := range shardedShards {
+					for _, load := range loads {
+						ser, err := shardedCell(o, g, w, workload, transport, cacheMode, shards, load, clients, walksPer, starts)
+						if err != nil {
+							return fmt.Errorf("%s %s cache=%s shards=%d load=%.0f%%: %w", workload, transport, cacheMode, shards, load*100, err)
+						}
+						rep.Series = append(rep.Series, ser)
+						tbl.row(
+							ser.Workload,
+							ser.Transport,
+							ser.Cache,
+							fmt.Sprintf("%d", ser.Shards),
+							fmt.Sprintf("%.0f%%", ser.UpdateLoadPct),
+							fmt.Sprintf("%.0f", ser.WalksPerSec),
+							fmt.Sprintf("%.0f", ser.StepsPerSec),
+							fmt.Sprintf("%.0f", ser.UpdatesPerSec),
+							fmt.Sprintf("%.3f", ser.TransferRatio),
+							fmt.Sprintf("%.3f", ser.LocalHitRate),
+							fmt.Sprintf("%.1f%%", ser.AchievedLoadPct),
+						)
+					}
 				}
-				rep.Series = append(rep.Series, ser)
-				tbl.row(
-					ser.Transport,
-					fmt.Sprintf("%d", ser.Shards),
-					fmt.Sprintf("%.0f%%", ser.UpdateLoadPct),
-					fmt.Sprintf("%.0f", ser.WalksPerSec),
-					fmt.Sprintf("%.0f", ser.StepsPerSec),
-					fmt.Sprintf("%.0f", ser.UpdatesPerSec),
-					fmt.Sprintf("%.3f", ser.TransferRatio),
-					fmt.Sprintf("%.1f%%", ser.AchievedLoadPct),
-				)
 			}
 		}
 	}
@@ -152,14 +186,33 @@ type shardedService interface {
 	Close() error
 }
 
+// hubStarts returns the top-degree hub set (at least 8 vertices, at most
+// the top shardedHubFraction) the hub-skewed workload starts walks on.
+func hubStarts(g *graph.CSR) []graph.VertexID {
+	n := g.NumVertices()
+	ids := make([]graph.VertexID, n)
+	for i := range ids {
+		ids[i] = graph.VertexID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return g.Degree(ids[i]) > g.Degree(ids[j]) })
+	k := int(float64(n) * shardedHubFraction)
+	if k < 8 {
+		k = 8
+	}
+	if k > n {
+		k = n
+	}
+	return ids[:k]
+}
+
 // newShardedService builds a bootstrapped serving runtime for one cell on
 // the chosen transport. For tcp, the shard nodes run in-process but
 // behind real loopback sockets — the same frames, handshake, and
 // per-peer streams `bingowalk -shard-serve` daemons speak — so the cell
 // isolates wire cost without fork/exec noise.
-func newShardedService(o *Options, g *graph.CSR, transport string, shards, crew int) (shardedService, error) {
+func newShardedService(o *Options, g *graph.CSR, transport string, cache fabric.CacheSpec, shards, crew int) (shardedService, error) {
 	plan := walk.NewShardPlan(g.NumVertices(), shards)
-	cfg := walk.ShardedLiveConfig{WalkersPerShard: crew, WalkLength: o.WalkLength, Seed: o.Seed}
+	cfg := walk.ShardedLiveConfig{WalkersPerShard: crew, WalkLength: o.WalkLength, Seed: o.Seed, Cache: cache}
 	newEngine := func(numVertices int) (walk.LiveEngine, error) {
 		s, err := core.New(numVertices, o.bingoConfig())
 		if err != nil {
@@ -177,36 +230,37 @@ func newShardedService(o *Options, g *graph.CSR, transport string, shards, crew 
 		}
 		return walk.NewShardedLiveService(engines, plan, cfg)
 	case "tcp":
-		conns := make([]*tcpgob.ShardConn, shards)
+		listeners := make([]*tcpgob.Listener, shards)
 		addrs := make([]string, shards)
 		for i := 0; i < shards; i++ {
-			sc, err := tcpgob.Listen("127.0.0.1:0", i, shards)
+			l, err := tcpgob.Listen("127.0.0.1:0", i, shards)
 			if err != nil {
 				return nil, err
 			}
-			conns[i] = sc
-			addrs[i] = sc.Addr().String()
+			listeners[i] = l
+			addrs[i] = l.Addr().String()
 		}
 		for i := 0; i < shards; i++ {
 			go func(i int) {
-				hello, err := conns[i].Accept()
+				defer listeners[i].Close()
+				sc, hello, err := listeners[i].Accept()
 				if err != nil {
 					return
 				}
 				e, err := newEngine(hello.NumVertices)
 				if err != nil {
-					conns[i].Close()
+					sc.Close()
 					return
 				}
 				nodePlan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
-				walk.RunShardNode(e, nodePlan, i, conns[i], crew)
-				conns[i].Close()
+				walk.RunShardNode(e, nodePlan, i, sc, crew, hello.Cache)
 			}(i)
 		}
 		port, err := tcpgob.Dial(addrs, fabric.Hello{
 			RangeSize:   plan.RangeSize,
 			NumVertices: g.NumVertices(),
 			FloatBias:   o.bingoConfig().FloatBias,
+			Cache:       cache,
 		})
 		if err != nil {
 			return nil, err
@@ -225,14 +279,16 @@ func newShardedService(o *Options, g *graph.CSR, transport string, shards, crew 
 	}
 }
 
-// shardedCell measures one (transport, shards, load) point on fresh
-// engines (the feeder mutates the graph, so cells must not share state).
-func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, transport string, shards int, load float64, clients, walksPer int) (ShardedSeries, error) {
+// shardedCell measures one (workload, transport, cache, shards, load)
+// point on fresh engines (the feeder mutates the graph, so cells must
+// not share state). starts restricts walk starts (nil = whole space).
+func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, workload, transport, cacheMode string, shards int, load float64, clients, walksPer int, starts []graph.VertexID) (ShardedSeries, error) {
 	crew := clients / shards
 	if crew < 1 {
 		crew = 1
 	}
-	svc, err := newShardedService(o, g, transport, shards, crew)
+	cache := fabric.CacheSpec{Off: cacheMode == "off"}
+	svc, err := newShardedService(o, g, transport, cache, shards, crew)
 	if err != nil {
 		return ShardedSeries{}, err
 	}
@@ -314,7 +370,12 @@ func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, transport string, sh
 				if q >= walksPer && time.Since(start) >= shardedMinWindow {
 					return
 				}
-				st := graph.VertexID(r.Intn(g.NumVertices()))
+				var st graph.VertexID
+				if len(starts) > 0 {
+					st = starts[r.Intn(len(starts))]
+				} else {
+					st = graph.VertexID(r.Intn(g.NumVertices()))
+				}
 				if _, err := svc.Query(st, o.WalkLength); err != nil {
 					return
 				}
@@ -345,8 +406,14 @@ func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, transport string, sh
 	if st.Steps+updates > 0 {
 		achieved = float64(updates) / float64(st.Steps+updates)
 	}
+	hitRate := 0.0
+	if st.Steps > 0 {
+		hitRate = float64(st.Cache.LocalHits) / float64(st.Steps)
+	}
 	return ShardedSeries{
+		Workload:        workload,
 		Transport:       transport,
+		Cache:           cacheMode,
 		Shards:          shards,
 		UpdateLoadPct:   load * 100,
 		Walks:           walks.Load(),
@@ -354,11 +421,16 @@ func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, transport string, sh
 		Updates:         updates,
 		Transfers:       st.Transfers,
 		Local:           st.Local,
+		LocalHits:       st.Cache.LocalHits,
+		RemoteHits:      st.Cache.RemoteHits,
+		LocalStale:      st.Cache.LocalStale,
+		ViewRequests:    st.Cache.ViewRequests,
 		ElapsedSec:      elapsed.Seconds(),
 		WalksPerSec:     float64(walks.Load()) / elapsed.Seconds(),
 		StepsPerSec:     float64(st.Steps) / elapsed.Seconds(),
 		UpdatesPerSec:   float64(updates) / elapsed.Seconds(),
 		TransferRatio:   st.TransferRatio(),
+		LocalHitRate:    hitRate,
 		AchievedLoadPct: achieved * 100,
 	}, nil
 }

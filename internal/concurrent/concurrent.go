@@ -243,6 +243,49 @@ func (e *Engine) Validate(u graph.VertexID, epoch uint64) bool {
 	return epoch&1 == 0 && e.stripeOf(u).epoch.Load() == epoch
 }
 
+// ViewOf extracts a versioned immutable view of u's sampling state: the
+// core snapshot stamped with u's stripe epoch at extraction. The view
+// samples lock-free with the engine's exact probabilities for as long as
+// ValidateView holds; afterwards it must be dropped and re-extracted.
+// Extraction costs O(degree) — callers cache views of hot (hub) vertices,
+// where the copy amortizes over many lock-free draws.
+func (e *Engine) ViewOf(u graph.VertexID) *core.VertexView {
+	st := e.stripeOf(u)
+	st.mu.RLock()
+	ep := st.epoch.Load() // stable (even) while the read lock is held
+	vw := e.s.ViewOf(u)
+	st.mu.RUnlock()
+	vw.Epoch = ep
+	return &vw
+}
+
+// ValidateView reports whether vw still reflects its vertex's current
+// state: the stripe is stable and has not mutated since extraction.
+func (e *Engine) ValidateView(vw *core.VertexView) bool {
+	return e.Validate(vw.Vertex, vw.Epoch)
+}
+
+// SampleOrView is the cache-fill read path: one stripe acquisition that
+// draws a sample and, when u's degree is at least minDegree (a hub by the
+// caller's threshold), also extracts a versioned view for the caller to
+// cache — the sample is then drawn from the view itself, outside the
+// lock. minDegree <= 0 never extracts.
+func (e *Engine) SampleOrView(u graph.VertexID, minDegree int, r *xrand.RNG) (graph.VertexID, bool, *core.VertexView) {
+	st := e.stripeOf(u)
+	st.mu.RLock()
+	if minDegree > 0 && e.s.Degree(u) >= minDegree {
+		ep := st.epoch.Load()
+		vw := e.s.ViewOf(u)
+		st.mu.RUnlock()
+		vw.Epoch = ep
+		v, ok := vw.Sample(r)
+		return v, ok, &vw
+	}
+	v, ok := e.s.Sample(u, r)
+	st.mu.RUnlock()
+	return v, ok, nil
+}
+
 // Step draws one walk step from cur with epoch validation. The locked
 // sample is already linearizable on its own; what the validate-and-retry
 // adds is *freshness* — a step accepted on a clean epoch window reflects

@@ -1,0 +1,130 @@
+package concurrent
+
+import (
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+func newViewTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(16, core.DefaultConfig(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dst := graph.VertexID(1); dst <= 8; dst++ {
+		if err := e.Insert(0, dst, uint64(dst)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// TestViewEpochValidation pins the invalidation contract: a freshly
+// extracted view validates, and every mutation class on the vertex's
+// stripe — Insert, Delete, UpdateBias, ApplyBatch — invalidates it.
+func TestViewEpochValidation(t *testing.T) {
+	mutate := map[string]func(e *Engine) error{
+		"insert": func(e *Engine) error { return e.Insert(0, 9, 3) },
+		"delete": func(e *Engine) error { return e.Delete(0, 1) },
+		"update": func(e *Engine) error { return e.UpdateBias(0, 2, 77) },
+		"batch": func(e *Engine) error {
+			_, err := e.ApplyBatch([]graph.Update{{Op: graph.OpInsert, Src: 0, Dst: 10, Bias: 4}})
+			return err
+		},
+	}
+	for name, fn := range mutate {
+		t.Run(name, func(t *testing.T) {
+			e := newViewTestEngine(t)
+			vw := e.ViewOf(0)
+			if vw.Epoch&1 != 0 {
+				t.Fatalf("extracted view carries a busy epoch %d", vw.Epoch)
+			}
+			if !e.ValidateView(vw) {
+				t.Fatal("fresh view does not validate")
+			}
+			if err := fn(e); err != nil {
+				t.Fatal(err)
+			}
+			if e.ValidateView(vw) {
+				t.Fatal("view still validates after a mutation on its stripe")
+			}
+		})
+	}
+}
+
+// TestSampleOrView checks the single-acquisition cache-fill path: below
+// the degree threshold it behaves as a plain sample; at or above it the
+// returned view is stamped, validates, and samples the same distribution.
+func TestSampleOrView(t *testing.T) {
+	e := newViewTestEngine(t)
+	r := xrand.New(5)
+
+	if _, ok, vw := e.SampleOrView(0, 100, r); !ok || vw != nil {
+		t.Fatalf("degree 8 below threshold 100: ok=%v view=%v", ok, vw)
+	}
+	if _, ok, vw := e.SampleOrView(0, 0, r); !ok || vw != nil {
+		t.Fatalf("minDegree 0 must never extract: ok=%v view=%v", ok, vw)
+	}
+	v, ok, vw := e.SampleOrView(0, 4, r)
+	if !ok || vw == nil {
+		t.Fatalf("degree 8 at threshold 4: ok=%v view=%v", ok, vw)
+	}
+	if v == 0 || v > 8 {
+		t.Fatalf("sampled %d, not a neighbor", v)
+	}
+	if vw.Vertex != 0 || vw.Degree() != 8 {
+		t.Fatalf("view %+v does not describe vertex 0", vw)
+	}
+	if !e.ValidateView(vw) {
+		t.Fatal("fresh SampleOrView view does not validate")
+	}
+
+	// Edgeless vertex: no sample, no view.
+	if _, ok, vw := e.SampleOrView(15, 1, r); ok || vw != nil {
+		t.Fatalf("edgeless vertex: ok=%v view=%v", ok, vw)
+	}
+}
+
+// TestViewConcurrentSampling hammers view extraction, validation, and
+// lock-free sampling against a writer (run under -race to make the point).
+func TestViewConcurrentSampling(t *testing.T) {
+	e := newViewTestEngine(t)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			dst := graph.VertexID(9 + i%4)
+			if err := e.Insert(0, dst, 2); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := e.Delete(0, dst); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		r := xrand.New(uint64(w) + 1)
+		for i := 0; i < 2000; i++ {
+			vw := e.ViewOf(0)
+			if !e.ValidateView(vw) {
+				continue // writer got in between; view discarded
+			}
+			if _, ok := vw.Sample(r); !ok {
+				t.Fatal("validated view of a populated vertex has no mass")
+			}
+		}
+	}
+	close(stop)
+	<-done
+}

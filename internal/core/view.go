@@ -1,0 +1,239 @@
+package core
+
+import (
+	"github.com/bingo-rw/bingo/internal/bitutil"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// VertexView is an immutable snapshot of one vertex's full sampling state:
+// its adjacency columns, every non-empty radix group (kind, count, member
+// list), the decimal group, and the inter-group weights as a cumulative
+// distribution. A view samples with exactly the engine's probabilities —
+// stage (i) picks a group by weight, stage (ii) picks a member by the
+// group's own discipline — but touches no engine state doing it, so any
+// number of goroutines may sample one view concurrently, in this process
+// or (the fields are plain serializable data, so a view survives a gob
+// frame) in another one.
+//
+// Views are the unit of the hub caches layered above the engine: a walker
+// crew keeps hot vertices' views and samples lock-free, and a shard serves
+// hub hops for vertices it does not own from views its peers shipped over
+// the fabric. Both layers depend on knowing when a view went stale, so a
+// view is *versioned*: Epoch carries the per-stripe epoch of the
+// concurrent engine that extracted it (stamped by the wrapper — the core
+// sampler has no epochs), and remote carriers stamp Applied with the
+// owner's cumulative applied-update count. A view whose version no longer
+// validates must be dropped, never sampled.
+//
+// The inter-group stage uses a linear cumulative scan rather than a copy
+// of the alias table: the group count is O(K) ≈ log(max bias), the scan is
+// exact and allocation-free, and it keeps the wire form free of
+// unexported alias state.
+type VertexView struct {
+	// Vertex is the viewed vertex's ID.
+	Vertex graph.VertexID
+	// Epoch is the extracting engine's per-stripe epoch at extraction
+	// (even = stable). Zero on views extracted outside an epoch domain.
+	Epoch uint64
+	// Applied is the extracting node's cumulative applied-update count at
+	// extraction — the watermark remote caches validate against. Zero
+	// unless a shard node stamped it.
+	Applied int64
+	// RadixBits is the radix width the group IDs decode under.
+	RadixBits int
+	// Dsts is the adjacency destination column (Dsts[i] is neighbor i).
+	Dsts []graph.VertexID
+	// Bias is the integer bias column (dense groups reject over it).
+	Bias []uint64
+	// Rem is the float-mode remainder column (nil in integer mode).
+	Rem []float32
+	// Groups are the non-empty radix groups, in inter-table slot order:
+	// Groups[i] pairs with Cum[i].
+	Groups []ViewGroup
+	// Cum is the cumulative inter-group weight: Cum[i] is the total mass
+	// of slots 0..i, so Cum[len(Cum)-1] is the vertex's total mass. When
+	// Dec is set, the final entry belongs to the decimal group.
+	Cum []float64
+	// Dec reports whether the last Cum slot is the decimal group.
+	Dec bool
+	// DecList is the decimal group's member list (float mode only).
+	DecList []int32
+	// DecSum is the decimal group's total remainder mass.
+	DecSum float64
+}
+
+// ViewGroup is one radix group inside a view: enough of the group's
+// representation to sample a member uniformly, nothing an update path
+// would need (no inverted indices — views are never mutated).
+type ViewGroup struct {
+	GID   int16
+	Kind  GroupKind
+	Count int32
+	One   int32   // KindOne member
+	List  []int32 // KindSparse / KindRegular member list
+}
+
+// ViewOf extracts an immutable view of u's sampling state. It reads the
+// same structures Sample reads and nothing else, so it is safe under
+// exactly the conditions Sample is safe (no concurrent mutation of u's
+// row — the concurrent wrapper calls it under the vertex's stripe read
+// lock). A vertex outside the current space, or one with no sampleable
+// mass, yields a view whose Sample reports ok=false.
+func (s *Sampler) ViewOf(u graph.VertexID) VertexView {
+	vw := VertexView{Vertex: u, RadixBits: s.cfg.RadixBits}
+	if int(u) >= len(s.vx) {
+		return vw
+	}
+	vx := &s.vx[u]
+	if vx.dirty {
+		panic("core: ViewOf during unfinished batch update")
+	}
+	if len(vx.slots) == 0 {
+		return vw
+	}
+	vw.Dsts = append([]graph.VertexID(nil), s.adjs.DstRow(u)...)
+	vw.Bias = append([]uint64(nil), s.adjs.BiasRow(u)...)
+	if s.cfg.FloatBias {
+		vw.Rem = append([]float32(nil), s.adjs.RemRow(u)...)
+	}
+	cum := 0.0
+	for si, gi := range vx.slots {
+		cum += vx.wts[si]
+		vw.Cum = append(vw.Cum, cum)
+		if gi < 0 {
+			// The decimal group; rebuildInter appends it last, so the
+			// final Cum entry is its slot.
+			vw.Dec = true
+			vw.DecList = append([]int32(nil), vx.dec.list...)
+			vw.DecSum = vx.dec.sum
+			continue
+		}
+		g := &vx.groups[gi]
+		vg := ViewGroup{GID: g.gid, Kind: g.kind, Count: g.count, One: g.one}
+		if len(g.list) > 0 {
+			vg.List = append([]int32(nil), g.list...)
+		}
+		vw.Groups = append(vw.Groups, vg)
+	}
+	return vw
+}
+
+// Degree returns the viewed vertex's out-degree at extraction time.
+func (vw *VertexView) Degree() int { return len(vw.Dsts) }
+
+// Total returns the view's total sampling mass.
+func (vw *VertexView) Total() float64 {
+	if len(vw.Cum) == 0 {
+		return 0
+	}
+	return vw.Cum[len(vw.Cum)-1]
+}
+
+// Sample draws a neighbor with probability bias/Σbias from the snapshot —
+// the engine's two-stage draw replayed against frozen state. It is safe
+// for concurrent use by any number of goroutines (each with its own RNG)
+// and never allocates.
+func (vw *VertexView) Sample(r *xrand.RNG) (graph.VertexID, bool) {
+	n := len(vw.Cum)
+	if n == 0 {
+		return 0, false
+	}
+	total := vw.Cum[n-1]
+	if total <= 0 {
+		return 0, false
+	}
+	slot := 0
+	if n > 1 {
+		x := r.Float64() * total
+		for slot < n-1 && x >= vw.Cum[slot] {
+			slot++
+		}
+	}
+	var idx int32
+	if vw.Dec && slot == n-1 {
+		idx = vw.sampleDec(r)
+	} else {
+		idx = vw.Groups[slot].sample(r, vw.Bias, vw.RadixBits)
+	}
+	return vw.Dsts[idx], true
+}
+
+// sample draws a member uniformly, mirroring group.sample against the
+// view's frozen bias column.
+func (vg *ViewGroup) sample(r *xrand.RNG, biasRow []uint64, radixBits int) int32 {
+	switch vg.Kind {
+	case KindOne:
+		return vg.One
+	case KindSparse, KindRegular:
+		return vg.List[r.Intn(int(vg.Count))]
+	case KindDense:
+		j, v := decodeGID(vg.GID, radixBits)
+		d := len(biasRow)
+		for {
+			i := r.Intn(d)
+			if bitutil.Digit(biasRow[i], j, radixBits) == v {
+				return int32(i)
+			}
+		}
+	default:
+		panic("core: sample from empty view group")
+	}
+}
+
+// sampleDec mirrors decGroup.sample: bounded rejection over the frozen
+// remainder column, then an exact CDF fallback.
+func (vw *VertexView) sampleDec(r *xrand.RNG) int32 {
+	n := len(vw.DecList)
+	if n == 0 {
+		panic("core: sample from empty decimal view group")
+	}
+	for round := 0; round < rejectionCap; round++ {
+		idx := vw.DecList[r.Intn(n)]
+		if float64(vw.Rem[idx]) > r.Float64() {
+			return idx
+		}
+	}
+	x := r.Float64() * vw.DecSum
+	acc := 0.0
+	for _, idx := range vw.DecList {
+		acc += float64(vw.Rem[idx])
+		if x < acc {
+			return idx
+		}
+	}
+	return vw.DecList[n-1] // numerical tail
+}
+
+// Probabilities returns the exact per-adjacency-slot sampling
+// probabilities the view encodes (test and verification helper; the
+// live-path mirror of Sampler.VertexProbabilities).
+func (vw *VertexView) Probabilities() map[int32]float64 {
+	out := map[int32]float64{}
+	total := vw.Total()
+	if total == 0 {
+		return out
+	}
+	for _, g := range vw.Groups {
+		j, v := decodeGID(g.GID, vw.RadixBits)
+		sub := float64(v) * pow2(vw.RadixBits*j)
+		switch g.Kind {
+		case KindOne:
+			out[g.One] += sub / total
+		case KindSparse, KindRegular:
+			for _, m := range g.List {
+				out[m] += sub / total
+			}
+		case KindDense:
+			for i, b := range vw.Bias {
+				if bitutil.Digit(b, j, vw.RadixBits) == v {
+					out[int32(i)] += sub / total
+				}
+			}
+		}
+	}
+	for _, m := range vw.DecList {
+		out[m] += float64(vw.Rem[m]) / total
+	}
+	return out
+}

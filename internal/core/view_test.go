@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// TestViewMatchesVertexProbabilities checks, for integer and float mode
+// over randomized mutation tapes, that a view's encoded distribution is
+// exactly the sampler's and that lock-free view draws follow it (1e5-draw
+// empirical check on the widest vertex).
+func TestViewMatchesVertexProbabilities(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		float bool
+	}{{"int", false}, {"float", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.FloatBias = mode.float
+			s, err := New(64, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := xrand.New(0xBEEF)
+			type pair struct{ u, v graph.VertexID }
+			live := map[pair]bool{}
+			for i := 0; i < 4000; i++ {
+				u := graph.VertexID(r.Intn(64))
+				v := graph.VertexID(r.Intn(64))
+				p := pair{u, v}
+				if live[p] && r.Coin(0.4) {
+					if err := s.Delete(u, v); err != nil {
+						t.Fatal(err)
+					}
+					delete(live, p)
+					continue
+				}
+				if live[p] {
+					continue
+				}
+				if mode.float {
+					if err := s.InsertFloat(u, v, 0.25+1000*r.Float64()); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := s.Insert(u, v, uint64(1+r.Intn(1<<20))); err != nil {
+						t.Fatal(err)
+					}
+				}
+				live[p] = true
+			}
+
+			best, bestDeg := graph.VertexID(0), 0
+			for u := 0; u < s.NumVertices(); u++ {
+				vw := s.ViewOf(graph.VertexID(u))
+				want := s.VertexProbabilities(graph.VertexID(u))
+				got := vw.Probabilities()
+				if len(got) != len(want) {
+					t.Fatalf("vertex %d: view has %d sampleable slots, sampler %d", u, len(got), len(want))
+				}
+				for slot, p := range want {
+					if math.Abs(got[slot]-p) > 1e-9 {
+						t.Fatalf("vertex %d slot %d: view prob %v, sampler %v", u, slot, got[slot], p)
+					}
+				}
+				if d := s.Degree(graph.VertexID(u)); d > bestDeg {
+					best, bestDeg = graph.VertexID(u), d
+				}
+			}
+			if bestDeg < 4 {
+				t.Fatalf("tape produced no vertex with degree ≥ 4 (max %d)", bestDeg)
+			}
+
+			// Empirical: 1e5 lock-free draws from the widest vertex's view
+			// against the exact per-destination probabilities.
+			vw := s.ViewOf(best)
+			probs := map[graph.VertexID]float64{}
+			for slot, p := range s.VertexProbabilities(best) {
+				probs[s.Neighbor(best, slot)] += p
+			}
+			const draws = 100000
+			counts := map[graph.VertexID]int{}
+			dr := xrand.New(7)
+			for i := 0; i < draws; i++ {
+				v, ok := vw.Sample(dr)
+				if !ok {
+					t.Fatalf("view of degree-%d vertex %d reported no mass", bestDeg, best)
+				}
+				counts[v]++
+			}
+			for v, c := range counts {
+				p, ok := probs[v]
+				if !ok {
+					t.Fatalf("view sampled %d, not a live neighbor of %d", v, best)
+				}
+				sigma := math.Sqrt(float64(draws) * p * (1 - p))
+				if diff := math.Abs(float64(c) - p*draws); diff > 6*sigma+6 {
+					t.Errorf("neighbor %d: %d draws, want %.0f ± %.0f", v, c, p*draws, 6*sigma)
+				}
+			}
+		})
+	}
+}
+
+// TestViewEmptyAndOutOfRange pins the no-mass contract: views of unknown
+// or edgeless vertices sample ok=false instead of panicking.
+func TestViewEmptyAndOutOfRange(t *testing.T) {
+	s, err := New(4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	for _, u := range []graph.VertexID{0, 3, 99} {
+		vw := s.ViewOf(u)
+		if _, ok := vw.Sample(r); ok {
+			t.Fatalf("empty vertex %d sampled ok", u)
+		}
+		if vw.Total() != 0 || vw.Degree() != 0 {
+			t.Fatalf("empty vertex %d: total %v degree %d", u, vw.Total(), vw.Degree())
+		}
+	}
+}
+
+// TestViewIsSnapshot pins immutability: mutating the sampler after
+// extraction must not change what the view samples.
+func TestViewIsSnapshot(t *testing.T) {
+	s, err := New(8, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	vw := s.ViewOf(0)
+	if err := s.Delete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 3, 1000); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	seen := map[graph.VertexID]bool{}
+	for i := 0; i < 2000; i++ {
+		v, ok := vw.Sample(r)
+		if !ok {
+			t.Fatal("snapshot lost its mass")
+		}
+		seen[v] = true
+	}
+	if seen[3] {
+		t.Fatal("view sampled an edge inserted after extraction")
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("view no longer samples its frozen edges: %v", seen)
+	}
+}

@@ -34,6 +34,7 @@
 package fabric
 
 import (
+	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
@@ -60,10 +61,11 @@ type Walker struct {
 	// Path is the recorded visit sequence (for queries, Path[0] is the
 	// start vertex).
 	Path []graph.VertexID
-	// Steps, Transfers, and Local accumulate the walk's own telemetry:
-	// hops taken, cross-shard hand-offs, and steps that stayed on the
-	// owning shard.
-	Steps, Transfers, Local int64
+	// Steps, Transfers, Local, and Remote accumulate the walk's own
+	// telemetry: hops taken, cross-shard hand-offs, steps that stayed on
+	// the owning shard, and steps served from a cached remote hub view
+	// (a hop at a non-owned vertex that did *not* cost a hand-off).
+	Steps, Transfers, Local, Remote int64
 	// Failed marks a walk the fabric cut short (a hand-off toward a dead
 	// peer): the retire must surface an error to the waiting caller, not
 	// a truncated path posing as a complete walk.
@@ -83,6 +85,16 @@ type Ingest struct {
 	// barrier's Ack — the coordinator's way to read back distributed
 	// state for verification.
 	Dump bool
+	// Watermarks is the coordinator's per-shard routed-update ledger
+	// (cumulative update events published to each shard, this element
+	// included), piggybacked on every ingest element. A cached remote
+	// view from shard o stamped with Applied < Watermarks[o] may predate
+	// an update already in flight to o and must be dropped — the
+	// epoch-invalidation signal of the fabric-side hub cache. Routed
+	// counts can only run ahead of applied counts, so the rule is
+	// conservative: a view is only ever dropped early, never kept late
+	// relative to what the ledger knows.
+	Watermarks []int64
 }
 
 // IsBarrier reports whether the element is a barrier token.
@@ -103,6 +115,63 @@ type Ack struct {
 	// Edges is the shard's edge snapshot, attached only when the barrier
 	// carried Dump.
 	Edges []graph.Edge
+	// Cache is the node's cumulative hub-cache tallies at the barrier
+	// point — how remote coordinators observe cache effectiveness
+	// (in-process services read the node counters directly).
+	Cache CacheTallies
+}
+
+// CacheTallies are a shard node's cumulative hub-cache counters.
+type CacheTallies struct {
+	// LocalHits counts hops served lock-free from a crew's own view
+	// cache; LocalStale counts cached views dropped on epoch mismatch.
+	LocalHits, LocalStale int64
+	// RemoteHits counts hops at non-owned vertices served from a peer's
+	// shipped view instead of a walker hand-off; RemoteStale counts
+	// remote views dropped by watermark invalidation.
+	RemoteHits, RemoteStale int64
+	// ViewRequests counts view fetches this node issued; ViewsServed
+	// counts requests it answered for peers.
+	ViewRequests, ViewsServed int64
+}
+
+// Add accumulates o into t.
+func (t *CacheTallies) Add(o CacheTallies) {
+	t.LocalHits += o.LocalHits
+	t.LocalStale += o.LocalStale
+	t.RemoteHits += o.RemoteHits
+	t.RemoteStale += o.RemoteStale
+	t.ViewRequests += o.ViewRequests
+	t.ViewsServed += o.ViewsServed
+}
+
+// ViewRequest asks a vertex's owner shard for a snapshot of its sampling
+// state — the fabric-side hub-cache fill path. From names the requester
+// so the reply can be routed back.
+type ViewRequest struct {
+	From   int
+	Vertex graph.VertexID
+}
+
+// ViewReply answers a ViewRequest. Hub reports whether the owner deemed
+// the vertex cacheable (at or above its hub-degree threshold); the view
+// is attached only then. Applied stamps the owner's cumulative
+// applied-update count at extraction — the version the requester checks
+// against the coordinator's routed-update watermarks.
+type ViewReply struct {
+	From    int // owner shard
+	Vertex  graph.VertexID
+	Hub     bool
+	Applied int64
+	View    core.VertexView
+}
+
+// ViewMsg is one element of a shard's view stream: exactly one of Req
+// (a peer wants this shard's view of a vertex it owns) or Rep (a peer
+// answered this shard's request) is set.
+type ViewMsg struct {
+	Req *ViewRequest
+	Rep *ViewReply
 }
 
 // EventKind discriminates coordinator-bound events.
@@ -141,12 +210,25 @@ type ShardPort interface {
 	NextIngest() (*Ingest, bool)
 	// ForwardWalker hands a walker to shard dst's crew. It must not
 	// block indefinitely on a slow peer (unbounded delivery is what
-	// keeps circular forwarding deadlock-free).
+	// keeps circular forwarding deadlock-free). A transport may defer
+	// delivery (e.g. to coalesce hand-offs into batched frames); a
+	// walker it accepts but cannot deliver must be retired as Failed so
+	// the coordinator never waits on a silently lost walk.
 	ForwardWalker(dst int, w *Walker) error
 	// Retire sends a finished walker back to the coordinator.
 	Retire(w *Walker) error
 	// Ack sends a barrier acknowledgement to the coordinator.
 	Ack(a *Ack) error
+	// RequestView asks peer shard dst for a view of a vertex dst owns.
+	// Delivery is asynchronous: the reply arrives on the requester's
+	// view stream. Like ForwardWalker it must not block indefinitely.
+	RequestView(dst int, rq *ViewRequest) error
+	// ReplyView answers a peer's view request.
+	ReplyView(dst int, rp *ViewReply) error
+	// NextView pops the next element of this shard's view stream
+	// (inbound requests and replies share it). It blocks, and returns
+	// ok=false once the session has ended and the stream drained.
+	NextView() (*ViewMsg, bool)
 	// Close signals that this shard is done producing events.
 	Close() error
 }
@@ -163,9 +245,10 @@ type CoordPort interface {
 	Shards() int
 	// LaunchWalker starts a walker on shard dst.
 	LaunchWalker(dst int, w *Walker) error
-	// PublishUpdates appends a routed sub-batch to shard dst's ingest
-	// stream (FIFO per shard; may block for backpressure).
-	PublishUpdates(dst int, ups []graph.Update) error
+	// PublishUpdates appends a routed ingest element (a sub-batch plus
+	// the coordinator's watermark vector) to shard dst's ingest stream
+	// (FIFO per shard; may block for backpressure).
+	PublishUpdates(dst int, in Ingest) error
 	// PublishBarrier appends a barrier token to every shard's ingest
 	// stream, ordered after all previously published batches.
 	PublishBarrier(in Ingest) error
@@ -194,4 +277,30 @@ type Hello struct {
 	// Peers are the daemon addresses indexed by shard, for direct
 	// shard-to-shard walker transfer.
 	Peers []string
+	// Session is the coordinator's nonce for this serving session. Peer
+	// transfer streams announce it on open, so a multi-session daemon
+	// can refuse strays from an earlier, torn-down session.
+	Session uint64
+	// Cache configures the daemons' hub caches (zero value = defaults,
+	// cache on).
+	Cache CacheSpec
+}
+
+// CacheSpec configures the two hub-cache layers of a shard node. The
+// zero value means "enabled with defaults"; the walk layer resolves the
+// concrete defaults.
+type CacheSpec struct {
+	// Off disables both cache layers.
+	Off bool
+	// Size is each crew walker's local view-LRU capacity (0 = default).
+	Size int
+	// MinDegree is the hub admission threshold: only vertices of at
+	// least this degree are cached or served as views (0 = default).
+	MinDegree int
+	// RemoteSize is the per-node remote-view cache capacity (0 =
+	// default).
+	RemoteSize int
+	// RequestAfter is how many walker hand-offs a node observes toward
+	// one non-owned vertex before requesting its view (0 = default).
+	RequestAfter int
 }

@@ -18,7 +18,6 @@ import (
 	"sync"
 
 	"github.com/bingo-rw/bingo/internal/fabric"
-	"github.com/bingo-rw/bingo/internal/graph"
 )
 
 // Fabric is an in-process shard interconnect. Create one per session,
@@ -27,6 +26,7 @@ type Fabric struct {
 	shards  int
 	walkers []*fabric.Mailbox[*fabric.Walker]
 	ingests []chan *fabric.Ingest
+	views   []*fabric.Mailbox[*fabric.ViewMsg]
 	events  *fabric.Mailbox[fabric.Event]
 
 	mu         sync.Mutex
@@ -43,12 +43,14 @@ func New(shards, queueDepth int) *Fabric {
 		shards:     shards,
 		walkers:    make([]*fabric.Mailbox[*fabric.Walker], shards),
 		ingests:    make([]chan *fabric.Ingest, shards),
+		views:      make([]*fabric.Mailbox[*fabric.ViewMsg], shards),
 		events:     fabric.NewMailbox[fabric.Event](),
 		shardsOpen: shards,
 	}
 	for i := range f.walkers {
 		f.walkers[i] = fabric.NewMailbox[*fabric.Walker]()
 		f.ingests[i] = make(chan *fabric.Ingest, queueDepth)
+		f.views[i] = fabric.NewMailbox[*fabric.ViewMsg]()
 	}
 	return f
 }
@@ -85,8 +87,8 @@ func (c *coordPort) LaunchWalker(dst int, w *fabric.Walker) error {
 	return nil
 }
 
-func (c *coordPort) PublishUpdates(dst int, ups []graph.Update) error {
-	c.ingests[dst] <- &fabric.Ingest{Ups: ups}
+func (c *coordPort) PublishUpdates(dst int, in fabric.Ingest) error {
+	c.ingests[dst] <- &in
 	return nil
 }
 
@@ -116,6 +118,7 @@ func (c *coordPort) Close() error {
 	for i := range c.ingests {
 		close(c.ingests[i])
 		c.walkers[i].Close()
+		c.views[i].Close()
 	}
 	return nil
 }
@@ -140,6 +143,20 @@ func (p *shardPort) NextIngest() (*fabric.Ingest, bool) {
 func (p *shardPort) ForwardWalker(dst int, w *fabric.Walker) error {
 	p.f.walkers[dst].Push(w)
 	return nil
+}
+
+func (p *shardPort) RequestView(dst int, rq *fabric.ViewRequest) error {
+	p.f.views[dst].Push(&fabric.ViewMsg{Req: rq})
+	return nil
+}
+
+func (p *shardPort) ReplyView(dst int, rp *fabric.ViewReply) error {
+	p.f.views[dst].Push(&fabric.ViewMsg{Rep: rp})
+	return nil
+}
+
+func (p *shardPort) NextView() (*fabric.ViewMsg, bool) {
+	return p.f.views[p.shard].Pop()
 }
 
 func (p *shardPort) Retire(w *fabric.Walker) error {

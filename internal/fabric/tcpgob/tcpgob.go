@@ -1,21 +1,37 @@
 // Package tcpgob is the wire shard fabric: fabric messages travel as
 // length-prefixed gob frames over TCP, one ordered full-duplex stream per
-// peer pair, with reconnect-free single-session semantics.
+// peer pair.
 //
-// Topology. Each shard daemon listens on one address. The coordinator
-// dials every daemon and opens the session by sending a Hello (partition
-// geometry, engine spec, peer addresses); all coordinator→shard traffic
+// Topology. Each shard daemon owns one Listener. A coordinator dials it
+// and opens a *session* by sending a Hello (partition geometry, engine
+// spec, peer addresses, a session nonce); all coordinator→shard traffic
 // (walker launches, routed update batches, barriers, shutdown) and all
 // shard→coordinator traffic (retires, acks) flows on that connection.
-// Shard-to-shard walker transfers use direct peer connections, dialed
-// lazily on the first transfer toward each peer.
+// Shard-to-shard traffic — walker transfers and hub-view
+// requests/replies — uses direct peer connections, dialed lazily on the
+// first message toward each peer. Sessions are sequential: a Listener
+// serves one coordinator at a time but accepts a fresh session after the
+// previous one tears down, which is what lets a daemon outlive its
+// coordinators. Peer streams announce the session nonce on open, so a
+// stray connection from a torn-down session is refused instead of
+// leaking its walkers into the next session.
 //
 // Ordering. TCP gives each connection a FIFO byte stream and every
-// connection has a single locked writer, so the fabric ordering contract
-// (per-shard publish order, barrier-after-batches) holds by construction.
-// Each daemon demultiplexes inbound frames into unbounded mailboxes
-// (walkers vs ingest), so a crew blocked on an empty walker queue never
-// stalls update delivery on the shared connection.
+// connection has a single writer goroutine or locked writer, so the
+// fabric ordering contract (per-shard publish order, barrier-after-
+// batches) holds by construction. Each daemon demultiplexes inbound
+// frames into unbounded mailboxes (walkers vs ingest vs views), so a
+// crew blocked on an empty walker queue never stalls update delivery on
+// the shared connection.
+//
+// Batching. Walker hand-offs toward one peer are coalesced: ForwardWalker
+// enqueues, and a per-peer sender drains whatever is queued into a single
+// kWalkerBatch frame. Under load this amortizes the per-frame cost
+// (header, gob type preamble, syscall) across every walker queued behind
+// the wire; an idle sender ships a lone walker immediately, so the
+// latency cost of batching is zero. A walker the sender cannot deliver
+// (dead peer) is retired to the coordinator as Failed — never silently
+// dropped.
 //
 // Framing. Every frame is a 4-byte big-endian length followed by a
 // self-contained gob encoding of one frame struct (a fresh encoder per
@@ -32,10 +48,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bingo-rw/bingo/internal/fabric"
-	"github.com/bingo-rw/bingo/internal/graph"
 )
 
 // maxFrame bounds a single frame's payload (sanity check against a torn
@@ -44,27 +60,33 @@ const maxFrame = 1 << 30
 
 // frame kinds.
 const (
-	kHelloCoord = uint8(iota + 1) // coordinator session open (Hello)
-	kHelloPeer                    // peer transfer stream open (From)
-	kWalker                       // walker launch or transfer
-	kUpdates                      // routed update sub-batch
-	kBarrier                      // barrier token (Ingest)
-	kRetire                       // finished walker, shard → coordinator
-	kAck                          // barrier ack, shard → coordinator
-	kShutdown                     // session end, coordinator → shard
+	kHelloCoord  = uint8(iota + 1) // coordinator session open (Hello)
+	kHelloPeer                     // peer stream open (From + Session)
+	kWalker                        // single walker launch or transfer
+	kWalkerBatch                   // coalesced walker transfers
+	kUpdates                       // routed ingest element (batch + watermarks)
+	kBarrier                       // barrier token (Ingest)
+	kRetire                        // finished walker, shard → coordinator
+	kAck                           // barrier ack, shard → coordinator
+	kViewReq                       // hub-view request, shard → peer
+	kViewRep                       // hub-view reply, shard → peer
+	kShutdown                      // session end, coordinator → shard
 )
 
 // frame is the single wire message shape. Value fields: gob omits
 // zero-valued fields, so unused payloads cost nothing on the wire, and a
 // nil pointer can never poison an encode.
 type frame struct {
-	Kind   uint8
-	From   int // kHelloPeer: sender shard index
-	Hello  fabric.Hello
-	Walker fabric.Walker
-	Ups    []graph.Update
-	Ingest fabric.Ingest
-	Ack    fabric.Ack
+	Kind    uint8
+	From    int    // kHelloPeer: sender shard index
+	Session uint64 // kHelloPeer: dialer's session nonce
+	Hello   fabric.Hello
+	Walker  fabric.Walker
+	Walkers []fabric.Walker // kWalkerBatch
+	Ingest  fabric.Ingest   // kUpdates / kBarrier
+	Ack     fabric.Ack
+	ViewReq fabric.ViewRequest
+	ViewRep fabric.ViewReply
 }
 
 // link is one connection with a locked writer. Reads are owned by exactly
@@ -123,125 +145,208 @@ func (l *link) read() (*frame, error) {
 // ---------------------------------------------------------------------------
 // Shard daemon side
 
-// ShardConn is a shard daemon's end of one serving session. It implements
-// fabric.ShardPort once Accept has returned.
-type ShardConn struct {
-	shard, shards int
+// Listener is a shard daemon's accept loop: it owns the listen socket
+// and hands out one session ShardConn per coordinator Hello, serially.
+// It outlives sessions — after a session's teardown the next coordinator
+// Hello starts a fresh one.
+type Listener struct {
 	ln            net.Listener
+	shard, shards int
 
-	walkers *fabric.Mailbox[*fabric.Walker]
-	ingests *fabric.Mailbox[*fabric.Ingest]
-
-	helloCh   chan fabric.Hello
-	helloOnce sync.Once
-
-	coordMu sync.Mutex
-	coord   *link
-
-	peerMu    sync.Mutex
-	peerAddrs []string
-	peers     map[int]*link
-
-	downOnce  sync.Once
-	closeOnce sync.Once
+	mu       sync.Mutex
+	cur      *ShardConn // active session, nil when idle
+	sessions chan *ShardConn
+	done     chan struct{} // closed when the accept loop exits
+	closed   bool
 }
 
-// Listen binds addr and starts accepting. shard/shards are this daemon's
-// claimed position, validated against the coordinator's Hello (pass
-// shards <= 0 to accept any count). Call Accept to block for the session.
-func Listen(addr string, shard, shards int) (*ShardConn, error) {
+// Listen binds addr. shard/shards are this daemon's claimed position,
+// validated against each coordinator's Hello (pass shards <= 0 to accept
+// any count). Call Accept to block for the next session.
+func Listen(addr string, shard, shards int) (*Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &ShardConn{
-		shard:   shard,
-		shards:  shards,
-		ln:      ln,
-		walkers: fabric.NewMailbox[*fabric.Walker](),
-		ingests: fabric.NewMailbox[*fabric.Ingest](),
-		helloCh: make(chan fabric.Hello, 1),
-		peers:   map[int]*link{},
+	l := &Listener{
+		ln:       ln,
+		shard:    shard,
+		shards:   shards,
+		sessions: make(chan *ShardConn),
+		done:     make(chan struct{}),
 	}
-	go s.acceptLoop()
-	return s, nil
+	go l.acceptLoop()
+	return l, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
-func (s *ShardConn) Addr() net.Addr { return s.ln.Addr() }
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
 
-// Accept blocks until the coordinator opens the session and returns its
-// Hello. After Accept, the ShardConn serves as the node's fabric port.
-func (s *ShardConn) Accept() (fabric.Hello, error) {
-	h, ok := <-s.helloCh
-	if !ok {
-		return fabric.Hello{}, fmt.Errorf("tcpgob: listener closed before a coordinator connected")
+// Accept blocks until a coordinator opens a session and returns the
+// session port plus its Hello. One session is active at a time: a
+// coordinator dialing while another session is still open is refused.
+func (l *Listener) Accept() (*ShardConn, fabric.Hello, error) {
+	select {
+	case sc := <-l.sessions:
+		return sc, sc.hello, nil
+	case <-l.done:
+		return nil, fabric.Hello{}, fmt.Errorf("tcpgob: listener closed")
 	}
-	return h, nil
 }
 
-func (s *ShardConn) acceptLoop() {
+// Close shuts the listener down: the accept loop exits and Accept fails.
+// An active session is closed too.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	cur := l.cur
+	l.mu.Unlock()
+	l.ln.Close()
+	if cur != nil {
+		cur.Close()
+	}
+	return nil
+}
+
+func (l *Listener) acceptLoop() {
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := l.ln.Accept()
 		if err != nil {
-			s.helloOnce.Do(func() { close(s.helloCh) })
+			close(l.done)
 			return
 		}
-		go s.handleConn(newLink(conn))
+		go l.handleConn(newLink(conn))
 	}
+}
+
+// sessionDone clears the active-session slot once sc has torn down,
+// re-arming the listener for the next coordinator.
+func (l *Listener) sessionDone(sc *ShardConn) {
+	l.mu.Lock()
+	if l.cur == sc {
+		l.cur = nil
+	}
+	l.mu.Unlock()
 }
 
 // handleConn demultiplexes one inbound connection: the first frame names
-// the dialer (coordinator session or peer transfer stream), the rest is
-// that stream's traffic.
-func (s *ShardConn) handleConn(l *link) {
-	first, err := l.read()
+// the dialer (coordinator session or peer stream), the rest is that
+// stream's traffic.
+func (l *Listener) handleConn(lk *link) {
+	first, err := lk.read()
 	if err != nil {
-		l.conn.Close()
+		lk.conn.Close()
 		return
 	}
 	switch first.Kind {
 	case kHelloCoord:
 		h := first.Hello
-		if h.Shard != s.shard || (s.shards > 0 && h.Shards != s.shards) {
+		if h.Shard != l.shard || (l.shards > 0 && h.Shards != l.shards) {
 			// A session for a different position than this daemon was
 			// started for: refuse loudly rather than corrupt ownership.
-			l.conn.Close()
+			lk.conn.Close()
 			return
 		}
-		// Install the session state inside the once: only the first (real)
-		// coordinator may touch it — a later duplicate must not hijack the
-		// live session's retire/ack path — and it must be fully installed
-		// before Accept can return the Hello, or a fast node could start
-		// forwarding walkers against a nil peer table.
-		delivered := false
-		s.helloOnce.Do(func() {
-			s.coordMu.Lock()
-			s.coord = l
-			s.coordMu.Unlock()
-			s.peerMu.Lock()
-			s.peerAddrs = h.Peers
-			s.peerMu.Unlock()
-			s.helloCh <- h
-			delivered = true
-		})
-		if !delivered {
-			// Second coordinator: single-session semantics.
-			l.conn.Close()
+		l.mu.Lock()
+		if l.closed || l.cur != nil {
+			// Sequential-session semantics: at most one coordinator at a
+			// time. A dial during an active session (or its teardown) is
+			// refused; the spurned coordinator observes its event stream
+			// ending.
+			l.mu.Unlock()
+			lk.conn.Close()
 			return
 		}
-		s.readCoord(l)
+		sc := newShardConn(l, lk, h)
+		l.cur = sc
+		l.mu.Unlock()
+		select {
+		case l.sessions <- sc:
+		case <-l.done:
+			// Listener shut down before anyone accepted the session.
+			sc.Close()
+			return
+		}
+		sc.readCoord(lk)
 	case kHelloPeer:
-		for {
-			f, err := l.read()
-			if err != nil || f.Kind != kWalker {
-				l.conn.Close()
-				return
-			}
-			s.walkers.Push(&f.Walker)
+		// The dialer learned this daemon's address and the session nonce
+		// from the coordinator's Hello, so a matching session is being
+		// (or has been) established here too — but this peer stream may
+		// race ahead of the coordinator connection's own handler. Wait
+		// for the session rather than refusing and silently dropping the
+		// walker frames already in flight behind the hello; only a
+		// stream from a torn-down session (nonce never to return) falls
+		// through to the timeout.
+		sc := l.waitSession(first.Session, 10*time.Second)
+		if sc == nil {
+			lk.conn.Close()
+			return
 		}
+		sc.readPeer(lk)
 	default:
-		l.conn.Close()
+		lk.conn.Close()
+	}
+}
+
+// waitSession blocks until the active session carries the wanted nonce,
+// the listener closes, or the timeout lapses.
+func (l *Listener) waitSession(session uint64, timeout time.Duration) *ShardConn {
+	deadline := time.Now().Add(timeout)
+	for {
+		l.mu.Lock()
+		sc := l.cur
+		closed := l.closed
+		l.mu.Unlock()
+		if sc != nil && sc.hello.Session == session {
+			return sc
+		}
+		if closed || time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// ShardConn is a shard daemon's end of one serving session. It
+// implements fabric.ShardPort. Sessions are created by Listener.Accept;
+// Close tears this session down and re-arms the listener.
+type ShardConn struct {
+	owner *Listener
+	hello fabric.Hello
+	shard int
+
+	walkers *fabric.Mailbox[*fabric.Walker]
+	ingests *fabric.Mailbox[*fabric.Ingest]
+	views   *fabric.Mailbox[*fabric.ViewMsg]
+
+	// transferFrames/transferWalkers measure hand-off coalescing: how
+	// many wire frames carried how many outbound walkers.
+	transferFrames, transferWalkers atomic.Int64
+
+	coord *link
+
+	peerMu      sync.Mutex
+	peers       map[int]*peerOut
+	peersClosed bool
+
+	downOnce  sync.Once
+	closeOnce sync.Once
+}
+
+func newShardConn(l *Listener, coord *link, h fabric.Hello) *ShardConn {
+	return &ShardConn{
+		owner:   l,
+		hello:   h,
+		shard:   l.shard,
+		walkers: fabric.NewMailbox[*fabric.Walker](),
+		ingests: fabric.NewMailbox[*fabric.Ingest](),
+		views:   fabric.NewMailbox[*fabric.ViewMsg](),
+		coord:   coord,
+		peers:   map[int]*peerOut{},
 	}
 }
 
@@ -258,9 +363,11 @@ func (s *ShardConn) readCoord(l *link) {
 		switch f.Kind {
 		case kWalker:
 			s.walkers.Push(&f.Walker)
-		case kUpdates:
-			s.ingests.Push(&fabric.Ingest{Ups: f.Ups})
-		case kBarrier:
+		case kWalkerBatch:
+			for i := range f.Walkers {
+				s.walkers.Push(&f.Walkers[i])
+			}
+		case kUpdates, kBarrier:
 			in := f.Ingest
 			s.ingests.Push(&in)
 		case kShutdown:
@@ -270,10 +377,40 @@ func (s *ShardConn) readCoord(l *link) {
 	}
 }
 
+// readPeer drains one inbound peer stream (walker transfers and view
+// traffic) for the life of the connection.
+func (s *ShardConn) readPeer(l *link) {
+	for {
+		f, err := l.read()
+		if err != nil {
+			l.conn.Close()
+			return
+		}
+		switch f.Kind {
+		case kWalker:
+			s.walkers.Push(&f.Walker)
+		case kWalkerBatch:
+			for i := range f.Walkers {
+				s.walkers.Push(&f.Walkers[i])
+			}
+		case kViewReq:
+			rq := f.ViewReq
+			s.views.Push(&fabric.ViewMsg{Req: &rq})
+		case kViewRep:
+			rp := f.ViewRep
+			s.views.Push(&fabric.ViewMsg{Rep: &rp})
+		default:
+			l.conn.Close()
+			return
+		}
+	}
+}
+
 func (s *ShardConn) sessionDown() {
 	s.downOnce.Do(func() {
 		s.walkers.Close()
 		s.ingests.Close()
+		s.views.Close()
 	})
 }
 
@@ -286,89 +423,259 @@ func (s *ShardConn) NextWalker() (*fabric.Walker, bool) { return s.walkers.Pop()
 // NextIngest pops the next ingest-stream element.
 func (s *ShardConn) NextIngest() (*fabric.Ingest, bool) { return s.ingests.Pop() }
 
-// peerLink returns (dialing lazily) the transfer stream toward shard dst.
-func (s *ShardConn) peerLink(dst int) (*link, error) {
-	s.peerMu.Lock()
-	defer s.peerMu.Unlock()
-	if l, ok := s.peers[dst]; ok {
-		return l, nil
-	}
-	if dst < 0 || dst >= len(s.peerAddrs) {
-		return nil, fmt.Errorf("tcpgob: no peer address for shard %d", dst)
-	}
-	conn, err := net.Dial("tcp", s.peerAddrs[dst])
-	if err != nil {
-		return nil, fmt.Errorf("tcpgob: dialing peer shard %d: %w", dst, err)
-	}
-	l := newLink(conn)
-	if err := l.write(&frame{Kind: kHelloPeer, From: s.shard}); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	s.peers[dst] = l
-	return l, nil
+// NextView pops the next view-stream element.
+func (s *ShardConn) NextView() (*fabric.ViewMsg, bool) { return s.views.Pop() }
+
+// peerOut is the ordered outbound stream toward one peer: a queue, a
+// single sender goroutine that dials lazily and coalesces queued walker
+// hand-offs into batched frames, and a dead flag once the stream fails.
+type peerOut struct {
+	sc  *ShardConn
+	dst int
+
+	mu    sync.Mutex
+	queue []outMsg
+	dead  bool
+	err   error
+
+	wake chan struct{}
+	stop chan struct{}
 }
 
-// ForwardWalker hands a walker to peer shard dst.
+// outMsg is one queued peer-bound message; exactly one field is set.
+type outMsg struct {
+	w  *fabric.Walker
+	rq *fabric.ViewRequest
+	rp *fabric.ViewReply
+}
+
+// peer returns (starting lazily) the outbound stream toward shard dst.
+func (s *ShardConn) peer(dst int) (*peerOut, error) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if p, ok := s.peers[dst]; ok {
+		return p, nil
+	}
+	if s.peersClosed {
+		// The session is tearing down: a fresh sender would never be
+		// stopped and would leak its goroutine and socket in a
+		// multi-session daemon.
+		return nil, fmt.Errorf("tcpgob: session closed")
+	}
+	if dst < 0 || dst >= len(s.hello.Peers) {
+		return nil, fmt.Errorf("tcpgob: no peer address for shard %d", dst)
+	}
+	p := &peerOut{
+		sc:   s,
+		dst:  dst,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+	}
+	s.peers[dst] = p
+	go p.loop()
+	return p, nil
+}
+
+func (p *peerOut) enqueue(m outMsg) error {
+	p.mu.Lock()
+	if p.dead {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	p.queue = append(p.queue, m)
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// loop dials the peer, then drains the queue: consecutive queued walkers
+// go out as one kWalkerBatch frame (a lone walker as a kWalker frame —
+// identical bytes-on-wire behavior to the unbatched fabric when there is
+// nothing to coalesce), view messages as their own frames. On any write
+// failure the stream is dead: queued and future walkers are retired to
+// the coordinator as Failed so their walks error out instead of hanging.
+func (p *peerOut) loop() {
+	conn, err := net.Dial("tcp", p.sc.hello.Peers[p.dst])
+	if err != nil {
+		p.fail(fmt.Errorf("tcpgob: dialing peer shard %d: %w", p.dst, err))
+		return
+	}
+	l := newLink(conn)
+	if err := l.write(&frame{Kind: kHelloPeer, From: p.sc.shard, Session: p.sc.hello.Session}); err != nil {
+		conn.Close()
+		p.fail(err)
+		return
+	}
+	go func() { // teardown: unblock a sender stuck in a write
+		<-p.stop
+		conn.Close()
+	}()
+	for {
+		p.mu.Lock()
+		q := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+		if len(q) == 0 {
+			select {
+			case <-p.wake:
+				continue
+			case <-p.stop:
+				// Anything enqueued between the grab and the stop (and
+				// anything enqueued later — fail marks the stream dead)
+				// must still be retired Failed, per the ForwardWalker
+				// contract: accepted walkers are never silently lost.
+				p.fail(fmt.Errorf("tcpgob: session closed"))
+				return
+			}
+		}
+		i := 0
+		for i < len(q) {
+			var err error
+			next := i + 1
+			switch {
+			case q[i].w != nil:
+				// Coalesce the run of queued walkers into one frame.
+				for next < len(q) && q[next].w != nil {
+					next++
+				}
+				if next-i == 1 {
+					err = l.write(&frame{Kind: kWalker, Walker: *q[i].w})
+				} else {
+					f := frame{Kind: kWalkerBatch, Walkers: make([]fabric.Walker, next-i)}
+					for k := i; k < next; k++ {
+						f.Walkers[k-i] = *q[k].w
+					}
+					err = l.write(&f)
+				}
+				if err == nil {
+					p.sc.transferFrames.Add(1)
+					p.sc.transferWalkers.Add(int64(next - i))
+				}
+			case q[i].rq != nil:
+				err = l.write(&frame{Kind: kViewReq, ViewReq: *q[i].rq})
+			default:
+				err = l.write(&frame{Kind: kViewRep, ViewRep: *q[i].rp})
+			}
+			if err != nil {
+				p.failWalkers(queuedWalkers(q[i:]))
+				p.fail(err)
+				return
+			}
+			i = next
+		}
+	}
+}
+
+func queuedWalkers(q []outMsg) []*fabric.Walker {
+	var ws []*fabric.Walker
+	for _, m := range q {
+		if m.w != nil {
+			ws = append(ws, m.w)
+		}
+	}
+	return ws
+}
+
+// fail marks the stream dead and fails everything still queued.
+func (p *peerOut) fail(err error) {
+	p.mu.Lock()
+	p.dead = true
+	if p.err == nil {
+		p.err = err
+	}
+	q := p.queue
+	p.queue = nil
+	p.mu.Unlock()
+	p.failWalkers(queuedWalkers(q))
+}
+
+// failWalkers retires undeliverable walkers as Failed: the coordinator
+// unblocks their callers with an error instead of waiting forever on a
+// lost walk. If the retire path is down too the session is over and the
+// coordinator's own death handling fails everything pending.
+func (p *peerOut) failWalkers(ws []*fabric.Walker) {
+	for _, w := range ws {
+		w.Failed = true
+		p.sc.Retire(w) //nolint:errcheck // see above
+	}
+}
+
+// ForwardWalker hands a walker to peer shard dst: it enqueues on the
+// peer's ordered sender, which coalesces transfers into batched frames.
+// The walker must not be touched by the caller after the call.
 func (s *ShardConn) ForwardWalker(dst int, w *fabric.Walker) error {
-	l, err := s.peerLink(dst)
+	p, err := s.peer(dst)
 	if err != nil {
 		return err
 	}
-	return l.write(&frame{Kind: kWalker, Walker: *w})
+	return p.enqueue(outMsg{w: w})
 }
 
-func (s *ShardConn) coordLink() (*link, error) {
-	s.coordMu.Lock()
-	defer s.coordMu.Unlock()
-	if s.coord == nil {
-		return nil, fmt.Errorf("tcpgob: no coordinator session")
+// RequestView asks peer shard dst for a hub view.
+func (s *ShardConn) RequestView(dst int, rq *fabric.ViewRequest) error {
+	p, err := s.peer(dst)
+	if err != nil {
+		return err
 	}
-	return s.coord, nil
+	return p.enqueue(outMsg{rq: rq})
+}
+
+// ReplyView answers a peer's view request.
+func (s *ShardConn) ReplyView(dst int, rp *fabric.ViewReply) error {
+	p, err := s.peer(dst)
+	if err != nil {
+		return err
+	}
+	return p.enqueue(outMsg{rp: rp})
 }
 
 // Retire sends a finished walker back to the coordinator.
 func (s *ShardConn) Retire(w *fabric.Walker) error {
-	l, err := s.coordLink()
-	if err != nil {
-		return err
-	}
-	return l.write(&frame{Kind: kRetire, Walker: *w})
+	return s.coord.write(&frame{Kind: kRetire, Walker: *w})
 }
 
 // Ack sends a barrier acknowledgement to the coordinator.
 func (s *ShardConn) Ack(a *fabric.Ack) error {
-	l, err := s.coordLink()
-	if err != nil {
-		return err
-	}
-	return l.write(&frame{Kind: kAck, Ack: *a})
+	return s.coord.write(&frame{Kind: kAck, Ack: *a})
 }
 
-// Close releases the daemon's end: peer streams, the coordinator
-// connection (whose EOF is the shard-done signal the coordinator's event
-// stream waits for), and the listener. Idempotent.
+// Close releases the session's end: peer streams stop, the coordinator
+// connection closes (its EOF is the shard-done signal the coordinator's
+// event stream waits for), and the owning listener is re-armed for the
+// next session. Idempotent. The listener itself stays up — close it
+// separately to stop serving.
 func (s *ShardConn) Close() error {
 	s.closeOnce.Do(func() {
 		s.sessionDown()
 		s.peerMu.Lock()
-		for _, l := range s.peers {
-			l.conn.Close()
+		s.peersClosed = true
+		for _, p := range s.peers {
+			close(p.stop)
 		}
 		s.peerMu.Unlock()
-		s.coordMu.Lock()
-		if s.coord != nil {
-			s.coord.conn.Close()
-		}
-		s.coordMu.Unlock()
-		s.ln.Close()
-		s.helloOnce.Do(func() { close(s.helloCh) })
+		// Re-arm the listener before the coordinator can observe this
+		// connection's EOF: a coordinator that saw the session end and
+		// immediately dials again must find the slot free.
+		s.owner.sessionDone(s)
+		s.coord.conn.Close()
 	})
 	return nil
 }
 
 // ---------------------------------------------------------------------------
 // Coordinator side
+
+// sessionSeq makes session nonces unique within a process; the time seed
+// makes them unique across coordinator processes hitting one daemon.
+var sessionSeq atomic.Uint64
+
+func newSessionNonce() uint64 {
+	return uint64(time.Now().UnixNano()) ^ (sessionSeq.Add(1) << 1) | 1
+}
 
 // CoordConn is the coordinator's end of a session across a set of shard
 // daemons. It implements fabric.CoordPort.
@@ -382,8 +689,9 @@ type CoordConn struct {
 }
 
 // Dial opens a session: it connects to every daemon address in shard
-// order and sends each its Hello (hello.Shard and hello.Peers are filled
-// in per shard from addrs). The daemons must already be listening.
+// order and sends each its Hello (hello.Shard, hello.Peers, and — unless
+// the caller set one — hello.Session are filled in). The daemons must
+// already be listening.
 func Dial(addrs []string, hello fabric.Hello) (*CoordConn, error) {
 	c := &CoordConn{
 		links:   make([]*link, len(addrs)),
@@ -392,6 +700,9 @@ func Dial(addrs []string, hello fabric.Hello) (*CoordConn, error) {
 	}
 	hello.Shards = len(addrs)
 	hello.Peers = addrs
+	if hello.Session == 0 {
+		hello.Session = newSessionNonce()
+	}
 	for i, addr := range addrs {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
@@ -468,9 +779,9 @@ func (c *CoordConn) LaunchWalker(dst int, w *fabric.Walker) error {
 	return c.links[dst].write(&frame{Kind: kWalker, Walker: *w})
 }
 
-// PublishUpdates appends a routed sub-batch to shard dst's ingest stream.
-func (c *CoordConn) PublishUpdates(dst int, ups []graph.Update) error {
-	return c.links[dst].write(&frame{Kind: kUpdates, Ups: ups})
+// PublishUpdates appends a routed ingest element to shard dst's stream.
+func (c *CoordConn) PublishUpdates(dst int, in fabric.Ingest) error {
+	return c.links[dst].write(&frame{Kind: kUpdates, Ingest: in})
 }
 
 // PublishBarrier appends a barrier token to every shard's ingest stream.
@@ -502,8 +813,8 @@ func (c *CoordConn) Close() error {
 	c.mu.Unlock()
 	deadline := time.Now().Add(30 * time.Second)
 	for _, l := range c.links {
-		l.write(&frame{Kind: kShutdown})
-		l.conn.SetReadDeadline(deadline)
+		l.write(&frame{Kind: kShutdown}) //nolint:errcheck // best-effort teardown
+		l.conn.SetReadDeadline(deadline) //nolint:errcheck // best-effort teardown
 	}
 	return nil
 }

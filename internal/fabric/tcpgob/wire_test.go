@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/xrand"
@@ -81,14 +82,15 @@ func TestUpdateBatchFrameRoundTrip(t *testing.T) {
 		{Op: graph.OpDelete, Src: 3_999_999_999, Dst: 12},
 		{Op: graph.OpInsert, Src: 5, Dst: 6, Bias: 1 << 62, FBias: 0.001953125},
 	}
-	got := roundTrip(t, &frame{Kind: kUpdates, Ups: ups})
-	if got.Kind != kUpdates || !reflect.DeepEqual(got.Ups, ups) {
-		t.Fatalf("update batch round-trip: got %+v, want %+v", got.Ups, ups)
+	in := fabric.Ingest{Ups: ups, Watermarks: []int64{12, 0, 4_000_000_000_000}}
+	got := roundTrip(t, &frame{Kind: kUpdates, Ingest: in})
+	if got.Kind != kUpdates || !reflect.DeepEqual(got.Ingest, in) {
+		t.Fatalf("update batch round-trip: got %+v, want %+v", got.Ingest, in)
 	}
 }
 
 func TestBarrierAndAckFrameRoundTrip(t *testing.T) {
-	in := fabric.Ingest{Barrier: 42, Dump: true}
+	in := fabric.Ingest{Barrier: 42, Dump: true, Watermarks: []int64{7, 9}}
 	got := roundTrip(t, &frame{Kind: kBarrier, Ingest: in})
 	if got.Kind != kBarrier || !reflect.DeepEqual(got.Ingest, in) {
 		t.Fatalf("barrier round-trip: got %+v, want %+v", got.Ingest, in)
@@ -105,6 +107,7 @@ func TestBarrierAndAckFrameRoundTrip(t *testing.T) {
 			{Src: 1, Dst: 4_294_967_294, Bias: 9},
 			{Src: 2_500_000_000, Dst: 3, Bias: 1, FBias: 0.25},
 		},
+		Cache: fabric.CacheTallies{LocalHits: 100, RemoteHits: 7, ViewRequests: 3},
 	}
 	gotA := roundTrip(t, &frame{Kind: kAck, Ack: a})
 	if gotA.Kind != kAck || !reflect.DeepEqual(gotA.Ack, a) {
@@ -117,10 +120,65 @@ func TestHelloFrameRoundTrip(t *testing.T) {
 		Shards: 4, Shard: 2, RangeSize: 1009, NumVertices: 4036,
 		FloatBias: true,
 		Peers:     []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"},
+		Session:   0xDEADBEEFCAFE,
+		Cache:     fabric.CacheSpec{Size: 128, MinDegree: 4, RemoteSize: 64, RequestAfter: 3},
 	}
 	got := roundTrip(t, &frame{Kind: kHelloCoord, Hello: h})
 	if got.Kind != kHelloCoord || !reflect.DeepEqual(got.Hello, h) {
 		t.Fatalf("hello round-trip: got %+v, want %+v", got.Hello, h)
+	}
+}
+
+// TestWalkerBatchFrameRoundTrip pins the coalesced hand-off frame: the
+// batch decodes walker-for-walker, RNG streams intact.
+func TestWalkerBatchFrameRoundTrip(t *testing.T) {
+	r := xrand.New(3)
+	ws := make([]fabric.Walker, 5)
+	for i := range ws {
+		r.Uint64()
+		ws[i] = fabric.Walker{
+			ID: uint64(100 + i), Cur: graph.VertexID(4_000_000_000 + i), Left: i,
+			Rng: r.State(), Steps: int64(i) * 7, Transfers: int64(i), Remote: int64(i % 2),
+		}
+	}
+	got := roundTrip(t, &frame{Kind: kWalkerBatch, Walkers: ws})
+	if got.Kind != kWalkerBatch || !reflect.DeepEqual(got.Walkers, ws) {
+		t.Fatalf("walker batch round-trip: got %+v, want %+v", got.Walkers, ws)
+	}
+}
+
+// TestViewFrameRoundTrip pins the hub-view request/reply frames,
+// including a full VertexView payload with dense and list groups.
+func TestViewFrameRoundTrip(t *testing.T) {
+	rq := fabric.ViewRequest{From: 3, Vertex: 4_123_456_789}
+	gotRq := roundTrip(t, &frame{Kind: kViewReq, ViewReq: rq})
+	if gotRq.Kind != kViewReq || !reflect.DeepEqual(gotRq.ViewReq, rq) {
+		t.Fatalf("view request round-trip: got %+v, want %+v", gotRq.ViewReq, rq)
+	}
+
+	rp := fabric.ViewReply{
+		From: 1, Vertex: 4_123_456_789, Hub: true, Applied: 987654,
+		View: core.VertexView{
+			Vertex:    4_123_456_789,
+			Epoch:     44,
+			Applied:   987654,
+			RadixBits: 3,
+			Dsts:      []graph.VertexID{5, 4_294_967_295, 9},
+			Bias:      []uint64{3, 1 << 40, 7},
+			Rem:       []float32{0, 0.25, 0.5},
+			Groups: []core.ViewGroup{
+				{GID: 2, Kind: core.KindRegular, Count: 2, One: -1, List: []int32{0, 2}},
+				{GID: 9, Kind: core.KindOne, Count: 1, One: 1},
+			},
+			Cum:     []float64{12, 14, 14.75},
+			Dec:     true,
+			DecList: []int32{1, 2},
+			DecSum:  0.75,
+		},
+	}
+	gotRp := roundTrip(t, &frame{Kind: kViewRep, ViewRep: rp})
+	if gotRp.Kind != kViewRep || !reflect.DeepEqual(gotRp.ViewRep, rp) {
+		t.Fatalf("view reply round-trip: got %+v, want %+v", gotRp.ViewRep, rp)
 	}
 }
 
@@ -129,17 +187,17 @@ func TestHelloFrameRoundTrip(t *testing.T) {
 // publish + barrier + ack, a walker launched on shard 0, transferred
 // peer-to-peer to shard 1, retired to the coordinator, then shutdown.
 func TestLoopbackFabricSession(t *testing.T) {
-	s0, err := Listen("127.0.0.1:0", 0, 2)
+	l0, err := Listen("127.0.0.1:0", 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s0.Close()
-	s1, err := Listen("127.0.0.1:0", 1, 2)
+	defer l0.Close()
+	l1, err := Listen("127.0.0.1:0", 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s1.Close()
-	addrs := []string{s0.Addr().String(), s1.Addr().String()}
+	defer l1.Close()
+	addrs := []string{l0.Addr().String(), l1.Addr().String()}
 
 	coord, err := Dial(addrs, fabric.Hello{RangeSize: 100, NumVertices: 200})
 	if err != nil {
@@ -147,15 +205,18 @@ func TestLoopbackFabricSession(t *testing.T) {
 	}
 	defer coord.Close()
 
-	for i, s := range []*ShardConn{s0, s1} {
-		h, err := s.Accept()
+	sessions := make([]*ShardConn, 2)
+	for i, l := range []*Listener{l0, l1} {
+		sc, h, err := l.Accept()
 		if err != nil {
 			t.Fatalf("shard %d accept: %v", i, err)
 		}
-		if h.Shard != i || h.Shards != 2 || h.RangeSize != 100 || len(h.Peers) != 2 {
+		if h.Shard != i || h.Shards != 2 || h.RangeSize != 100 || len(h.Peers) != 2 || h.Session == 0 {
 			t.Fatalf("shard %d hello %+v", i, h)
 		}
+		sessions[i] = sc
 	}
+	s0, s1 := sessions[0], sessions[1]
 
 	// Shard node stand-ins: echo barriers as acks, forward every walker
 	// once (0 → 1), retire it at shard 1.
@@ -199,10 +260,10 @@ func TestLoopbackFabricSession(t *testing.T) {
 		s1.Retire(wk)
 	}()
 
-	if err := coord.PublishUpdates(0, []graph.Update{
+	if err := coord.PublishUpdates(0, fabric.Ingest{Ups: []graph.Update{
 		{Op: graph.OpInsert, Src: 1, Dst: 2, Bias: 3},
 		{Op: graph.OpInsert, Src: 4_000_000_000, Dst: 5, Bias: 1},
-	}); err != nil {
+	}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := coord.PublishBarrier(fabric.Ingest{Barrier: 7}); err != nil {

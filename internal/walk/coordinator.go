@@ -32,6 +32,13 @@ type coordinator struct {
 	idSeq  atomic.Uint64
 	barSeq atomic.Uint64
 
+	// ledger is the per-shard routed-update count (touched only by the
+	// router goroutine). A copy rides on every published ingest element
+	// as the watermark vector the shards' remote-view caches validate
+	// against: a view of a shard-o vertex extracted before routed update
+	// k to shard o must not survive a watermark that includes k.
+	ledger []int64
+
 	// sendMu serializes Query/Feed/Sync/DeepWalk senders against Close,
 	// exactly as in LiveService: senders hold it in read mode across
 	// their enqueue.
@@ -51,7 +58,7 @@ type coordinator struct {
 	syncs   map[uint64]*barrierWait
 	acks    []fabric.Ack // latest ack per shard (cumulative tallies)
 
-	queries, steps, batches, transfers, local atomic.Int64
+	queries, steps, batches, transfers, local, remote atomic.Int64
 
 	errMu sync.Mutex
 	err   error
@@ -77,9 +84,9 @@ type barrierWait struct {
 
 // bulkRun aggregates one DeepWalk invocation across its walkers.
 type bulkRun struct {
-	steps, transfers, local atomic.Int64
-	visits                  *visitCounter
-	wg                      sync.WaitGroup
+	steps, transfers, local, remote atomic.Int64
+	visits                          *visitCounter
+	wg                              sync.WaitGroup
 }
 
 func newCoordinator(port fabric.CoordPort, plan ShardPlan, cfg ShardedLiveConfig) *coordinator {
@@ -93,6 +100,7 @@ func newCoordinator(port fabric.CoordPort, plan ShardPlan, cfg ShardedLiveConfig
 		bulks:   map[uint64]*bulkRun{},
 		syncs:   map[uint64]*barrierWait{},
 		acks:    make([]fabric.Ack, plan.Shards),
+		ledger:  make([]int64, plan.Shards),
 	}
 	c.routing.Add(1)
 	go c.routerLoop()
@@ -120,12 +128,15 @@ func (c *coordinator) Err() error {
 
 // routerLoop splits each feed batch by owner shard, preserving per-source
 // order (single router, FIFO per-shard publish streams), and forwards
-// barriers to every shard ordered after the batches before them.
+// barriers to every shard ordered after the batches before them. Every
+// published element carries the routed-update ledger as of *after* the
+// whole batch was accounted, so a shard learns about updates in flight
+// to its peers no later than it learns about its own.
 func (c *coordinator) routerLoop() {
 	defer c.routing.Done()
 	for m := range c.feed {
 		if m.bar != nil {
-			if err := c.port.PublishBarrier(fabric.Ingest{Barrier: m.bar.seq, Dump: m.bar.dump}); err != nil {
+			if err := c.port.PublishBarrier(fabric.Ingest{Barrier: m.bar.seq, Dump: m.bar.dump, Watermarks: c.ledgerCopy()}); err != nil {
 				c.setErr(err)
 			}
 			continue
@@ -137,13 +148,21 @@ func (c *coordinator) routerLoop() {
 			parts[o] = append(parts[o], up)
 		}
 		for i, p := range parts {
+			c.ledger[i] += int64(len(p))
+		}
+		for i, p := range parts {
 			if len(p) > 0 {
-				if err := c.port.PublishUpdates(i, p); err != nil {
+				if err := c.port.PublishUpdates(i, fabric.Ingest{Ups: p, Watermarks: c.ledgerCopy()}); err != nil {
 					c.setErr(err)
 				}
 			}
 		}
 	}
+}
+
+// ledgerCopy snapshots the routed-update ledger for one wire message.
+func (c *coordinator) ledgerCopy() []int64 {
+	return append([]int64(nil), c.ledger...)
 }
 
 // eventLoop consumes retires and acks until the fabric's event stream
@@ -170,6 +189,7 @@ func (c *coordinator) onRetire(w *fabric.Walker) {
 	c.steps.Add(w.Steps)
 	c.transfers.Add(w.Transfers)
 	c.local.Add(w.Local)
+	c.remote.Add(w.Remote)
 	if w.Failed {
 		c.setErr(ErrFabricDown)
 	}
@@ -195,6 +215,7 @@ func (c *coordinator) onRetire(w *fabric.Walker) {
 		run.steps.Add(w.Steps)
 		run.transfers.Add(w.Transfers)
 		run.local.Add(w.Local)
+		run.remote.Add(w.Remote)
 		if run.visits != nil {
 			for _, v := range w.Path {
 				run.visits.bump(v)
@@ -472,7 +493,7 @@ func (c *coordinator) DeepWalk(cfg Config, numVertices int) (Result, TransferSta
 	if run.visits != nil {
 		res.Visits = run.visits.snapshot()
 	}
-	return res, TransferStats{Transfers: run.transfers.Load(), Local: run.local.Load()}, nil
+	return res, TransferStats{Transfers: run.transfers.Load(), Local: run.local.Load(), Remote: run.remote.Load()}, nil
 }
 
 // Close drains the feed (queued batches are routed and applied), waits

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
@@ -35,6 +36,11 @@ type LiveConfig struct {
 	WalkLength int
 	// Seed makes the walker RNG streams reproducible.
 	Seed uint64
+	// Cache configures the pool walkers' hub-view LRUs (zero value =
+	// enabled with defaults; Off disables; remote fields are unused in
+	// the unsharded service). Takes effect only when the engine supports
+	// versioned views (concurrent.Engine does).
+	Cache fabric.CacheSpec
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -63,6 +69,10 @@ type LiveStats struct {
 	// first such error is retained for Err, and ingestion continues —
 	// one malformed batch must not silently void the rest of the feed.
 	Dropped int64
+	// CacheHits counts walk steps served lock-free from a walker's
+	// hub-view cache; CacheStale counts cached views dropped on epoch
+	// mismatch (a writer touched the vertex's stripe since extraction).
+	CacheHits, CacheStale int64
 }
 
 type liveReq struct {
@@ -106,6 +116,7 @@ type LiveService struct {
 	ingestErr error
 
 	queries, steps, batches, updates, dropped atomic.Int64
+	cacheHits, cacheStale                     atomic.Int64
 }
 
 // NewLiveService starts the walker pool and the ingest loop.
@@ -130,15 +141,34 @@ func NewLiveService(e LiveEngine, cfg LiveConfig) *LiveService {
 
 // walkLoop serves queries until the request channel closes; pending queued
 // requests are drained first, so every accepted Query gets its reply.
+// Each pool walker keeps a private hub-view LRU: hops at hot vertices are
+// sampled lock-free from epoch-validated views, with the engine's locked
+// path as the fallback (and the only path for engines without views).
 func (ls *LiveService) walkLoop(r *xrand.RNG) {
 	defer ls.walkers.Done()
+	var vc *viewCache
+	var ve ViewSampler
+	if !ls.cfg.Cache.Off {
+		if v, ok := ls.e.(ViewSampler); ok {
+			ve = v
+			vc = newViewCache(ls.cfg.Cache.Size, ls.cfg.Cache.MinDegree)
+		}
+	}
+	sample := func(u graph.VertexID, r *xrand.RNG) (graph.VertexID, bool) {
+		return vc.sample(ve, ls.e, u, r)
+	}
 	var buf []graph.VertexID
 	for req := range ls.reqs {
-		buf = walkPath(ls.e, req.start, req.length, r, buf)
+		buf = walkPathBy(sample, req.start, req.length, r, buf)
 		path := make([]graph.VertexID, len(buf))
 		copy(path, buf)
 		ls.queries.Add(1)
 		ls.steps.Add(int64(len(path) - 1))
+		if vc != nil {
+			ls.cacheHits.Add(vc.hits)
+			ls.cacheStale.Add(vc.stale)
+			vc.hits, vc.stale = 0, 0
+		}
 		req.reply <- path
 	}
 }
@@ -162,13 +192,15 @@ func (ls *LiveService) ingestLoop() {
 	}
 }
 
-// walkPath is the first-order walk primitive shared by the service and
-// DeepWalkPaths: walk up to length steps from start, reusing buf.
-func walkPath(e Engine, start graph.VertexID, length int, r *xrand.RNG, buf []graph.VertexID) []graph.VertexID {
+// walkPathBy is the first-order walk primitive: walk up to length steps
+// from start through the given sampling function, reusing buf. The live
+// service's pool walkers pass their cache-aware sampler; everything else
+// goes through walkPath's plain engine adapter.
+func walkPathBy(sample func(u graph.VertexID, r *xrand.RNG) (graph.VertexID, bool), start graph.VertexID, length int, r *xrand.RNG, buf []graph.VertexID) []graph.VertexID {
 	buf = append(buf[:0], start)
 	cur := start
 	for hop := 0; hop < length; hop++ {
-		next, ok := e.Sample(cur, r)
+		next, ok := sample(cur, r)
 		if !ok {
 			break
 		}
@@ -176,6 +208,11 @@ func walkPath(e Engine, start graph.VertexID, length int, r *xrand.RNG, buf []gr
 		buf = append(buf, cur)
 	}
 	return buf
+}
+
+// walkPath is walkPathBy over an engine's locked Sample.
+func walkPath(e Engine, start graph.VertexID, length int, r *xrand.RNG, buf []graph.VertexID) []graph.VertexID {
+	return walkPathBy(e.Sample, start, length, r, buf)
 }
 
 // Query walks from start for up to length steps (<= 0 selects the
@@ -225,11 +262,13 @@ func (ls *LiveService) NewSharded(shards int) *Sharded {
 // Stats returns a snapshot of the service counters.
 func (ls *LiveService) Stats() LiveStats {
 	return LiveStats{
-		Queries: ls.queries.Load(),
-		Steps:   ls.steps.Load(),
-		Batches: ls.batches.Load(),
-		Updates: ls.updates.Load(),
-		Dropped: ls.dropped.Load(),
+		Queries:    ls.queries.Load(),
+		Steps:      ls.steps.Load(),
+		Batches:    ls.batches.Load(),
+		Updates:    ls.updates.Load(),
+		Dropped:    ls.dropped.Load(),
+		CacheHits:  ls.cacheHits.Load(),
+		CacheStale: ls.cacheStale.Load(),
 	}
 }
 

@@ -127,6 +127,7 @@ func (s *RemoteService) Stats() ShardedLiveStats {
 	for _, a := range s.coord.acks {
 		st.Updates += a.Updates
 		st.Dropped += a.Dropped
+		st.Cache.Add(a.Cache)
 	}
 	s.coord.mu.Unlock()
 	return st

@@ -19,20 +19,21 @@ import (
 // blocking forever on acks and retires that will never arrive.
 func TestRemoteServiceSessionDeath(t *testing.T) {
 	const shards = 2
-	conns := make([]*tcpgob.ShardConn, shards)
+	listeners := make([]*tcpgob.Listener, shards)
 	addrs := make([]string, shards)
 	for i := 0; i < shards; i++ {
-		sc, err := tcpgob.Listen("127.0.0.1:0", i, shards)
+		l, err := tcpgob.Listen("127.0.0.1:0", i, shards)
 		if err != nil {
 			t.Fatal(err)
 		}
-		conns[i] = sc
-		addrs[i] = sc.Addr().String()
+		defer l.Close()
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
 	}
 	// Shard 1 is a healthy node; shard 0 accepts the session and then
 	// "crashes" (closes everything without serving).
 	go func() {
-		hello, err := conns[1].Accept()
+		sc, hello, err := listeners[1].Accept()
 		if err != nil {
 			return
 		}
@@ -42,14 +43,14 @@ func TestRemoteServiceSessionDeath(t *testing.T) {
 		}
 		e := concurrent.Wrap(s, concurrent.Config{})
 		plan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
-		walk.RunShardNode(e, plan, 1, conns[1], 1)
-		conns[1].Close()
+		walk.RunShardNode(e, plan, 1, sc, 1, fabric.CacheSpec{})
 	}()
 	go func() {
-		if _, err := conns[0].Accept(); err != nil {
+		sc, _, err := listeners[0].Accept()
+		if err != nil {
 			return
 		}
-		conns[0].Close()
+		sc.Close()
 	}()
 
 	const verts = 64

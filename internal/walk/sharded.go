@@ -188,6 +188,10 @@ type TransferStats struct {
 	// within the owning shard, plus a walk's final hop even when it
 	// crossed a boundary (a finished walker retires where it is).
 	Local int64
+	// Remote counts steps at non-owned vertices served from a cached
+	// hub view — hops that would have been hand-offs without the
+	// fabric-side cache.
+	Remote int64
 }
 
 // inbox is an unbounded MPMC walker queue, shared by the Sharded demo

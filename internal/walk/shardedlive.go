@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/fabric/inproc"
 	"github.com/bingo-rw/bingo/internal/graph"
 )
@@ -63,6 +64,11 @@ type ShardedLiveConfig struct {
 	WalkLength int
 	// Seed makes the per-query RNG streams reproducible.
 	Seed uint64
+	// Cache configures the hub-view caches of every shard node (zero
+	// value = enabled with defaults; Cache.Off disables). It takes
+	// effect only when the shard engines support versioned views
+	// (concurrent.Engine does).
+	Cache fabric.CacheSpec
 }
 
 func (c ShardedLiveConfig) withDefaults(shards int) ShardedLiveConfig {
@@ -84,19 +90,27 @@ func (c ShardedLiveConfig) withDefaults(shards int) ShardedLiveConfig {
 // ShardedLiveStats snapshots the service counters. Steps, Transfers, and
 // Local cover query and bulk walks alike; Batches counts routed feed
 // batches, Updates successfully applied events, Dropped failed sub-batches
-// (a feed batch splits into at most one sub-batch per shard).
+// (a feed batch splits into at most one sub-batch per shard). Cache
+// reports the hub-view cache layers: Cache.RemoteHits are steps at
+// non-owned vertices served from a peer's shipped view instead of a
+// walker hand-off.
 type ShardedLiveStats struct {
 	Queries, Steps            int64
 	Batches, Updates, Dropped int64
 	Transfers, Local          int64
+	Cache                     fabric.CacheTallies
 }
 
-// TransferRatio is the share of walk steps that crossed a shard boundary.
+// TransferRatio is walker hand-offs per sampled hop — the share of walk
+// progress that cost a cross-shard transfer. Every hop is served either
+// by the owning engine (Local) or by a cached remote view
+// (Cache.RemoteHits), so Steps = Local + RemoteHits and hand-offs the
+// remote cache absorbed pull the ratio down.
 func (s ShardedLiveStats) TransferRatio() float64 {
-	if s.Transfers+s.Local == 0 {
+	if s.Steps == 0 {
 		return 0
 	}
-	return float64(s.Transfers) / float64(s.Transfers+s.Local)
+	return float64(s.Transfers) / float64(s.Steps)
 }
 
 // NewShardedLiveService starts the shard crews, the ingest router, and one
@@ -118,7 +132,7 @@ func NewShardedLiveService(engines []LiveEngine, plan ShardPlan, cfg ShardedLive
 		cfg:     cfg,
 	}
 	for i := range engines {
-		s.nodes[i] = startShardNode(engines[i], plan, i, fab.ShardPort(i), cfg.WalkersPerShard)
+		s.nodes[i] = startShardNode(engines[i], plan, i, fab.ShardPort(i), cfg.WalkersPerShard, cfg.Cache)
 	}
 	s.coord = newCoordinator(fab.CoordPort(), plan, cfg)
 	return s, nil
@@ -195,6 +209,7 @@ func (s *ShardedLiveService) Stats() ShardedLiveStats {
 		st.Local += n.local.Load()
 		st.Updates += n.updates.Load()
 		st.Dropped += n.dropped.Load()
+		st.Cache.Add(n.cacheTallies())
 	}
 	return st
 }

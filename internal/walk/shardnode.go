@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/xrand"
@@ -11,22 +12,56 @@ import (
 
 // shardNode hosts one shard's engine behind a fabric port: a crew of
 // walker goroutines drains the walker stream (advance while on owned
-// vertices, forward on boundary crossings, retire to the coordinator),
-// and a single ingester drains the ordered ingest stream (apply batches,
-// acknowledge barriers). The same node logic runs inside the in-process
-// ShardedLiveService and inside a `bingowalk -shard-serve` daemon — the
-// fabric is the only thing that changes.
+// vertices, forward on boundary crossings, retire to the coordinator), a
+// single ingester drains the ordered ingest stream (apply batches,
+// acknowledge barriers), and a view loop serves the fabric-side hub
+// cache (answer peers' view requests, install their replies). The same
+// node logic runs inside the in-process ShardedLiveService and inside a
+// `bingowalk -shard-serve` daemon — the fabric is the only thing that
+// changes.
+//
+// Hub caches. When the engine supports versioned views (ViewSampler —
+// concurrent.Engine does) and the cache is not switched off, hops are
+// served through two layers:
+//
+//   - each crew walker keeps a private LRU of owned hub vertices' views
+//     and samples lock-free, revalidating by stripe epoch on every hop
+//     and falling back to the locked path on mismatch;
+//   - the node keeps a shared cache of *peer-owned* hub views, filled by
+//     asynchronous ViewRequest/ViewReply traffic after repeated
+//     hand-offs toward the same vertex, and invalidated by the
+//     coordinator's routed-update watermarks piggybacked on the ingest
+//     stream. A hop at a cached non-owned hub is served locally instead
+//     of costing a walker hand-off.
 type shardNode struct {
 	e     LiveEngine
 	plan  ShardPlan
 	shard int
 	port  fabric.ShardPort
 
-	loops sync.WaitGroup // crews + ingester
+	// ve is the engine's view capability; nil disables both cache
+	// layers (plain locked sampling, the pre-cache behavior).
+	ve    ViewSampler
+	cache fabric.CacheSpec
+	rv    *remoteViews // nil when caching is off
+
+	loops sync.WaitGroup // crews + ingester + view loop
 	done  sync.WaitGroup // loops + the port-close watcher
 
-	steps, transfers, local atomic.Int64
-	updates, dropped        atomic.Int64
+	steps, transfers, local, remote atomic.Int64
+	updates, dropped                atomic.Int64
+	// consumed counts update events consumed from the ingest stream —
+	// applied *or* dropped — i.e. this node's position in the stream the
+	// coordinator's routed ledger counts. View Applied stamps use it
+	// rather than `updates`: a dropped sub-batch advances the stream
+	// without applying, and stamping applied-only would leave the node
+	// forever short of the ledger, permanently failing every peer's
+	// install check and silently disabling this shard's hub views.
+	consumed atomic.Int64
+
+	localHits, localStale  atomic.Int64
+	remoteStaleN, viewReqs atomic.Int64
+	viewsServed            atomic.Int64
 
 	errMu sync.Mutex
 	err   error
@@ -40,20 +75,27 @@ type EdgeDumper interface {
 	DumpEdges() []graph.Edge
 }
 
-// startShardNode spawns the node's crew and ingester. When both have
-// exited (the coordinator closed the session and the queues drained), the
-// node closes its port — the shard-done signal the coordinator's event
-// stream waits for.
-func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int) *shardNode {
+// startShardNode spawns the node's crew, ingester, and view loop. When
+// all have exited (the coordinator closed the session and the queues
+// drained), the node closes its port — the shard-done signal the
+// coordinator's event stream waits for.
+func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec) *shardNode {
 	if crew < 1 {
 		crew = 1
 	}
-	n := &shardNode{e: e, plan: plan, shard: shard, port: port}
-	n.loops.Add(crew + 1)
+	n := &shardNode{e: e, plan: plan, shard: shard, port: port, cache: cache}
+	if !cache.Off {
+		if ve, ok := e.(ViewSampler); ok {
+			n.ve = ve
+			n.rv = newRemoteViews(plan.Shards, cache.RemoteSize, cache.RequestAfter)
+		}
+	}
+	n.loops.Add(crew + 2)
 	for i := 0; i < crew; i++ {
 		go n.crewLoop()
 	}
 	go n.ingestLoop()
+	go n.viewLoop()
 	n.done.Add(1)
 	go func() {
 		defer n.done.Done()
@@ -80,37 +122,64 @@ func (n *shardNode) firstErr() error {
 	return n.err
 }
 
-// crewLoop is one walker of the shard's crew. A popped walker is advanced
-// while it stays on owned vertices; its RNG stream is materialized from
-// the carried state and re-serialized before the walker leaves this
-// address space (forward or retire), so the stream continues draw-for-draw
-// wherever the walker lands next.
+// cacheTallies snapshots the node's hub-cache counters.
+func (n *shardNode) cacheTallies() fabric.CacheTallies {
+	return fabric.CacheTallies{
+		LocalHits:    n.localHits.Load(),
+		LocalStale:   n.localStale.Load(),
+		RemoteHits:   n.remote.Load(),
+		RemoteStale:  n.remoteStaleN.Load(),
+		ViewRequests: n.viewReqs.Load(),
+		ViewsServed:  n.viewsServed.Load(),
+	}
+}
+
+// crewLoop is one walker of the shard's crew. A popped walker is
+// advanced while it stays on vertices this node can serve — owned
+// vertices through the engine (via the crew's private hub-view LRU when
+// possible), non-owned vertices through the node's remote-view cache —
+// and handed to the owner the moment it lands on a non-owned vertex the
+// node holds no valid view of. The walker's RNG stream is materialized
+// from the carried state and re-serialized before the walker leaves this
+// address space (forward or retire), so the stream continues
+// draw-for-draw wherever the walker lands next.
 func (n *shardNode) crewLoop() {
 	defer n.loops.Done()
+	var vc *viewCache
+	if n.ve != nil {
+		vc = newViewCache(n.cache.Size, n.cache.MinDegree)
+	}
 	for {
 		wk, ok := n.port.NextWalker()
 		if !ok {
 			return
 		}
 		r := xrand.FromState(wk.Rng)
-		var segSteps, segTransfers, segLocal int64
+		var seg struct{ steps, transfers, local, remote int64 }
 		forwarded := false
 		for wk.Left > 0 {
-			next, sampled := n.e.Sample(wk.Cur, r)
-			if !sampled {
-				break
-			}
-			segSteps++
-			wk.Steps++
-			wk.Left--
-			wk.Cur = next
-			if wk.Record {
-				wk.Path = append(wk.Path, next)
-			}
-			// Forward only walkers with hops left — a finished walker
-			// retires wherever its last hop landed.
-			if owner := n.plan.Owner(next); owner != n.shard && wk.Left > 0 {
-				segTransfers++
+			var next graph.VertexID
+			var sampled bool
+			if owner := n.plan.Owner(wk.Cur); owner == n.shard {
+				next, sampled = vc.sample(n.ve, n.e, wk.Cur, r)
+				if sampled {
+					seg.local++
+					wk.Local++
+				}
+			} else if vw, stale := n.remoteView(wk.Cur); vw != nil {
+				// A non-owned vertex served from a peer's shipped view:
+				// the hop that used to cost a hand-off.
+				next, sampled = vw.Sample(r)
+				if sampled {
+					seg.remote++
+					wk.Remote++
+				}
+			} else {
+				if stale {
+					n.remoteStaleN.Add(1)
+				}
+				n.maybeRequestView(wk.Cur, owner)
+				seg.transfers++
 				wk.Transfers++
 				wk.Rng = r.State()
 				if err := n.port.ForwardWalker(owner, wk); err != nil {
@@ -125,12 +194,26 @@ func (n *shardNode) crewLoop() {
 				forwarded = true
 				break
 			}
-			segLocal++
-			wk.Local++
+			if !sampled {
+				break
+			}
+			seg.steps++
+			wk.Steps++
+			wk.Left--
+			wk.Cur = next
+			if wk.Record {
+				wk.Path = append(wk.Path, next)
+			}
 		}
-		n.steps.Add(segSteps)
-		n.transfers.Add(segTransfers)
-		n.local.Add(segLocal)
+		n.steps.Add(seg.steps)
+		n.transfers.Add(seg.transfers)
+		n.local.Add(seg.local)
+		n.remote.Add(seg.remote)
+		if vc != nil {
+			n.localHits.Add(vc.hits)
+			n.localStale.Add(vc.stale)
+			vc.hits, vc.stale = 0, 0
+		}
 		if forwarded {
 			continue
 		}
@@ -141,15 +224,43 @@ func (n *shardNode) crewLoop() {
 	}
 }
 
+// remoteView returns a valid cached view of non-owned vertex u, if any.
+func (n *shardNode) remoteView(u graph.VertexID) (vw *core.VertexView, stale bool) {
+	if n.rv == nil {
+		return nil, false
+	}
+	return n.rv.get(u)
+}
+
+// maybeRequestView fires an asynchronous view request for a non-owned
+// vertex that keeps costing hand-offs. Best-effort: a failed request is
+// dropped (the hand-off path still works) and the in-flight marker
+// cleared so a later crossing can retry.
+func (n *shardNode) maybeRequestView(u graph.VertexID, owner int) {
+	if n.rv == nil || !n.rv.noteCrossing(u) {
+		return
+	}
+	n.viewReqs.Add(1)
+	if err := n.port.RequestView(owner, &fabric.ViewRequest{From: n.shard, Vertex: u}); err != nil {
+		n.rv.clearInflight(u)
+	}
+}
+
 // ingestLoop applies the shard's routed sub-batches in arrival order and
 // acknowledges barriers with the node's cumulative tallies (the ack is
 // what makes distributed ingest progress observable at the coordinator).
+// Every ingest element also carries the coordinator's routed-update
+// watermarks, which invalidate remote views that may predate in-flight
+// updates.
 func (n *shardNode) ingestLoop() {
 	defer n.loops.Done()
 	for {
 		in, ok := n.port.NextIngest()
 		if !ok {
 			return
+		}
+		if n.rv != nil && len(in.Watermarks) > 0 {
+			n.rv.advance(in.Watermarks)
 		}
 		if in.IsBarrier() {
 			a := &fabric.Ack{
@@ -158,6 +269,7 @@ func (n *shardNode) ingestLoop() {
 				Updates:  n.updates.Load(),
 				Dropped:  n.dropped.Load(),
 				Vertices: n.e.NumVertices(),
+				Cache:    n.cacheTallies(),
 			}
 			if err := n.firstErr(); err != nil {
 				a.Err = err.Error()
@@ -175,9 +287,58 @@ func (n *shardNode) ingestLoop() {
 		if err := n.e.ApplyUpdates(in.Ups); err != nil {
 			n.dropped.Add(1)
 			n.setErr(err)
+			n.consumed.Add(int64(len(in.Ups)))
 			continue
 		}
 		n.updates.Add(int64(len(in.Ups)))
+		n.consumed.Add(int64(len(in.Ups)))
+	}
+}
+
+// viewLoop drains the node's view stream: it answers peers' requests
+// with versioned views of owned hubs and installs peers' replies into
+// the remote cache.
+func (n *shardNode) viewLoop() {
+	defer n.loops.Done()
+	minDeg := n.cache.MinDegree
+	if minDeg <= 0 {
+		minDeg = DefaultHubMinDegree
+	}
+	for {
+		m, ok := n.port.NextView()
+		if !ok {
+			return
+		}
+		switch {
+		case m.Req != nil:
+			rq := m.Req
+			rp := &fabric.ViewReply{From: n.shard, Vertex: rq.Vertex}
+			// Degree-gate before extracting: a non-hub reply must not pay
+			// the O(degree) view copy it would immediately discard.
+			if n.ve != nil && n.e.Degree(rq.Vertex) >= minDeg {
+				// The Applied stamp (ingest-stream position consumed) is
+				// read before extraction: the view can only be newer than
+				// its stamp claims, so watermark validation errs toward
+				// dropping, never toward serving stale state.
+				applied := n.consumed.Load()
+				vw := n.ve.ViewOf(rq.Vertex)
+				if vw.Degree() >= minDeg {
+					rp.Hub = true
+					rp.Applied = applied
+					rp.View = *vw
+				}
+			}
+			n.viewsServed.Add(1)
+			if err := n.port.ReplyView(rq.From, rp); err != nil {
+				// Best-effort: the requester's in-flight marker clears on
+				// its next watermark advance or stays conservative.
+				continue
+			}
+		case m.Rep != nil:
+			if n.rv != nil {
+				n.rv.install(m.Rep)
+			}
+		}
 	}
 }
 
@@ -187,15 +348,19 @@ type ShardNodeStats struct {
 	Updates, Dropped        int64
 	Vertices                int
 	Edges                   int64
+	Cache                   fabric.CacheTallies
 }
 
 // RunShardNode hosts engine e as shard `shard` of plan behind the given
-// fabric port: crew walker goroutines plus one ingester, exactly the
-// node half of ShardedLiveService. It blocks until the coordinator ends
-// the session (or the fabric fails), then reports the node's tallies and
-// the first ingest error. This is the body of `bingowalk -shard-serve`.
-func RunShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int) (ShardNodeStats, error) {
-	n := startShardNode(e, plan, shard, port, crew)
+// fabric port: crew walker goroutines plus one ingester and one view
+// server, exactly the node half of ShardedLiveService. The cache spec
+// configures the hub-view caches (zero value = defaults, on; it only
+// takes effect when e implements ViewSampler). It blocks until the
+// coordinator ends the session (or the fabric fails), then reports the
+// node's tallies and the first ingest error. This is the body of
+// `bingowalk -shard-serve`.
+func RunShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec) (ShardNodeStats, error) {
+	n := startShardNode(e, plan, shard, port, crew, cache)
 	n.wait()
 	st := ShardNodeStats{
 		Steps:     n.steps.Load(),
@@ -204,6 +369,7 @@ func RunShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort
 		Updates:   n.updates.Load(),
 		Dropped:   n.dropped.Load(),
 		Vertices:  e.NumVertices(),
+		Cache:     n.cacheTallies(),
 	}
 	if ne, ok := e.(interface{ NumEdges() int64 }); ok {
 		st.Edges = ne.NumEdges()

@@ -1,0 +1,189 @@
+package walk
+
+import (
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// ViewSampler is the optional LiveEngine capability the hub caches are
+// built on: versioned per-vertex view extraction with epoch validation
+// (concurrent.Engine implements it). Engines without it simply run every
+// hop through the locked Sample path, exactly as before the cache
+// existed.
+type ViewSampler interface {
+	// ViewOf extracts a versioned immutable view of u's sampling state.
+	ViewOf(u graph.VertexID) *core.VertexView
+	// ValidateView reports whether a view still reflects its vertex's
+	// current state (stable epoch, no mutation since extraction).
+	ValidateView(vw *core.VertexView) bool
+	// SampleOrView draws one sample under a single lock acquisition and,
+	// when u's degree is at least minDegree, also extracts a view for
+	// the caller to cache.
+	SampleOrView(u graph.VertexID, minDegree int, r *xrand.RNG) (graph.VertexID, bool, *core.VertexView)
+}
+
+// Hub-cache defaults, shared by the in-process services and the daemons
+// (which receive a fabric.CacheSpec in their session Hello and resolve
+// zeros against these).
+const (
+	// DefaultHubCacheSize is each crew walker's local view-LRU capacity.
+	DefaultHubCacheSize = 256
+	// DefaultHubMinDegree is the hub admission threshold: vertices below
+	// this degree are sampled through the lock (the view copy would cost
+	// more than it saves).
+	DefaultHubMinDegree = 8
+	// DefaultRemoteViewSize is the per-node remote-view cache capacity.
+	DefaultRemoteViewSize = 512
+	// DefaultViewRequestAfter is how many hand-offs a node observes
+	// toward one non-owned vertex before it requests the owner's view.
+	DefaultViewRequestAfter = 2
+)
+
+// viewCache is one walker's LRU of hot vertices' views. It is owned by a
+// single goroutine (one per crew walker / pool walker), so it needs no
+// locking; the views themselves are immutable and validated by epoch on
+// every use. Eviction is exact LRU over an intrusive doubly-linked list
+// threaded through a fixed slot array.
+type viewCache struct {
+	minDeg     int
+	slots      []viewSlot
+	index      map[graph.VertexID]int
+	free       []int
+	head, tail int // most- / least-recently-used slot, -1 when empty
+
+	// hits/stale are flushed into shared counters by the owner (misses
+	// are derivable: every non-hit hop is a miss or an uncached sample).
+	hits, stale int64
+}
+
+type viewSlot struct {
+	v          graph.VertexID
+	vw         *core.VertexView
+	prev, next int
+}
+
+// newViewCache returns a cache with the given capacity and hub-degree
+// threshold (zeros select the defaults). A nil cache is a valid
+// "disabled" cache for every method.
+func newViewCache(capacity, minDegree int) *viewCache {
+	if capacity <= 0 {
+		capacity = DefaultHubCacheSize
+	}
+	if minDegree <= 0 {
+		minDegree = DefaultHubMinDegree
+	}
+	return &viewCache{
+		minDeg: minDegree,
+		slots:  make([]viewSlot, 0, capacity),
+		index:  make(map[graph.VertexID]int, capacity),
+		head:   -1,
+		tail:   -1,
+	}
+}
+
+// get returns u's cached view (moving it to the front) or nil.
+func (c *viewCache) get(u graph.VertexID) *core.VertexView {
+	i, ok := c.index[u]
+	if !ok {
+		return nil
+	}
+	c.moveFront(i)
+	return c.slots[i].vw
+}
+
+// put inserts or refreshes u's view, evicting the LRU slot when full.
+func (c *viewCache) put(u graph.VertexID, vw *core.VertexView) {
+	if i, ok := c.index[u]; ok {
+		c.slots[i].vw = vw
+		c.moveFront(i)
+		return
+	}
+	var i int
+	switch {
+	case len(c.free) > 0:
+		i = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	case len(c.slots) < cap(c.slots):
+		c.slots = append(c.slots, viewSlot{})
+		i = len(c.slots) - 1
+	default:
+		i = c.tail
+		c.unlink(i)
+		delete(c.index, c.slots[i].v)
+	}
+	c.slots[i] = viewSlot{v: u, vw: vw, prev: -1, next: c.head}
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+	c.index[u] = i
+}
+
+// drop removes u (a stale view); its slot returns to the free list.
+func (c *viewCache) drop(u graph.VertexID) {
+	i, ok := c.index[u]
+	if !ok {
+		return
+	}
+	c.unlink(i)
+	delete(c.index, u)
+	c.slots[i].vw = nil
+	c.free = append(c.free, i)
+}
+
+func (c *viewCache) unlink(i int) {
+	s := &c.slots[i]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+	s.prev, s.next = -1, -1
+}
+
+func (c *viewCache) moveFront(i int) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.slots[i].next = c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+// sample draws one step at u through the cache: a cached, still-valid
+// view samples lock-free; a stale view is dropped and the locked path
+// refills the slot when u is hub-sized. A nil receiver (cache disabled,
+// or engine without views) is the plain locked sample.
+func (c *viewCache) sample(ve ViewSampler, e Engine, u graph.VertexID, r *xrand.RNG) (graph.VertexID, bool) {
+	if c == nil || ve == nil {
+		return e.Sample(u, r)
+	}
+	if vw := c.get(u); vw != nil {
+		if ve.ValidateView(vw) {
+			c.hits++
+			return vw.Sample(r)
+		}
+		c.drop(u)
+		c.stale++
+	}
+	v, ok, vw := ve.SampleOrView(u, c.minDeg, r)
+	if vw != nil {
+		c.put(u, vw)
+	}
+	return v, ok
+}

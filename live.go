@@ -164,6 +164,36 @@ func (c *ConcurrentEngine) CheckInvariants() error {
 	return err
 }
 
+// HubCacheOptions tune the hub-vertex view caches of the serving
+// runtimes. The zero value enables caching with defaults; set Off to get
+// the pre-cache behavior (every hop through the engine lock, every
+// boundary crossing a walker hand-off).
+type HubCacheOptions struct {
+	// Off disables all cache layers.
+	Off bool
+	// Size is each walker's local view-LRU capacity (0 = default 256).
+	Size int
+	// MinDegree is the hub admission threshold: only vertices of at
+	// least this degree are cached or served as views (0 = default 8).
+	MinDegree int
+	// RemoteSize is the per-shard remote-view cache capacity in the
+	// sharded runtimes (0 = default 512).
+	RemoteSize int
+	// RequestAfter is how many walker hand-offs a shard observes toward
+	// one non-owned vertex before fetching its view (0 = default 2).
+	RequestAfter int
+}
+
+func (o HubCacheOptions) spec() fabric.CacheSpec {
+	return fabric.CacheSpec{
+		Off:          o.Off,
+		Size:         o.Size,
+		MinDegree:    o.MinDegree,
+		RemoteSize:   o.RemoteSize,
+		RequestAfter: o.RequestAfter,
+	}
+}
+
 // LiveOptions configure Serve.
 type LiveOptions struct {
 	// Walkers is the walker-pool size (default GOMAXPROCS).
@@ -175,6 +205,8 @@ type LiveOptions struct {
 	WalkLength int
 	// Seed makes walker RNG streams reproducible.
 	Seed uint64
+	// HubCache tunes the pool walkers' hub-view caches.
+	HubCache HubCacheOptions
 }
 
 // LiveStats snapshots a LiveWalker's counters.
@@ -186,6 +218,9 @@ type LiveStats struct {
 	// Dropped counts feed batches whose application failed; the first
 	// error is reported by Close, and ingestion continues past it.
 	Dropped int64
+	// CacheHits and CacheStale report the walkers' hub-view caches:
+	// lock-free hops served, and views dropped on epoch mismatch.
+	CacheHits, CacheStale int64
 }
 
 // LiveWalker serves walk queries from a walker pool while a streaming
@@ -203,6 +238,7 @@ func (c *ConcurrentEngine) Serve(o LiveOptions) *LiveWalker {
 		QueueDepth: o.QueueDepth,
 		WalkLength: o.WalkLength,
 		Seed:       o.Seed,
+		Cache:      o.HubCache.spec(),
 	})
 	return &LiveWalker{svc: svc, floatMode: c.floatMode}
 }
@@ -226,7 +262,11 @@ func (lw *LiveWalker) Feed(ups []Update) error {
 // Stats snapshots the service counters.
 func (lw *LiveWalker) Stats() LiveStats {
 	st := lw.svc.Stats()
-	return LiveStats{Queries: st.Queries, Steps: st.Steps, Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped}
+	return LiveStats{
+		Queries: st.Queries, Steps: st.Steps,
+		Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped,
+		CacheHits: st.CacheHits, CacheStale: st.CacheStale,
+	}
 }
 
 // Close drains both queues, stops the pool, and returns the first ingest
@@ -251,23 +291,51 @@ type ShardedOptions struct {
 	// Concurrency tunes each shard's concurrency wrapper (zero value =
 	// defaults).
 	Concurrency ConcurrentConfig
+	// HubCache tunes the shards' hub-view caches.
+	HubCache HubCacheOptions
+}
+
+// HubCacheStats report the hub-view cache layers of a sharded runtime.
+type HubCacheStats struct {
+	// LocalHits counts hops served lock-free from a crew walker's own
+	// view cache; LocalStale counts views dropped on epoch mismatch.
+	LocalHits, LocalStale int64
+	// RemoteHits counts hops at non-owned vertices served from a peer's
+	// shipped view instead of a walker hand-off; RemoteStale counts
+	// remote views dropped by watermark invalidation.
+	RemoteHits, RemoteStale int64
+	// ViewRequests and ViewsServed count the fabric's view fetch
+	// traffic (issued and answered, respectively).
+	ViewRequests, ViewsServed int64
 }
 
 // ShardedLiveStats snapshots a ShardedLiveWalker's counters. Transfers
 // and Local split walk steps into cross-shard hand-offs and steps that
-// stayed on the owning shard.
+// stayed on the owning shard; Cache.RemoteHits are boundary crossings
+// the hub cache absorbed.
 type ShardedLiveStats struct {
 	Queries, Steps            int64
 	Batches, Updates, Dropped int64
 	Transfers, Local          int64
+	Cache                     HubCacheStats
 }
 
-// TransferRatio is the share of walk steps that crossed a shard boundary.
+// TransferRatio is walker hand-offs per sampled hop — the share of walk
+// progress that cost a cross-shard transfer (hops the hub cache served
+// from remote views cross shard ownership without a hand-off).
 func (s ShardedLiveStats) TransferRatio() float64 {
-	if s.Transfers+s.Local == 0 {
+	if s.Steps == 0 {
 		return 0
 	}
-	return float64(s.Transfers) / float64(s.Transfers+s.Local)
+	return float64(s.Transfers) / float64(s.Steps)
+}
+
+func fromCacheTallies(t fabric.CacheTallies) HubCacheStats {
+	return HubCacheStats{
+		LocalHits: t.LocalHits, LocalStale: t.LocalStale,
+		RemoteHits: t.RemoteHits, RemoteStale: t.RemoteStale,
+		ViewRequests: t.ViewRequests, ViewsServed: t.ViewsServed,
+	}
 }
 
 // ShardedLiveWalker serves walk queries through the sharded live runtime:
@@ -311,6 +379,7 @@ func (e *Engine) ServeSharded(shards int, o ShardedOptions) (*ShardedLiveWalker,
 		QueueDepth:      o.QueueDepth,
 		WalkLength:      o.WalkLength,
 		Seed:            o.Seed,
+		Cache:           o.HubCache.spec(),
 	})
 	if err != nil {
 		return nil, err
@@ -349,7 +418,9 @@ func (sw *ShardedLiveWalker) Sync() error { return sw.svc.Sync() }
 // the result.
 func (sw *ShardedLiveWalker) DeepWalk(o WalkOptions) (WalkResult, ShardedLiveStats, error) {
 	res, ts, err := sw.svc.DeepWalk(o.internal())
-	return fromWalk(res), ShardedLiveStats{Steps: res.Steps, Transfers: ts.Transfers, Local: ts.Local}, err
+	st := ShardedLiveStats{Steps: res.Steps, Transfers: ts.Transfers, Local: ts.Local}
+	st.Cache.RemoteHits = ts.Remote
+	return fromWalk(res), st, err
 }
 
 // Stats snapshots the service counters.
@@ -359,6 +430,7 @@ func (sw *ShardedLiveWalker) Stats() ShardedLiveStats {
 		Queries: st.Queries, Steps: st.Steps,
 		Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped,
 		Transfers: st.Transfers, Local: st.Local,
+		Cache: fromCacheTallies(st.Cache),
 	}
 }
 
@@ -378,6 +450,10 @@ type RemoteOptions struct {
 	WalkLength int
 	// Seed makes query RNG streams reproducible.
 	Seed uint64
+	// HubCache tunes the daemons' hub-view caches; the session Hello
+	// carries it, so the coordinator decides the cache policy for the
+	// whole session.
+	HubCache HubCacheOptions
 }
 
 // RemoteWalker serves walk queries across a set of shard-daemon
@@ -409,6 +485,7 @@ func (e *Engine) ServeRemote(addrs []string, o RemoteOptions) (*RemoteWalker, er
 		RangeSize:   plan.RangeSize,
 		NumVertices: g.NumVertices(),
 		FloatBias:   floatMode,
+		Cache:       o.HubCache.spec(),
 	})
 	if err != nil {
 		return nil, err
@@ -463,17 +540,20 @@ func (rw *RemoteWalker) Sync() error { return rw.svc.Sync() }
 // the feed keeps ingesting.
 func (rw *RemoteWalker) DeepWalk(o WalkOptions) (WalkResult, ShardedLiveStats, error) {
 	res, ts, err := rw.svc.DeepWalk(o.internal())
-	return fromWalk(res), ShardedLiveStats{Steps: res.Steps, Transfers: ts.Transfers, Local: ts.Local}, err
+	st := ShardedLiveStats{Steps: res.Steps, Transfers: ts.Transfers, Local: ts.Local}
+	st.Cache.RemoteHits = ts.Remote
+	return fromWalk(res), st, err
 }
 
-// Stats snapshots the session counters (Updates/Dropped as of the last
-// Sync).
+// Stats snapshots the session counters (Updates/Dropped and the cache
+// tallies as of the last Sync).
 func (rw *RemoteWalker) Stats() ShardedLiveStats {
 	st := rw.svc.Stats()
 	return ShardedLiveStats{
 		Queries: st.Queries, Steps: st.Steps,
 		Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped,
 		Transfers: st.Transfers, Local: st.Local,
+		Cache: fromCacheTallies(st.Cache),
 	}
 }
 
@@ -489,9 +569,18 @@ type ShardServeOptions struct {
 	// Concurrency tunes the shard's concurrency wrapper (zero value =
 	// defaults).
 	Concurrency ConcurrentConfig
+	// Sessions is how many coordinator sessions to serve before
+	// returning: 0 serves exactly one (the pre-multi-session behavior),
+	// negative serves indefinitely — the daemon loops back to accepting
+	// a new coordinator Hello after each session tears down, with a
+	// fresh engine per session.
+	Sessions int
 	// OnListen, if non-nil, receives the bound listen address before the
 	// call blocks waiting for a coordinator (useful with ":0" ports).
 	OnListen func(addr string)
+	// OnSession, if non-nil, receives each completed session's index
+	// (from 0), tallies, and error.
+	OnSession func(session int, st ShardServeStats, err error)
 }
 
 // ShardServeStats summarizes a completed shard-daemon session.
@@ -500,32 +589,57 @@ type ShardServeStats struct {
 	Updates, Dropped        int64
 	Vertices                int
 	Edges                   int64
+	Cache                   HubCacheStats
 }
 
 // ServeShard hosts one shard of a multi-process serving session: it
 // listens on addr, waits for a coordinator (an Engine.ServeRemote call
-// elsewhere) to open the session, builds a concurrent engine from the
-// announced spec, and serves walker transfers and routed ingest until the
-// coordinator closes the session. shard/shards are this daemon's claimed
-// position, validated against the coordinator's session (pass shards <= 0
-// to accept any count). This is the body of `bingowalk -shard-serve`.
+// elsewhere) to open a session, builds a concurrent engine from the
+// announced spec, and serves walker transfers, hub-view traffic, and
+// routed ingest until the coordinator closes the session. With
+// Sessions != 0 the daemon then loops back to accepting the next
+// coordinator Hello instead of exiting (each session gets a fresh
+// engine; a stray peer stream from a torn-down session is refused by its
+// session nonce). shard/shards are this daemon's claimed position,
+// validated against every coordinator's Hello (pass shards <= 0 to
+// accept any count). It returns the final session's stats. This is the
+// body of `bingowalk -shard-serve`.
 func ServeShard(addr string, shard, shards int, o ShardServeOptions) (ShardServeStats, error) {
-	sc, err := tcpgob.Listen(addr, shard, shards)
+	l, err := tcpgob.Listen(addr, shard, shards)
 	if err != nil {
 		return ShardServeStats{}, err
 	}
-	defer sc.Close()
+	defer l.Close()
 	if o.OnListen != nil {
-		o.OnListen(sc.Addr().String())
+		o.OnListen(l.Addr().String())
 	}
-	hello, err := sc.Accept()
-	if err != nil {
-		return ShardServeStats{}, err
+	sessions := o.Sessions
+	if sessions == 0 {
+		sessions = 1
 	}
+	var last ShardServeStats
+	var lastErr error
+	for n := 0; sessions < 0 || n < sessions; n++ {
+		sc, hello, err := l.Accept()
+		if err != nil {
+			return last, err
+		}
+		last, lastErr = serveOneShardSession(sc, hello, shard, o)
+		if o.OnSession != nil {
+			o.OnSession(n, last, lastErr)
+		}
+	}
+	return last, lastErr
+}
+
+// serveOneShardSession builds a session-scoped engine from the Hello and
+// runs the shard node until the coordinator ends the session.
+func serveOneShardSession(sc *tcpgob.ShardConn, hello fabric.Hello, shard int, o ShardServeOptions) (ShardServeStats, error) {
 	cfg := core.DefaultConfig()
 	cfg.FloatBias = hello.FloatBias
 	s, err := core.New(hello.NumVertices, cfg)
 	if err != nil {
+		sc.Close()
 		return ShardServeStats{}, err
 	}
 	eng := concurrent.Wrap(s, concurrent.Config{
@@ -538,10 +652,11 @@ func ServeShard(addr string, shard, shards int, o ShardServeOptions) (ShardServe
 		walkers = runtime.GOMAXPROCS(0)
 	}
 	plan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
-	st, err := walk.RunShardNode(eng, plan, shard, sc, walkers)
+	st, err := walk.RunShardNode(eng, plan, shard, sc, walkers, hello.Cache)
 	return ShardServeStats{
 		Steps: st.Steps, Transfers: st.Transfers, Local: st.Local,
 		Updates: st.Updates, Dropped: st.Dropped,
 		Vertices: st.Vertices, Edges: st.Edges,
+		Cache: fromCacheTallies(st.Cache),
 	}, err
 }

@@ -1,0 +1,124 @@
+// Multi-session daemon coverage: one set of shard daemons (in-process
+// bingo.ServeShard calls, the exact body of `bingowalk -shard-serve`)
+// must serve *successive* coordinator sessions — each with a fresh
+// engine — instead of exiting after the first, and a stale dial during
+// an active session must be refused rather than corrupting it. This is
+// the regression harness for the single-session-daemon fix.
+package bingo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeShardMultiSession(t *testing.T) {
+	const shards = 2
+	const sessions = 3
+	addrCh := make(chan struct {
+		i    int
+		addr string
+	}, shards)
+	type sessionRec struct {
+		st  ShardServeStats
+		err error
+	}
+	recs := make([][]sessionRec, shards)
+	var daemons sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		daemons.Add(1)
+		go func(i int) {
+			defer daemons.Done()
+			_, err := ServeShard("127.0.0.1:0", i, shards, ShardServeOptions{
+				Walkers:  2,
+				Sessions: sessions,
+				OnListen: func(a string) {
+					addrCh <- struct {
+						i    int
+						addr string
+					}{i, a}
+				},
+				OnSession: func(_ int, st ShardServeStats, err error) {
+					recs[i] = append(recs[i], sessionRec{st, err})
+				},
+			})
+			if err != nil {
+				t.Errorf("daemon %d: %v", i, err)
+			}
+		}(i)
+	}
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		a := <-addrCh
+		addrs[a.i] = a.addr
+	}
+
+	const ringN = 96
+	for s := 0; s < sessions; s++ {
+		// A distinct graph per session: session s scales every weight, so
+		// cross-session engine reuse (stale state) would change counts.
+		ring := make([]Edge, ringN)
+		for i := range ring {
+			ring[i] = Edge{Src: VertexID(i), Dst: VertexID((i + 1) % ringN), Weight: 1}
+		}
+		eng, err := FromEdges(ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := eng.ServeRemote(addrs, RemoteOptions{WalkLength: 8, Seed: uint64(s) + 1})
+		if err != nil {
+			t.Fatalf("session %d: ServeRemote: %v", s, err)
+		}
+		// Grow this session's graph a little and walk across shards.
+		ups := []Update{
+			Insert(VertexID(ringN+s), 0, 5),
+			Insert(5, VertexID(ringN+s), 5),
+		}
+		if err := rw.Feed(ups); err != nil {
+			t.Fatalf("session %d: Feed: %v", s, err)
+		}
+		if err := rw.Sync(); err != nil {
+			t.Fatalf("session %d: Sync: %v", s, err)
+		}
+		for q := 0; q < 16; q++ {
+			path, err := rw.Query(VertexID(q*5%ringN), 8)
+			if err != nil {
+				t.Fatalf("session %d query %d: %v", s, q, err)
+			}
+			if len(path) != 9 {
+				t.Fatalf("session %d query %d: path %v, want 9 hops on the ring", s, q, path)
+			}
+		}
+		st := rw.Stats()
+		// Each session must see exactly its own feed: ring bootstrap plus
+		// this session's two growth edges — a daemon reusing the previous
+		// session's engine would double-count.
+		if want := int64(ringN + len(ups)); st.Updates != want {
+			t.Fatalf("session %d: %d updates, want %d (stale engine reused across sessions?)", s, st.Updates, want)
+		}
+		if err := rw.Close(); err != nil {
+			t.Fatalf("session %d: Close: %v", s, err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { daemons.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemons did not exit after serving their session quota")
+	}
+	for i := 0; i < shards; i++ {
+		if len(recs[i]) != sessions {
+			t.Fatalf("daemon %d served %d sessions, want %d", i, len(recs[i]), sessions)
+		}
+		for s, rec := range recs[i] {
+			if rec.err != nil {
+				t.Errorf("daemon %d session %d: %v", i, s, rec.err)
+			}
+			if rec.st.Updates == 0 {
+				t.Errorf("daemon %d session %d: no updates ingested", i, s)
+			}
+		}
+	}
+}
