@@ -33,9 +33,9 @@ bench:
 # step. Verifies the runners execute end to end and the BENCH_*.json
 # reports appear; absolute numbers at this scale are meaningless.
 bench-smoke:
-	$(GO) run ./cmd/bingobench -exp concurrent,sharded -datasets AM -scale 0.002 -walkers 500 -workers 2 \
-		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json
-	test -s BENCH_concurrent.json && test -s BENCH_sharded.json
+	$(GO) run ./cmd/bingobench -exp concurrent,sharded,rebalance -datasets AM -scale 0.002 -walkers 500 -workers 2 \
+		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json -json-rebalance BENCH_rebalance.json
+	test -s BENCH_concurrent.json && test -s BENCH_sharded.json && test -s BENCH_rebalance.json
 
 # Multi-process serving smoke: spawns shard daemons (real bingowalk
 # -shard-serve processes) on loopback, drives queries plus a
@@ -50,4 +50,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSamplerMutate -fuzztime 30s ./internal/core/
 
 clean:
-	rm -f BENCH_concurrent.json BENCH_sharded.json
+	rm -f BENCH_concurrent.json BENCH_sharded.json BENCH_rebalance.json

@@ -37,6 +37,7 @@ func main() {
 		transp   = flag.String("transports", "", "comma-separated sharded-scenario transports (default inproc,tcp)")
 		cacheM   = flag.String("cache-modes", "", "comma-separated sharded-scenario hub-cache modes (default on,off)")
 		jsonSh   = flag.String("json-sharded", "BENCH_sharded.json", "output path for the sharded scenario's JSON report ('' disables)")
+		jsonReb  = flag.String("json-rebalance", "BENCH_rebalance.json", "output path for the rebalance scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -72,6 +73,7 @@ func main() {
 	o.Apps = split(*apps)
 	o.JSONPath = *jsonPath
 	o.ShardedJSONPath = *jsonSh
+	o.RebalanceJSONPath = *jsonReb
 	o.Transports = split(*transp)
 	o.CacheModes = split(*cacheM)
 	o.Verbose = *verbose

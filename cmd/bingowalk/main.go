@@ -28,6 +28,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/bingo-rw/bingo/internal/rebalance"
+
 	bingo "github.com/bingo-rw/bingo"
 	"github.com/bingo-rw/bingo/internal/concurrent"
 	"github.com/bingo-rw/bingo/internal/core"
@@ -63,10 +65,15 @@ func main() {
 		sessions  = flag.Int("sessions", 0, "coordinator sessions a -shard-serve daemon serves before exiting (0 = loop forever)")
 		cacheOff  = flag.Bool("hub-cache-off", false, "disable the hub-vertex view caches in the serving modes")
 		hubDeg    = flag.Int("hub-degree", 0, "hub-cache admission degree threshold (0 = default)")
+		reb       = flag.Bool("rebalance", false, "enable the heat-aware shard rebalancer in the sharded serving modes")
+		rebEvery  = flag.Duration("rebalance-interval", 0, "rebalancer heat-check period (0 = default 500ms)")
+		rebImbal  = flag.Float64("rebalance-imbalance", 0, "rebalancer trigger: hottest shard's step share over this multiple of 1/shards (0 = default 1.3)")
+		rebMoves  = flag.Int("rebalance-max-moves", 0, "block migrations per heat check (0 = default 4)")
 	)
 	flag.Parse()
 
 	hubCache := bingo.HubCacheOptions{Off: *cacheOff, MinDegree: *hubDeg}
+	rebOpts := rebalance.Options{On: *reb, Interval: *rebEvery, Imbalance: *rebImbal, MaxMovesPerCycle: *rebMoves}
 	if *shardSrv {
 		if err := runShardServe(*addr, *shardSpec, *workers, *sessions); err != nil {
 			fail(err)
@@ -74,7 +81,7 @@ func main() {
 		return
 	}
 	if *live {
-		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, hubCache); err != nil {
+		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, hubCache, rebOpts); err != nil {
 			fail(err)
 		}
 		return
@@ -219,6 +226,24 @@ func runShardServe(addr, spec string, workers, sessions int) error {
 	return err
 }
 
+// printRebalance reports the rebalancer's session activity (silent when
+// it never ran).
+func printRebalance(ls walk.ShardedLiveStats) {
+	if ls.Rebalance.PlanEpoch == 0 && ls.Rebalance.Migrations == 0 {
+		return
+	}
+	shares := make([]string, len(ls.ShardSteps))
+	for i, s := range ls.ShardSteps {
+		share := 0.0
+		if ls.Steps > 0 {
+			share = float64(s) / float64(ls.Steps)
+		}
+		shares[i] = fmt.Sprintf("%.2f", share)
+	}
+	fmt.Printf("rebalance: %d block migrations (%d edges shipped, plan epoch %d), per-shard step share [%s]\n",
+		ls.Rebalance.Migrations, ls.Rebalance.MovedEdges, ls.Rebalance.PlanEpoch, strings.Join(shares, " "))
+}
+
 // liveServer abstracts the serving runtimes the -live mode can drive:
 // the single-engine LiveService, the sharded walker-transfer service,
 // and the remote multi-process coordinator.
@@ -234,7 +259,7 @@ type liveServer interface {
 // the graph is 1-D partitioned across N engines and walks cross shard
 // boundaries by walker transfer (supplement §9.1); with -connect the
 // shards are separate daemon processes behind the TCP fabric.
-func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, hubCache bingo.HubCacheOptions) error {
+func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, hubCache bingo.HubCacheOptions, rebOpts rebalance.Options) error {
 	g, err := loadGraph(graphPath, dataset, scale, seed)
 	if err != nil {
 		return err
@@ -273,7 +298,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			return err
 		}
 		remote, err = walk.NewRemoteService(port, plan, w.Initial.NumVertices(), walk.ShardedLiveConfig{
-			WalkLength: length, Seed: seed,
+			WalkLength: length, Seed: seed, Rebalance: rebOpts,
 		})
 		if err != nil {
 			return err
@@ -302,6 +327,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		}
 		sharded, err = walk.NewShardedLiveService(engines, plan, walk.ShardedLiveConfig{
 			WalkersPerShard: workers, WalkLength: length, Seed: seed, Cache: cacheSpec,
+			Rebalance: rebOpts,
 		})
 		if err != nil {
 			return err
@@ -376,6 +402,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			ls.Transfers, ls.Local, ls.TransferRatio())
 		fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
 			ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
+		printRebalance(ls)
 		fmt.Printf("final graph: %d vertices across %d shard daemons\n", remote.NumVertices(), remote.Shards())
 		return nil
 	}
@@ -388,6 +415,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			ls.Transfers, ls.Local, ls.TransferRatio())
 		fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
 			ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
+		printRebalance(ls)
 		var edges, mem int64
 		for _, e := range shardEngines {
 			edges += e.NumEdges()

@@ -62,6 +62,9 @@ type Options struct {
 	// ShardedJSONPath, when non-empty, is where the sharded scenario
 	// writes its machine-readable BENCH_sharded.json report.
 	ShardedJSONPath string
+	// RebalanceJSONPath, when non-empty, is where the rebalance scenario
+	// writes its machine-readable BENCH_rebalance.json report.
+	RebalanceJSONPath string
 	// Transports filters the sharded scenario's transport dimension:
 	// "inproc" (in-process fabric) and/or "tcp" (loopback tcpgob fabric).
 	// Nil means both.
@@ -346,6 +349,7 @@ var registry = []runner{
 	{"ablation", "design ablations: radix base, α/β thresholds, lookup index", runAblation},
 	{"concurrent", "walk-while-ingest throughput at 0/10/50% update load (BENCH_concurrent.json)", runConcurrent},
 	{"sharded", "sharded live serving: walks/s and transfer ratio at 0/10/50% load × 1/2/4/8 shards × inproc/tcp transports (BENCH_sharded.json)", runSharded},
+	{"rebalance", "heat-aware rebalancing: hottest shard's step share under hub-skewed growth, rebalance on/off × inproc/tcp (BENCH_rebalance.json)", runRebalance},
 }
 
 // Experiments lists available experiment names with descriptions.

@@ -211,8 +211,16 @@ func hubStarts(g *graph.CSR) []graph.VertexID {
 // per-peer streams `bingowalk -shard-serve` daemons speak — so the cell
 // isolates wire cost without fork/exec noise.
 func newShardedService(o *Options, g *graph.CSR, transport string, cache fabric.CacheSpec, shards, crew int) (shardedService, error) {
-	plan := walk.NewShardPlan(g.NumVertices(), shards)
 	cfg := walk.ShardedLiveConfig{WalkersPerShard: crew, WalkLength: o.WalkLength, Seed: o.Seed, Cache: cache}
+	return newShardedServiceWithConfig(o, g, transport, cache, shards, crew, cfg)
+}
+
+// newShardedServiceWithConfig is newShardedService with the full service
+// config exposed (the rebalance scenario passes a Rebalance policy; the
+// cache spec still travels separately because the tcp transport ships it
+// in the session Hello).
+func newShardedServiceWithConfig(o *Options, g *graph.CSR, transport string, cache fabric.CacheSpec, shards, crew int, cfg walk.ShardedLiveConfig) (shardedService, error) {
+	plan := walk.NewShardPlan(g.NumVertices(), shards)
 	newEngine := func(numVertices int) (walk.LiveEngine, error) {
 		s, err := core.New(numVertices, o.bingoConfig())
 		if err != nil {
@@ -252,7 +260,10 @@ func newShardedService(o *Options, g *graph.CSR, transport string, cache fabric.
 					sc.Close()
 					return
 				}
-				nodePlan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
+				nodePlan := walk.ShardPlan{
+					Shards: hello.Shards, RangeSize: hello.RangeSize,
+					Epoch: hello.PlanEpoch, Overlay: hello.Overlay,
+				}
 				walk.RunShardNode(e, nodePlan, i, sc, crew, hello.Cache)
 			}(i)
 		}

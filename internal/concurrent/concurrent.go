@@ -512,6 +512,56 @@ func (e *Engine) Quiesce(fn func(s *core.Sampler)) {
 	e.unlockAll()
 }
 
+// ExtractRange atomically removes every out-edge of the vertices in
+// [lo, hi) and returns insert updates that reconstruct exactly the
+// removed rows (per-source adjacency order and weights preserved; float
+// weights in unscaled user units). The whole extraction runs under one
+// stop-the-world acquisition, so no walker or writer ever observes a
+// half-extracted range, and every stripe's epoch advances — cached views
+// of the range invalidate like any other write.
+//
+// This is the donor half of shard-ownership migration: the returned rows
+// travel to the recipient shard as a fabric.MigrateBlock and are
+// installed there with a plain ApplyUpdates. In-edges pointing *into*
+// the range from other vertices are untouched — 1-D ownership partitions
+// rows by source, so a block's out-rows are the entirety of what its
+// owner holds.
+// The bounds are uint64 because the top ownership block of the uint32
+// ID space ends at 2³² — inexpressible as a graph.VertexID.
+func (e *Engine) ExtractRange(lo, hi uint64) ([]graph.Update, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("concurrent: ExtractRange [%d, %d)", lo, hi)
+	}
+	var rows []graph.Update
+	var err error
+	e.Quiesce(func(s *core.Sampler) {
+		top := hi
+		if n := uint64(s.NumVertices()); top > n {
+			top = n
+		}
+		var row []graph.Update
+		for u64 := lo; u64 < top; u64++ {
+			u := graph.VertexID(u64)
+			row = s.AppendRowUpdates(u, row[:0])
+			if len(row) == 0 {
+				continue
+			}
+			// Delete-then-append keeps the invariant the migration
+			// transport depends on even under a mid-range failure: the
+			// returned rows are exactly the rows no longer present here
+			// (never both shipped and retained).
+			if derr := s.DeleteVertex(u); derr != nil {
+				if err == nil {
+					err = fmt.Errorf("concurrent: extracting vertex %d: %w", u, derr)
+				}
+				continue
+			}
+			rows = append(rows, row...)
+		}
+	})
+	return rows, err
+}
+
 // DumpEdges returns a quiescent flattening of the live edge multiset —
 // the walk.EdgeDumper capability the shard fabric's dump barrier uses to
 // read a remote shard's state back for verification.

@@ -72,6 +72,34 @@ func (s *Sampler) ValidateUpdates(ups []graph.Update) (maxV graph.VertexID, err 
 	return maxV, nil
 }
 
+// AppendRowUpdates appends insert updates reconstructing u's current row
+// to buf, in adjacency order: feeding them to an engine that holds no
+// edges of u rebuilds exactly the row (same multiset, same order, same
+// weights — float-mode weights are exported in unscaled user units like
+// Snapshot's, so λ scaling round-trips). It reads the same structures
+// Sample reads; the caller must exclude concurrent mutation of u's row
+// (the concurrent wrapper calls it quiescent). This is the per-vertex
+// half of block extraction: shard-ownership migration ships a vertex
+// range as the updates this hook emits.
+func (s *Sampler) AppendRowUpdates(u graph.VertexID, buf []graph.Update) []graph.Update {
+	if int(u) >= len(s.vx) {
+		return buf
+	}
+	d := s.adjs.Degree(u)
+	for i := int32(0); i < int32(d); i++ {
+		up := graph.Update{Op: graph.OpInsert, Src: u, Dst: s.adjs.Dst(u, i)}
+		if s.cfg.FloatBias {
+			w := (float64(s.adjs.Bias(u, i)) + float64(s.adjs.Rem(u, i))) / s.lambda
+			up.Bias = uint64(w)
+			up.FBias = w - float64(up.Bias)
+		} else {
+			up.Bias = s.adjs.Bias(u, i)
+		}
+		buf = append(buf, up)
+	}
+	return buf
+}
+
 // ApplyVertexUpdates applies one vertex's slice of a batch — every op must
 // have Src == u — through the §5.2 per-vertex workflow (insert → delete →
 // rebuild, one inter-group alias rebuild). The ops must already have passed

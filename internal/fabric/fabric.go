@@ -85,6 +85,23 @@ type Ingest struct {
 	// barrier's Ack — the coordinator's way to read back distributed
 	// state for verification.
 	Dump bool
+	// Heat asks the shard to attach its per-block heat report (walk
+	// steps served and degree mass per ownership block) to the barrier's
+	// Ack — the observability hook the rebalancer drives.
+	Heat bool
+	// Offer, when Offer.Epoch != 0, instructs the receiving shard — the
+	// current owner of Offer.Block — to extract that block's rows, stop
+	// serving it, and ship the rows to Offer.To as a MigrateBlock. Its
+	// position in the ingest stream is the migration's linearization
+	// point on the donor: every update routed to the donor before the
+	// offer is in the shipped rows, every later one is routed elsewhere.
+	Offer MigrateOffer
+	// Commit, when Commit.Epoch != 0, announces the new ownership of
+	// Commit.Block to the receiving shard. The recipient named by
+	// Commit.To installs the in-flight MigrateBlock before continuing
+	// its ingest stream; every other shard just flips its plan overlay
+	// and drops cached views of the moved block.
+	Commit MigrateCommit
 	// Watermarks is the coordinator's per-shard routed-update ledger
 	// (cumulative update events published to each shard, this element
 	// included), piggybacked on every ingest element. A cached remote
@@ -100,6 +117,95 @@ type Ingest struct {
 // IsBarrier reports whether the element is a barrier token.
 func (in *Ingest) IsBarrier() bool { return in.Barrier != 0 }
 
+// ---------------------------------------------------------------------------
+// Ownership migration (the live-rebalancing protocol)
+//
+// A migration moves one ShardPlan block from a donor shard to a recipient
+// in three fabric messages, ordered by the per-shard FIFO ingest streams:
+//
+//	coordinator ──Offer──▶ donor          (donor's ingest stream)
+//	coordinator ──Commit─▶ every shard    (each shard's ingest stream)
+//	donor ──────MigrateBlock──▶ recipient (block stream, peer-to-peer)
+//	recipient ──MigrateDone──▶ coordinator (event stream)
+//
+// The router flips its own routing table the instant it publishes the
+// offer, so updates for the moved block enqueue behind the recipient's
+// commit and are applied only after the block's rows are installed —
+// per-source order is preserved across the ownership flip. Walkers are
+// re-routed, never lost: a node that no longer (or does not yet) own a
+// moved vertex forwards the walker to whatever owner its current plan
+// names, and the bounded window in which donor and recipient disagree
+// only costs extra hand-offs.
+
+// MigrateOffer instructs a donor shard to give up one ownership block.
+// Zero Epoch means "no offer" (the Ingest discriminator); real epochs
+// start at 1.
+type MigrateOffer struct {
+	// Block is the ShardPlan block index being moved.
+	Block uint64
+	// To is the recipient shard.
+	To int
+	// Epoch is the plan epoch the migration creates.
+	Epoch uint64
+}
+
+// MigrateCommit announces a block's new owner to a shard. Zero Epoch
+// means "no commit".
+type MigrateCommit struct {
+	Block    uint64
+	From, To int
+	// Epoch is the plan epoch the flip installs.
+	Epoch uint64
+	// MinWatermark is the coordinator's routed-update count for the donor
+	// at the instant the offer was published. The shipped block must
+	// carry a donor watermark at least this high — a cheap end-to-end
+	// check that the ingest stream's FIFO ordering actually held.
+	MinWatermark int64
+}
+
+// MigrateBlock carries one block's extracted rows from donor to
+// recipient: insert updates that reconstruct exactly the rows the donor
+// held at extraction, in per-source adjacency order.
+type MigrateBlock struct {
+	Block uint64
+	From  int
+	Epoch uint64
+	// Watermark is the donor's ingest-stream position (update events
+	// consumed) at extraction; see MigrateCommit.MinWatermark.
+	Watermark int64
+	// Rows reconstruct the block's rows when applied to an empty range.
+	Rows []graph.Update
+}
+
+// MigrateDone is the recipient's completion report, delivered to the
+// coordinator on the event stream.
+type MigrateDone struct {
+	// Shard is the reporting (recipient) shard.
+	Shard int
+	Block uint64
+	Epoch uint64
+	// Edges is how many edges the installed block carried.
+	Edges int64
+	// Err is a non-empty description when the install failed; the
+	// coordinator surfaces it through Err and fails the migration.
+	Err string
+}
+
+// BlockHeat is one ownership block's heat sample in a shard's report:
+// how many walk steps this node served at the block's vertices since the
+// session began (cumulative — the rebalancer differences successive
+// reports) and, on the block's current owner, the block's live degree
+// mass.
+type BlockHeat struct {
+	Block uint64
+	// Steps is the node's cumulative sampled hops at vertices of this
+	// block (local engine hops and cached remote-view hops alike).
+	Steps int64
+	// Edges is the block's live out-edge count on the reporting shard —
+	// nonzero only on the block's owner.
+	Edges int64
+}
+
 // Ack is a shard's acknowledgement of a barrier. Updates/Dropped are the
 // shard's *cumulative* ingest tallies at the barrier point, so the latest
 // ack per shard is a consistent snapshot of distributed ingest progress.
@@ -112,6 +218,13 @@ type Ack struct {
 	// Vertices is the shard engine's current vertex-space size
 	// (telemetry; shards grow independently under the feed).
 	Vertices int
+	// Steps is the node's cumulative sampled-hop count at the barrier
+	// point — the per-shard load share a remote coordinator (and the
+	// rebalancer) reads without touching the node.
+	Steps int64
+	// Heat is the shard's per-block heat report, attached only when the
+	// barrier carried Heat.
+	Heat []BlockHeat
 	// Edges is the shard's edge snapshot, attached only when the barrier
 	// carried Dump.
 	Edges []graph.Edge
@@ -182,13 +295,16 @@ const (
 	EvRetire EventKind = iota
 	// EvAck delivers a barrier acknowledgement.
 	EvAck
+	// EvMigrated delivers a migration completion report.
+	EvMigrated
 )
 
 // Event is one element of the coordinator's inbound stream.
 type Event struct {
 	Kind   EventKind
-	Walker *Walker // EvRetire
-	Ack    *Ack    // EvAck
+	Walker *Walker      // EvRetire
+	Ack    *Ack         // EvAck
+	Done   *MigrateDone // EvMigrated
 }
 
 // ShardPort is one shard node's endpoint on the fabric.
@@ -229,6 +345,17 @@ type ShardPort interface {
 	// (inbound requests and replies share it). It blocks, and returns
 	// ok=false once the session has ended and the stream drained.
 	NextView() (*ViewMsg, bool)
+	// SendBlock ships an extracted ownership block to peer shard dst
+	// (the donor half of a migration). Like ForwardWalker it must not
+	// block indefinitely.
+	SendBlock(dst int, mb *MigrateBlock) error
+	// NextBlock pops the next inbound migration block. It blocks, and
+	// returns ok=false once the session has ended and the stream
+	// drained.
+	NextBlock() (*MigrateBlock, bool)
+	// Migrated reports a completed (or failed) block install to the
+	// coordinator.
+	Migrated(d *MigrateDone) error
 	// Close signals that this shard is done producing events.
 	Close() error
 }
@@ -268,6 +395,12 @@ type Hello struct {
 	Shards, Shard int
 	// RangeSize is the ShardPlan block length (ownership geometry).
 	RangeSize int
+	// PlanEpoch and Overlay carry the coordinator's current ownership
+	// overlay (block index → owner shard) so a session can start from a
+	// plan that prior rebalancing already reshaped. A fresh session has
+	// epoch 0 and a nil overlay (pure block-cyclic ownership).
+	PlanEpoch uint64
+	Overlay   map[uint64]int
 	// NumVertices sizes the shard engine's initial vertex space; the
 	// feed grows it live like any other engine.
 	NumVertices int

@@ -27,6 +27,7 @@ type Fabric struct {
 	walkers []*fabric.Mailbox[*fabric.Walker]
 	ingests []chan *fabric.Ingest
 	views   []*fabric.Mailbox[*fabric.ViewMsg]
+	blocks  []*fabric.Mailbox[*fabric.MigrateBlock]
 	events  *fabric.Mailbox[fabric.Event]
 
 	mu         sync.Mutex
@@ -44,6 +45,7 @@ func New(shards, queueDepth int) *Fabric {
 		walkers:    make([]*fabric.Mailbox[*fabric.Walker], shards),
 		ingests:    make([]chan *fabric.Ingest, shards),
 		views:      make([]*fabric.Mailbox[*fabric.ViewMsg], shards),
+		blocks:     make([]*fabric.Mailbox[*fabric.MigrateBlock], shards),
 		events:     fabric.NewMailbox[fabric.Event](),
 		shardsOpen: shards,
 	}
@@ -51,6 +53,7 @@ func New(shards, queueDepth int) *Fabric {
 		f.walkers[i] = fabric.NewMailbox[*fabric.Walker]()
 		f.ingests[i] = make(chan *fabric.Ingest, queueDepth)
 		f.views[i] = fabric.NewMailbox[*fabric.ViewMsg]()
+		f.blocks[i] = fabric.NewMailbox[*fabric.MigrateBlock]()
 	}
 	return f
 }
@@ -119,6 +122,7 @@ func (c *coordPort) Close() error {
 		close(c.ingests[i])
 		c.walkers[i].Close()
 		c.views[i].Close()
+		c.blocks[i].Close()
 	}
 	return nil
 }
@@ -157,6 +161,20 @@ func (p *shardPort) ReplyView(dst int, rp *fabric.ViewReply) error {
 
 func (p *shardPort) NextView() (*fabric.ViewMsg, bool) {
 	return p.f.views[p.shard].Pop()
+}
+
+func (p *shardPort) SendBlock(dst int, mb *fabric.MigrateBlock) error {
+	p.f.blocks[dst].Push(mb)
+	return nil
+}
+
+func (p *shardPort) NextBlock() (*fabric.MigrateBlock, bool) {
+	return p.f.blocks[p.shard].Pop()
+}
+
+func (p *shardPort) Migrated(d *fabric.MigrateDone) error {
+	p.f.events.Push(fabric.Event{Kind: fabric.EvMigrated, Done: d})
+	return nil
 }
 
 func (p *shardPort) Retire(w *fabric.Walker) error {

@@ -1,0 +1,91 @@
+// Wire coverage for the rebalancer's migration protocol: the offer and
+// commit riding the ingest stream, the extracted block on the peer
+// stream, and the completion report on the coordinator link must all
+// round-trip unchanged — with growth-path vertex IDs and float-mode
+// weights in the shipped rows, and the plan overlay in the session
+// Hello (a daemon rebuilds its ownership function from exactly these
+// bytes).
+package tcpgob
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/graph"
+)
+
+func TestMigrateIngestFrameRoundTrip(t *testing.T) {
+	offer := fabric.Ingest{
+		Offer:      fabric.MigrateOffer{Block: 1 << 40, To: 3, Epoch: 7},
+		Watermarks: []int64{5, 0, 12},
+	}
+	got := roundTrip(t, &frame{Kind: kUpdates, Ingest: offer})
+	if !reflect.DeepEqual(got.Ingest, offer) {
+		t.Fatalf("offer element: got %+v, want %+v", got.Ingest, offer)
+	}
+	if got.Ingest.IsBarrier() || got.Ingest.Commit.Epoch != 0 {
+		t.Fatal("offer element misclassified after the wire")
+	}
+
+	commit := fabric.Ingest{
+		Commit:     fabric.MigrateCommit{Block: 9, From: 0, To: 2, Epoch: 8, MinWatermark: 4096},
+		Watermarks: []int64{1, 2, 3},
+	}
+	got = roundTrip(t, &frame{Kind: kUpdates, Ingest: commit})
+	if !reflect.DeepEqual(got.Ingest, commit) {
+		t.Fatalf("commit element: got %+v, want %+v", got.Ingest, commit)
+	}
+
+	// A heat barrier stays a barrier and keeps its flag.
+	heat := fabric.Ingest{Barrier: 11, Heat: true, Watermarks: []int64{0, 0, 0}}
+	got = roundTrip(t, &frame{Kind: kBarrier, Ingest: heat})
+	if !got.Ingest.IsBarrier() || !got.Ingest.Heat {
+		t.Fatalf("heat barrier lost its markers: %+v", got.Ingest)
+	}
+}
+
+func TestMigrateBlockFrameRoundTrip(t *testing.T) {
+	mb := fabric.MigrateBlock{
+		Block:     3,
+		From:      1,
+		Epoch:     5,
+		Watermark: 99999,
+		Rows: []graph.Update{
+			{Op: graph.OpInsert, Src: 4_294_967_290, Dst: 4_000_000_000, Bias: 7},
+			{Op: graph.OpInsert, Src: 4_294_967_290, Dst: 1, Bias: 2, FBias: 0.625},
+		},
+	}
+	got := roundTrip(t, &frame{Kind: kMigBlock, MigBlock: mb})
+	if got.Kind != kMigBlock || !reflect.DeepEqual(got.MigBlock, mb) {
+		t.Fatalf("block round-trip: got %+v, want %+v", got.MigBlock, mb)
+	}
+}
+
+func TestMigrateDoneFrameRoundTrip(t *testing.T) {
+	for _, d := range []fabric.MigrateDone{
+		{Shard: 2, Block: 3, Epoch: 5, Edges: 1234},
+		{Shard: 1, Block: 1 << 33, Epoch: 6, Err: "install failed"},
+	} {
+		got := roundTrip(t, &frame{Kind: kMigDone, MigDone: d})
+		if got.Kind != kMigDone || !reflect.DeepEqual(got.MigDone, d) {
+			t.Fatalf("done round-trip: got %+v, want %+v", got.MigDone, d)
+		}
+	}
+}
+
+func TestHelloOverlayFrameRoundTrip(t *testing.T) {
+	h := fabric.Hello{
+		Shards: 4, Shard: 1,
+		RangeSize:   150,
+		NumVertices: 600,
+		PlanEpoch:   3,
+		Overlay:     map[uint64]int{0: 3, 9: 1, 1 << 40: 2},
+		Peers:       []string{"a", "b", "c", "d"},
+		Session:     77,
+	}
+	got := roundTrip(t, &frame{Kind: kHelloCoord, Hello: h})
+	if !reflect.DeepEqual(got.Hello, h) {
+		t.Fatalf("hello with overlay: got %+v, want %+v", got.Hello, h)
+	}
+}

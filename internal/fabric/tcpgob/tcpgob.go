@@ -71,22 +71,26 @@ const (
 	kViewReq                       // hub-view request, shard → peer
 	kViewRep                       // hub-view reply, shard → peer
 	kShutdown                      // session end, coordinator → shard
+	kMigBlock                      // extracted ownership block, donor shard → recipient peer
+	kMigDone                       // migration completion, recipient shard → coordinator
 )
 
 // frame is the single wire message shape. Value fields: gob omits
 // zero-valued fields, so unused payloads cost nothing on the wire, and a
 // nil pointer can never poison an encode.
 type frame struct {
-	Kind    uint8
-	From    int    // kHelloPeer: sender shard index
-	Session uint64 // kHelloPeer: dialer's session nonce
-	Hello   fabric.Hello
-	Walker  fabric.Walker
-	Walkers []fabric.Walker // kWalkerBatch
-	Ingest  fabric.Ingest   // kUpdates / kBarrier
-	Ack     fabric.Ack
-	ViewReq fabric.ViewRequest
-	ViewRep fabric.ViewReply
+	Kind     uint8
+	From     int    // kHelloPeer: sender shard index
+	Session  uint64 // kHelloPeer: dialer's session nonce
+	Hello    fabric.Hello
+	Walker   fabric.Walker
+	Walkers  []fabric.Walker // kWalkerBatch
+	Ingest   fabric.Ingest   // kUpdates / kBarrier
+	Ack      fabric.Ack
+	ViewReq  fabric.ViewRequest
+	ViewRep  fabric.ViewReply
+	MigBlock fabric.MigrateBlock // kMigBlock
+	MigDone  fabric.MigrateDone  // kMigDone
 }
 
 // link is one connection with a locked writer. Reads are owned by exactly
@@ -322,6 +326,7 @@ type ShardConn struct {
 	walkers *fabric.Mailbox[*fabric.Walker]
 	ingests *fabric.Mailbox[*fabric.Ingest]
 	views   *fabric.Mailbox[*fabric.ViewMsg]
+	blocks  *fabric.Mailbox[*fabric.MigrateBlock]
 
 	// transferFrames/transferWalkers measure hand-off coalescing: how
 	// many wire frames carried how many outbound walkers.
@@ -345,6 +350,7 @@ func newShardConn(l *Listener, coord *link, h fabric.Hello) *ShardConn {
 		walkers: fabric.NewMailbox[*fabric.Walker](),
 		ingests: fabric.NewMailbox[*fabric.Ingest](),
 		views:   fabric.NewMailbox[*fabric.ViewMsg](),
+		blocks:  fabric.NewMailbox[*fabric.MigrateBlock](),
 		coord:   coord,
 		peers:   map[int]*peerOut{},
 	}
@@ -399,6 +405,9 @@ func (s *ShardConn) readPeer(l *link) {
 		case kViewRep:
 			rp := f.ViewRep
 			s.views.Push(&fabric.ViewMsg{Rep: &rp})
+		case kMigBlock:
+			mb := f.MigBlock
+			s.blocks.Push(&mb)
 		default:
 			l.conn.Close()
 			return
@@ -411,6 +420,7 @@ func (s *ShardConn) sessionDown() {
 		s.walkers.Close()
 		s.ingests.Close()
 		s.views.Close()
+		s.blocks.Close()
 	})
 }
 
@@ -425,6 +435,9 @@ func (s *ShardConn) NextIngest() (*fabric.Ingest, bool) { return s.ingests.Pop()
 
 // NextView pops the next view-stream element.
 func (s *ShardConn) NextView() (*fabric.ViewMsg, bool) { return s.views.Pop() }
+
+// NextBlock pops the next inbound migration block.
+func (s *ShardConn) NextBlock() (*fabric.MigrateBlock, bool) { return s.blocks.Pop() }
 
 // peerOut is the ordered outbound stream toward one peer: a queue, a
 // single sender goroutine that dials lazily and coalesces queued walker
@@ -447,6 +460,7 @@ type outMsg struct {
 	w  *fabric.Walker
 	rq *fabric.ViewRequest
 	rp *fabric.ViewReply
+	mb *fabric.MigrateBlock
 }
 
 // peer returns (starting lazily) the outbound stream toward shard dst.
@@ -557,6 +571,8 @@ func (p *peerOut) loop() {
 				}
 			case q[i].rq != nil:
 				err = l.write(&frame{Kind: kViewReq, ViewReq: *q[i].rq})
+			case q[i].mb != nil:
+				err = l.write(&frame{Kind: kMigBlock, MigBlock: *q[i].mb})
 			default:
 				err = l.write(&frame{Kind: kViewRep, ViewRep: *q[i].rp})
 			}
@@ -631,6 +647,21 @@ func (s *ShardConn) ReplyView(dst int, rp *fabric.ViewReply) error {
 		return err
 	}
 	return p.enqueue(outMsg{rp: rp})
+}
+
+// SendBlock ships an extracted ownership block to peer shard dst on the
+// same ordered stream walker transfers use.
+func (s *ShardConn) SendBlock(dst int, mb *fabric.MigrateBlock) error {
+	p, err := s.peer(dst)
+	if err != nil {
+		return err
+	}
+	return p.enqueue(outMsg{mb: mb})
+}
+
+// Migrated reports a completed block install to the coordinator.
+func (s *ShardConn) Migrated(d *fabric.MigrateDone) error {
+	return s.coord.write(&frame{Kind: kMigDone, MigDone: *d})
 }
 
 // Retire sends a finished walker back to the coordinator.
@@ -767,6 +798,8 @@ func (c *CoordConn) readShard(l *link) {
 			c.events.Push(fabric.Event{Kind: fabric.EvRetire, Walker: &f.Walker})
 		case kAck:
 			c.events.Push(fabric.Event{Kind: fabric.EvAck, Ack: &f.Ack})
+		case kMigDone:
+			c.events.Push(fabric.Event{Kind: fabric.EvMigrated, Done: &f.MigDone})
 		}
 	}
 }

@@ -1,0 +1,291 @@
+// Package rebalance is the heat-aware shard rebalancer: it watches
+// per-shard load (walk steps served, per ownership block, flowing back on
+// ingest-barrier acks), decides when the hottest shard carries more than
+// its fair share, and plans block-granular ownership migrations toward
+// the coldest shard. The package is pure policy plus the watch loop — the
+// *mechanism* (heat barriers, the Offer/Block/Commit migration protocol
+// over the shard fabric) lives behind the Controller interface, which the
+// walk coordinator implements for both the in-process and the TCP
+// fabric. Keeping the policy mechanism-free is what makes it unit-testable
+// against scripted heat tapes without spinning up a serving runtime.
+//
+// Why block granularity: the ShardPlan's block-cyclic base map balances
+// *ID ranges*, not degree mass or traffic. Skewed growth (scale-free
+// graphs grow hubs, and hubs attract walkers) piles the hot blocks onto
+// whichever shard their IDs hash to; moving whole blocks keeps the
+// ownership function total and cheap (base map + small overlay) while
+// still letting the hottest few thousand vertices migrate away from a
+// drowning shard. This is the partition-maintenance-under-drift half of
+// streaming-walk systems (Wharf's compaction under churn is the storage
+// analogue); the paper's own multi-GPU sharding (supplement §9.1) keeps
+// the partition static because its workloads are static.
+package rebalance
+
+import (
+	"time"
+)
+
+// Default policy knobs.
+const (
+	// DefaultInterval is the heat-check period.
+	DefaultInterval = 500 * time.Millisecond
+	// DefaultImbalance triggers rebalancing when the hottest shard's step
+	// share exceeds this multiple of the fair share 1/N.
+	DefaultImbalance = 1.3
+	// DefaultMaxMovesPerCycle bounds migrations per heat check; moves are
+	// executed serially, so this also bounds the per-cycle stall budget.
+	DefaultMaxMovesPerCycle = 4
+	// DefaultMinCycleSteps is the minimum step delta per cycle below
+	// which the sample is considered noise and no move is planned.
+	DefaultMinCycleSteps = 2048
+	// DefaultCooldown is how many cycles a moved block is pinned before
+	// it may move again (anti-thrash).
+	DefaultCooldown = 2
+)
+
+// Options parameterize the rebalancer. The zero value of every field
+// selects its default; On is the explicit enable switch the serving
+// runtimes check before starting the watch loop.
+type Options struct {
+	// On enables the rebalancer.
+	On bool
+	// Interval is the heat-check period.
+	Interval time.Duration
+	// Imbalance is the trigger ratio: rebalance when the hottest shard's
+	// share of the cycle's steps exceeds Imbalance × (1/shards).
+	Imbalance float64
+	// MaxMovesPerCycle bounds migrations per heat check.
+	MaxMovesPerCycle int
+	// MinCycleSteps is the minimum per-cycle step delta worth acting on.
+	MinCycleSteps int64
+	// Cooldown is how many cycles a moved block is pinned.
+	Cooldown int
+}
+
+// WithDefaults resolves zero fields to the package defaults.
+func (o Options) WithDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.Imbalance <= 1 {
+		o.Imbalance = DefaultImbalance
+	}
+	if o.MaxMovesPerCycle <= 0 {
+		o.MaxMovesPerCycle = DefaultMaxMovesPerCycle
+	}
+	if o.MinCycleSteps <= 0 {
+		o.MinCycleSteps = DefaultMinCycleSteps
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = DefaultCooldown
+	}
+	return o
+}
+
+// BlockSample is one ownership block's heat within a shard report:
+// cumulative steps served at the block's vertices and, on the block's
+// owner, its live edge count.
+type BlockSample struct {
+	Block uint64
+	Steps int64
+	Edges int64
+}
+
+// ShardHeat is one shard's cumulative heat report for a cycle.
+type ShardHeat struct {
+	// Shard is the reporting shard.
+	Shard int
+	// Steps is the node's cumulative sampled-hop count.
+	Steps int64
+	// Blocks are the node's per-block samples (cumulative). A block may
+	// appear in several shards' reports — remote-view hits serve a
+	// block's hops away from its owner — and the planner sums them.
+	Blocks []BlockSample
+}
+
+// Move is one planned ownership migration.
+type Move struct {
+	Block    uint64
+	From, To int
+}
+
+// Controller is the serving-runtime mechanism the watch loop drives. The
+// walk coordinator implements it over both shard fabrics.
+type Controller interface {
+	// Shards returns the partition count.
+	Shards() int
+	// Heat drives a heat barrier through the ingest streams and returns
+	// every shard's report.
+	Heat() ([]ShardHeat, error)
+	// BlockOwner returns block b's current owner under the live plan.
+	BlockOwner(b uint64) int
+	// Migrate executes one live block migration, blocking until the
+	// recipient has installed the block (or the session died).
+	Migrate(m Move) error
+}
+
+// Planner turns successive cumulative heat reports into migration plans.
+// It keeps cross-cycle state — previous counters for differencing, and
+// per-block cooldowns — so one Planner must observe every cycle of its
+// session, in order.
+type Planner struct {
+	opts      Options
+	prevShard []int64
+	prevBlock map[uint64]int64
+	cool      map[uint64]int
+}
+
+// NewPlanner builds a planner for a session.
+func NewPlanner(opts Options) *Planner {
+	return &Planner{
+		opts:      opts.WithDefaults(),
+		prevBlock: map[uint64]int64{},
+		cool:      map[uint64]int{},
+	}
+}
+
+// Plan differences the cycle's reports against the previous cycle and
+// greedily plans moves of the hottest blocks off the hottest shard onto
+// the coldest, while that actually lowers the projected maximum. owner
+// resolves a block's current owner (the live plan — reports can lag a
+// move the coordinator already committed).
+func (pl *Planner) Plan(heat []ShardHeat, shards int, owner func(uint64) int) []Move {
+	if shards < 2 {
+		return nil
+	}
+	for b := range pl.cool {
+		if pl.cool[b]--; pl.cool[b] <= 0 {
+			delete(pl.cool, b)
+		}
+	}
+	if len(pl.prevShard) < shards {
+		pl.prevShard = append(pl.prevShard, make([]int64, shards-len(pl.prevShard))...)
+	}
+
+	// Per-shard and per-block step deltas for the cycle. Block samples
+	// sum across reports first (a block's hops can be served on several
+	// nodes via remote views), then difference against the previous sum.
+	load := make([]int64, shards)
+	var total int64
+	curBlock := map[uint64]int64{}
+	edges := map[uint64]int64{}
+	for _, h := range heat {
+		if h.Shard < 0 || h.Shard >= shards {
+			continue
+		}
+		d := h.Steps - pl.prevShard[h.Shard]
+		pl.prevShard[h.Shard] = h.Steps
+		if d < 0 {
+			d = 0
+		}
+		load[h.Shard] = d
+		total += d
+		for _, b := range h.Blocks {
+			curBlock[b.Block] += b.Steps
+			if b.Edges > 0 {
+				edges[b.Block] = b.Edges
+			}
+		}
+	}
+	blockDelta := map[uint64]int64{}
+	for b, cum := range curBlock {
+		if d := cum - pl.prevBlock[b]; d > 0 {
+			blockDelta[b] = d
+		}
+		pl.prevBlock[b] = cum
+	}
+	if total < pl.opts.MinCycleSteps {
+		return nil
+	}
+	fair := float64(total) / float64(shards)
+
+	// One donor per cycle: the shard that was hottest when the cycle was
+	// sampled sheds blocks; the projected loads pick each move's
+	// recipient. Re-electing a new hotspot mid-cycle would chase the
+	// projection's own artifacts (a just-landed block making its
+	// recipient "hot") into chained speculative moves — the next cycle's
+	// real measurements handle whatever remains.
+	h := 0
+	for i := 1; i < shards; i++ {
+		if load[i] > load[h] {
+			h = i
+		}
+	}
+	var moves []Move
+	for len(moves) < pl.opts.MaxMovesPerCycle {
+		if float64(load[h]) <= pl.opts.Imbalance*fair {
+			return moves
+		}
+		c := 0
+		for i := 1; i < shards; i++ {
+			if load[i] < load[c] {
+				c = i
+			}
+		}
+		// Hottest movable block currently owned by the hot shard: skip
+		// cooling blocks, empty blocks (nothing to ship), and any block
+		// so hot that relocating it would just move the hotspot.
+		best, bestSteps := uint64(0), int64(-1)
+		for b, d := range blockDelta {
+			if owner(b) != h || pl.cool[b] > 0 || edges[b] == 0 {
+				continue
+			}
+			if load[c]+d >= load[h] {
+				continue
+			}
+			if d > bestSteps || (d == bestSteps && b < best) {
+				best, bestSteps = b, d
+			}
+		}
+		if bestSteps <= 0 {
+			return moves
+		}
+		load[h] -= bestSteps
+		load[c] += bestSteps
+		delete(blockDelta, best)
+		pl.cool[best] = pl.opts.Cooldown + 1
+		moves = append(moves, Move{Block: best, From: h, To: c})
+	}
+	return moves
+}
+
+// Run is the watch loop: every Interval it drives a heat barrier through
+// the controller, plans, and executes the planned migrations serially. It
+// returns the number of completed migrations when stop closes or the
+// controller errors (a dead session ends the loop; onErr, if non-nil,
+// observes every error first).
+func Run(ctrl Controller, opts Options, stop <-chan struct{}, onErr func(error)) int {
+	opts = opts.WithDefaults()
+	pl := NewPlanner(opts)
+	tick := time.NewTicker(opts.Interval)
+	defer tick.Stop()
+	done := 0
+	for {
+		select {
+		case <-stop:
+			return done
+		case <-tick.C:
+		}
+		heat, err := ctrl.Heat()
+		if err != nil {
+			if onErr != nil {
+				onErr(err)
+			}
+			return done
+		}
+		for _, m := range pl.Plan(heat, ctrl.Shards(), ctrl.BlockOwner) {
+			select {
+			case <-stop:
+				return done
+			default:
+			}
+			if err := ctrl.Migrate(m); err != nil {
+				if onErr != nil {
+					onErr(err)
+				}
+				return done
+			}
+			done++
+		}
+	}
+}

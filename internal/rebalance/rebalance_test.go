@@ -1,0 +1,239 @@
+package rebalance
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mkHeat builds one cycle's reports from per-shard step totals and
+// per-block (owner, steps) samples. Counters are cumulative, as the
+// fabric delivers them.
+func mkHeat(shardSteps []int64, blocks map[uint64][2]int64, owner func(uint64) int) []ShardHeat {
+	out := make([]ShardHeat, len(shardSteps))
+	for i := range out {
+		out[i] = ShardHeat{Shard: i, Steps: shardSteps[i]}
+	}
+	for b, se := range blocks {
+		o := owner(b)
+		out[o].Blocks = append(out[o].Blocks, BlockSample{Block: b, Steps: se[0], Edges: se[1]})
+	}
+	return out
+}
+
+func baseOwner(shards int) func(uint64) int {
+	return func(b uint64) int { return int(b % uint64(shards)) }
+}
+
+// TestPlannerBalancedDoesNothing: an even load plans no moves, and a
+// cycle below the noise floor plans no moves no matter how skewed.
+func TestPlannerBalancedDoesNothing(t *testing.T) {
+	pl := NewPlanner(Options{MinCycleSteps: 1000})
+	owner := baseOwner(4)
+	heat := mkHeat([]int64{5000, 5100, 4900, 5000},
+		map[uint64][2]int64{0: {5000, 10}, 1: {5100, 10}, 2: {4900, 10}, 3: {5000, 10}}, owner)
+	if moves := pl.Plan(heat, 4, owner); len(moves) != 0 {
+		t.Fatalf("balanced load planned %v", moves)
+	}
+	pl2 := NewPlanner(Options{MinCycleSteps: 1000})
+	tiny := mkHeat([]int64{900, 0, 0, 0}, map[uint64][2]int64{0: {900, 10}}, owner)
+	if moves := pl2.Plan(tiny, 4, owner); len(moves) != 0 {
+		t.Fatalf("sub-noise cycle planned %v", moves)
+	}
+}
+
+// TestPlannerMovesHotBlockToColdest: a hot shard whose heat is
+// concentrated in one block sheds that block to the coldest shard.
+func TestPlannerMovesHotBlockToColdest(t *testing.T) {
+	pl := NewPlanner(Options{MinCycleSteps: 100})
+	owner := baseOwner(4)
+	// Shard 0 serves 12k steps, 10k of them in block 4 (owned by 0);
+	// shard 2 is coldest.
+	heat := mkHeat([]int64{12000, 3000, 1000, 2000},
+		map[uint64][2]int64{
+			4: {10000, 500}, // hot block on shard 0
+			0: {2000, 300},
+			1: {3000, 200}, 2: {1000, 100}, 3: {2000, 100},
+		}, owner)
+	moves := pl.Plan(heat, 4, owner)
+	if len(moves) != 1 {
+		t.Fatalf("want 1 move, got %v", moves)
+	}
+	if moves[0] != (Move{Block: 4, From: 0, To: 2}) {
+		t.Fatalf("move %+v, want block 4: 0 → 2", moves[0])
+	}
+}
+
+// TestPlannerDifferencesCumulativeCounters: the second cycle must act on
+// deltas, not lifetime totals — a shard that *was* hot but went idle
+// must not keep shedding blocks.
+func TestPlannerDifferencesCumulativeCounters(t *testing.T) {
+	pl := NewPlanner(Options{MinCycleSteps: 100, Cooldown: 1})
+	owner := baseOwner(2)
+	c1 := mkHeat([]int64{10000, 1000}, map[uint64][2]int64{0: {9000, 100}, 2: {1000, 50}, 1: {1000, 50}}, owner)
+	if moves := pl.Plan(c1, 2, owner); len(moves) != 1 {
+		t.Fatalf("cycle 1: want a move, got %v", moves)
+	}
+	// Cycle 2: cumulative counters unchanged → zero delta → no moves.
+	if moves := pl.Plan(c1, 2, owner); len(moves) != 0 {
+		t.Fatalf("cycle 2 (idle): planned %v from stale cumulative heat", moves)
+	}
+	// Cycle 3: shard 1 is now the hot one by delta, although shard 0
+	// still leads the lifetime totals.
+	c3 := mkHeat([]int64{10500, 9000}, map[uint64][2]int64{1: {8000, 80}, 3: {2000, 40}, 0: {9400, 100}}, owner)
+	moves := pl.Plan(c3, 2, owner)
+	if len(moves) != 1 || moves[0].From != 1 {
+		t.Fatalf("cycle 3: want a move off shard 1, got %v", moves)
+	}
+}
+
+// TestPlannerCooldownPreventsThrash: a just-moved block may not move
+// again for Cooldown cycles even if it stays hot at its new home.
+func TestPlannerCooldownPreventsThrash(t *testing.T) {
+	pl := NewPlanner(Options{MinCycleSteps: 100, Cooldown: 2})
+	shards := 2
+	over := map[uint64]int{}
+	owner := func(b uint64) int {
+		if o, ok := over[b]; ok {
+			return o
+		}
+		return int(b % uint64(shards))
+	}
+	c1 := mkHeat([]int64{10000, 500}, map[uint64][2]int64{0: {9000, 100}, 1: {500, 60}}, owner)
+	moves := pl.Plan(c1, shards, owner)
+	if len(moves) != 1 || moves[0].Block != 0 {
+		t.Fatalf("cycle 1: %v", moves)
+	}
+	over[0] = moves[0].To
+	// The block stays just as hot at its new home: without the cooldown
+	// it would bounce straight back.
+	c2 := mkHeat([]int64{11000, 10000}, map[uint64][2]int64{0: {18500, 100}}, owner)
+	if moves := pl.Plan(c2, shards, owner); len(moves) != 0 {
+		t.Fatalf("cooldown violated: %v", moves)
+	}
+}
+
+// TestPlannerSkipsMoveThatJustRelocatesHotspot: when a single block IS
+// the load, parking it on the coldest shard would leave the imbalance
+// identical — the planner must decline.
+func TestPlannerSkipsMoveThatJustRelocatesHotspot(t *testing.T) {
+	pl := NewPlanner(Options{MinCycleSteps: 100})
+	owner := baseOwner(2)
+	heat := mkHeat([]int64{10000, 0}, map[uint64][2]int64{0: {10000, 100}}, owner)
+	if moves := pl.Plan(heat, 2, owner); len(moves) != 0 {
+		t.Fatalf("pointless relocation planned: %v", moves)
+	}
+}
+
+// TestPlannerCapsMovesPerCycle bounds the per-cycle migration budget.
+func TestPlannerCapsMovesPerCycle(t *testing.T) {
+	pl := NewPlanner(Options{MinCycleSteps: 100, MaxMovesPerCycle: 2, Imbalance: 1.01})
+	owner := baseOwner(4)
+	blocks := map[uint64][2]int64{}
+	var steps int64
+	for b := uint64(0); b < 40; b += 4 { // ten blocks, all owned by shard 0
+		blocks[b] = [2]int64{1000, 50}
+		steps += 1000
+	}
+	heat := mkHeat([]int64{steps, 0, 0, 0}, blocks, owner)
+	if moves := pl.Plan(heat, 4, owner); len(moves) != 2 {
+		t.Fatalf("cap ignored: %d moves", len(moves))
+	}
+}
+
+// fakeController scripts a controller for the Run loop.
+type fakeController struct {
+	mu     sync.Mutex
+	shards int
+	heat   [][]ShardHeat // successive cycles; last repeats
+	cycle  int
+	moves  []Move
+	err    error
+}
+
+func (f *fakeController) Shards() int { return f.shards }
+func (f *fakeController) Heat() ([]ShardHeat, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return nil, f.err
+	}
+	i := f.cycle
+	if i >= len(f.heat) {
+		i = len(f.heat) - 1
+	}
+	f.cycle++
+	return f.heat[i], nil
+}
+func (f *fakeController) BlockOwner(b uint64) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := len(f.moves) - 1; i >= 0; i-- {
+		if f.moves[i].Block == b {
+			return f.moves[i].To
+		}
+	}
+	return int(b % uint64(f.shards))
+}
+func (f *fakeController) Migrate(m Move) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.moves = append(f.moves, m)
+	return nil
+}
+
+// TestRunLoopExecutesPlannedMoves drives the watch loop against a
+// scripted imbalance and checks the migration fires, then the loop
+// stops cleanly.
+func TestRunLoopExecutesPlannedMoves(t *testing.T) {
+	owner := baseOwner(2)
+	hot := mkHeat([]int64{9000, 500}, map[uint64][2]int64{0: {8000, 90}, 2: {1000, 30}, 1: {500, 20}}, owner)
+	fc := &fakeController{shards: 2, heat: [][]ShardHeat{hot}}
+	stop := make(chan struct{})
+	doneCh := make(chan int, 1)
+	go func() {
+		doneCh <- Run(fc, Options{Interval: 5 * time.Millisecond, MinCycleSteps: 100}, stop, nil)
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		fc.mu.Lock()
+		n := len(fc.moves)
+		fc.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no migration fired")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	if n := <-doneCh; n < 1 {
+		t.Fatalf("Run reported %d migrations", n)
+	}
+	if fc.moves[0].From != 0 {
+		t.Fatalf("move off shard %d, want 0", fc.moves[0].From)
+	}
+}
+
+// TestRunLoopStopsOnControllerError: a dead session ends the loop.
+func TestRunLoopStopsOnControllerError(t *testing.T) {
+	fc := &fakeController{shards: 2, heat: [][]ShardHeat{nil}, err: errors.New("session down")}
+	var got error
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n = Run(fc, Options{Interval: time.Millisecond}, nil, func(err error) { got = err })
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on controller error")
+	}
+	if got == nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, got)
+	}
+}

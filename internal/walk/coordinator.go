@@ -7,6 +7,7 @@ import (
 
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/rebalance"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
 
@@ -24,8 +25,13 @@ var ErrFabricDown = errors.New("walk: shard fabric session ended")
 // the point of the extraction.
 type coordinator struct {
 	port fabric.CoordPort
-	plan ShardPlan
-	cfg  ShardedLiveConfig
+	// plan is the construction-time geometry (Shards and RangeSize never
+	// change); planv is the live ownership plan the rebalancer's
+	// committed migrations re-point. Routing, walker launches, and the
+	// rebalancer all resolve owners through planNow.
+	plan  ShardPlan
+	planv atomic.Pointer[ShardPlan]
+	cfg   ShardedLiveConfig
 
 	feed   chan coordMsg
 	master *xrand.RNG // Split-only after construction (reads, no state advance)
@@ -56,9 +62,19 @@ type coordinator struct {
 	replies map[uint64]chan []graph.VertexID
 	bulks   map[uint64]*bulkRun
 	syncs   map[uint64]*barrierWait
-	acks    []fabric.Ack // latest ack per shard (cumulative tallies)
+	migs    map[uint64]chan *fabric.MigrateDone // in-flight migrations by epoch
+	acks    []fabric.Ack                        // latest ack per shard (cumulative tallies)
+
+	// rebStop/rebWg manage the rebalancer watch loop when cfg.Rebalance
+	// is on. Close stops the loop and waits for its in-flight migration
+	// *before* closing the port — the only migration source is quiescent
+	// by the time the block stream tears down, so a clean Close can never
+	// strand an extracted block in flight.
+	rebStop chan struct{}
+	rebWg   sync.WaitGroup
 
 	queries, steps, batches, transfers, local, remote atomic.Int64
+	migrations, movedEdges                            atomic.Int64
 
 	errMu sync.Mutex
 	err   error
@@ -70,15 +86,28 @@ type coordinator struct {
 type coordMsg struct {
 	ups []graph.Update
 	bar *barrierWait
+	mig *migOp
+}
+
+// migOp is one block migration routed through the feed queue, so its
+// offer and commit publishes are ordered against every batch accepted
+// before it.
+type migOp struct {
+	block    uint64
+	from, to int
+	epoch    uint64
 }
 
 // barrierWait tracks one barrier's acknowledgements.
 type barrierWait struct {
 	seq       uint64
 	dump      bool
+	heat      bool
 	remaining int
 	err       error
-	edges     [][]graph.Edge // per shard, dump barriers only
+	edges     [][]graph.Edge       // per shard, dump barriers only
+	blocks    [][]fabric.BlockHeat // per shard, heat barriers only
+	steps     []int64              // per shard, heat barriers only
 	done      chan struct{}
 }
 
@@ -99,15 +128,28 @@ func newCoordinator(port fabric.CoordPort, plan ShardPlan, cfg ShardedLiveConfig
 		replies: map[uint64]chan []graph.VertexID{},
 		bulks:   map[uint64]*bulkRun{},
 		syncs:   map[uint64]*barrierWait{},
+		migs:    map[uint64]chan *fabric.MigrateDone{},
 		acks:    make([]fabric.Ack, plan.Shards),
 		ledger:  make([]int64, plan.Shards),
 	}
+	c.planv.Store(&plan)
 	c.routing.Add(1)
 	go c.routerLoop()
 	c.evloop.Add(1)
 	go c.eventLoop()
+	if cfg.Rebalance.On && plan.Shards > 1 {
+		c.rebStop = make(chan struct{})
+		c.rebWg.Add(1)
+		go func() {
+			defer c.rebWg.Done()
+			rebalance.Run(c, cfg.Rebalance, c.rebStop, nil)
+		}()
+	}
 	return c
 }
+
+// planNow returns the live ownership plan.
+func (c *coordinator) planNow() ShardPlan { return *c.planv.Load() }
 
 func (c *coordinator) setErr(err error) {
 	c.errMu.Lock()
@@ -136,15 +178,20 @@ func (c *coordinator) routerLoop() {
 	defer c.routing.Done()
 	for m := range c.feed {
 		if m.bar != nil {
-			if err := c.port.PublishBarrier(fabric.Ingest{Barrier: m.bar.seq, Dump: m.bar.dump, Watermarks: c.ledgerCopy()}); err != nil {
+			if err := c.port.PublishBarrier(fabric.Ingest{Barrier: m.bar.seq, Dump: m.bar.dump, Heat: m.bar.heat, Watermarks: c.ledgerCopy()}); err != nil {
 				c.setErr(err)
 			}
 			continue
 		}
+		if m.mig != nil {
+			c.routeMigration(m.mig)
+			continue
+		}
 		c.batches.Add(1)
-		parts := make([][]graph.Update, c.plan.Shards)
+		plan := c.planNow()
+		parts := make([][]graph.Update, plan.Shards)
 		for _, up := range m.ups {
-			o := c.plan.Owner(up.Src)
+			o := plan.Owner(up.Src)
 			parts[o] = append(parts[o], up)
 		}
 		for i, p := range parts {
@@ -165,6 +212,41 @@ func (c *coordinator) ledgerCopy() []int64 {
 	return append([]int64(nil), c.ledger...)
 }
 
+// routeMigration publishes one migration's fabric messages from inside
+// the router loop, which is what gives the protocol its ordering
+// guarantees: the offer lands on the donor's FIFO stream *after* every
+// batch routed to it so far (so the extracted rows contain them), the
+// routing flip happens before any later batch is split (so updates for
+// the moved block queue behind the recipient's commit), and the commit
+// lands on every shard's stream after the flip (so the recipient
+// installs the rows before applying those updates).
+func (c *coordinator) routeMigration(mg *migOp) {
+	// Validate the flip before anything is published: once the offer is
+	// on the donor's stream the commit MUST follow (the recipient's
+	// ingester will block on the shipped rows), so a plan the overlay
+	// rejects has to fail the migration here, wedging nothing.
+	cur := c.planNow()
+	next, err := cur.WithOverlay(mg.block, mg.to, mg.epoch)
+	if err != nil {
+		c.setErr(err)
+		c.onMigrated(&fabric.MigrateDone{Block: mg.block, Epoch: mg.epoch, Err: err.Error()})
+		return
+	}
+	if err := c.port.PublishUpdates(mg.from, fabric.Ingest{
+		Offer:      fabric.MigrateOffer{Block: mg.block, To: mg.to, Epoch: mg.epoch},
+		Watermarks: c.ledgerCopy(),
+	}); err != nil {
+		c.setErr(err)
+	}
+	c.planv.Store(&next)
+	cm := fabric.MigrateCommit{Block: mg.block, From: mg.from, To: mg.to, Epoch: mg.epoch, MinWatermark: c.ledger[mg.from]}
+	for i := 0; i < c.plan.Shards; i++ {
+		if err := c.port.PublishUpdates(i, fabric.Ingest{Commit: cm, Watermarks: c.ledgerCopy()}); err != nil {
+			c.setErr(err)
+		}
+	}
+}
+
 // eventLoop consumes retires and acks until the fabric's event stream
 // ends, then fails whatever is still pending (a clean Close leaves
 // nothing pending; a dead session must not leave callers blocked).
@@ -180,6 +262,8 @@ func (c *coordinator) eventLoop() {
 			c.onRetire(ev.Walker)
 		case fabric.EvAck:
 			c.onAck(ev.Ack)
+		case fabric.EvMigrated:
+			c.onMigrated(ev.Done)
 		}
 	}
 	c.failPending()
@@ -233,10 +317,12 @@ func (c *coordinator) onAck(a *fabric.Ack) {
 	c.mu.Lock()
 	if a.Shard >= 0 && a.Shard < len(c.acks) {
 		// Cache the scalar tallies only: a dump barrier's edge snapshot
-		// (already handed to its barrierWait below) must not stay live in
-		// the session-long table.
+		// and a heat barrier's block report (already handed to their
+		// barrierWait below) must not stay live in the session-long
+		// table.
 		cached := *a
 		cached.Edges = nil
+		cached.Heat = nil
 		c.acks[a.Shard] = cached
 	}
 	bw := c.syncs[a.Seq]
@@ -247,6 +333,10 @@ func (c *coordinator) onAck(a *fabric.Ack) {
 		if bw.edges != nil && a.Shard >= 0 && a.Shard < len(bw.edges) {
 			bw.edges[a.Shard] = a.Edges
 		}
+		if bw.blocks != nil && a.Shard >= 0 && a.Shard < len(bw.blocks) {
+			bw.blocks[a.Shard] = a.Heat
+			bw.steps[a.Shard] = a.Steps
+		}
 		bw.remaining--
 		if bw.remaining <= 0 {
 			delete(c.syncs, a.Seq)
@@ -254,6 +344,17 @@ func (c *coordinator) onAck(a *fabric.Ack) {
 		}
 	}
 	c.mu.Unlock()
+}
+
+// onMigrated resolves the in-flight migration the report names.
+func (c *coordinator) onMigrated(d *fabric.MigrateDone) {
+	c.mu.Lock()
+	ch := c.migs[d.Epoch]
+	delete(c.migs, d.Epoch)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- d
+	}
 }
 
 // failPending unblocks every caller still waiting when the event stream
@@ -267,10 +368,15 @@ func (c *coordinator) failPending() {
 	replies := c.replies
 	bulks := c.bulks
 	syncs := c.syncs
+	migs := c.migs
 	c.replies = map[uint64]chan []graph.VertexID{}
 	c.bulks = map[uint64]*bulkRun{}
 	c.syncs = map[uint64]*barrierWait{}
+	c.migs = map[uint64]chan *fabric.MigrateDone{}
 	c.mu.Unlock()
+	for _, ch := range migs {
+		ch <- nil // Migrate maps nil to ErrFabricDown
+	}
 	for _, ch := range replies {
 		ch <- nil
 		c.pending.Done()
@@ -285,7 +391,7 @@ func (c *coordinator) failPending() {
 		}
 		close(bw.done)
 	}
-	if len(replies)+len(bulks)+len(syncs) > 0 {
+	if len(replies)+len(bulks)+len(syncs)+len(migs) > 0 {
 		c.setErr(ErrFabricDown)
 	}
 }
@@ -327,7 +433,7 @@ func (c *coordinator) Query(start graph.VertexID, length int) ([]graph.VertexID,
 	c.pending.Add(1)
 	c.replies[id] = reply
 	c.mu.Unlock()
-	if err := c.port.LaunchWalker(c.plan.Owner(start), wk); err != nil {
+	if err := c.port.LaunchWalker(c.planNow().Owner(start), wk); err != nil {
 		c.mu.Lock()
 		if _, still := c.replies[id]; still {
 			delete(c.replies, id)
@@ -359,9 +465,9 @@ func (c *coordinator) Feed(ups []graph.Update) error {
 	return nil
 }
 
-// barrier pushes a sync (optionally dump) barrier through the feed queue
-// and blocks until every shard acknowledged it.
-func (c *coordinator) barrier(dump bool) (*barrierWait, error) {
+// barrier pushes a sync (optionally dump or heat) barrier through the
+// feed queue and blocks until every shard acknowledged it.
+func (c *coordinator) barrier(dump, heat bool) (*barrierWait, error) {
 	c.sendMu.RLock()
 	if c.closed {
 		c.sendMu.RUnlock()
@@ -370,11 +476,16 @@ func (c *coordinator) barrier(dump bool) (*barrierWait, error) {
 	bw := &barrierWait{
 		seq:       c.barSeq.Add(1),
 		dump:      dump,
+		heat:      heat,
 		remaining: c.plan.Shards,
 		done:      make(chan struct{}),
 	}
 	if dump {
 		bw.edges = make([][]graph.Edge, c.plan.Shards)
+	}
+	if heat {
+		bw.blocks = make([][]fabric.BlockHeat, c.plan.Shards)
+		bw.steps = make([]int64, c.plan.Shards)
 	}
 	c.mu.Lock()
 	if c.dead {
@@ -394,7 +505,7 @@ func (c *coordinator) barrier(dump bool) (*barrierWait, error) {
 // applied (or dropped) on its shards, then reports the first ingest
 // error observed anywhere.
 func (c *coordinator) Sync() error {
-	bw, err := c.barrier(false)
+	bw, err := c.barrier(false, false)
 	if err != nil {
 		return err
 	}
@@ -408,7 +519,7 @@ func (c *coordinator) Sync() error {
 // multiset as of a point after all previously accepted feed batches
 // (the read-back path distributed verification is built on).
 func (c *coordinator) DumpEdges() ([][]graph.Edge, error) {
-	bw, err := c.barrier(true)
+	bw, err := c.barrier(true, false)
 	if err != nil {
 		return nil, err
 	}
@@ -475,7 +586,7 @@ func (c *coordinator) DeepWalk(cfg Config, numVertices int) (Result, TransferSta
 			Rng:    bulkMaster.Split(uint64(i)).State(),
 			Record: cfg.CountVisits,
 		}
-		if err := c.port.LaunchWalker(c.plan.Owner(st), wk); err != nil {
+		if err := c.port.LaunchWalker(c.planNow().Owner(st), wk); err != nil {
 			c.setErr(err)
 			c.mu.Lock()
 			if _, still := c.bulks[ids[i]]; still {
@@ -496,9 +607,11 @@ func (c *coordinator) DeepWalk(cfg Config, numVertices int) (Result, TransferSta
 	return res, TransferStats{Transfers: run.transfers.Load(), Local: run.local.Load(), Remote: run.remote.Load()}, nil
 }
 
-// Close drains the feed (queued batches are routed and applied), waits
-// for every in-flight walker to retire, ends the fabric session, and
-// waits for the event stream to wind down. Idempotent.
+// Close drains the feed (queued batches are routed and applied), stops
+// the rebalancer (waiting out its in-flight migration, so no extracted
+// block is ever stranded by the teardown), waits for every in-flight
+// walker to retire, ends the fabric session, and waits for the event
+// stream to wind down. Idempotent.
 func (c *coordinator) Close() error {
 	c.sendMu.Lock()
 	first := !c.closed
@@ -508,10 +621,100 @@ func (c *coordinator) Close() error {
 	}
 	c.sendMu.Unlock()
 	if first {
+		if c.rebStop != nil {
+			close(c.rebStop)
+			c.rebWg.Wait() // in-flight migration completes via the event loop
+		}
 		c.routing.Wait() // every accepted batch published
 		c.pending.Wait() // every accepted walker retired
 		c.port.Close()
 	}
 	c.evloop.Wait()
 	return c.Err()
+}
+
+// rebalanceTallies snapshots the rebalancer's activity counters.
+func (c *coordinator) rebalanceTallies() RebalanceTallies {
+	return RebalanceTallies{
+		Migrations: c.migrations.Load(),
+		MovedEdges: c.movedEdges.Load(),
+		PlanEpoch:  c.planNow().Epoch,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// rebalance.Controller — the mechanism half of the heat-aware rebalancer.
+
+// Shards returns the partition count.
+func (c *coordinator) Shards() int { return c.plan.Shards }
+
+// BlockOwner resolves a block's owner under the live plan.
+func (c *coordinator) BlockOwner(b uint64) int { return c.planNow().BlockOwner(b) }
+
+// Heat drives a heat barrier and returns every shard's report: the
+// node's cumulative step count plus its per-block step/degree samples,
+// consistent with all feed batches accepted before the call.
+func (c *coordinator) Heat() ([]rebalance.ShardHeat, error) {
+	bw, err := c.barrier(false, true)
+	if err != nil {
+		return nil, err
+	}
+	if bw.err != nil {
+		return nil, bw.err
+	}
+	out := make([]rebalance.ShardHeat, c.plan.Shards)
+	for i := range out {
+		out[i] = rebalance.ShardHeat{Shard: i, Steps: bw.steps[i]}
+		blocks := make([]rebalance.BlockSample, 0, len(bw.blocks[i]))
+		for _, b := range bw.blocks[i] {
+			blocks = append(blocks, rebalance.BlockSample{Block: b.Block, Steps: b.Steps, Edges: b.Edges})
+		}
+		out[i].Blocks = blocks
+	}
+	return out, nil
+}
+
+// Migrate executes one live block migration end to end: it routes the
+// offer/commit pair through the feed queue (ordering against accepted
+// batches) and blocks until the recipient reports the block installed.
+// Serialized by construction — the rebalancer watch loop is the only
+// caller, and it migrates one block at a time, which is what keeps the
+// donor-waits-for-nobody / recipient-waits-for-one-donor protocol
+// trivially deadlock-free.
+func (c *coordinator) Migrate(m rebalance.Move) error {
+	c.sendMu.RLock()
+	if c.closed {
+		c.sendMu.RUnlock()
+		return ErrLiveClosed
+	}
+	cur := c.planNow()
+	from := cur.BlockOwner(m.Block)
+	if from == m.To || m.To < 0 || m.To >= c.plan.Shards {
+		c.sendMu.RUnlock()
+		return nil
+	}
+	epoch := cur.Epoch + 1
+	ch := make(chan *fabric.MigrateDone, 1)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		c.sendMu.RUnlock()
+		return ErrFabricDown
+	}
+	c.migs[epoch] = ch
+	c.mu.Unlock()
+	c.feed <- coordMsg{mig: &migOp{block: m.Block, from: from, to: m.To, epoch: epoch}}
+	c.sendMu.RUnlock()
+	d := <-ch
+	if d == nil {
+		return ErrFabricDown
+	}
+	if d.Err != "" {
+		err := errors.New(d.Err)
+		c.setErr(err)
+		return err
+	}
+	c.migrations.Add(1)
+	c.movedEdges.Add(d.Edges)
+	return nil
 }

@@ -44,8 +44,12 @@ func NewRemoteService(port fabric.CoordPort, plan ShardPlan, numVertices int, cf
 // Shards returns the partition count.
 func (s *RemoteService) Shards() int { return s.coord.plan.Shards }
 
-// Plan returns the partition geometry.
+// Plan returns the construction-time partition geometry.
 func (s *RemoteService) Plan() ShardPlan { return s.coord.plan }
+
+// LivePlan returns the live ownership plan (rebalancing overlay
+// included).
+func (s *RemoteService) LivePlan() ShardPlan { return s.coord.planNow() }
 
 // NumVertices returns the widest vertex space observed across the shard
 // daemons (exact as of the last Sync; at least the construction-time
@@ -117,19 +121,22 @@ func (s *RemoteService) DumpEdges() ([][]graph.Edge, error) {
 // walkers retire; Updates and Dropped are exact as of the last Sync.
 func (s *RemoteService) Stats() ShardedLiveStats {
 	st := ShardedLiveStats{
-		Queries:   s.coord.queries.Load(),
-		Steps:     s.coord.steps.Load(),
-		Batches:   s.coord.batches.Load(),
-		Transfers: s.coord.transfers.Load(),
-		Local:     s.coord.local.Load(),
+		Queries:    s.coord.queries.Load(),
+		Steps:      s.coord.steps.Load(),
+		Batches:    s.coord.batches.Load(),
+		Transfers:  s.coord.transfers.Load(),
+		Local:      s.coord.local.Load(),
+		ShardSteps: make([]int64, s.coord.plan.Shards),
 	}
 	s.coord.mu.Lock()
-	for _, a := range s.coord.acks {
+	for i, a := range s.coord.acks {
 		st.Updates += a.Updates
 		st.Dropped += a.Dropped
+		st.ShardSteps[i] = a.Steps
 		st.Cache.Add(a.Cache)
 	}
 	s.coord.mu.Unlock()
+	st.Rebalance = s.coord.rebalanceTallies()
 	return st
 }
 

@@ -2,6 +2,7 @@ package walk
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/fabric"
@@ -23,18 +24,38 @@ import (
 // the barrier covers. Between barriers a view can trail in-flight ingest
 // by at most the watermark propagation delay, the same freshness class
 // as a walker hand-off racing the feed.
+//
+// Two extra rules guard rebalancing: a reply is installed only when its
+// sender is the vertex's *current* owner (ownerOf — a straggler reply
+// from a block's old donor would otherwise install a view the new
+// owner's updates never invalidate), and dropBlock purges everything
+// cached for a block the moment its ownership commit arrives.
+//
+// Churn-aware admission: a vertex whose views keep dying young — pruned
+// by a watermark before serving churnYoungHits hops — earns strikes, and
+// each strike doubles the hand-off count required before this node
+// requests its view again. Under hub-targeted write churn the
+// fetch/invalidate cycle otherwise costs more than the hand-offs it
+// saves (the measured −41% regression); the exponential back-off caps
+// that spend at a vanishing fraction while long-lived views (which clear
+// strikes on every durable stint) keep the full benefit.
 type remoteViews struct {
 	capacity int
 	reqAfter int
 
+	// ownerOf resolves a vertex's current owner (set by the shard node;
+	// nil skips the ownership check — unit tests and static plans).
+	ownerOf func(graph.VertexID) int
+
 	mu        sync.RWMutex
-	views     map[graph.VertexID]remoteEntry
+	views     map[graph.VertexID]*remoteEntry
 	order     []orderKey // FIFO eviction order (install sequence)
 	seq       uint64     // install sequence counter
 	wm        []int64    // latest per-shard routed-update watermark
 	crossings map[graph.VertexID]int
 	inflight  map[graph.VertexID]bool
 	notHub    map[graph.VertexID]bool
+	strikes   map[graph.VertexID]uint8 // churn strikes (admission back-off)
 }
 
 type remoteEntry struct {
@@ -42,6 +63,7 @@ type remoteEntry struct {
 	from    int
 	applied int64
 	seq     uint64
+	hits    atomic.Int64 // hops served (bumped under the read lock)
 }
 
 // orderKey names one install in the eviction queue. The sequence number
@@ -53,6 +75,17 @@ type orderKey struct {
 	seq uint64
 }
 
+// Churn-admission constants.
+const (
+	// churnYoungHits is the served-hop count below which an invalidated
+	// view counts as having died young (the fetch did not pay for
+	// itself).
+	churnYoungHits = 8
+	// churnMaxStrikes caps the admission back-off exponent: at most
+	// reqAfter << churnMaxStrikes crossings before re-requesting.
+	churnMaxStrikes = 6
+)
+
 func newRemoteViews(shards, capacity, reqAfter int) *remoteViews {
 	if capacity <= 0 {
 		capacity = DefaultRemoteViewSize
@@ -63,11 +96,12 @@ func newRemoteViews(shards, capacity, reqAfter int) *remoteViews {
 	return &remoteViews{
 		capacity:  capacity,
 		reqAfter:  reqAfter,
-		views:     map[graph.VertexID]remoteEntry{},
+		views:     map[graph.VertexID]*remoteEntry{},
 		wm:        make([]int64, shards),
 		crossings: map[graph.VertexID]int{},
 		inflight:  map[graph.VertexID]bool{},
 		notHub:    map[graph.VertexID]bool{},
+		strikes:   map[graph.VertexID]uint8{},
 	}
 }
 
@@ -77,6 +111,10 @@ func (rv *remoteViews) get(u graph.VertexID) (vw *core.VertexView, stale bool) {
 	rv.mu.RLock()
 	e, ok := rv.views[u]
 	valid := ok && e.applied >= rv.wm[e.from]
+	if valid {
+		vw = e.vw
+		e.hits.Add(1)
+	}
 	rv.mu.RUnlock()
 	if !ok {
 		return nil, false
@@ -84,16 +122,34 @@ func (rv *remoteViews) get(u graph.VertexID) (vw *core.VertexView, stale bool) {
 	if !valid {
 		rv.mu.Lock()
 		if e2, ok2 := rv.views[u]; ok2 && e2.applied < rv.wm[e2.from] {
+			rv.noteDeath(u, e2)
 			delete(rv.views, u)
 		}
 		rv.mu.Unlock()
 		return nil, true
 	}
-	return e.vw, false
+	return vw, false
+}
+
+// noteDeath records one invalidation for the churn back-off (mu held).
+// Views that died young earn a strike; views that served their keep
+// clear the slate.
+func (rv *remoteViews) noteDeath(u graph.VertexID, e *remoteEntry) {
+	if e.hits.Load() < churnYoungHits {
+		if len(rv.strikes) >= 8192 {
+			rv.strikes = map[graph.VertexID]uint8{}
+		}
+		if rv.strikes[u] < churnMaxStrikes {
+			rv.strikes[u]++
+		}
+	} else {
+		delete(rv.strikes, u)
+	}
 }
 
 // noteCrossing records one walker hand-off toward non-owned vertex u and
 // reports whether the node should request u's view from its owner now.
+// A vertex with churn strikes needs exponentially more crossings.
 func (rv *remoteViews) noteCrossing(u graph.VertexID) bool {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
@@ -104,7 +160,7 @@ func (rv *remoteViews) noteCrossing(u graph.VertexID) bool {
 		return false
 	}
 	rv.crossings[u]++
-	if rv.crossings[u] < rv.reqAfter {
+	if rv.crossings[u] < rv.reqAfter<<rv.strikes[u] {
 		return false
 	}
 	delete(rv.crossings, u)
@@ -118,11 +174,20 @@ func (rv *remoteViews) noteCrossing(u graph.VertexID) bool {
 }
 
 // install stores a peer's reply. It returns false when the reply was
-// rejected (not a hub, or already stale under the current watermarks).
+// rejected (not a hub, already stale under the current watermarks, or
+// sent by a shard that no longer owns the vertex).
 func (rv *remoteViews) install(rp *fabric.ViewReply) bool {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
 	delete(rv.inflight, rp.Vertex)
+	if rv.ownerOf != nil && rv.ownerOf(rp.Vertex) != rp.From {
+		// A straggler from a rebalanced block's previous owner — checked
+		// before the Hub branch on purpose: a post-extraction donor
+		// answers Hub=false (its rows are gone), and recording that in
+		// the negative cache would suppress requests toward the *new*
+		// owner until the cache's wholesale reset.
+		return false
+	}
 	if !rp.Hub {
 		if len(rv.notHub) >= 8192 {
 			// The sub-hub tail dominates scale-free graphs and a
@@ -148,7 +213,7 @@ func (rv *remoteViews) install(rp *fabric.ViewReply) bool {
 	}
 	rv.seq++
 	vw := rp.View
-	rv.views[rp.Vertex] = remoteEntry{vw: &vw, from: rp.From, applied: rp.Applied, seq: rv.seq}
+	rv.views[rp.Vertex] = &remoteEntry{vw: &vw, from: rp.From, applied: rp.Applied, seq: rv.seq}
 	rv.order = append(rv.order, orderKey{rp.Vertex, rv.seq})
 	return true
 }
@@ -159,6 +224,46 @@ func (rv *remoteViews) clearInflight(u graph.VertexID) {
 	rv.mu.Lock()
 	delete(rv.inflight, u)
 	rv.mu.Unlock()
+}
+
+// dropBlock purges everything cached for ownership block b (views,
+// crossing counts, in-flight markers, negative entries): the block just
+// changed owners, so every stamp and judgment predating the flip is
+// void. Migration is not churn — strikes are left alone.
+func (rv *remoteViews) dropBlock(rangeSize int, b uint64) {
+	// uint64 bounds: the top block's hi is 2^32, beyond graph.VertexID.
+	lo := b * uint64(rangeSize)
+	hi := lo + uint64(rangeSize)
+	in := func(v graph.VertexID) bool { return uint64(v) >= lo && uint64(v) < hi }
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	for u := range rv.views {
+		if in(u) {
+			delete(rv.views, u)
+		}
+	}
+	live := rv.order[:0]
+	for _, k := range rv.order {
+		if cur, ok := rv.views[k.v]; ok && cur.seq == k.seq {
+			live = append(live, k)
+		}
+	}
+	rv.order = live
+	for u := range rv.crossings {
+		if in(u) {
+			delete(rv.crossings, u)
+		}
+	}
+	for u := range rv.inflight {
+		if in(u) {
+			delete(rv.inflight, u)
+		}
+	}
+	for u := range rv.notHub {
+		if in(u) {
+			delete(rv.notHub, u)
+		}
+	}
 }
 
 // advance folds a piggybacked watermark vector in, pruning every view
@@ -179,6 +284,7 @@ func (rv *remoteViews) advance(wms []int64) {
 	}
 	for u, e := range rv.views {
 		if e.applied < rv.wm[e.from] {
+			rv.noteDeath(u, e)
 			delete(rv.views, u)
 		}
 	}

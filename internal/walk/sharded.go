@@ -23,11 +23,29 @@ import (
 // index out of range; the block-cyclic wrap instead distributes every
 // future vertex across the existing shards in balanced blocks, without
 // ever reassigning a vertex the plan already placed.
+//
+// Plan v2 layers a versioned *ownership overlay* on the block-cyclic
+// base: Overlay maps individual block indices to owners the rebalancer
+// chose, and Epoch counts the flips. The base map stays total over the
+// whole ID space — an overlay can only redirect a block to another
+// existing shard (WithOverlay enforces the range), never un-own one — so
+// totality survives any overlay combined with any amount of growth.
+// Plans are immutable values: WithOverlay returns a new plan with a
+// fresh map, so a plan captured by a walker crew or a wire frame never
+// mutates underneath its reader; versioned consumers swap whole plans
+// and compare Epoch.
 type ShardPlan struct {
 	// Shards is the partition count (≥ 1).
 	Shards int
 	// RangeSize is the contiguous block length (≥ 1).
 	RangeSize int
+	// Epoch versions the ownership overlay: 0 is the pure block-cyclic
+	// base plan, each committed migration increments it.
+	Epoch uint64
+	// Overlay maps block indices to owners that differ from the
+	// block-cyclic base (nil = no rebalancing has happened). Treated as
+	// immutable: never written after the plan value is constructed.
+	Overlay map[uint64]int
 }
 
 // NewShardPlan derives the partition geometry for a vertex space of
@@ -45,9 +63,73 @@ func NewShardPlan(numVertices, shards int) ShardPlan {
 
 // Owner returns the shard owning vertex v. It is defined for every
 // possible vertex ID, including IDs beyond the space the plan was derived
-// from (see the type comment).
+// from (see the type comment), under any overlay.
 func (p ShardPlan) Owner(v graph.VertexID) int {
-	return int(uint64(v) / uint64(p.RangeSize) % uint64(p.Shards))
+	b := uint64(v) / uint64(p.RangeSize)
+	if p.Overlay != nil {
+		if o, ok := p.Overlay[b]; ok {
+			return o
+		}
+	}
+	return int(b % uint64(p.Shards))
+}
+
+// BlockOf returns the ownership-block index of vertex v.
+func (p ShardPlan) BlockOf(v graph.VertexID) uint64 {
+	return uint64(v) / uint64(p.RangeSize)
+}
+
+// BlockRange returns the vertex-ID range [lo, hi) block b covers. The
+// bounds are uint64 on purpose: the top block of the uint32 ID space has
+// hi = 2³², which a graph.VertexID cannot represent — truncating it
+// would make the topmost vertices (IDs near 2³²−1, first-class citizens
+// since the PR-2 overflow fix) unreachable by migration and view
+// invalidation.
+func (p ShardPlan) BlockRange(b uint64) (lo, hi uint64) {
+	lo = b * uint64(p.RangeSize)
+	return lo, lo + uint64(p.RangeSize)
+}
+
+// BlockOwner returns the shard owning block b under the current overlay.
+func (p ShardPlan) BlockOwner(b uint64) int {
+	if p.Overlay != nil {
+		if o, ok := p.Overlay[b]; ok {
+			return o
+		}
+	}
+	return int(b % uint64(p.Shards))
+}
+
+// WithOverlay returns a new plan in which block b is owned by shard `to`,
+// at the given epoch. The receiver is unchanged (plans are immutable
+// values); the overlay map is copied. An owner outside [0, Shards) or a
+// non-monotonic epoch is rejected — overlay entries must never be able to
+// break ownership totality (the PR-2 out-of-range bug class).
+func (p ShardPlan) WithOverlay(b uint64, to int, epoch uint64) (ShardPlan, error) {
+	if to < 0 || to >= p.Shards {
+		return p, fmt.Errorf("walk: overlay owner %d out of range for %d shards", to, p.Shards)
+	}
+	if epoch <= p.Epoch {
+		return p, fmt.Errorf("walk: overlay epoch %d not beyond current %d", epoch, p.Epoch)
+	}
+	over := make(map[uint64]int, len(p.Overlay)+1)
+	for k, v := range p.Overlay {
+		over[k] = v
+	}
+	if to == int(b%uint64(p.Shards)) {
+		// Moving a block home again erases its entry; the base map is
+		// authoritative wherever the overlay is silent.
+		delete(over, b)
+	} else {
+		over[b] = to
+	}
+	if len(over) == 0 {
+		over = nil
+	}
+	next := p
+	next.Epoch = epoch
+	next.Overlay = over
+	return next, nil
 }
 
 // PartitionCSR splits a snapshot's edges into per-shard insert batches:

@@ -7,6 +7,7 @@ import (
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/fabric/inproc"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/rebalance"
 )
 
 // ShardedLiveService is the multi-lock-domain serving runtime: N per-shard
@@ -69,6 +70,11 @@ type ShardedLiveConfig struct {
 	// effect only when the shard engines support versioned views
 	// (concurrent.Engine does).
 	Cache fabric.CacheSpec
+	// Rebalance configures the heat-aware shard rebalancer (off unless
+	// Rebalance.On). It requires engines with row extraction
+	// (concurrent.Engine); the in-process service validates this at
+	// construction.
+	Rebalance rebalance.Options
 }
 
 func (c ShardedLiveConfig) withDefaults(shards int) ShardedLiveConfig {
@@ -99,6 +105,22 @@ type ShardedLiveStats struct {
 	Batches, Updates, Dropped int64
 	Transfers, Local          int64
 	Cache                     fabric.CacheTallies
+	// ShardSteps is the per-shard split of Steps (indexed by shard) — the
+	// load-share view the rebalancer acts on. In-process services read it
+	// live; remote services as of the last Sync.
+	ShardSteps []int64
+	// Rebalance tallies the heat-aware rebalancer's activity.
+	Rebalance RebalanceTallies
+}
+
+// RebalanceTallies reports the rebalancer's cumulative activity.
+type RebalanceTallies struct {
+	// Migrations counts completed block migrations; MovedEdges the edges
+	// they shipped.
+	Migrations, MovedEdges int64
+	// PlanEpoch is the live plan's overlay version (0 = never
+	// rebalanced).
+	PlanEpoch uint64
 }
 
 // TransferRatio is walker hand-offs per sampled hop — the share of walk
@@ -124,6 +146,13 @@ func NewShardedLiveService(engines []LiveEngine, plan ShardPlan, cfg ShardedLive
 		return nil, fmt.Errorf("walk: %d shard engines for a %d-shard plan", len(engines), plan.Shards)
 	}
 	cfg = cfg.withDefaults(plan.Shards)
+	if cfg.Rebalance.On {
+		for i, e := range engines {
+			if _, ok := e.(RangeExtractor); !ok {
+				return nil, fmt.Errorf("walk: rebalancing needs row extraction, which shard %d's engine (%T) lacks", i, e)
+			}
+		}
+	}
 	fab := inproc.New(plan.Shards, cfg.QueueDepth)
 	s := &ShardedLiveService{
 		engines: engines,
@@ -177,7 +206,7 @@ func (s *ShardedLiveService) Feed(ups []graph.Update) error {
 // applied (or dropped) on its shards, then reports the first ingest error.
 // It is the barrier between "fed" and "visible to walkers".
 func (s *ShardedLiveService) Sync() error {
-	bw, err := s.coord.barrier(false)
+	bw, err := s.coord.barrier(false, false)
 	if err != nil {
 		return err
 	}
@@ -200,19 +229,26 @@ func (s *ShardedLiveService) DeepWalk(cfg Config) (Result, TransferStats, error)
 // and Batches from the coordinator.
 func (s *ShardedLiveService) Stats() ShardedLiveStats {
 	st := ShardedLiveStats{
-		Queries: s.coord.queries.Load(),
-		Batches: s.coord.batches.Load(),
+		Queries:    s.coord.queries.Load(),
+		Batches:    s.coord.batches.Load(),
+		ShardSteps: make([]int64, len(s.nodes)),
 	}
-	for _, n := range s.nodes {
-		st.Steps += n.steps.Load()
+	for i, n := range s.nodes {
+		st.ShardSteps[i] = n.steps.Load()
+		st.Steps += st.ShardSteps[i]
 		st.Transfers += n.transfers.Load()
 		st.Local += n.local.Load()
 		st.Updates += n.updates.Load()
 		st.Dropped += n.dropped.Load()
 		st.Cache.Add(n.cacheTallies())
 	}
+	st.Rebalance = s.coord.rebalanceTallies()
 	return st
 }
+
+// Plan returns the live ownership plan (overlay included); the Plan
+// method above returns the construction-time geometry.
+func (s *ShardedLiveService) LivePlan() ShardPlan { return s.coord.planNow() }
 
 // Err returns the first ingest error observed (nil if none).
 func (s *ShardedLiveService) Err() error {

@@ -1,6 +1,9 @@
 package walk
 
 import (
+	"errors"
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -33,9 +36,19 @@ import (
 //     coordinator's routed-update watermarks piggybacked on the ingest
 //     stream. A hop at a cached non-owned hub is served locally instead
 //     of costing a walker hand-off.
+//
+// Ownership migration. The node is also one endpoint of the rebalancer's
+// migration protocol (see DESIGN.md, "Heat-aware rebalancing"): its
+// ownership plan is an atomic pointer the ingester swaps on MigrateOffer
+// (donor: flip, then extract and ship the block) and MigrateCommit
+// (recipient: wait for the block, install, then flip; bystander: just
+// flip), while crews reload it every hop — a walker that lands on a moved
+// vertex is re-routed to whatever owner the node's current plan names,
+// never lost. Crews additionally tally sampled hops per ownership block,
+// and heat barriers read the tally back to the coordinator.
 type shardNode struct {
 	e     LiveEngine
-	plan  ShardPlan
+	planv atomic.Pointer[ShardPlan]
 	shard int
 	port  fabric.ShardPort
 
@@ -63,8 +76,46 @@ type shardNode struct {
 	remoteStaleN, viewReqs atomic.Int64
 	viewsServed            atomic.Int64
 
+	// migratedIn counts edges installed from migration blocks (kept out
+	// of `updates`/`consumed`: installs are not routed-update events, and
+	// inflating `consumed` would let hub views stamped after an install
+	// survive watermarks covering routed updates they do not contain).
+	migratedIn atomic.Int64
+
+	// heatMu guards blockSteps, the node's cumulative sampled-hop tally
+	// per ownership block (crews flush per-segment run counts into it;
+	// heat barriers read it back to the coordinator).
+	heatMu     sync.Mutex
+	blockSteps map[uint64]int64
+
 	errMu sync.Mutex
 	err   error
+}
+
+// planNow returns the node's current ownership plan.
+func (n *shardNode) planNow() ShardPlan { return *n.planv.Load() }
+
+// setPlan installs a new ownership plan.
+func (n *shardNode) setPlan(p ShardPlan) { n.planv.Store(&p) }
+
+// bumpBlockSteps folds a crew's per-block hop run into the heat tally.
+func (n *shardNode) bumpBlockSteps(block uint64, steps int64) {
+	if steps == 0 {
+		return
+	}
+	n.heatMu.Lock()
+	n.blockSteps[block] += steps
+	n.heatMu.Unlock()
+}
+
+// RangeExtractor is the optional LiveEngine capability live rebalancing
+// requires on donors: atomically remove a vertex range's rows and return
+// updates that reconstruct them (concurrent.Engine implements it). The
+// serving runtimes refuse to enable rebalancing over engines without it.
+type RangeExtractor interface {
+	// ExtractRange takes uint64 bounds: the top ownership block of the
+	// uint32 ID space ends at 2^32, which a graph.VertexID cannot hold.
+	ExtractRange(lo, hi uint64) ([]graph.Update, error)
 }
 
 // EdgeDumper is the optional LiveEngine capability behind the fabric's
@@ -83,11 +134,17 @@ func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPo
 	if crew < 1 {
 		crew = 1
 	}
-	n := &shardNode{e: e, plan: plan, shard: shard, port: port, cache: cache}
+	n := &shardNode{e: e, shard: shard, port: port, cache: cache, blockSteps: map[uint64]int64{}}
+	n.setPlan(plan)
 	if !cache.Off {
 		if ve, ok := e.(ViewSampler); ok {
 			n.ve = ve
 			n.rv = newRemoteViews(plan.Shards, cache.RemoteSize, cache.RequestAfter)
+			// Replies are validated against the *current* owner: after a
+			// migration, a straggler reply from the old owner must not
+			// install a view the new owner's updates would never
+			// invalidate.
+			n.rv.ownerOf = func(v graph.VertexID) int { return n.planNow().Owner(v) }
 		}
 	}
 	n.loops.Add(crew + 2)
@@ -156,11 +213,20 @@ func (n *shardNode) crewLoop() {
 		}
 		r := xrand.FromState(wk.Rng)
 		var seg struct{ steps, transfers, local, remote int64 }
+		// Per-block hop run for the heat tally: consecutive hops in one
+		// ownership block fold into a single map touch at flush.
+		var runBlock uint64
+		var runSteps int64
 		forwarded := false
 		for wk.Left > 0 {
 			var next graph.VertexID
 			var sampled bool
-			if owner := n.plan.Owner(wk.Cur); owner == n.shard {
+			// Reload the plan every hop: the ingester swaps it when a
+			// block migrates, and the stale-window cost is only an extra
+			// hand-off (the receiving owner re-routes).
+			plan := n.planNow()
+			owned := plan.Owner(wk.Cur) == n.shard
+			if owned {
 				next, sampled = vc.sample(n.ve, n.e, wk.Cur, r)
 				if sampled {
 					seg.local++
@@ -175,6 +241,7 @@ func (n *shardNode) crewLoop() {
 					wk.Remote++
 				}
 			} else {
+				owner := plan.Owner(wk.Cur)
 				if stale {
 					n.remoteStaleN.Add(1)
 				}
@@ -195,8 +262,20 @@ func (n *shardNode) crewLoop() {
 				break
 			}
 			if !sampled {
+				if owned && n.planNow().Owner(wk.Cur) != n.shard {
+					// Not a dead end — the block migrated out between the
+					// ownership check and the sample (extraction emptied
+					// the row). Re-dispatch: the next iteration forwards
+					// the walker to the new owner, which holds the rows.
+					continue
+				}
 				break
 			}
+			if b := plan.BlockOf(wk.Cur); b != runBlock {
+				n.bumpBlockSteps(runBlock, runSteps)
+				runBlock, runSteps = b, 0
+			}
+			runSteps++
 			seg.steps++
 			wk.Steps++
 			wk.Left--
@@ -205,6 +284,7 @@ func (n *shardNode) crewLoop() {
 				wk.Path = append(wk.Path, next)
 			}
 		}
+		n.bumpBlockSteps(runBlock, runSteps)
 		n.steps.Add(seg.steps)
 		n.transfers.Add(seg.transfers)
 		n.local.Add(seg.local)
@@ -262,6 +342,14 @@ func (n *shardNode) ingestLoop() {
 		if n.rv != nil && len(in.Watermarks) > 0 {
 			n.rv.advance(in.Watermarks)
 		}
+		if in.Offer.Epoch != 0 {
+			n.handleOffer(&in.Offer)
+			continue
+		}
+		if in.Commit.Epoch != 0 {
+			n.handleCommit(&in.Commit)
+			continue
+		}
 		if in.IsBarrier() {
 			a := &fabric.Ack{
 				Shard:    n.shard,
@@ -269,6 +357,7 @@ func (n *shardNode) ingestLoop() {
 				Updates:  n.updates.Load(),
 				Dropped:  n.dropped.Load(),
 				Vertices: n.e.NumVertices(),
+				Steps:    n.steps.Load(),
 				Cache:    n.cacheTallies(),
 			}
 			if err := n.firstErr(); err != nil {
@@ -278,6 +367,9 @@ func (n *shardNode) ingestLoop() {
 				if d, ok := n.e.(EdgeDumper); ok {
 					a.Edges = d.DumpEdges()
 				}
+			}
+			if in.Heat {
+				a.Heat = n.heatReport()
 			}
 			if err := n.port.Ack(a); err != nil {
 				n.setErr(err)
@@ -293,6 +385,168 @@ func (n *shardNode) ingestLoop() {
 		n.updates.Add(int64(len(in.Ups)))
 		n.consumed.Add(int64(len(in.Ups)))
 	}
+}
+
+// handleOffer is the donor half of a block migration. Its position in
+// the ingest stream is the linearization point: every routed update
+// published to this shard before the offer has already been applied (the
+// single ingester runs them in order), so the extracted rows are exactly
+// the block's state as of the router's flip. The plan flips *before*
+// extraction — from the store on, crews forward the block's walkers to
+// the recipient, and a crew that raced the flip and sampled an emptied
+// row re-dispatches on the dead-end recheck instead of retiring short.
+func (n *shardNode) handleOffer(of *fabric.MigrateOffer) {
+	plan := n.planNow()
+	if plan.Epoch >= of.Epoch {
+		return // replayed offer; the flip already happened
+	}
+	next, err := plan.WithOverlay(of.Block, of.To, of.Epoch)
+	if err != nil {
+		n.setErr(err)
+		return
+	}
+	ex, ok := n.e.(RangeExtractor)
+	if !ok {
+		// The serving runtimes refuse to start a rebalancer over engines
+		// without extraction, so this is a protocol violation; keep the
+		// rows (no flip) but complete the handshake so the recipient's
+		// ingest stream is not wedged waiting for a block.
+		n.setErr(fmt.Errorf("walk: shard %d engine cannot extract rows; migration of block %d refused", n.shard, of.Block))
+		n.sendBlock(of, n.consumed.Load(), nil)
+		return
+	}
+	wm := n.consumed.Load()
+	n.setPlan(next)
+	lo, hi := plan.BlockRange(of.Block)
+	rows, err := ex.ExtractRange(lo, hi)
+	if err != nil {
+		n.setErr(err)
+	}
+	n.sendBlock(of, wm, rows)
+}
+
+func (n *shardNode) sendBlock(of *fabric.MigrateOffer, wm int64, rows []graph.Update) {
+	mb := &fabric.MigrateBlock{Block: of.Block, From: n.shard, Epoch: of.Epoch, Watermark: wm, Rows: rows}
+	if err := n.port.SendBlock(of.To, mb); err != nil {
+		n.setErr(err)
+	}
+}
+
+// handleCommit installs a block migration's ownership flip. The
+// recipient blocks its ingest stream on the donor's MigrateBlock first —
+// routed updates for the moved block are queued *behind* this commit
+// (the router flips before publishing it), so they apply onto installed
+// rows and per-source order holds across the flip. Everyone drops cached
+// remote views of the moved block: their Applied stamps name the donor's
+// update stream, which the new owner's updates would never invalidate.
+func (n *shardNode) handleCommit(cm *fabric.MigrateCommit) {
+	if cm.To == n.shard {
+		n.installBlock(cm)
+	} else if plan := n.planNow(); plan.Epoch < cm.Epoch {
+		// Bystander (or the donor replaying a commit it already applied
+		// at the offer): flip to the announced ownership.
+		next, err := plan.WithOverlay(cm.Block, cm.To, cm.Epoch)
+		if err != nil {
+			n.setErr(err)
+		} else {
+			n.setPlan(next)
+		}
+	}
+	if n.rv != nil {
+		n.rv.dropBlock(n.planNow().RangeSize, cm.Block)
+	}
+}
+
+// installBlock is the recipient half: wait for the donor's rows, install
+// them, then flip the plan (in that order — crews must not find the block
+// owned here before its rows exist; until the flip they keep forwarding
+// its walkers toward the donor, which bounces them back post-offer, a
+// bounded hand-off loop that ends at the flip below).
+func (n *shardNode) installBlock(cm *fabric.MigrateCommit) {
+	done := &fabric.MigrateDone{Shard: n.shard, Block: cm.Block, Epoch: cm.Epoch}
+	mb, ok := n.port.NextBlock()
+	switch {
+	case !ok:
+		// Session ended mid-migration; the coordinator's death handling
+		// owns the fallout.
+		n.setErr(ErrFabricDown)
+		return
+	case mb.Block != cm.Block || mb.Epoch != cm.Epoch:
+		done.Err = fmt.Sprintf("walk: shard %d expected block %d epoch %d, got block %d epoch %d",
+			n.shard, cm.Block, cm.Epoch, mb.Block, mb.Epoch)
+	case mb.Watermark < cm.MinWatermark:
+		// The donor extracted before applying every update the router
+		// counted toward it at the offer — the FIFO ordering the whole
+		// protocol rests on did not hold.
+		done.Err = fmt.Sprintf("walk: block %d shipped at donor watermark %d below commit minimum %d",
+			cm.Block, mb.Watermark, cm.MinWatermark)
+	default:
+		if len(mb.Rows) > 0 {
+			// Installs bypass the routed-update counters on purpose: they
+			// are not feed events, and inflating `consumed` would corrupt
+			// the hub views' watermark stamps (see the field comments).
+			if err := n.e.ApplyUpdates(mb.Rows); err != nil {
+				done.Err = err.Error()
+			} else {
+				n.migratedIn.Add(int64(len(mb.Rows)))
+				done.Edges = int64(len(mb.Rows))
+			}
+		}
+	}
+	if done.Err != "" {
+		n.setErr(errors.New(done.Err))
+	}
+	// The plan flips even when the install failed: the coordinator and
+	// the donor have already flipped (router before commit, donor at the
+	// offer), so refusing here would leave donor and recipient pointing
+	// at each other and turn the documented bounded walker bounce into a
+	// livelock. A failed install is a recorded data error (Err above,
+	// surfaced through the MigrateDone and the session Err) on a block
+	// that now serves whatever rows landed — never a hang.
+	if plan := n.planNow(); plan.Epoch < cm.Epoch {
+		next, err := plan.WithOverlay(cm.Block, cm.To, cm.Epoch)
+		if err != nil {
+			n.setErr(err)
+		} else {
+			n.setPlan(next)
+		}
+	}
+	if err := n.port.Migrated(done); err != nil {
+		n.setErr(err)
+	}
+}
+
+// heatReport snapshots the node's per-block heat: cumulative sampled
+// hops from the crews' tallies, plus the live degree mass of every block
+// whose rows this engine holds (an O(V) degree scan — heat barriers are
+// rebalancer-paced, not per-request). Blocks with neither steps nor
+// edges are omitted.
+func (n *shardNode) heatReport() []fabric.BlockHeat {
+	plan := n.planNow()
+	agg := map[uint64]fabric.BlockHeat{}
+	n.heatMu.Lock()
+	for b, s := range n.blockSteps {
+		agg[b] = fabric.BlockHeat{Block: b, Steps: s}
+	}
+	n.heatMu.Unlock()
+	nv := n.e.NumVertices()
+	for v := 0; v < nv; v++ {
+		d := n.e.Degree(graph.VertexID(v))
+		if d == 0 {
+			continue
+		}
+		b := plan.BlockOf(graph.VertexID(v))
+		e := agg[b]
+		e.Block = b
+		e.Edges += int64(d)
+		agg[b] = e
+	}
+	out := make([]fabric.BlockHeat, 0, len(agg))
+	for _, e := range agg {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
+	return out
 }
 
 // viewLoop drains the node's view stream: it answers peers' requests
@@ -346,9 +600,12 @@ func (n *shardNode) viewLoop() {
 type ShardNodeStats struct {
 	Steps, Transfers, Local int64
 	Updates, Dropped        int64
-	Vertices                int
-	Edges                   int64
-	Cache                   fabric.CacheTallies
+	// MigratedEdges counts edges this node installed from ownership
+	// blocks migrated onto it.
+	MigratedEdges int64
+	Vertices      int
+	Edges         int64
+	Cache         fabric.CacheTallies
 }
 
 // RunShardNode hosts engine e as shard `shard` of plan behind the given
@@ -363,13 +620,14 @@ func RunShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort
 	n := startShardNode(e, plan, shard, port, crew, cache)
 	n.wait()
 	st := ShardNodeStats{
-		Steps:     n.steps.Load(),
-		Transfers: n.transfers.Load(),
-		Local:     n.local.Load(),
-		Updates:   n.updates.Load(),
-		Dropped:   n.dropped.Load(),
-		Vertices:  e.NumVertices(),
-		Cache:     n.cacheTallies(),
+		Steps:         n.steps.Load(),
+		Transfers:     n.transfers.Load(),
+		Local:         n.local.Load(),
+		Updates:       n.updates.Load(),
+		Dropped:       n.dropped.Load(),
+		MigratedEdges: n.migratedIn.Load(),
+		Vertices:      e.NumVertices(),
+		Cache:         n.cacheTallies(),
 	}
 	if ne, ok := e.(interface{ NumEdges() int64 }); ok {
 		st.Edges = ne.NumEdges()

@@ -45,6 +45,14 @@ const (
 // locking; the views themselves are immutable and validated by epoch on
 // every use. Eviction is exact LRU over an intrusive doubly-linked list
 // threaded through a fixed slot array.
+//
+// Admission is churn-aware: a vertex whose cached views keep going stale
+// before serving churnYoungHits lock-free hops (a writer rewrites it
+// faster than walkers revisit it) earns strikes, and each strike doubles
+// the number of cacheable extractions skipped before its next admission.
+// Under hub-targeted write churn the O(degree) view copies otherwise
+// cost more than the lock acquisitions they save; long-lived views clear
+// their vertex's strikes and keep full admission.
 type viewCache struct {
 	minDeg     int
 	slots      []viewSlot
@@ -52,14 +60,25 @@ type viewCache struct {
 	free       []int
 	head, tail int // most- / least-recently-used slot, -1 when empty
 
+	// churn is the per-vertex admission back-off state.
+	churn map[graph.VertexID]churnMark
+
 	// hits/stale are flushed into shared counters by the owner (misses
 	// are derivable: every non-hit hop is a miss or an uncached sample).
 	hits, stale int64
 }
 
+// churnMark is one vertex's admission back-off: strikes count young
+// deaths, skipped counts extractions declined since the last admission.
+type churnMark struct {
+	strikes uint8
+	skipped uint16
+}
+
 type viewSlot struct {
 	v          graph.VertexID
 	vw         *core.VertexView
+	uses       int64 // lock-free hops this view served
 	prev, next int
 }
 
@@ -77,9 +96,46 @@ func newViewCache(capacity, minDegree int) *viewCache {
 		minDeg: minDegree,
 		slots:  make([]viewSlot, 0, capacity),
 		index:  make(map[graph.VertexID]int, capacity),
+		churn:  map[graph.VertexID]churnMark{},
 		head:   -1,
 		tail:   -1,
 	}
+}
+
+// admit reports whether a fresh view of u may enter the cache, charging
+// one skipped extraction against u's back-off when not.
+func (c *viewCache) admit(u graph.VertexID) bool {
+	m, ok := c.churn[u]
+	if !ok || m.strikes == 0 {
+		return true
+	}
+	m.skipped++
+	if m.skipped < 1<<m.strikes {
+		c.churn[u] = m
+		return false
+	}
+	m.skipped = 0
+	c.churn[u] = m
+	return true
+}
+
+// noteStale records a view of u dropped on epoch mismatch: a view that
+// died before serving its keep earns a strike, a long-lived one clears
+// the slate.
+func (c *viewCache) noteStale(u graph.VertexID, uses int64) {
+	if uses >= churnYoungHits {
+		delete(c.churn, u)
+		return
+	}
+	if len(c.churn) >= 4096 {
+		c.churn = map[graph.VertexID]churnMark{}
+	}
+	m := c.churn[u]
+	if m.strikes < churnMaxStrikes {
+		m.strikes++
+	}
+	m.skipped = 0
+	c.churn[u] = m
 }
 
 // get returns u's cached view (moving it to the front) or nil.
@@ -96,6 +152,7 @@ func (c *viewCache) get(u graph.VertexID) *core.VertexView {
 func (c *viewCache) put(u graph.VertexID, vw *core.VertexView) {
 	if i, ok := c.index[u]; ok {
 		c.slots[i].vw = vw
+		c.slots[i].uses = 0
 		c.moveFront(i)
 		return
 	}
@@ -173,16 +230,19 @@ func (c *viewCache) sample(ve ViewSampler, e Engine, u graph.VertexID, r *xrand.
 	if c == nil || ve == nil {
 		return e.Sample(u, r)
 	}
-	if vw := c.get(u); vw != nil {
-		if ve.ValidateView(vw) {
+	if i, ok := c.index[u]; ok {
+		if vw := c.slots[i].vw; ve.ValidateView(vw) {
 			c.hits++
+			c.slots[i].uses++
+			c.moveFront(i)
 			return vw.Sample(r)
 		}
+		c.noteStale(u, c.slots[i].uses)
 		c.drop(u)
 		c.stale++
 	}
 	v, ok, vw := ve.SampleOrView(u, c.minDeg, r)
-	if vw != nil {
+	if vw != nil && c.admit(u) {
 		c.put(u, vw)
 	}
 	return v, ok

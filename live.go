@@ -9,11 +9,13 @@ package bingo
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/bingo-rw/bingo/internal/concurrent"
 	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/fabric/tcpgob"
+	"github.com/bingo-rw/bingo/internal/rebalance"
 	"github.com/bingo-rw/bingo/internal/walk"
 )
 
@@ -194,6 +196,53 @@ func (o HubCacheOptions) spec() fabric.CacheSpec {
 	}
 }
 
+// RebalanceOptions tune the heat-aware shard rebalancer of the sharded
+// serving runtimes. Off by default: set On to let the coordinator watch
+// per-shard heat (walk steps per ownership block, reported on ingest
+// barriers) and migrate hot blocks off overloaded shards live — walkers
+// are re-routed across the ownership flip, never lost, and the feed's
+// per-source ordering is preserved (see DESIGN.md, "Heat-aware
+// rebalancing"). Zero values select defaults.
+type RebalanceOptions struct {
+	// On enables the rebalancer.
+	On bool
+	// Interval is the heat-check period (default 500ms).
+	Interval time.Duration
+	// Imbalance triggers rebalancing when the hottest shard's share of
+	// walk steps exceeds this multiple of the fair share 1/shards
+	// (default 1.3).
+	Imbalance float64
+	// MaxMovesPerCycle bounds block migrations per heat check (default 4).
+	MaxMovesPerCycle int
+	// MinCycleSteps is the minimum per-cycle step count worth acting on
+	// (default 2048).
+	MinCycleSteps int64
+	// Cooldown is how many heat checks a moved block is pinned before it
+	// may move again (default 2).
+	Cooldown int
+}
+
+func (o RebalanceOptions) opts() rebalance.Options {
+	return rebalance.Options{
+		On:               o.On,
+		Interval:         o.Interval,
+		Imbalance:        o.Imbalance,
+		MaxMovesPerCycle: o.MaxMovesPerCycle,
+		MinCycleSteps:    o.MinCycleSteps,
+		Cooldown:         o.Cooldown,
+	}
+}
+
+// RebalanceStats report the rebalancer's cumulative activity.
+type RebalanceStats struct {
+	// Migrations counts completed block migrations; MovedEdges the edges
+	// they shipped between shards.
+	Migrations, MovedEdges int64
+	// PlanEpoch is the ownership plan's overlay version (0 = the
+	// block-cyclic base plan, never rebalanced).
+	PlanEpoch uint64
+}
+
 // LiveOptions configure Serve.
 type LiveOptions struct {
 	// Walkers is the walker-pool size (default GOMAXPROCS).
@@ -293,6 +342,8 @@ type ShardedOptions struct {
 	Concurrency ConcurrentConfig
 	// HubCache tunes the shards' hub-view caches.
 	HubCache HubCacheOptions
+	// Rebalance tunes the heat-aware shard rebalancer (off by default).
+	Rebalance RebalanceOptions
 }
 
 // HubCacheStats report the hub-view cache layers of a sharded runtime.
@@ -318,6 +369,12 @@ type ShardedLiveStats struct {
 	Batches, Updates, Dropped int64
 	Transfers, Local          int64
 	Cache                     HubCacheStats
+	// ShardSteps splits Steps by serving shard — the load-share view the
+	// rebalancer acts on (live for in-process shards, as of the last
+	// Sync for remote daemons).
+	ShardSteps []int64
+	// Rebalance reports the heat-aware rebalancer's activity.
+	Rebalance RebalanceStats
 }
 
 // TransferRatio is walker hand-offs per sampled hop — the share of walk
@@ -380,6 +437,7 @@ func (e *Engine) ServeSharded(shards int, o ShardedOptions) (*ShardedLiveWalker,
 		WalkLength:      o.WalkLength,
 		Seed:            o.Seed,
 		Cache:           o.HubCache.spec(),
+		Rebalance:       o.Rebalance.opts(),
 	})
 	if err != nil {
 		return nil, err
@@ -425,12 +483,21 @@ func (sw *ShardedLiveWalker) DeepWalk(o WalkOptions) (WalkResult, ShardedLiveSta
 
 // Stats snapshots the service counters.
 func (sw *ShardedLiveWalker) Stats() ShardedLiveStats {
-	st := sw.svc.Stats()
+	return fromShardedStats(sw.svc.Stats())
+}
+
+func fromShardedStats(st walk.ShardedLiveStats) ShardedLiveStats {
 	return ShardedLiveStats{
 		Queries: st.Queries, Steps: st.Steps,
 		Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped,
 		Transfers: st.Transfers, Local: st.Local,
-		Cache: fromCacheTallies(st.Cache),
+		Cache:      fromCacheTallies(st.Cache),
+		ShardSteps: st.ShardSteps,
+		Rebalance: RebalanceStats{
+			Migrations: st.Rebalance.Migrations,
+			MovedEdges: st.Rebalance.MovedEdges,
+			PlanEpoch:  st.Rebalance.PlanEpoch,
+		},
 	}
 }
 
@@ -454,6 +521,9 @@ type RemoteOptions struct {
 	// carries it, so the coordinator decides the cache policy for the
 	// whole session.
 	HubCache HubCacheOptions
+	// Rebalance tunes the heat-aware shard rebalancer (off by default).
+	// The coordinator drives migrations; the daemons execute them.
+	Rebalance RebalanceOptions
 }
 
 // RemoteWalker serves walk queries across a set of shard-daemon
@@ -494,6 +564,7 @@ func (e *Engine) ServeRemote(addrs []string, o RemoteOptions) (*RemoteWalker, er
 		QueueDepth: o.QueueDepth,
 		WalkLength: o.WalkLength,
 		Seed:       o.Seed,
+		Rebalance:  o.Rebalance.opts(),
 	})
 	if err != nil {
 		port.Close()
@@ -545,16 +616,10 @@ func (rw *RemoteWalker) DeepWalk(o WalkOptions) (WalkResult, ShardedLiveStats, e
 	return fromWalk(res), st, err
 }
 
-// Stats snapshots the session counters (Updates/Dropped and the cache
-// tallies as of the last Sync).
+// Stats snapshots the session counters (Updates/Dropped, per-shard
+// steps, and the cache tallies as of the last Sync).
 func (rw *RemoteWalker) Stats() ShardedLiveStats {
-	st := rw.svc.Stats()
-	return ShardedLiveStats{
-		Queries: st.Queries, Steps: st.Steps,
-		Batches: st.Batches, Updates: st.Updates, Dropped: st.Dropped,
-		Transfers: st.Transfers, Local: st.Local,
-		Cache: fromCacheTallies(st.Cache),
-	}
+	return fromShardedStats(rw.svc.Stats())
 }
 
 // Close ends the session: the feed drains, in-flight walkers retire, the
@@ -651,7 +716,10 @@ func serveOneShardSession(sc *tcpgob.ShardConn, hello fabric.Hello, shard int, o
 	if walkers <= 0 {
 		walkers = runtime.GOMAXPROCS(0)
 	}
-	plan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
+	plan := walk.ShardPlan{
+		Shards: hello.Shards, RangeSize: hello.RangeSize,
+		Epoch: hello.PlanEpoch, Overlay: hello.Overlay,
+	}
 	st, err := walk.RunShardNode(eng, plan, shard, sc, walkers, hello.Cache)
 	return ShardServeStats{
 		Steps: st.Steps, Transfers: st.Transfers, Local: st.Local,
