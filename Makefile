@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fuzz clean
+.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fault-smoke fuzz clean
 
 all: vet build test
 
@@ -23,7 +23,7 @@ test:
 # engine, the core sampler it wraps, the live service, and the wire
 # fabric (batched senders + multi-session listener).
 race:
-	$(GO) test -race ./internal/concurrent/ ./internal/core/ ./internal/walk/ ./internal/fabric/tcpgob/
+	$(GO) test -race -timeout 20m ./internal/concurrent/ ./internal/core/ ./internal/walk/ ./internal/fabric/tcpgob/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -33,9 +33,10 @@ bench:
 # step. Verifies the runners execute end to end and the BENCH_*.json
 # reports appear; absolute numbers at this scale are meaningless.
 bench-smoke:
-	$(GO) run ./cmd/bingobench -exp concurrent,sharded,rebalance -datasets AM -scale 0.002 -walkers 500 -workers 2 \
-		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json -json-rebalance BENCH_rebalance.json
-	test -s BENCH_concurrent.json && test -s BENCH_sharded.json && test -s BENCH_rebalance.json
+	$(GO) run ./cmd/bingobench -exp concurrent,sharded,rebalance,backpressure -datasets AM -scale 0.002 -walkers 500 -workers 2 \
+		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json -json-rebalance BENCH_rebalance.json \
+		-json-backpressure BENCH_backpressure.json
+	test -s BENCH_concurrent.json && test -s BENCH_sharded.json && test -s BENCH_rebalance.json && test -s BENCH_backpressure.json
 
 # Multi-process serving smoke: spawns shard daemons (real bingowalk
 # -shard-serve processes) on loopback, drives queries plus a
@@ -45,9 +46,19 @@ bench-smoke:
 distserve-smoke:
 	$(GO) test -run TestDistServeLoopbackDifferential -count 1 -v .
 
+# Fault-injection smoke: the failover differentials — the in-process
+# chaos-fabric kill/restart (race-detected), the credit-window bound
+# against a slow shard, the transport's dial/accept hardening
+# regressions, and the real kill -9 of a shard daemon mid-tape with
+# chi-square + edge-for-edge validation after the rejoin.
+fault-smoke:
+	$(GO) test -race -count 1 -run 'TestFailoverKillRestartDifferential|TestCreditWindowBoundsSlowShard' ./internal/walk/
+	$(GO) test -race -count 1 -run 'TestDialFindsLateDaemon|TestAcceptLoopSurvivesGarbageClients' ./internal/fabric/tcpgob/
+	$(GO) test -race -count 1 -timeout 20m -run TestFaultKillDaemonMidTape -v .
+
 # Short local fuzz session against the sampler's structural invariants.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSamplerMutate -fuzztime 30s ./internal/core/
 
 clean:
-	rm -f BENCH_concurrent.json BENCH_sharded.json BENCH_rebalance.json
+	rm -f BENCH_concurrent.json BENCH_sharded.json BENCH_rebalance.json BENCH_backpressure.json

@@ -38,6 +38,7 @@ func main() {
 		cacheM   = flag.String("cache-modes", "", "comma-separated sharded-scenario hub-cache modes (default on,off)")
 		jsonSh   = flag.String("json-sharded", "BENCH_sharded.json", "output path for the sharded scenario's JSON report ('' disables)")
 		jsonReb  = flag.String("json-rebalance", "BENCH_rebalance.json", "output path for the rebalance scenario's JSON report ('' disables)")
+		jsonBp   = flag.String("json-backpressure", "BENCH_backpressure.json", "output path for the backpressure scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 	o.JSONPath = *jsonPath
 	o.ShardedJSONPath = *jsonSh
 	o.RebalanceJSONPath = *jsonReb
+	o.BackpressureJSONPath = *jsonBp
 	o.Transports = split(*transp)
 	o.CacheModes = split(*cacheM)
 	o.Verbose = *verbose

@@ -69,6 +69,8 @@ func main() {
 		rebEvery  = flag.Duration("rebalance-interval", 0, "rebalancer heat-check period (0 = default 500ms)")
 		rebImbal  = flag.Float64("rebalance-imbalance", 0, "rebalancer trigger: hottest shard's step share over this multiple of 1/shards (0 = default 1.3)")
 		rebMoves  = flag.Int("rebalance-max-moves", 0, "block migrations per heat check (0 = default 4)")
+		replicas  = flag.Int("replicas", 1, "block ownership replication factor in the sharded serving modes (R consecutive shards hold each block; survives shard deaths by replica promotion; mutually exclusive with -rebalance)")
+		creditWin = flag.Int("credit-window", 0, "per-shard ingest credit window: max routed-but-unapplied update events before Feed blocks (0 = default 16384, negative disables)")
 	)
 	flag.Parse()
 
@@ -81,7 +83,7 @@ func main() {
 		return
 	}
 	if *live {
-		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, hubCache, rebOpts); err != nil {
+		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, *replicas, *creditWin, hubCache, rebOpts); err != nil {
 			fail(err)
 		}
 		return
@@ -244,6 +246,19 @@ func printRebalance(ls walk.ShardedLiveStats) {
 		ls.Rebalance.Migrations, ls.Rebalance.MovedEdges, ls.Rebalance.PlanEpoch, strings.Join(shares, " "))
 }
 
+// printFabricHealth reports failover activity and ingest-credit pressure
+// when either had anything to say.
+func printFabricHealth(ls walk.ShardedLiveStats) {
+	if f := ls.Failover; f.Deaths > 0 || f.Rejoins > 0 {
+		fmt.Printf("failover: %d shard deaths, %d walkers re-routed, %d relaunched, %d rejoins (%d snapshot blocks copied)\n",
+			f.Deaths, f.Reroutes, f.Relaunches, f.Rejoins, f.CopiedBlocks)
+	}
+	if b := ls.Backpressure; b.Window > 0 {
+		fmt.Printf("backpressure: credit window %d, max outstanding %d, feed stalled %v\n",
+			b.Window, b.MaxOutstanding, b.Stalled.Round(time.Millisecond))
+	}
+}
+
 // liveServer abstracts the serving runtimes the -live mode can drive:
 // the single-engine LiveService, the sharded walker-transfer service,
 // and the remote multi-process coordinator.
@@ -259,7 +274,7 @@ type liveServer interface {
 // the graph is 1-D partitioned across N engines and walks cross shard
 // boundaries by walker transfer (supplement §9.1); with -connect the
 // shards are separate daemon processes behind the TCP fabric.
-func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, hubCache bingo.HubCacheOptions, rebOpts rebalance.Options) error {
+func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, replicas, creditWin int, hubCache bingo.HubCacheOptions, rebOpts rebalance.Options) error {
 	g, err := loadGraph(graphPath, dataset, scale, seed)
 	if err != nil {
 		return err
@@ -289,16 +304,21 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 	if connect != "" {
 		addrs := strings.Split(connect, ",")
 		plan := walk.NewShardPlan(w.Initial.NumVertices(), len(addrs))
-		port, err := tcpgob.Dial(addrs, fabric.Hello{
+		if replicas > 1 {
+			plan.Replicas = replicas
+		}
+		port, err := tcpgob.DialWith(addrs, fabric.Hello{
 			RangeSize:   plan.RangeSize,
 			NumVertices: w.Initial.NumVertices(),
 			Cache:       cacheSpec,
-		})
+			Replicas:    plan.Replicas,
+		}, tcpgob.DialConfig{Resilient: plan.Replicas > 1})
 		if err != nil {
 			return err
 		}
 		remote, err = walk.NewRemoteService(port, plan, w.Initial.NumVertices(), walk.ShardedLiveConfig{
 			WalkLength: length, Seed: seed, Rebalance: rebOpts,
+			CreditWindow: creditWin,
 		})
 		if err != nil {
 			return err
@@ -311,6 +331,9 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			plan.Shards, plan.RangeSize, len(w.Updates), batchSize)
 	} else if shards > 1 {
 		plan := walk.NewShardPlan(w.Initial.NumVertices(), shards)
+		if replicas > 1 {
+			plan.Replicas = replicas
+		}
 		engines, err := walk.BootstrapShards(w.Initial, plan, func() (walk.LiveEngine, error) {
 			s, err := core.New(w.Initial.NumVertices(), core.DefaultConfig())
 			if err != nil {
@@ -327,7 +350,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		}
 		sharded, err = walk.NewShardedLiveService(engines, plan, walk.ShardedLiveConfig{
 			WalkersPerShard: workers, WalkLength: length, Seed: seed, Cache: cacheSpec,
-			Rebalance: rebOpts,
+			Rebalance: rebOpts, CreditWindow: creditWin,
 		})
 		if err != nil {
 			return err
@@ -403,6 +426,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
 			ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
 		printRebalance(ls)
+		printFabricHealth(ls)
 		fmt.Printf("final graph: %d vertices across %d shard daemons\n", remote.NumVertices(), remote.Shards())
 		return nil
 	}
@@ -416,6 +440,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
 			ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
 		printRebalance(ls)
+		printFabricHealth(ls)
 		var edges, mem int64
 		for _, e := range shardEngines {
 			edges += e.NumEdges()

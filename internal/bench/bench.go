@@ -65,6 +65,10 @@ type Options struct {
 	// RebalanceJSONPath, when non-empty, is where the rebalance scenario
 	// writes its machine-readable BENCH_rebalance.json report.
 	RebalanceJSONPath string
+	// BackpressureJSONPath, when non-empty, is where the backpressure
+	// scenario writes its machine-readable BENCH_backpressure.json
+	// report.
+	BackpressureJSONPath string
 	// Transports filters the sharded scenario's transport dimension:
 	// "inproc" (in-process fabric) and/or "tcp" (loopback tcpgob fabric).
 	// Nil means both.
@@ -350,6 +354,7 @@ var registry = []runner{
 	{"concurrent", "walk-while-ingest throughput at 0/10/50% update load (BENCH_concurrent.json)", runConcurrent},
 	{"sharded", "sharded live serving: walks/s and transfer ratio at 0/10/50% load × 1/2/4/8 shards × inproc/tcp transports (BENCH_sharded.json)", runSharded},
 	{"rebalance", "heat-aware rebalancing: hottest shard's step share under hub-skewed growth, rebalance on/off × inproc/tcp (BENCH_rebalance.json)", runRebalance},
+	{"backpressure", "credited ingest: feed latency vs routed-but-unapplied backlog against a slow shard, credit window off/1k/4k/16k (BENCH_backpressure.json)", runBackpressure},
 }
 
 // Experiments lists available experiment names with descriptions.

@@ -562,6 +562,33 @@ func (e *Engine) ExtractRange(lo, hi uint64) ([]graph.Update, error) {
 	return rows, err
 }
 
+// SnapshotRange returns insert updates reconstructing every row in
+// [lo, hi) without removing anything — the copy counterpart of
+// ExtractRange. It backs replica priming: a rejoined shard is fed a
+// quiescent snapshot of each of its group blocks from a live holder,
+// which keeps serving the block throughout. The single stop-the-world
+// acquisition makes the snapshot a consistent cut: it reflects exactly
+// the updates the donor consumed before the copy offer's position in its
+// ingest stream, none after.
+func (e *Engine) SnapshotRange(lo, hi uint64) ([]graph.Update, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("concurrent: SnapshotRange [%d, %d)", lo, hi)
+	}
+	var rows []graph.Update
+	e.Quiesce(func(s *core.Sampler) {
+		top := hi
+		if n := uint64(s.NumVertices()); top > n {
+			top = n
+		}
+		var row []graph.Update
+		for u64 := lo; u64 < top; u64++ {
+			row = s.AppendRowUpdates(graph.VertexID(u64), row[:0])
+			rows = append(rows, row...)
+		}
+	})
+	return rows, nil
+}
+
 // DumpEdges returns a quiescent flattening of the live edge multiset —
 // the walk.EdgeDumper capability the shard fabric's dump barrier uses to
 // read a remote shard's state back for verification.

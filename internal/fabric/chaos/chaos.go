@@ -1,0 +1,406 @@
+// Package chaos is a fault-injecting in-process shard fabric for tests:
+// the inproc topology (mailboxes everywhere) extended with per-link
+// fault hooks — drop and delay on the coordinator↔shard streams — and
+// whole-shard kill/restart, which is what lets a differential test
+// exercise the failover protocol (replica promotion, walker re-routing,
+// snapshot re-priming) without spawning and killing OS processes.
+//
+// Fidelity to a real crash: Kill(s) severs shard s the way a kill -9
+// severs a daemon behind tcpgob. The node's inbound streams end (its
+// loops drain what was already delivered, then exit, like a dying
+// process's socket buffers), everything the killed incarnation still
+// tries to send is discarded (a dead process sends nothing), peers and
+// the coordinator get errors when they address it, and the coordinator
+// observes an EvShardDown. Restart(s) is the replacement daemon: a fresh
+// incarnation with empty streams, announced by EvShardUp — the caller
+// runs a fresh node (fresh engine) on the returned port, exactly like a
+// restarted `bingowalk -shard-serve` process accepting the session's
+// rejoin dial.
+//
+// Fault hooks apply to the ordered coordinator→shard ingest stream
+// (Drop discards an element, Delay postpones each element without
+// reordering — a per-link pump goroutine preserves FIFO) and to the
+// shard→coordinator event sends (Drop only). Dropping a routed update
+// sub-batch diverges state by design — tests use Drop to target
+// loss-tolerant traffic (credits are cumulative, acks are re-barriered)
+// and Kill for everything else.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bingo-rw/bingo/internal/fabric"
+)
+
+// Fault is one direction's fault spec on one link. The zero value passes
+// everything through untouched.
+type Fault struct {
+	// Drop, when non-nil, is consulted per message; true discards it.
+	Drop func(msg any) bool
+	// Delay postpones each ingest element by this much (down direction
+	// only; delivery order is preserved).
+	Delay time.Duration
+}
+
+// link is one shard's attachment state: the current incarnation's
+// streams plus liveness and fault configuration.
+type link struct {
+	gen  int
+	dead bool
+	down Fault // coordinator → shard (ingest stream)
+	up   Fault // shard → coordinator (event sends)
+
+	tx      *fabric.Mailbox[*fabric.Ingest] // pre-fault, coordinator side
+	rx      *fabric.Mailbox[*fabric.Ingest] // post-fault, node side
+	walkers *fabric.Mailbox[*fabric.Walker]
+	views   *fabric.Mailbox[*fabric.ViewMsg]
+	blocks  *fabric.Mailbox[*fabric.MigrateBlock]
+}
+
+// Fabric is a fault-injectable in-process shard interconnect. Create one
+// per session; hand CoordPort to the coordinator and ShardPort(i) to
+// shard i's node, then script faults from the test body.
+type Fabric struct {
+	shards int
+	events *fabric.Mailbox[fabric.Event]
+
+	mu        sync.Mutex
+	links     []*link
+	coordDone bool
+	open      int // shard ports handed out and not yet closed
+}
+
+// New builds a chaos fabric for shards nodes, all initially alive and
+// fault-free.
+func New(shards int) *Fabric {
+	f := &Fabric{
+		shards: shards,
+		events: fabric.NewMailbox[fabric.Event](),
+		links:  make([]*link, shards),
+		open:   shards,
+	}
+	for i := range f.links {
+		f.links[i] = f.freshLink(i)
+	}
+	return f
+}
+
+// freshLink builds incarnation streams for shard s and starts its ingest
+// pump. Caller holds f.mu (or is New).
+func (f *Fabric) freshLink(s int) *link {
+	l := &link{
+		tx:      fabric.NewMailbox[*fabric.Ingest](),
+		rx:      fabric.NewMailbox[*fabric.Ingest](),
+		walkers: fabric.NewMailbox[*fabric.Walker](),
+		views:   fabric.NewMailbox[*fabric.ViewMsg](),
+		blocks:  fabric.NewMailbox[*fabric.MigrateBlock](),
+	}
+	go f.pump(s, l)
+	return l
+}
+
+// pump moves ingest elements from the coordinator-side queue to the
+// node-side queue, applying the link's down-direction fault per element.
+// One goroutine per incarnation keeps the stream FIFO under Delay.
+func (f *Fabric) pump(s int, l *link) {
+	for {
+		in, ok := l.tx.Pop()
+		if !ok {
+			l.rx.Close()
+			return
+		}
+		f.mu.Lock()
+		fault := l.down
+		f.mu.Unlock()
+		if fault.Drop != nil && fault.Drop(in) {
+			continue
+		}
+		if fault.Delay > 0 {
+			time.Sleep(fault.Delay)
+		}
+		l.rx.Push(in)
+	}
+}
+
+// SetFault installs the fault specs for shard s's link (down =
+// coordinator→shard ingest, up = shard→coordinator events). Zero-value
+// faults clear the hooks.
+func (f *Fabric) SetFault(s int, down, up Fault) {
+	f.mu.Lock()
+	f.links[s].down = down
+	f.links[s].up = up
+	f.mu.Unlock()
+}
+
+// Kill severs shard s like a process death: its current incarnation's
+// streams end, its future sends are discarded, and the coordinator
+// observes EvShardDown. Idempotent per incarnation.
+func (f *Fabric) Kill(s int) {
+	f.mu.Lock()
+	l := f.links[s]
+	if l.dead {
+		f.mu.Unlock()
+		return
+	}
+	l.dead = true
+	f.mu.Unlock()
+	l.tx.Close()
+	l.walkers.Close()
+	l.views.Close()
+	l.blocks.Close()
+	f.events.Push(fabric.Event{Kind: fabric.EvShardDown, Shard: s})
+}
+
+// Restart replaces a killed shard with a fresh incarnation (empty
+// streams) and announces EvShardUp. The caller must run a fresh node —
+// fresh engine, empty state — on the returned port, mirroring a
+// restarted daemon process; the coordinator re-primes it over the
+// fabric.
+func (f *Fabric) Restart(s int) (fabric.ShardPort, error) {
+	f.mu.Lock()
+	if !f.links[s].dead {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("chaos: restarting shard %d, which is alive", s)
+	}
+	if f.coordDone {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("chaos: restarting shard %d after session end", s)
+	}
+	gen := f.links[s].gen + 1
+	l := f.freshLink(s)
+	l.gen = gen
+	f.links[s] = l
+	f.open++
+	f.mu.Unlock()
+	f.events.Push(fabric.Event{Kind: fabric.EvShardUp, Shard: s})
+	return &shardPort{f: f, shard: s, gen: gen, l: l}, nil
+}
+
+// CoordPort returns the coordinator's endpoint.
+func (f *Fabric) CoordPort() fabric.CoordPort { return (*coordPort)(f) }
+
+// ShardPort returns shard k's endpoint for the current incarnation.
+func (f *Fabric) ShardPort(k int) fabric.ShardPort {
+	if k < 0 || k >= f.shards {
+		panic(fmt.Sprintf("chaos: shard %d of %d", k, f.shards))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return &shardPort{f: f, shard: k, gen: f.links[k].gen, l: f.links[k]}
+}
+
+// shardDone records one shard port closing; the last one closes the
+// event stream so the coordinator's event loop can drain and exit.
+func (f *Fabric) shardDone() {
+	f.mu.Lock()
+	f.open--
+	last := f.open == 0
+	f.mu.Unlock()
+	if last {
+		f.events.Close()
+	}
+}
+
+// deadErr reports addressing a severed link.
+func deadErr(s int) error { return fmt.Errorf("chaos: link to shard %d is down", s) }
+
+// ---------------------------------------------------------------------------
+// Coordinator endpoint
+
+type coordPort Fabric
+
+func (c *coordPort) Shards() int { return c.shards }
+
+func (c *coordPort) LaunchWalker(dst int, w *fabric.Walker) error {
+	c.mu.Lock()
+	l := c.links[dst]
+	dead := l.dead
+	c.mu.Unlock()
+	if dead {
+		return deadErr(dst)
+	}
+	l.walkers.Push(w)
+	return nil
+}
+
+func (c *coordPort) PublishUpdates(dst int, in fabric.Ingest) error {
+	c.mu.Lock()
+	l := c.links[dst]
+	dead := l.dead
+	c.mu.Unlock()
+	if dead {
+		return deadErr(dst)
+	}
+	// A racing Kill may close tx between the check and the push; the
+	// mailbox then drops silently — a frame lost on a dying socket.
+	l.tx.Push(&in)
+	return nil
+}
+
+func (c *coordPort) PublishBarrier(in fabric.Ingest) error {
+	c.mu.Lock()
+	links := append([]*link(nil), c.links...)
+	c.mu.Unlock()
+	for _, l := range links {
+		tok := in
+		// Dead links drop the push silently; the coordinator's death
+		// handling force-acks barriers the dead shard will never answer.
+		l.tx.Push(&tok)
+	}
+	return nil
+}
+
+func (c *coordPort) NextEvent() (fabric.Event, bool) { return c.events.Pop() }
+
+// Close ends the session: every live incarnation's streams close, the
+// nodes drain and exit, and the event stream closes once the last shard
+// port does. Idempotent.
+func (c *coordPort) Close() error {
+	c.mu.Lock()
+	done := c.coordDone
+	c.coordDone = true
+	links := append([]*link(nil), c.links...)
+	c.mu.Unlock()
+	if done {
+		return nil
+	}
+	for _, l := range links {
+		l.tx.Close()
+		l.walkers.Close()
+		l.views.Close()
+		l.blocks.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Shard endpoint
+
+// shardPort is one incarnation's endpoint. Its receive streams are bound
+// at creation (a killed incarnation's streams are closed, ending the
+// node's loops); its sends check liveness so a killed node's dying
+// gasps vanish like a dead process's would.
+type shardPort struct {
+	f     *Fabric
+	shard int
+	gen   int
+	l     *link
+	once  sync.Once
+}
+
+// stale reports whether this incarnation has been severed (killed, or
+// superseded by a restart).
+func (p *shardPort) stale() bool {
+	p.f.mu.Lock()
+	defer p.f.mu.Unlock()
+	cur := p.f.links[p.shard]
+	return cur.gen != p.gen || cur.dead
+}
+
+// sendEvent pushes a coordinator-bound event unless this incarnation is
+// dead or the link's up-direction fault drops it.
+func (p *shardPort) sendEvent(ev fabric.Event, msg any) error {
+	p.f.mu.Lock()
+	cur := p.f.links[p.shard]
+	dead := cur.gen != p.gen || cur.dead
+	drop := cur.up.Drop
+	p.f.mu.Unlock()
+	if dead {
+		return nil // a killed process sends nothing
+	}
+	if drop != nil && drop(msg) {
+		return nil
+	}
+	p.f.events.Push(ev)
+	return nil
+}
+
+func (p *shardPort) Shard() int { return p.shard }
+
+func (p *shardPort) NextWalker() (*fabric.Walker, bool)      { return p.l.walkers.Pop() }
+func (p *shardPort) NextIngest() (*fabric.Ingest, bool)      { return p.l.rx.Pop() }
+func (p *shardPort) NextView() (*fabric.ViewMsg, bool)       { return p.l.views.Pop() }
+func (p *shardPort) NextBlock() (*fabric.MigrateBlock, bool) { return p.l.blocks.Pop() }
+
+func (p *shardPort) ForwardWalker(dst int, w *fabric.Walker) error {
+	if p.stale() {
+		return deadErr(p.shard)
+	}
+	p.f.mu.Lock()
+	l := p.f.links[dst]
+	dead := l.dead
+	p.f.mu.Unlock()
+	if dead {
+		return deadErr(dst)
+	}
+	l.walkers.Push(w)
+	return nil
+}
+
+func (p *shardPort) RequestView(dst int, rq *fabric.ViewRequest) error {
+	if p.stale() {
+		return nil
+	}
+	p.f.mu.Lock()
+	l := p.f.links[dst]
+	dead := l.dead
+	p.f.mu.Unlock()
+	if dead {
+		return nil // views are best-effort cache traffic
+	}
+	l.views.Push(&fabric.ViewMsg{Req: rq})
+	return nil
+}
+
+func (p *shardPort) ReplyView(dst int, rp *fabric.ViewReply) error {
+	if p.stale() {
+		return nil
+	}
+	p.f.mu.Lock()
+	l := p.f.links[dst]
+	dead := l.dead
+	p.f.mu.Unlock()
+	if dead {
+		return nil
+	}
+	l.views.Push(&fabric.ViewMsg{Rep: rp})
+	return nil
+}
+
+func (p *shardPort) SendBlock(dst int, mb *fabric.MigrateBlock) error {
+	if p.stale() {
+		return deadErr(p.shard)
+	}
+	p.f.mu.Lock()
+	l := p.f.links[dst]
+	dead := l.dead
+	p.f.mu.Unlock()
+	if dead {
+		return deadErr(dst)
+	}
+	l.blocks.Push(mb)
+	return nil
+}
+
+func (p *shardPort) Retire(w *fabric.Walker) error {
+	return p.sendEvent(fabric.Event{Kind: fabric.EvRetire, Walker: w}, w)
+}
+
+func (p *shardPort) Ack(a *fabric.Ack) error {
+	return p.sendEvent(fabric.Event{Kind: fabric.EvAck, Ack: a}, a)
+}
+
+func (p *shardPort) Migrated(d *fabric.MigrateDone) error {
+	return p.sendEvent(fabric.Event{Kind: fabric.EvMigrated, Done: d}, d)
+}
+
+func (p *shardPort) Credit(c *fabric.Credit) error {
+	return p.sendEvent(fabric.Event{Kind: fabric.EvCredit, Credit: c}, c)
+}
+
+func (p *shardPort) Close() error {
+	p.once.Do(p.f.shardDone)
+	return nil
+}

@@ -70,6 +70,11 @@ type Walker struct {
 	// peer): the retire must surface an error to the waiting caller, not
 	// a truncated path posing as a complete walk.
 	Failed bool
+	// Reroutes counts how many times the coordinator re-launched this
+	// walk after a Failed retire (failover re-routing to a replica). It
+	// bounds the retry loop: a walk that keeps landing on dead links
+	// eventually fails for real instead of ping-ponging forever.
+	Reroutes int
 }
 
 // Ingest is one element of a shard's ordered ingest stream: a routed
@@ -102,6 +107,26 @@ type Ingest struct {
 	// its ingest stream; every other shard just flips its plan overlay
 	// and drops cached views of the moved block.
 	Commit MigrateCommit
+	// Boot marks a bootstrap element: Ups carries CSR snapshot rows
+	// shipped at session start (or replica priming) rather than live feed
+	// events. A shard applies them like any insert batch but does not
+	// count them in its Updates/consumed ingest tallies — bootstrap rows
+	// are initial state, not stream history, and watermark arithmetic
+	// (view invalidation, migration FIFO checks) must see the same
+	// stream positions whether a session bootstrapped from a snapshot or
+	// replayed updates.
+	Boot bool
+	// Down, when Down.Epoch != 0, is a liveness control: the coordinator
+	// observed shard Down.Shard die (Up false) or finish rejoining (Up
+	// true) and every surviving shard flips its plan's dead-mask at
+	// Down.Epoch. Its position in the ingest stream linearizes the
+	// failover against routed updates exactly like a migration commit.
+	Down ShardDown
+	// Plan, when non-nil, carries a full ownership-plan sync: a rejoined
+	// daemon starts from a fresh engine and needs the coordinator's
+	// current epoch/overlay/dead-mask before any copy-commit or update
+	// reaches it.
+	Plan *PlanState
 	// Watermarks is the coordinator's per-shard routed-update ledger
 	// (cumulative update events published to each shard, this element
 	// included), piggybacked on every ingest element. A cached remote
@@ -116,6 +141,36 @@ type Ingest struct {
 
 // IsBarrier reports whether the element is a barrier token.
 func (in *Ingest) IsBarrier() bool { return in.Barrier != 0 }
+
+// ShardDown is a liveness flip announced on the ingest streams: shard
+// Shard is dead (Up false) or alive again (Up true) as of plan epoch
+// Epoch. Zero Epoch means "no flip" (the Ingest discriminator).
+type ShardDown struct {
+	Shard int
+	Epoch uint64
+	Up    bool
+}
+
+// PlanState is a full ownership-plan synchronization, sent to a rejoined
+// shard before any other traffic so it agrees with the fleet on
+// epoch, overlay, and liveness.
+type PlanState struct {
+	Epoch    uint64
+	Overlay  map[uint64]int
+	DeadMask uint64
+}
+
+// Credit is a shard's flow-control report to the coordinator: Credited
+// is the shard's cumulative count of routed update events (and bootstrap
+// rows) it has consumed from its ingest stream. The coordinator's credit
+// window blocks Feed once routed-minus-credited exceeds the window, which
+// bounds every daemon's ingest queue end to end. Cumulative rather than
+// incremental so that lost or reordered credits only delay the window,
+// never corrupt it (the coordinator takes a monotonic max).
+type Credit struct {
+	Shard    int
+	Credited int64
+}
 
 // ---------------------------------------------------------------------------
 // Ownership migration (the live-rebalancing protocol)
@@ -147,6 +202,12 @@ type MigrateOffer struct {
 	To int
 	// Epoch is the plan epoch the migration creates.
 	Epoch uint64
+	// Copy asks the donor to *snapshot* the block instead of giving it
+	// up: rows are extracted and shipped but the donor keeps serving them
+	// and flips no ownership. Copy offers prime a rejoined replica from
+	// a live group member (failback bootstrap); their epochs live in a
+	// separate sequence from ownership flips.
+	Copy bool
 }
 
 // MigrateCommit announces a block's new owner to a shard. Zero Epoch
@@ -161,6 +222,11 @@ type MigrateCommit struct {
 	// carry a donor watermark at least this high — a cheap end-to-end
 	// check that the ingest stream's FIFO ordering actually held.
 	MinWatermark int64
+	// Copy marks the commit half of a copy offer: only the recipient
+	// acts (install the shipped rows into an empty range), nobody flips
+	// ownership, and the install replaces whatever the recipient held in
+	// the range rather than requiring it empty.
+	Copy bool
 }
 
 // MigrateBlock carries one block's extracted rows from donor to
@@ -189,6 +255,10 @@ type MigrateDone struct {
 	// Err is a non-empty description when the install failed; the
 	// coordinator surfaces it through Err and fails the migration.
 	Err string
+	// Copy marks the completion of a copy install (replica priming), so
+	// the coordinator tallies it against the rejoin instead of a
+	// rebalancing migration.
+	Copy bool
 }
 
 // BlockHeat is one ownership block's heat sample in a shard's report:
@@ -297,6 +367,17 @@ const (
 	EvAck
 	// EvMigrated delivers a migration completion report.
 	EvMigrated
+	// EvCredit delivers a shard's flow-control report.
+	EvCredit
+	// EvShardDown reports that the fabric lost the link to Event.Shard
+	// (transport-detected death). Only transports that can observe a
+	// single link die without losing the session emit it; the
+	// coordinator reacts by promoting replicas and re-routing walkers.
+	EvShardDown
+	// EvShardUp reports that the link to Event.Shard came back (a
+	// restarted daemon re-accepted the session). The coordinator reacts
+	// by re-priming the shard's replica blocks.
+	EvShardUp
 )
 
 // Event is one element of the coordinator's inbound stream.
@@ -305,6 +386,8 @@ type Event struct {
 	Walker *Walker      // EvRetire
 	Ack    *Ack         // EvAck
 	Done   *MigrateDone // EvMigrated
+	Credit *Credit      // EvCredit
+	Shard  int          // EvShardDown / EvShardUp
 }
 
 // ShardPort is one shard node's endpoint on the fabric.
@@ -356,6 +439,11 @@ type ShardPort interface {
 	// Migrated reports a completed (or failed) block install to the
 	// coordinator.
 	Migrated(d *MigrateDone) error
+	// Credit reports ingest-stream consumption to the coordinator (the
+	// backpressure return path). Like Retire it must not block the
+	// node's ingest loop; a transport may drop credits on a dying link —
+	// they are cumulative, so the next one repairs the window.
+	Credit(c *Credit) error
 	// Close signals that this shard is done producing events.
 	Close() error
 }
@@ -417,6 +505,14 @@ type Hello struct {
 	// Cache configures the daemons' hub caches (zero value = defaults,
 	// cache on).
 	Cache CacheSpec
+	// Replicas is the block replication factor (0 or 1 = no replication):
+	// each ownership block is held by Replicas consecutive shards and
+	// survives Replicas-1 deaths.
+	Replicas int
+	// DeadMask is the coordinator's current liveness mask (bit i set =
+	// shard i considered dead), so a daemon joining mid-failover starts
+	// from the fleet's view rather than assuming everyone alive.
+	DeadMask uint64
 }
 
 // CacheSpec configures the two hub-cache layers of a shard node. The

@@ -177,6 +177,11 @@ func (p *shardPort) Migrated(d *fabric.MigrateDone) error {
 	return nil
 }
 
+func (p *shardPort) Credit(c *fabric.Credit) error {
+	p.f.events.Push(fabric.Event{Kind: fabric.EvCredit, Credit: c})
+	return nil
+}
+
 func (p *shardPort) Retire(w *fabric.Walker) error {
 	p.f.events.Push(fabric.Event{Kind: fabric.EvRetire, Walker: w})
 	return nil

@@ -1,0 +1,117 @@
+// Regression tests for the transport's connection-robustness paths: the
+// bounded dial retry (a daemon started after the coordinator dials must
+// be found, not fatal) and the accept loop's tolerance of clients that
+// never speak the protocol.
+package tcpgob
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/bingo-rw/bingo/internal/fabric"
+)
+
+// TestDialFindsLateDaemon starts the daemon listener ~300ms after the
+// coordinator begins dialing. The bare net.Dial this replaced failed
+// instantly on the refused connect and killed the session; the retrying
+// dial must ride its backoff into the live listener and open the session
+// normally.
+func TestDialFindsLateDaemon(t *testing.T) {
+	// Reserve a port, then release it so the daemon can bind it late.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	accepted := make(chan *ShardConn, 1)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		l, err := Listen(addr, 0, 1)
+		if err != nil {
+			t.Errorf("late Listen: %v", err)
+			close(accepted)
+			return
+		}
+		defer l.Close()
+		sc, h, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			close(accepted)
+			return
+		}
+		if h.NumVertices != 64 {
+			t.Errorf("hello %+v reached the late daemon corrupted", h)
+		}
+		accepted <- sc
+	}()
+
+	coord, err := Dial([]string{addr}, fabric.Hello{RangeSize: 16, NumVertices: 64})
+	if err != nil {
+		t.Fatalf("Dial against a late daemon: %v", err)
+	}
+	sc, ok := <-accepted
+	if !ok {
+		t.Fatal("daemon side failed")
+	}
+	coord.Close()
+	sc.Close()
+}
+
+// TestAcceptLoopSurvivesGarbageClients throws protocol garbage at a
+// daemon's listener — a connect-and-slam, an oversized frame length, and
+// junk bytes — and then requires a legitimate session to still open.
+// Before the accept loop hardened, a single bad first frame could wedge
+// or kill the daemon's accept path.
+func TestAcceptLoopSurvivesGarbageClients(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	addr := l.Addr().String()
+
+	for _, junk := range [][]byte{
+		nil, // connect and slam shut
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, // absurd frame length
+		[]byte("GET / HTTP/1.1\r\n\r\n"),                 // wrong protocol entirely
+	} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("garbage client connect: %v", err)
+		}
+		if len(junk) > 0 {
+			conn.Write(junk)
+		}
+		conn.Close()
+	}
+	// Give the daemon a beat to chew on the garbage before the real dial.
+	time.Sleep(50 * time.Millisecond)
+
+	accepted := make(chan *ShardConn, 1)
+	go func() {
+		sc, _, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept after garbage clients: %v", err)
+			close(accepted)
+			return
+		}
+		accepted <- sc
+	}()
+	coord, err := Dial([]string{addr}, fabric.Hello{RangeSize: 16, NumVertices: 64})
+	if err != nil {
+		t.Fatalf("Dial after garbage clients: %v", err)
+	}
+	select {
+	case sc, ok := <-accepted:
+		if !ok {
+			t.Fatal("daemon side failed")
+		}
+		sc.Close()
+	case <-time.After(10 * time.Second):
+		t.Fatal("accept loop never surfaced the legitimate session")
+	}
+	coord.Close()
+}

@@ -44,8 +44,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -57,6 +59,61 @@ import (
 // maxFrame bounds a single frame's payload (sanity check against a torn
 // or hostile stream; bootstrap batches and edge dumps are the big ones).
 const maxFrame = 1 << 30
+
+const (
+	// defaultDialAttempts / defaultDialTimeout govern every outbound
+	// connect (coordinator→daemon and lazy peer dials): each attempt is
+	// bounded, and a refused connect is retried with jittered exponential
+	// backoff. A daemon that is merely still starting (or restarting
+	// after a crash) costs a short wait instead of a dead session or a
+	// hand-off hanging on an unbounded blackhole connect.
+	defaultDialAttempts = 5
+	defaultDialTimeout  = 2 * time.Second
+	// peerRedialAfter rate-limits replacing a dead peer stream with a
+	// fresh dial: within the window hand-offs fail fast (and are retired
+	// Failed for the coordinator to re-route); after it the next forward
+	// tries a new connection — how peer links heal once a crashed
+	// daemon returns.
+	peerRedialAfter = 250 * time.Millisecond
+	// blockRedeliverAttempts bounds re-sending a migration block whose
+	// peer stream died before flushing it. Walkers stranded the same way
+	// are retired Failed and re-routed, but a dropped block would wedge
+	// its migration for good: SendBlock already returned success to the
+	// donor, and the coordinator is waiting on exactly one MigrateDone
+	// per block. Blocks are idempotent and epoch-guarded, so re-sending
+	// through a replacement stream is always safe.
+	blockRedeliverAttempts = 40
+)
+
+// dialRetry connects to addr with per-attempt timeouts and jittered
+// exponential backoff between attempts (50ms doubling to a 1s cap, each
+// wait uniformly stretched up to 2x). stop aborts the wait early.
+func dialRetry(addr string, attempts int, timeout time.Duration, stop <-chan struct{}) (net.Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	backoff := 50 * time.Millisecond
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			d := backoff + time.Duration(rand.Int63n(int64(backoff)))
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			select {
+			case <-time.After(d):
+			case <-stop:
+				return nil, fmt.Errorf("tcpgob: dial %s aborted: %w", addr, lastErr)
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
 
 // frame kinds.
 const (
@@ -73,6 +130,7 @@ const (
 	kShutdown                      // session end, coordinator → shard
 	kMigBlock                      // extracted ownership block, donor shard → recipient peer
 	kMigDone                       // migration completion, recipient shard → coordinator
+	kCredit                        // ingest flow-control report, shard → coordinator
 )
 
 // frame is the single wire message shape. Value fields: gob omits
@@ -91,6 +149,7 @@ type frame struct {
 	ViewRep  fabric.ViewReply
 	MigBlock fabric.MigrateBlock // kMigBlock
 	MigDone  fabric.MigrateDone  // kMigDone
+	Credit   fabric.Credit       // kCredit
 }
 
 // link is one connection with a locked writer. Reads are owned by exactly
@@ -158,7 +217,8 @@ type Listener struct {
 	shard, shards int
 
 	mu       sync.Mutex
-	cur      *ShardConn // active session, nil when idle
+	cur      *ShardConn    // active session, nil when idle
+	watch    chan struct{} // closed and re-made whenever cur changes
 	sessions chan *ShardConn
 	done     chan struct{} // closed when the accept loop exits
 	closed   bool
@@ -176,6 +236,7 @@ func Listen(addr string, shard, shards int) (*Listener, error) {
 		ln:       ln,
 		shard:    shard,
 		shards:   shards,
+		watch:    make(chan struct{}),
 		sessions: make(chan *ShardConn),
 		done:     make(chan struct{}),
 	}
@@ -216,15 +277,38 @@ func (l *Listener) Close() error {
 	return nil
 }
 
+// acceptLoop serves connections until the listener is closed. Only a
+// closed listen socket ends it: a transient Accept error (a stray
+// half-open connection, fd pressure) is retried with backoff, so a
+// long-lived daemon survives malformed dials between sessions instead of
+// silently dying with them.
 func (l *Listener) acceptLoop() {
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := l.ln.Accept()
 		if err != nil {
-			close(l.done)
-			return
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				close(l.done)
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
 		}
+		backoff = 5 * time.Millisecond
 		go l.handleConn(newLink(conn))
 	}
+}
+
+// curChangedLocked wakes waitSession watchers; callers hold l.mu.
+func (l *Listener) curChangedLocked() {
+	close(l.watch)
+	l.watch = make(chan struct{})
 }
 
 // sessionDone clears the active-session slot once sc has torn down,
@@ -233,6 +317,7 @@ func (l *Listener) sessionDone(sc *ShardConn) {
 	l.mu.Lock()
 	if l.cur == sc {
 		l.cur = nil
+		l.curChangedLocked()
 	}
 	l.mu.Unlock()
 }
@@ -267,6 +352,7 @@ func (l *Listener) handleConn(lk *link) {
 		}
 		sc := newShardConn(l, lk, h)
 		l.cur = sc
+		l.curChangedLocked()
 		l.mu.Unlock()
 		select {
 		case l.sessions <- sc:
@@ -297,21 +383,31 @@ func (l *Listener) handleConn(lk *link) {
 }
 
 // waitSession blocks until the active session carries the wanted nonce,
-// the listener closes, or the timeout lapses.
+// the listener closes, or the timeout lapses. It waits on the listener's
+// session-change watch channel — no polling: the waiter wakes exactly
+// when cur changes.
 func (l *Listener) waitSession(session uint64, timeout time.Duration) *ShardConn {
-	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for {
 		l.mu.Lock()
 		sc := l.cur
+		w := l.watch
 		closed := l.closed
 		l.mu.Unlock()
 		if sc != nil && sc.hello.Session == session {
 			return sc
 		}
-		if closed || time.Now().After(deadline) {
+		if closed {
 			return nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-w:
+		case <-timer.C:
+			return nil
+		case <-l.done:
+			return nil
+		}
 	}
 }
 
@@ -446,29 +542,46 @@ type peerOut struct {
 	sc  *ShardConn
 	dst int
 
-	mu    sync.Mutex
-	queue []outMsg
-	dead  bool
-	err   error
+	mu     sync.Mutex
+	queue  []outMsg
+	dead   bool
+	diedAt time.Time
+	err    error
 
 	wake chan struct{}
 	stop chan struct{}
 }
 
-// outMsg is one queued peer-bound message; exactly one field is set.
+// outMsg is one queued peer-bound message; exactly one of the pointer
+// fields is set. mbTries counts how many dead streams a migration block
+// has already been stranded on, bounding redelivery.
 type outMsg struct {
-	w  *fabric.Walker
-	rq *fabric.ViewRequest
-	rp *fabric.ViewReply
-	mb *fabric.MigrateBlock
+	w       *fabric.Walker
+	rq      *fabric.ViewRequest
+	rp      *fabric.ViewReply
+	mb      *fabric.MigrateBlock
+	mbTries int
 }
 
 // peer returns (starting lazily) the outbound stream toward shard dst.
+// A dead stream is replaced with a fresh dial once peerRedialAfter has
+// elapsed since it died — within the window callers fail fast, after it
+// the link heals if the peer daemon is back.
 func (s *ShardConn) peer(dst int) (*peerOut, error) {
 	s.peerMu.Lock()
 	defer s.peerMu.Unlock()
 	if p, ok := s.peers[dst]; ok {
-		return p, nil
+		p.mu.Lock()
+		dead, since := p.dead, p.diedAt
+		p.mu.Unlock()
+		if !dead || time.Since(since) < peerRedialAfter || s.peersClosed {
+			return p, nil
+		}
+		// The dead sender's loop has exited; release its teardown
+		// watcher before dropping the map entry so nothing leaks across
+		// the replacement.
+		close(p.stop)
+		delete(s.peers, dst)
 	}
 	if s.peersClosed {
 		// The session is tearing down: a fresh sender would never be
@@ -513,7 +626,7 @@ func (p *peerOut) enqueue(m outMsg) error {
 // failure the stream is dead: queued and future walkers are retired to
 // the coordinator as Failed so their walks error out instead of hanging.
 func (p *peerOut) loop() {
-	conn, err := net.Dial("tcp", p.sc.hello.Peers[p.dst])
+	conn, err := dialRetry(p.sc.hello.Peers[p.dst], defaultDialAttempts, defaultDialTimeout, p.stop)
 	if err != nil {
 		p.fail(fmt.Errorf("tcpgob: dialing peer shard %d: %w", p.dst, err))
 		return
@@ -578,6 +691,7 @@ func (p *peerOut) loop() {
 			}
 			if err != nil {
 				p.failWalkers(queuedWalkers(q[i:]))
+				p.redeliverBlocks(queuedBlocks(q[i:]))
 				p.fail(err)
 				return
 			}
@@ -596,10 +710,21 @@ func queuedWalkers(q []outMsg) []*fabric.Walker {
 	return ws
 }
 
+func queuedBlocks(q []outMsg) []outMsg {
+	var mbs []outMsg
+	for _, m := range q {
+		if m.mb != nil {
+			mbs = append(mbs, m)
+		}
+	}
+	return mbs
+}
+
 // fail marks the stream dead and fails everything still queued.
 func (p *peerOut) fail(err error) {
 	p.mu.Lock()
 	p.dead = true
+	p.diedAt = time.Now()
 	if p.err == nil {
 		p.err = err
 	}
@@ -607,6 +732,54 @@ func (p *peerOut) fail(err error) {
 	p.queue = nil
 	p.mu.Unlock()
 	p.failWalkers(queuedWalkers(q))
+	p.redeliverBlocks(queuedBlocks(q))
+}
+
+// redeliverBlocks re-sends migration blocks stranded on this dead
+// stream through a replacement once the redial window opens. The donor
+// was already told the send succeeded, so dropping the block here would
+// strand the migration: the recipient never installs, never reports
+// MigrateDone, and — for a replica rejoin — the coordinator re-arms the
+// attempt only on the next EvShardUp, which a healthy coordinator link
+// never produces. This is exactly the kill -9 rejoin shape: the donor's
+// peer stream to the victim dies with it, nothing writes to it while
+// the victim's blocks are routed elsewhere, and the first frame that
+// touches the zombie stream is the priming snapshot itself.
+func (p *peerOut) redeliverBlocks(blocks []outMsg) {
+	pending := make([]outMsg, 0, len(blocks))
+	for _, m := range blocks {
+		m.mbTries++
+		if m.mbTries < blockRedeliverAttempts {
+			pending = append(pending, m)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	go func() {
+		for len(pending) > 0 {
+			// Sit out the redial window so peer() hands back a fresh
+			// stream instead of this corpse.
+			time.Sleep(peerRedialAfter + peerRedialAfter/4)
+			rest := pending[:0]
+			for _, m := range pending {
+				np, err := p.sc.peer(p.dst)
+				if err != nil {
+					// Session torn down; the coordinator's death handling
+					// owns any migration still in flight.
+					return
+				}
+				if np.enqueue(m) != nil {
+					// Replacement already dead too; wait out its window.
+					m.mbTries++
+					if m.mbTries < blockRedeliverAttempts {
+						rest = append(rest, m)
+					}
+				}
+			}
+			pending = rest
+		}
+	}()
 }
 
 // failWalkers retires undeliverable walkers as Failed: the coordinator
@@ -650,18 +823,32 @@ func (s *ShardConn) ReplyView(dst int, rp *fabric.ViewReply) error {
 }
 
 // SendBlock ships an extracted ownership block to peer shard dst on the
-// same ordered stream walker transfers use.
+// same ordered stream walker transfers use. A block is never refused
+// just because the current stream is dead: within the redial window the
+// block goes straight onto the redelivery path, so a donor priming a
+// freshly restarted replica cannot lose blocks to the window between
+// its zombie stream failing and the replacement dial.
 func (s *ShardConn) SendBlock(dst int, mb *fabric.MigrateBlock) error {
 	p, err := s.peer(dst)
 	if err != nil {
 		return err
 	}
-	return p.enqueue(outMsg{mb: mb})
+	m := outMsg{mb: mb}
+	if p.enqueue(m) != nil {
+		p.redeliverBlocks([]outMsg{m})
+	}
+	return nil
 }
 
 // Migrated reports a completed block install to the coordinator.
 func (s *ShardConn) Migrated(d *fabric.MigrateDone) error {
 	return s.coord.write(&frame{Kind: kMigDone, MigDone: *d})
+}
+
+// Credit reports ingest-stream consumption to the coordinator. Credits
+// are cumulative; one lost on a dying link is repaired by the next.
+func (s *ShardConn) Credit(cr *fabric.Credit) error {
+	return s.coord.write(&frame{Kind: kCredit, Credit: *cr})
 }
 
 // Retire sends a finished walker back to the coordinator.
@@ -708,25 +895,73 @@ func newSessionNonce() uint64 {
 	return uint64(time.Now().UnixNano()) ^ (sessionSeq.Add(1) << 1) | 1
 }
 
+// DialConfig tunes the coordinator's connection behavior.
+type DialConfig struct {
+	// Attempts bounds the connect retries per address (default 5);
+	// Timeout bounds each attempt (default 2s). Retries use jittered
+	// exponential backoff, so a daemon started shortly *after* the
+	// coordinator is found rather than fatal.
+	Attempts int
+	Timeout  time.Duration
+	// Resilient keeps the session alive when a single daemon link dies:
+	// instead of tearing the whole session down, the coordinator emits
+	// EvShardDown for the lost shard, keeps serving on the surviving
+	// links, and redials the address in the background, emitting
+	// EvShardUp once the (restarted) daemon re-accepts the session.
+	// Meant for replicated sessions, where the walk layer can promote
+	// followers and re-prime a rejoiner; without replication a lost
+	// shard is unrecoverable and the default fail-everything teardown
+	// reports errors faster.
+	Resilient bool
+	// RedialInterval paces the background rejoin loop (default 500ms).
+	RedialInterval time.Duration
+}
+
+func (d DialConfig) withDefaults() DialConfig {
+	if d.Attempts <= 0 {
+		d.Attempts = defaultDialAttempts
+	}
+	if d.Timeout <= 0 {
+		d.Timeout = defaultDialTimeout
+	}
+	if d.RedialInterval <= 0 {
+		d.RedialInterval = 500 * time.Millisecond
+	}
+	return d
+}
+
 // CoordConn is the coordinator's end of a session across a set of shard
 // daemons. It implements fabric.CoordPort.
 type CoordConn struct {
-	links  []*link
+	addrs  []string
+	hello  fabric.Hello
+	cfg    DialConfig
 	events *fabric.Mailbox[fabric.Event]
+	stop   chan struct{}
 
 	mu      sync.Mutex
+	links   []*link
 	readers int
 	closed  bool
 }
 
 // Dial opens a session: it connects to every daemon address in shard
 // order and sends each its Hello (hello.Shard, hello.Peers, and — unless
-// the caller set one — hello.Session are filled in). The daemons must
-// already be listening.
+// the caller set one — hello.Session are filled in). Daemons need not be
+// up yet: each connect retries with bounded backoff.
 func Dial(addrs []string, hello fabric.Hello) (*CoordConn, error) {
+	return DialWith(addrs, hello, DialConfig{})
+}
+
+// DialWith is Dial with explicit connection behavior.
+func DialWith(addrs []string, hello fabric.Hello, cfg DialConfig) (*CoordConn, error) {
+	cfg = cfg.withDefaults()
 	c := &CoordConn{
+		addrs:   addrs,
+		cfg:     cfg,
 		links:   make([]*link, len(addrs)),
 		events:  fabric.NewMailbox[fabric.Event](),
+		stop:    make(chan struct{}),
 		readers: len(addrs),
 	}
 	hello.Shards = len(addrs)
@@ -734,26 +969,35 @@ func Dial(addrs []string, hello fabric.Hello) (*CoordConn, error) {
 	if hello.Session == 0 {
 		hello.Session = newSessionNonce()
 	}
+	c.hello = hello
 	for i, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
+		l, err := dialHello(addr, hello, i, cfg.Attempts, cfg.Timeout, c.stop)
 		if err != nil {
 			c.abort(i)
-			return nil, fmt.Errorf("tcpgob: dialing shard %d at %s: %w", i, addr, err)
-		}
-		l := newLink(conn)
-		h := hello
-		h.Shard = i
-		if err := l.write(&frame{Kind: kHelloCoord, Hello: h}); err != nil {
-			conn.Close()
-			c.abort(i)
-			return nil, fmt.Errorf("tcpgob: hello to shard %d: %w", i, err)
+			return nil, err
 		}
 		c.links[i] = l
 	}
-	for _, l := range c.links {
-		go c.readShard(l)
+	for i := range c.links {
+		go c.readShard(i, c.links[i])
 	}
 	return c, nil
+}
+
+// dialHello connects to one daemon and opens the session on the link.
+func dialHello(addr string, hello fabric.Hello, shard, attempts int, timeout time.Duration, stop <-chan struct{}) (*link, error) {
+	conn, err := dialRetry(addr, attempts, timeout, stop)
+	if err != nil {
+		return nil, fmt.Errorf("tcpgob: dialing shard %d at %s: %w", shard, addr, err)
+	}
+	l := newLink(conn)
+	h := hello
+	h.Shard = shard
+	if err := l.write(&frame{Kind: kHelloCoord, Hello: h}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("tcpgob: hello to shard %d: %w", shard, err)
+	}
+	return l, nil
 }
 
 // abort closes the links dialed so far ([0, n)) after a Dial failure.
@@ -764,14 +1008,29 @@ func (c *CoordConn) abort(n int) {
 	c.events.Close()
 }
 
-// readShard pumps one daemon's retires and acks into the event stream.
-// When the last reader exits (daemons close their connections after
-// draining, post-shutdown), the event stream closes. A reader exiting
-// *before* Close means a daemon died mid-session: the fabric is
-// single-session, so the whole session is over — every link is closed so
-// the remaining readers unblock and the coordinator's event loop can
-// fail whatever is pending instead of waiting forever.
-func (c *CoordConn) readShard(l *link) {
+// link returns the current link toward shard i (resilient sessions swap
+// links on rejoin).
+func (c *CoordConn) link(i int) *link {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.links[i]
+}
+
+// readShard pumps one daemon's coordinator-bound frames into the event
+// stream.
+//
+// Default (non-resilient) sessions: a reader exiting before Close means
+// a daemon died mid-session, and the whole session is over — every link
+// is closed so the remaining readers unblock and the coordinator's event
+// loop can fail whatever is pending instead of waiting forever; the last
+// reader out closes the event stream.
+//
+// Resilient sessions: a lost link downs only its own shard — the reader
+// emits EvShardDown and hands the address to a background rejoin loop,
+// which dials until the daemon re-accepts the session and then emits
+// EvShardUp with a fresh reader on the new link. The event stream closes
+// only once the session is closed and the last reader has exited.
+func (c *CoordConn) readShard(shard int, l *link) {
 	defer func() {
 		l.conn.Close()
 		c.mu.Lock()
@@ -779,13 +1038,20 @@ func (c *CoordConn) readShard(l *link) {
 		last := c.readers == 0
 		closed := c.closed
 		c.mu.Unlock()
-		if !closed {
-			for _, peer := range c.links {
+		if !closed && !c.cfg.Resilient {
+			c.mu.Lock()
+			links := append([]*link(nil), c.links...)
+			c.mu.Unlock()
+			for _, peer := range links {
 				peer.conn.Close()
 			}
 		}
-		if last {
+		if last && (closed || !c.cfg.Resilient) {
 			c.events.Close()
+		}
+		if !closed && c.cfg.Resilient {
+			c.events.Push(fabric.Event{Kind: fabric.EvShardDown, Shard: shard})
+			go c.rejoin(shard)
 		}
 	}()
 	for {
@@ -800,28 +1066,64 @@ func (c *CoordConn) readShard(l *link) {
 			c.events.Push(fabric.Event{Kind: fabric.EvAck, Ack: &f.Ack})
 		case kMigDone:
 			c.events.Push(fabric.Event{Kind: fabric.EvMigrated, Done: &f.MigDone})
+		case kCredit:
+			c.events.Push(fabric.Event{Kind: fabric.EvCredit, Credit: &f.Credit})
 		}
 	}
 }
 
+// rejoin redials one lost daemon until it re-accepts the session (same
+// nonce, so peers' healing transfer streams are admitted), then swaps
+// the link in and announces EvShardUp. A restarted daemon starts from an
+// empty engine; the walk layer re-primes it (plan sync + block copies)
+// before marking it live again. A redial that lands while the daemon's
+// old session is still tearing down is refused by the listener and shows
+// up as an immediate EvShardDown again — the loop simply runs another
+// round.
+func (c *CoordConn) rejoin(shard int) {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-time.After(c.cfg.RedialInterval):
+		}
+		l, err := dialHello(c.addrs[shard], c.hello, shard, 1, c.cfg.Timeout, c.stop)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			l.conn.Close()
+			return
+		}
+		c.links[shard] = l
+		c.readers++
+		c.mu.Unlock()
+		c.events.Push(fabric.Event{Kind: fabric.EvShardUp, Shard: shard})
+		go c.readShard(shard, l)
+		return
+	}
+}
+
 // Shards returns the session's shard count.
-func (c *CoordConn) Shards() int { return len(c.links) }
+func (c *CoordConn) Shards() int { return len(c.addrs) }
 
 // LaunchWalker starts a walker on shard dst.
 func (c *CoordConn) LaunchWalker(dst int, w *fabric.Walker) error {
-	return c.links[dst].write(&frame{Kind: kWalker, Walker: *w})
+	return c.link(dst).write(&frame{Kind: kWalker, Walker: *w})
 }
 
 // PublishUpdates appends a routed ingest element to shard dst's stream.
 func (c *CoordConn) PublishUpdates(dst int, in fabric.Ingest) error {
-	return c.links[dst].write(&frame{Kind: kUpdates, Ingest: in})
+	return c.link(dst).write(&frame{Kind: kUpdates, Ingest: in})
 }
 
 // PublishBarrier appends a barrier token to every shard's ingest stream.
 func (c *CoordConn) PublishBarrier(in fabric.Ingest) error {
 	var first error
-	for _, l := range c.links {
-		if err := l.write(&frame{Kind: kBarrier, Ingest: in}); err != nil && first == nil {
+	for i := range c.addrs {
+		if err := c.link(i).write(&frame{Kind: kBarrier, Ingest: in}); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -834,8 +1136,7 @@ func (c *CoordConn) NextEvent() (fabric.Event, bool) { return c.events.Pop() }
 // Close ends the session: a shutdown frame goes to every daemon, which
 // drains its queues, retires its last walkers, and closes its connection;
 // the event stream ends when the last connection does. A read deadline
-// bounds teardown against a wedged daemon (single-session semantics: no
-// reconnects, no retries).
+// bounds teardown against a wedged daemon. Background rejoin loops stop.
 func (c *CoordConn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -843,11 +1144,19 @@ func (c *CoordConn) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.stop)
+	links := append([]*link(nil), c.links...)
+	none := c.readers == 0
 	c.mu.Unlock()
 	deadline := time.Now().Add(30 * time.Second)
-	for _, l := range c.links {
+	for _, l := range links {
 		l.write(&frame{Kind: kShutdown}) //nolint:errcheck // best-effort teardown
 		l.conn.SetReadDeadline(deadline) //nolint:errcheck // best-effort teardown
+	}
+	if none {
+		// Every reader was already gone (resilient session with all
+		// shards down): nobody is left to close the event stream.
+		c.events.Close()
 	}
 	return nil
 }

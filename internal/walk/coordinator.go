@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
@@ -64,6 +65,56 @@ type coordinator struct {
 	syncs   map[uint64]*barrierWait
 	migs    map[uint64]chan *fabric.MigrateDone // in-flight migrations by epoch
 	acks    []fabric.Ack                        // latest ack per shard (cumulative tallies)
+	// downs marks shards the coordinator currently considers dead (set by
+	// the event loop the moment a link dies, cleared by the router at
+	// failback): it gates which shards a barrier is published to and
+	// which deaths need barrier fixups. specs keeps a clone of every
+	// in-flight walker's launch state (replicated sessions only) so
+	// walkers swallowed by a dead daemon can be relaunched; rejoins
+	// tracks each in-flight rejoin's outstanding block copies.
+	downs   []bool
+	specs   map[uint64]*fabric.Walker
+	rejoins map[int]*rejoinState
+
+	// Credit-window flow control (tentpole half 1). routed[s] counts
+	// update events (and bootstrap rows) the router has published toward
+	// shard s; credited[s] is s's cumulative drain report (monotonic max
+	// over EvCredit — credits may arrive reordered across transports).
+	// The router blocks in waitCredits while a shard's outstanding window
+	// is full, which backs the feed queue up and makes Feed itself block
+	// — end-to-end backpressure instead of unbounded daemon ingest
+	// queues. credDown lifts the gate for dead links (their drain signal
+	// is gone; the death event, not the window, owns them now) and
+	// credClosed lifts every gate when the event stream ends.
+	window     int64
+	credMu     sync.Mutex
+	credCond   *sync.Cond
+	routed     []int64
+	credited   []int64
+	credDown   []bool
+	credClosed bool
+	maxOut     int64 // largest admitted outstanding window (under credMu)
+	stallNs    int64 // total router time spent credit-stalled (under credMu)
+
+	// ctrl carries liveness transitions (death, rejoin, failback) into
+	// the router goroutine, which priority-drains it: plan flips and
+	// their fabric publishes must happen on the router thread to stay
+	// ordered against update routing. The event loop never blocks on the
+	// feed queue. priming, rejoin bookkeeping, and copySeq are
+	// router-owned. copySeq numbers replica-priming copies from 1<<48 so
+	// copy epochs can never collide with plan epochs in the recipients'
+	// (block, epoch) stash keys.
+	ctrl    chan ctrlOp
+	priming []bool
+	copySeq uint64
+
+	// maxVerts tracks the observed vertex-ID bound (bootstrap sizes via
+	// noteVerts, feed batches via the router) — the block-enumeration
+	// horizon for replica re-priming.
+	maxVerts atomic.Int64
+
+	deaths, walkerReroutes, relaunched atomic.Int64
+	rejoinsDone, copiedBlocks          atomic.Int64
 
 	// rebStop/rebWg manage the rebalancer watch loop when cfg.Rebalance
 	// is on. Close stops the loop and waits for its in-flight migration
@@ -82,12 +133,42 @@ type coordinator struct {
 
 // coordMsg is one element of the coordinator's feed queue: an update
 // batch to route, or a barrier to push (the shared queue is what orders
-// barriers after every batch accepted before them).
+// barriers after every batch accepted before them). boot marks a
+// snapshot-bootstrap batch: fanned out to every holder replica and
+// credit-counted (it occupies queue space) but kept out of the routed
+// ledger and the shards' update tallies (it is not a feed event).
 type coordMsg struct {
-	ups []graph.Update
-	bar *barrierWait
-	mig *migOp
+	ups  []graph.Update
+	boot bool
+	bar  *barrierWait
+	mig  *migOp
 }
+
+// ctrlOp is one shard-liveness transition handed to the router.
+type ctrlOp struct {
+	kind  int
+	shard int
+}
+
+const (
+	ctrlDown  = iota // link died: flip the plan, announce, relaunch lost walkers
+	ctrlUp           // link rejoined: reset credits, snapshot-prime its replica blocks
+	ctrlClear        // priming finished: flip the shard live again, announce
+)
+
+// rejoinState tracks one in-flight rejoin's outstanding block copies
+// (guarded by coordinator.mu; resolved by EvMigrated Copy reports).
+type rejoinState struct {
+	shard     int
+	remaining int
+	failed    bool
+	donors    map[int]bool // shards serving as copy donors for this rejoin
+}
+
+// maxWalkerReroutes caps how many times one walker may be re-routed or
+// relaunched across shard deaths before its session call fails — a
+// backstop against relaunch loops when the fleet keeps churning.
+const maxWalkerReroutes = 32
 
 // migOp is one block migration routed through the feed queue, so its
 // offer and commit publishes are ordered against every batch accepted
@@ -98,12 +179,19 @@ type migOp struct {
 	epoch    uint64
 }
 
-// barrierWait tracks one barrier's acknowledgements.
+// barrierWait tracks one barrier's acknowledgements. The router fills
+// sent/acked at publish time: a barrier goes only to shards live at that
+// instant, and a shard that dies between publish and ack is force-acked
+// by the event loop (synthetic ack — acked[s] is what makes a late real
+// ack from a half-dead link unable to double-decrement remaining).
 type barrierWait struct {
 	seq       uint64
 	dump      bool
 	heat      bool
 	remaining int
+	published bool
+	sent      []bool
+	acked     []bool
 	err       error
 	edges     [][]graph.Edge       // per shard, dump barriers only
 	blocks    [][]fabric.BlockHeat // per shard, heat barriers only
@@ -120,18 +208,29 @@ type bulkRun struct {
 
 func newCoordinator(port fabric.CoordPort, plan ShardPlan, cfg ShardedLiveConfig) *coordinator {
 	c := &coordinator{
-		port:    port,
-		plan:    plan,
-		cfg:     cfg,
-		feed:    make(chan coordMsg, cfg.QueueDepth),
-		master:  xrand.New(cfg.Seed),
-		replies: map[uint64]chan []graph.VertexID{},
-		bulks:   map[uint64]*bulkRun{},
-		syncs:   map[uint64]*barrierWait{},
-		migs:    map[uint64]chan *fabric.MigrateDone{},
-		acks:    make([]fabric.Ack, plan.Shards),
-		ledger:  make([]int64, plan.Shards),
+		port:     port,
+		plan:     plan,
+		cfg:      cfg,
+		feed:     make(chan coordMsg, cfg.QueueDepth),
+		master:   xrand.New(cfg.Seed),
+		replies:  map[uint64]chan []graph.VertexID{},
+		bulks:    map[uint64]*bulkRun{},
+		syncs:    map[uint64]*barrierWait{},
+		migs:     map[uint64]chan *fabric.MigrateDone{},
+		acks:     make([]fabric.Ack, plan.Shards),
+		ledger:   make([]int64, plan.Shards),
+		downs:    make([]bool, plan.Shards),
+		specs:    map[uint64]*fabric.Walker{},
+		rejoins:  map[int]*rejoinState{},
+		window:   int64(cfg.CreditWindow),
+		routed:   make([]int64, plan.Shards),
+		credited: make([]int64, plan.Shards),
+		credDown: make([]bool, plan.Shards),
+		ctrl:     make(chan ctrlOp, 4*plan.Shards+16),
+		priming:  make([]bool, plan.Shards),
+		copySeq:  1 << 48,
 	}
+	c.credCond = sync.NewCond(&c.credMu)
 	c.planv.Store(&plan)
 	c.routing.Add(1)
 	go c.routerLoop()
@@ -174,35 +273,199 @@ func (c *coordinator) Err() error {
 // published element carries the routed-update ledger as of *after* the
 // whole batch was accounted, so a shard learns about updates in flight
 // to its peers no later than it learns about its own.
+//
+// Liveness transitions arrive on the ctrl channel and are drained with
+// priority: a plan flip and its fabric announcements must interleave
+// with update routing at exactly one point, and running them here — on
+// the same goroutine that splits batches — is what makes "before the
+// flip" and "after the flip" well-defined for every stream at once.
 func (c *coordinator) routerLoop() {
 	defer c.routing.Done()
-	for m := range c.feed {
-		if m.bar != nil {
-			if err := c.port.PublishBarrier(fabric.Ingest{Barrier: m.bar.seq, Dump: m.bar.dump, Heat: m.bar.heat, Watermarks: c.ledgerCopy()}); err != nil {
-				c.setErr(err)
+	for {
+		select {
+		case op := <-c.ctrl:
+			c.handleCtrl(op)
+			continue
+		default:
+		}
+		select {
+		case op := <-c.ctrl:
+			c.handleCtrl(op)
+		case m, ok := <-c.feed:
+			if !ok {
+				return
 			}
-			continue
+			switch {
+			case m.bar != nil:
+				c.publishBarrier(m.bar)
+			case m.mig != nil:
+				c.routeMigration(m.mig)
+			default:
+				c.routeBatch(m)
+			}
 		}
-		if m.mig != nil {
-			c.routeMigration(m.mig)
-			continue
-		}
+	}
+}
+
+// routeBatch fans one accepted batch out to its target shards. Without
+// replication each update goes to its owner; with replication it goes to
+// every live (or priming) member of its block's replica group, so every
+// replica holds identical rows built from the identical routed stream —
+// the invariant that makes promotion a mask flip. Each per-shard publish
+// first passes the credit window.
+func (c *coordinator) routeBatch(m coordMsg) {
+	plan := c.planNow()
+	replicated := plan.Replicas > 1
+	if !m.boot {
 		c.batches.Add(1)
-		plan := c.planNow()
-		parts := make([][]graph.Update, plan.Shards)
+	}
+	if replicated || m.boot {
+		// Track the vertex-ID horizon for replica re-priming.
+		hi := int64(-1)
 		for _, up := range m.ups {
-			o := plan.Owner(up.Src)
-			parts[o] = append(parts[o], up)
+			if int64(up.Src) > hi {
+				hi = int64(up.Src)
+			}
+			if int64(up.Dst) > hi {
+				hi = int64(up.Dst)
+			}
 		}
+		if hi >= 0 {
+			c.noteVerts(hi + 1)
+		}
+	}
+	parts := make([][]graph.Update, plan.Shards)
+	if !replicated {
+		for _, up := range m.ups {
+			parts[plan.Owner(up.Src)] = append(parts[plan.Owner(up.Src)], up)
+		}
+	} else {
+		for _, up := range m.ups {
+			for _, h := range plan.GroupMembers(plan.BlockOf(up.Src)) {
+				if plan.Alive(h) || c.priming[h] {
+					parts[h] = append(parts[h], up)
+				}
+			}
+		}
+	}
+	if !m.boot {
 		for i, p := range parts {
 			c.ledger[i] += int64(len(p))
 		}
-		for i, p := range parts {
-			if len(p) > 0 {
-				if err := c.port.PublishUpdates(i, fabric.Ingest{Ups: p, Watermarks: c.ledgerCopy()}); err != nil {
-					c.setErr(err)
-				}
+	}
+	for i, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		c.waitCredits(i, int64(len(p)))
+		if err := c.port.PublishUpdates(i, fabric.Ingest{Ups: p, Boot: m.boot, Watermarks: c.ledgerCopy()}); err != nil {
+			if replicated {
+				// A dead link announces itself through EvShardDown; the
+				// death path re-routes, so a failed publish is not fatal.
+				continue
 			}
+			c.setErr(err)
+		}
+	}
+}
+
+// waitCredits blocks until shard s's outstanding credit window admits n
+// more update events, then charges them. An oversized batch (n alone
+// exceeding the window) is admitted whenever the window is empty —
+// otherwise it could never be published at all. Gates lift for dead
+// links (credDown — the death event owns them) and when the event
+// stream ends (credClosed — nothing will ever credit again).
+func (c *coordinator) waitCredits(s int, n int64) {
+	if c.window <= 0 || n == 0 {
+		return
+	}
+	c.credMu.Lock()
+	for !c.credClosed && !c.credDown[s] {
+		out := c.routed[s] - c.credited[s]
+		if out <= 0 || out+n <= c.window {
+			break
+		}
+		t0 := time.Now()
+		c.credCond.Wait()
+		c.stallNs += time.Since(t0).Nanoseconds()
+	}
+	c.routed[s] += n
+	if out := c.routed[s] - c.credited[s]; out > c.maxOut {
+		c.maxOut = out
+	}
+	c.credMu.Unlock()
+}
+
+// onCredit folds one shard's cumulative drain report into the window.
+// Monotonic max: transports may reorder credits across link rebuilds,
+// and a cumulative counter makes every credit self-repairing.
+func (c *coordinator) onCredit(cr *fabric.Credit) {
+	if cr == nil || cr.Shard < 0 || cr.Shard >= len(c.credited) {
+		return
+	}
+	c.credMu.Lock()
+	if cr.Credited > c.credited[cr.Shard] {
+		c.credited[cr.Shard] = cr.Credited
+		c.credCond.Broadcast()
+	}
+	c.credMu.Unlock()
+}
+
+// noteVerts raises the observed vertex-space bound (CAS max).
+func (c *coordinator) noteVerts(n int64) {
+	for {
+		cur := c.maxVerts.Load()
+		if n <= cur || c.maxVerts.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// publishBarrier sends one barrier to every shard live at this instant
+// and arms its completion accounting. Dead shards are excluded — their
+// replicas answer for their blocks (dump acks are ownership-filtered
+// shard-side under replication, so the concatenation stays an exact
+// partition). A barrier with no live shards completes immediately.
+func (c *coordinator) publishBarrier(bw *barrierWait) {
+	wms := c.ledgerCopy()
+	c.mu.Lock()
+	if _, still := c.syncs[bw.seq]; !still {
+		// failPending already resolved it (event stream died first).
+		c.mu.Unlock()
+		return
+	}
+	bw.sent = make([]bool, c.plan.Shards)
+	bw.acked = make([]bool, c.plan.Shards)
+	n := 0
+	for i := range bw.sent {
+		if !c.downs[i] {
+			bw.sent[i] = true
+			n++
+		}
+	}
+	bw.remaining = n
+	bw.published = true
+	if n == 0 {
+		delete(c.syncs, bw.seq)
+		close(bw.done)
+		c.mu.Unlock()
+		return
+	}
+	all := n == c.plan.Shards
+	c.mu.Unlock()
+	tok := fabric.Ingest{Barrier: bw.seq, Dump: bw.dump, Heat: bw.heat, Watermarks: wms}
+	if all {
+		if err := c.port.PublishBarrier(tok); err != nil {
+			c.setErr(err)
+		}
+		return
+	}
+	for i := range bw.sent {
+		if !bw.sent[i] {
+			continue
+		}
+		if err := c.port.PublishUpdates(i, tok); err != nil && c.planNow().Replicas <= 1 {
+			c.setErr(err)
 		}
 	}
 }
@@ -247,6 +510,248 @@ func (c *coordinator) routeMigration(mg *migOp) {
 	}
 }
 
+// handleCtrl runs one liveness transition on the router thread.
+func (c *coordinator) handleCtrl(op ctrlOp) {
+	switch op.kind {
+	case ctrlDown:
+		c.ctrlDownOp(op.shard)
+	case ctrlUp:
+		c.ctrlUpOp(op.shard)
+	case ctrlClear:
+		c.ctrlClearOp(op.shard)
+	}
+}
+
+// pushCtrl hands a liveness transition to the router. The buffer is
+// sized beyond any realistic burst (a few transitions per link per
+// session), and the router cannot be wedged while one is pending: the
+// event loop lifts the relevant credit gate before pushing, so a router
+// blocked in waitCredits always wakes.
+func (c *coordinator) pushCtrl(op ctrlOp) {
+	c.ctrl <- op
+}
+
+// ctrlDownOp handles one shard's link death: abort any priming the dead
+// shard was part of (as rejoiner or as copy donor — a donor death
+// strands its copies, and the wedged rejoiner stays conservatively
+// masked dead), flip the plan, announce the flip on every live shard's
+// FIFO stream (the ordering that makes the dead-mask consistent at
+// barrier points), and relaunch every in-flight walker from its stored
+// launch clone — anything queued inside the dead daemon is gone, and a
+// duplicate retire from a walker that was actually elsewhere resolves
+// harmlessly (first retire wins).
+func (c *coordinator) ctrlDownOp(s int) {
+	c.priming[s] = false
+	c.mu.Lock()
+	delete(c.rejoins, s)
+	var abandoned []int
+	for rsh, rs := range c.rejoins {
+		if rs.donors[s] {
+			delete(c.rejoins, rsh)
+			abandoned = append(abandoned, rsh)
+		}
+	}
+	c.mu.Unlock()
+	for _, a := range abandoned {
+		c.priming[a] = false
+		c.credMu.Lock()
+		c.credDown[a] = true
+		c.credCond.Broadcast()
+		c.credMu.Unlock()
+	}
+	plan := c.planNow()
+	if !plan.Alive(s) {
+		return // rejoin churn: the shard died again while already masked
+	}
+	next, err := plan.WithDown(s, plan.Epoch+1)
+	if err != nil {
+		c.setErr(err)
+		return
+	}
+	c.planv.Store(&next)
+	sd := fabric.ShardDown{Shard: s, Epoch: next.Epoch}
+	for i := 0; i < c.plan.Shards; i++ {
+		if !next.Alive(i) {
+			continue
+		}
+		// Publish errors here are the target's own death in progress;
+		// its event fixes the plan again.
+		_ = c.port.PublishUpdates(i, fabric.Ingest{Down: sd, Watermarks: c.ledgerCopy()})
+	}
+	c.relaunchPending()
+}
+
+// relaunchPending re-launches a clone of every still-pending walker (its
+// original may be lost inside a dead daemon). Each clone burns one
+// reroute from the walker's budget, which bounds relaunch churn across
+// repeated deaths.
+func (c *coordinator) relaunchPending() {
+	c.mu.Lock()
+	clones := make([]*fabric.Walker, 0, len(c.specs))
+	for id, w := range c.specs {
+		_, q := c.replies[id]
+		_, b := c.bulks[id]
+		if !q && !b {
+			delete(c.specs, id) // resolved already; drop the stale clone
+			continue
+		}
+		if w.Reroutes >= maxWalkerReroutes {
+			continue
+		}
+		w.Reroutes++
+		clones = append(clones, cloneWalker(w))
+	}
+	c.mu.Unlock()
+	for _, w := range clones {
+		c.relaunched.Add(1)
+		go c.relaunchWalker(w)
+	}
+}
+
+// ctrlUpOp handles a rejoined shard: reset its credit accounting (a
+// restarted daemon's counter begins at 0), start fanning the routed
+// stream out to it (priming), send it a plan snapshot — the first
+// element on its fresh FIFO stream, catching it up on every flip it
+// missed — and snapshot-copy every replica block it should hold from
+// that block's live owner. The whole op runs without yielding to the
+// feed queue, which is the no-loss/no-duplication cut: updates routed
+// before it are in the donors' snapshots (FIFO puts them before the
+// offers), updates routed after it reach the rejoiner directly.
+func (c *coordinator) ctrlUpOp(s int) {
+	plan := c.planNow()
+	if plan.Replicas <= 1 || plan.Alive(s) || c.priming[s] {
+		return
+	}
+	c.credMu.Lock()
+	c.routed[s], c.credited[s] = 0, 0
+	c.credDown[s] = false
+	c.credMu.Unlock()
+	c.priming[s] = true
+	ps := &fabric.PlanState{Epoch: plan.Epoch, Overlay: plan.Overlay, DeadMask: plan.DeadMask}
+	if err := c.port.PublishUpdates(s, fabric.Ingest{Plan: ps, Watermarks: c.ledgerCopy()}); err != nil {
+		c.abortRejoin(s)
+		return
+	}
+	rsize := int64(plan.RangeSize)
+	nblocks := (c.maxVerts.Load() + rsize - 1) / rsize
+	type copyJob struct {
+		block uint64
+		donor int
+	}
+	var jobs []copyJob
+	rs := &rejoinState{shard: s, donors: map[int]bool{}}
+	for b := int64(0); b < nblocks; b++ {
+		bb := uint64(b)
+		if !plan.InGroup(bb, s) {
+			continue
+		}
+		donor := plan.BlockOwner(bb)
+		if donor == s || !plan.Alive(donor) {
+			continue // whole group dead: nothing live to copy from
+		}
+		jobs = append(jobs, copyJob{bb, donor})
+		rs.donors[donor] = true
+	}
+	if len(jobs) == 0 {
+		// Nothing to prime (empty graph, or no live donors): fail back
+		// immediately — an empty shard is exactly what its replicas hold
+		// for it in that case.
+		c.ctrlClearOp(s)
+		return
+	}
+	rs.remaining = len(jobs)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.rejoins[s] = rs
+	c.mu.Unlock()
+	for _, j := range jobs {
+		epoch := c.copySeq
+		c.copySeq++
+		off := fabric.MigrateOffer{Block: j.block, To: s, Epoch: epoch, Copy: true}
+		if err := c.port.PublishUpdates(j.donor, fabric.Ingest{Offer: off, Watermarks: c.ledgerCopy()}); err != nil {
+			c.abortRejoin(s)
+			return
+		}
+		cm := fabric.MigrateCommit{Block: j.block, From: j.donor, To: s, Epoch: epoch, MinWatermark: c.ledger[j.donor], Copy: true}
+		if err := c.port.PublishUpdates(s, fabric.Ingest{Commit: cm, Watermarks: c.ledgerCopy()}); err != nil {
+			c.abortRejoin(s)
+			return
+		}
+	}
+}
+
+// abortRejoin abandons an in-flight rejoin (router thread): the shard
+// stays masked dead, its credit gate lifts again, and the session keeps
+// running on the survivors. A later EvShardUp retries from scratch —
+// copy installs wipe the block range first, so re-priming is idempotent.
+func (c *coordinator) abortRejoin(s int) {
+	c.priming[s] = false
+	c.mu.Lock()
+	delete(c.rejoins, s)
+	c.mu.Unlock()
+	c.credMu.Lock()
+	c.credDown[s] = true
+	c.credCond.Broadcast()
+	c.credMu.Unlock()
+}
+
+// ctrlClearOp fails a fully-primed shard back in: flip it live, then
+// announce the flip on every live shard's FIFO — including the
+// rejoiner's, whose own plan learns the flip in the same ordered stream
+// that already carried its snapshot and primed rows. Barriers include
+// the shard again from here on.
+func (c *coordinator) ctrlClearOp(s int) {
+	plan := c.planNow()
+	if plan.Alive(s) {
+		return
+	}
+	next, err := plan.WithUp(s, plan.Epoch+1)
+	if err != nil {
+		c.setErr(err)
+		return
+	}
+	c.planv.Store(&next)
+	c.priming[s] = false
+	sd := fabric.ShardDown{Shard: s, Epoch: next.Epoch, Up: true}
+	for i := 0; i < c.plan.Shards; i++ {
+		if !next.Alive(i) {
+			continue
+		}
+		_ = c.port.PublishUpdates(i, fabric.Ingest{Down: sd, Watermarks: c.ledgerCopy()})
+	}
+	c.mu.Lock()
+	c.downs[s] = false
+	c.mu.Unlock()
+	c.rejoinsDone.Add(1)
+}
+
+// cloneWalker deep-copies a walker's launch state (Path is the only
+// reference field).
+func cloneWalker(w *fabric.Walker) *fabric.Walker {
+	cp := *w
+	cp.Path = append([]graph.VertexID(nil), w.Path...)
+	return &cp
+}
+
+// relaunchWalker retries launching a walker toward its vertex's current
+// owner until a live link accepts it — the plan flip races the launch,
+// so early attempts may still name the dead shard. On giving up the
+// walker is retired as failed through the normal resolution path.
+func (c *coordinator) relaunchWalker(w *fabric.Walker) {
+	for i := 0; i < 50; i++ {
+		if err := c.port.LaunchWalker(c.planNow().Owner(w.Cur), w); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	w.Failed = true
+	w.Reroutes = maxWalkerReroutes // no further re-route attempts
+	c.onRetire(w)
+}
+
 // eventLoop consumes retires and acks until the fabric's event stream
 // ends, then fails whatever is still pending (a clean Close leaves
 // nothing pending; a dead session must not leave callers blocked).
@@ -263,13 +768,137 @@ func (c *coordinator) eventLoop() {
 		case fabric.EvAck:
 			c.onAck(ev.Ack)
 		case fabric.EvMigrated:
-			c.onMigrated(ev.Done)
+			if ev.Done != nil && ev.Done.Copy {
+				c.onCopyDone(ev.Done)
+			} else {
+				c.onMigrated(ev.Done)
+			}
+		case fabric.EvCredit:
+			c.onCredit(ev.Credit)
+		case fabric.EvShardDown:
+			c.onShardDown(ev.Shard)
+		case fabric.EvShardUp:
+			c.onShardUp(ev.Shard)
 		}
 	}
 	c.failPending()
 }
 
+// onShardDown reacts to one link's death on the event thread: lift the
+// shard's credit gate (its drain signal is gone — a router stalled on
+// it must wake *before* the ctrl op can be processed), mark it down for
+// barrier publishing, force-ack its outstanding barriers (synthetic
+// acks; a late real ack can no longer double-decrement), then hand the
+// plan flip to the router. Without replication a shard loss is the end
+// of the session, exactly as before.
+func (c *coordinator) onShardDown(s int) {
+	if s < 0 || s >= c.plan.Shards {
+		return
+	}
+	if c.planNow().Replicas <= 1 {
+		c.setErr(ErrFabricDown)
+		return
+	}
+	c.deaths.Add(1)
+	c.credMu.Lock()
+	c.credDown[s] = true
+	c.credCond.Broadcast()
+	c.credMu.Unlock()
+	c.mu.Lock()
+	if !c.downs[s] {
+		c.downs[s] = true
+		for seq, bw := range c.syncs {
+			if bw.published && bw.sent[s] && !bw.acked[s] {
+				bw.acked[s] = true
+				bw.remaining--
+				if bw.remaining <= 0 {
+					delete(c.syncs, seq)
+					close(bw.done)
+				}
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.pushCtrl(ctrlOp{kind: ctrlDown, shard: s})
+}
+
+// onShardUp hands a rejoined link to the router for snapshot priming.
+func (c *coordinator) onShardUp(s int) {
+	if s < 0 || s >= c.plan.Shards || c.planNow().Replicas <= 1 {
+		return
+	}
+	c.pushCtrl(ctrlOp{kind: ctrlUp, shard: s})
+}
+
+// onCopyDone resolves one replica-priming block copy. When a rejoin's
+// last copy lands cleanly the router fails the shard back in; any
+// failed copy abandons the rejoin (the shard stays masked dead — a
+// later reconnect retries from scratch, idempotently).
+func (c *coordinator) onCopyDone(d *fabric.MigrateDone) {
+	if d.Err == "" {
+		c.copiedBlocks.Add(1)
+	}
+	c.mu.Lock()
+	rs := c.rejoins[d.Shard]
+	if rs == nil {
+		c.mu.Unlock()
+		return // abandoned rejoin; straggler report
+	}
+	if d.Err != "" {
+		rs.failed = true
+	}
+	rs.remaining--
+	done := rs.remaining <= 0
+	failed := rs.failed
+	if done {
+		delete(c.rejoins, d.Shard)
+	}
+	c.mu.Unlock()
+	if !done {
+		return
+	}
+	if failed {
+		c.pushCtrl(ctrlOp{kind: ctrlDown, shard: d.Shard})
+		return
+	}
+	c.pushCtrl(ctrlOp{kind: ctrlClear, shard: d.Shard})
+}
+
 func (c *coordinator) onRetire(w *fabric.Walker) {
+	c.mu.Lock()
+	reply, isQ := c.replies[w.ID]
+	var run *bulkRun
+	var isB bool
+	if !isQ {
+		run, isB = c.bulks[w.ID]
+	}
+	if !isQ && !isB {
+		// Duplicate retire: the walker was relaunched after a shard death
+		// and both copies finished — the first resolution won. (Also
+		// covers retires arriving after failPending.)
+		c.mu.Unlock()
+		return
+	}
+	if w.Failed && c.planNow().Replicas > 1 && w.Reroutes < maxWalkerReroutes {
+		// A crew's forward hit a dead link. The retire carries the
+		// walker's exact mid-walk state (position, budget, RNG), so it
+		// continues on a live replica instead of failing the session.
+		c.mu.Unlock()
+		w.Failed = false
+		w.Reroutes++
+		c.walkerReroutes.Add(1)
+		go c.relaunchWalker(w)
+		return
+	}
+	if isQ {
+		delete(c.replies, w.ID)
+	} else {
+		delete(c.bulks, w.ID)
+	}
+	delete(c.specs, w.ID)
+	c.mu.Unlock()
+	// Tallies fold in only at resolution, so a duplicate or rerouted
+	// retire never double-counts.
 	c.steps.Add(w.Steps)
 	c.transfers.Add(w.Transfers)
 	c.local.Add(w.Local)
@@ -277,10 +906,7 @@ func (c *coordinator) onRetire(w *fabric.Walker) {
 	if w.Failed {
 		c.setErr(ErrFabricDown)
 	}
-	c.mu.Lock()
-	if reply, ok := c.replies[w.ID]; ok {
-		delete(c.replies, w.ID)
-		c.mu.Unlock()
+	if isQ {
 		c.queries.Add(1)
 		if w.Failed {
 			reply <- nil // Query maps a nil path to ErrFabricDown
@@ -290,24 +916,17 @@ func (c *coordinator) onRetire(w *fabric.Walker) {
 		c.pending.Done()
 		return
 	}
-	run, ok := c.bulks[w.ID]
-	if ok {
-		delete(c.bulks, w.ID)
-	}
-	c.mu.Unlock()
-	if ok {
-		run.steps.Add(w.Steps)
-		run.transfers.Add(w.Transfers)
-		run.local.Add(w.Local)
-		run.remote.Add(w.Remote)
-		if run.visits != nil {
-			for _, v := range w.Path {
-				run.visits.bump(v)
-			}
+	run.steps.Add(w.Steps)
+	run.transfers.Add(w.Transfers)
+	run.local.Add(w.Local)
+	run.remote.Add(w.Remote)
+	if run.visits != nil {
+		for _, v := range w.Path {
+			run.visits.bump(v)
 		}
-		run.wg.Done()
-		c.pending.Done()
 	}
+	run.wg.Done()
+	c.pending.Done()
 }
 
 func (c *coordinator) onAck(a *fabric.Ack) {
@@ -337,10 +956,23 @@ func (c *coordinator) onAck(a *fabric.Ack) {
 			bw.blocks[a.Shard] = a.Heat
 			bw.steps[a.Shard] = a.Steps
 		}
-		bw.remaining--
-		if bw.remaining <= 0 {
-			delete(c.syncs, a.Seq)
-			close(bw.done)
+		counted := false
+		if bw.acked != nil && a.Shard >= 0 && a.Shard < len(bw.acked) {
+			// acked-once: a shard force-acked at its death (synthetic ack)
+			// must not decrement again if the real ack straggles in.
+			if !bw.acked[a.Shard] {
+				bw.acked[a.Shard] = true
+				counted = true
+			}
+		} else {
+			counted = true
+		}
+		if counted {
+			bw.remaining--
+			if bw.remaining <= 0 {
+				delete(c.syncs, a.Seq)
+				close(bw.done)
+			}
 		}
 	}
 	c.mu.Unlock()
@@ -363,6 +995,12 @@ func (c *coordinator) onMigrated(d *fabric.MigrateDone) {
 // also marks the coordinator dead under the same lock registrations take,
 // so no later caller can register into a table nothing will ever resolve.
 func (c *coordinator) failPending() {
+	// Lift every credit gate first: a router blocked in waitCredits must
+	// wake (nothing will ever credit again) or Close would deadlock.
+	c.credMu.Lock()
+	c.credClosed = true
+	c.credCond.Broadcast()
+	c.credMu.Unlock()
 	c.mu.Lock()
 	c.dead = true
 	replies := c.replies
@@ -373,6 +1011,8 @@ func (c *coordinator) failPending() {
 	c.bulks = map[uint64]*bulkRun{}
 	c.syncs = map[uint64]*barrierWait{}
 	c.migs = map[uint64]chan *fabric.MigrateDone{}
+	c.specs = map[uint64]*fabric.Walker{}
+	c.rejoins = map[int]*rejoinState{}
 	c.mu.Unlock()
 	for _, ch := range migs {
 		ch <- nil // Migrate maps nil to ErrFabricDown
@@ -421,6 +1061,7 @@ func (c *coordinator) Query(start graph.VertexID, length int) ([]graph.VertexID,
 		Path:   path,
 	}
 	reply := make(chan []graph.VertexID, 1)
+	replicated := c.planNow().Replicas > 1
 	c.mu.Lock()
 	if c.dead {
 		c.mu.Unlock()
@@ -432,16 +1073,28 @@ func (c *coordinator) Query(start graph.VertexID, length int) ([]graph.VertexID,
 	// which may run the instant the lock is released.
 	c.pending.Add(1)
 	c.replies[id] = reply
+	if replicated {
+		// The clone outlives the launch: a shard death relaunches every
+		// pending walker from its stored spec (registered before the
+		// launch so no death can fall between them unseen).
+		c.specs[id] = cloneWalker(wk)
+	}
 	c.mu.Unlock()
 	if err := c.port.LaunchWalker(c.planNow().Owner(start), wk); err != nil {
-		c.mu.Lock()
-		if _, still := c.replies[id]; still {
-			delete(c.replies, id)
-			c.pending.Done()
+		if replicated {
+			// The target link died under the launch; retry toward
+			// whatever replica the flipped plan names.
+			go c.relaunchWalker(wk)
+		} else {
+			c.mu.Lock()
+			if _, still := c.replies[id]; still {
+				delete(c.replies, id)
+				c.pending.Done()
+			}
+			c.mu.Unlock()
+			c.sendMu.RUnlock()
+			return nil, err
 		}
-		c.mu.Unlock()
-		c.sendMu.RUnlock()
-		return nil, err
 	}
 	c.sendMu.RUnlock()
 	p := <-reply
@@ -462,6 +1115,20 @@ func (c *coordinator) Feed(ups []graph.Update) error {
 		return ErrLiveClosed
 	}
 	c.feed <- coordMsg{ups: ups}
+	return nil
+}
+
+// feedBoot enqueues a snapshot-bootstrap batch: routed to every holder
+// replica, credit-gated like any batch (it occupies daemon queue space),
+// but excluded from the routed ledger and the shards' update tallies —
+// bootstrap rows are initial state, not feed events.
+func (c *coordinator) feedBoot(ups []graph.Update) error {
+	c.sendMu.RLock()
+	defer c.sendMu.RUnlock()
+	if c.closed {
+		return ErrLiveClosed
+	}
+	c.feed <- coordMsg{ups: ups, boot: true}
 	return nil
 }
 
@@ -575,6 +1242,7 @@ func (c *coordinator) DeepWalk(cfg Config, numVertices int) (Result, TransferSta
 		c.bulks[ids[i]] = run
 	}
 	c.mu.Unlock()
+	replicated := c.planNow().Replicas > 1
 	for i, st := range starts {
 		if run.visits != nil {
 			run.visits.bump(st)
@@ -586,7 +1254,20 @@ func (c *coordinator) DeepWalk(cfg Config, numVertices int) (Result, TransferSta
 			Rng:    bulkMaster.Split(uint64(i)).State(),
 			Record: cfg.CountVisits,
 		}
+		if replicated {
+			// Spec before launch: a death between the two relaunches the
+			// clone, and a duplicate retire resolves harmlessly.
+			c.mu.Lock()
+			if _, still := c.bulks[ids[i]]; still {
+				c.specs[ids[i]] = cloneWalker(wk)
+			}
+			c.mu.Unlock()
+		}
 		if err := c.port.LaunchWalker(c.planNow().Owner(st), wk); err != nil {
+			if replicated {
+				go c.relaunchWalker(wk)
+				continue
+			}
 			c.setErr(err)
 			c.mu.Lock()
 			if _, still := c.bulks[ids[i]]; still {
@@ -631,6 +1312,24 @@ func (c *coordinator) Close() error {
 	}
 	c.evloop.Wait()
 	return c.Err()
+}
+
+// backpressureTallies snapshots the credit window's activity.
+func (c *coordinator) backpressureTallies() (maxOutstanding int64, stall time.Duration) {
+	c.credMu.Lock()
+	defer c.credMu.Unlock()
+	return c.maxOut, time.Duration(c.stallNs)
+}
+
+// failoverTallies snapshots the replica-failover activity counters.
+func (c *coordinator) failoverTallies() FailoverTallies {
+	return FailoverTallies{
+		Deaths:       c.deaths.Load(),
+		Reroutes:     c.walkerReroutes.Load(),
+		Relaunches:   c.relaunched.Load(),
+		Rejoins:      c.rejoinsDone.Load(),
+		CopiedBlocks: c.copiedBlocks.Load(),
+	}
 }
 
 // rebalanceTallies snapshots the rebalancer's activity counters.

@@ -1,0 +1,7 @@
+//go:build !race
+
+package walk_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. See race_on_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package walk_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The differential harnesses scale their draw budgets down under
+// the detector: every query is a serial round trip through the fabric,
+// and race instrumentation multiplies its cost enough that full-size
+// sample counts blow the package timeout on small CI machines.
+const raceDetectorEnabled = true

@@ -40,6 +40,12 @@ const (
 	rbWriters  = 4
 	rbShards   = 4
 	rbSamples  = 120000 // ≥ 1e5 chi-square draws
+	// Under the race detector every Query is a serial round trip whose
+	// cost the instrumentation multiplies several-fold — over loopback
+	// TCP on a single-core box, 120k draws alone exceed the package
+	// timeout. 3k draws per vertex keeps every expected cell count far
+	// above the chi-square floor while fitting the budget.
+	rbSamplesRace = 24000
 )
 
 // rbHotVertex draws from the hot set: the two blocks shard 0 owns under
@@ -243,7 +249,11 @@ func runRebalanceDifferential(t *testing.T, svc rbService, tape []graph.Update) 
 		}
 	}
 	t.Logf("chi-square over %d vertices, %d of them on migrated blocks", len(cands), moved)
-	perVertex := rbSamples / len(cands)
+	samples := rbSamples
+	if raceDetectorEnabled {
+		samples = rbSamplesRace
+	}
+	perVertex := samples / len(cands)
 	for _, c := range cands {
 		slotProbs := seq.VertexProbabilities(c.u)
 		probByDst := map[graph.VertexID]float64{}

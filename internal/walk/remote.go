@@ -17,12 +17,12 @@ import (
 // exact as of the last Sync (every ack carries cumulative tallies), not
 // continuously live the way the in-process service's are.
 //
-// Backpressure caveat: only the coordinator's feed queue bounds Feed.
-// Past it, batches drain to the sockets and queue unbounded daemon-side
-// (a bounded ingest mailbox there would stall walker delivery on the
-// shared connection). A feeder that persistently outruns the daemons'
-// apply rate therefore grows daemon memory; pace the feed or Sync
-// periodically (credited ingest acks are a ROADMAP item).
+// Backpressure: beyond the coordinator's feed queue, a per-shard credit
+// window bounds the update events in flight toward each daemon (routed
+// but not yet applied — the daemons credit consumed events back on the
+// event stream). A feeder that outruns the daemons' apply rate blocks in
+// Feed instead of growing daemon memory; ShardedLiveConfig.CreditWindow
+// sizes the window.
 type RemoteService struct {
 	coord *coordinator
 	verts int // construction-time vertex space (acks can only widen it)
@@ -35,10 +35,15 @@ type RemoteService struct {
 // port: Close ends the session.
 func NewRemoteService(port fabric.CoordPort, plan ShardPlan, numVertices int, cfg ShardedLiveConfig) (*RemoteService, error) {
 	cfg = cfg.withDefaults(plan.Shards)
-	return &RemoteService{
+	if err := validateReplication(plan, cfg); err != nil {
+		return nil, err
+	}
+	s := &RemoteService{
 		coord: newCoordinator(port, plan, cfg),
 		verts: numVertices,
-	}, nil
+	}
+	s.coord.noteVerts(int64(numVertices))
+	return s, nil
 }
 
 // Shards returns the partition count.
@@ -79,19 +84,37 @@ func (s *RemoteService) Feed(ups []graph.Update) error {
 	return s.coord.Feed(ups)
 }
 
+// bootstrapChunk bounds one bootstrap batch (updates per feed element):
+// large enough to amortize framing, small enough that the credit window
+// still paces the stream.
+const bootstrapChunk = 1 << 16
+
 // Bootstrap ships a snapshot to the daemons through the fabric itself:
-// each shard's rows travel as routed update batches (the wire analogue
-// of BootstrapShards), and a confirming barrier makes the call return
-// only once every daemon holds exactly the rows it owns. Shared by
-// Engine.ServeRemote, the CLI -connect path, and the bench tcp transport
-// so bootstrap semantics cannot drift between them.
+// each holder's rows travel as dedicated snapshot (Boot) batches —
+// fanned to every replica, credit-paced, but excluded from the routed
+// ledger and the daemons' update tallies, so a bootstrapped session's
+// Updates counter reflects feed events alone. A confirming barrier makes
+// the call return only once every daemon holds exactly the rows it must.
+// Shared by Engine.ServeRemote, the CLI -connect path, and the bench tcp
+// transport so bootstrap semantics cannot drift between them.
 func (s *RemoteService) Bootstrap(g *graph.CSR) error {
-	for _, part := range s.coord.plan.PartitionCSR(g) {
-		if len(part) == 0 {
-			continue
-		}
-		if err := s.Feed(part); err != nil {
-			return err
+	s.coord.noteVerts(int64(g.NumVertices()))
+	// Partition with replication stripped: each row must reach the router
+	// exactly once — the router's boot path itself fans every update out
+	// to all of its block's holders (PartitionCSR would otherwise
+	// duplicate the rows a second time).
+	base := s.coord.plan
+	base.Replicas = 1
+	for _, part := range base.PartitionCSR(g) {
+		for len(part) > 0 {
+			n := len(part)
+			if n > bootstrapChunk {
+				n = bootstrapChunk
+			}
+			if err := s.coord.feedBoot(part[:n]); err != nil {
+				return err
+			}
+			part = part[n:]
 		}
 	}
 	return s.Sync()
@@ -137,6 +160,9 @@ func (s *RemoteService) Stats() ShardedLiveStats {
 	}
 	s.coord.mu.Unlock()
 	st.Rebalance = s.coord.rebalanceTallies()
+	st.Failover = s.coord.failoverTallies()
+	st.Backpressure.Window = s.coord.window
+	st.Backpressure.MaxOutstanding, st.Backpressure.Stalled = s.coord.backpressureTallies()
 	return st
 }
 

@@ -266,6 +266,22 @@ func (rv *remoteViews) dropBlock(rangeSize int, b uint64) {
 	}
 }
 
+// dropAll purges the entire cache — views, crossing counts, in-flight
+// markers, negative entries. A shard-liveness flip re-chains ownership of
+// whole block families at once (everything the dead shard based, or
+// everything a rejoined shard reclaims), so per-block surgery would have
+// to walk every block anyway; wholesale reset is the simple conservative
+// move. Strikes are kept: failover is not hub churn.
+func (rv *remoteViews) dropAll() {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	rv.views = map[graph.VertexID]*remoteEntry{}
+	rv.order = nil
+	rv.crossings = map[graph.VertexID]int{}
+	rv.inflight = map[graph.VertexID]bool{}
+	rv.notHub = map[graph.VertexID]bool{}
+}
+
 // advance folds a piggybacked watermark vector in, pruning every view
 // the new ledger invalidates, and clears the not-a-hub negative cache
 // (growth can promote a vertex to hub status).

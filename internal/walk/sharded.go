@@ -46,6 +46,24 @@ type ShardPlan struct {
 	// block-cyclic base (nil = no rebalancing has happened). Treated as
 	// immutable: never written after the plan value is constructed.
 	Overlay map[uint64]int
+	// Replicas is the block replication factor (plan v3). 0 and 1 both
+	// mean "no replication". With Replicas = R > 1, block b is held by
+	// the R consecutive shards starting at its base owner — the replica
+	// group group(b) = {(b%Shards + k) % Shards : k < R} — and every
+	// routed update for b is published to every live group member, so
+	// followers replay the identical per-source stream the primary does.
+	// Replication composes with the dead-mask, not with the rebalancing
+	// overlay: a replicated plan keeps Overlay nil (the service layer
+	// enforces the exclusion).
+	Replicas int
+	// DeadMask is the liveness bit-set (bit i = shard i presumed dead),
+	// versioned by Epoch like the overlay. Ownership chains through it:
+	// a dead base owner's blocks are served by the first live member of
+	// each block's replica group. The uint64 width caps replicated plans
+	// at 64 shards — ample for the process-per-shard topology and the
+	// cheapest value-semantics representation (plans stay copyable
+	// immutable values).
+	DeadMask uint64
 }
 
 // NewShardPlan derives the partition geometry for a vertex space of
@@ -63,7 +81,10 @@ func NewShardPlan(numVertices, shards int) ShardPlan {
 
 // Owner returns the shard owning vertex v. It is defined for every
 // possible vertex ID, including IDs beyond the space the plan was derived
-// from (see the type comment), under any overlay.
+// from (see the type comment), under any overlay and any dead-mask: with
+// replication, a dead base owner's block chains to the first live member
+// of its replica group, and a fully-dead group falls back to the base
+// owner (the caller is about to fail anyway; totality is preserved).
 func (p ShardPlan) Owner(v graph.VertexID) int {
 	b := uint64(v) / uint64(p.RangeSize)
 	if p.Overlay != nil {
@@ -71,7 +92,95 @@ func (p ShardPlan) Owner(v graph.VertexID) int {
 			return o
 		}
 	}
-	return int(b % uint64(p.Shards))
+	base := int(b % uint64(p.Shards))
+	if p.DeadMask == 0 || !p.dead(base) {
+		return base
+	}
+	r := p.Replicas
+	if r < 1 {
+		r = 1
+	}
+	for k := 1; k < r; k++ {
+		if s := (base + k) % p.Shards; !p.dead(s) {
+			return s
+		}
+	}
+	return base
+}
+
+// dead reports whether shard s is masked dead.
+func (p ShardPlan) dead(s int) bool {
+	return s < 64 && p.DeadMask&(1<<uint(s)) != 0
+}
+
+// Alive reports whether shard s is currently considered live.
+func (p ShardPlan) Alive(s int) bool { return !p.dead(s) }
+
+// InGroup reports whether shard s is in block b's replica group — the
+// Replicas consecutive shards starting at the block's base owner. With
+// no replication the group is just the base owner. The rebalancing
+// overlay never applies to replicated plans (mutually exclusive), so the
+// group is computed on the block-cyclic base alone.
+func (p ShardPlan) InGroup(b uint64, s int) bool {
+	r := p.Replicas
+	if r < 1 {
+		r = 1
+	}
+	base := int(b % uint64(p.Shards))
+	return (s-base+p.Shards)%p.Shards < r
+}
+
+// GroupMembers returns block b's replica group in priority order (base
+// owner first). The slice is freshly allocated.
+func (p ShardPlan) GroupMembers(b uint64) []int {
+	r := p.Replicas
+	if r < 1 {
+		r = 1
+	}
+	if r > p.Shards {
+		r = p.Shards
+	}
+	base := int(b % uint64(p.Shards))
+	g := make([]int, r)
+	for k := range g {
+		g[k] = (base + k) % p.Shards
+	}
+	return g
+}
+
+// WithDown returns a new plan with shard s marked dead at the given
+// epoch. Ownership of s's base blocks chains to their next live replica
+// the instant the plan is installed; no overlay entries are written (the
+// mask is the failover mechanism precisely because WithOverlay's
+// redundancy-erasure makes overlay entries unusable for "temporarily
+// elsewhere" semantics).
+func (p ShardPlan) WithDown(s int, epoch uint64) (ShardPlan, error) {
+	if s < 0 || s >= p.Shards || s >= 64 {
+		return p, fmt.Errorf("walk: dead-mask shard %d out of range for %d shards", s, p.Shards)
+	}
+	if epoch <= p.Epoch {
+		return p, fmt.Errorf("walk: dead-mask epoch %d not beyond current %d", epoch, p.Epoch)
+	}
+	next := p
+	next.Epoch = epoch
+	next.DeadMask |= 1 << uint(s)
+	return next, nil
+}
+
+// WithUp returns a new plan with shard s marked live again at the given
+// epoch — the failback flip after a rejoined shard's replica blocks have
+// been re-primed.
+func (p ShardPlan) WithUp(s int, epoch uint64) (ShardPlan, error) {
+	if s < 0 || s >= p.Shards || s >= 64 {
+		return p, fmt.Errorf("walk: dead-mask shard %d out of range for %d shards", s, p.Shards)
+	}
+	if epoch <= p.Epoch {
+		return p, fmt.Errorf("walk: dead-mask epoch %d not beyond current %d", epoch, p.Epoch)
+	}
+	next := p
+	next.Epoch = epoch
+	next.DeadMask &^= 1 << uint(s)
+	return next, nil
 }
 
 // BlockOf returns the ownership-block index of vertex v.
@@ -90,14 +199,28 @@ func (p ShardPlan) BlockRange(b uint64) (lo, hi uint64) {
 	return lo, lo + uint64(p.RangeSize)
 }
 
-// BlockOwner returns the shard owning block b under the current overlay.
+// BlockOwner returns the shard owning block b under the current overlay
+// and dead-mask (the block-index form of Owner).
 func (p ShardPlan) BlockOwner(b uint64) int {
 	if p.Overlay != nil {
 		if o, ok := p.Overlay[b]; ok {
 			return o
 		}
 	}
-	return int(b % uint64(p.Shards))
+	base := int(b % uint64(p.Shards))
+	if p.DeadMask == 0 || !p.dead(base) {
+		return base
+	}
+	r := p.Replicas
+	if r < 1 {
+		r = 1
+	}
+	for k := 1; k < r; k++ {
+		if s := (base + k) % p.Shards; !p.dead(s) {
+			return s
+		}
+	}
+	return base
 }
 
 // WithOverlay returns a new plan in which block b is owned by shard `to`,
@@ -136,7 +259,9 @@ func (p ShardPlan) WithOverlay(b uint64, to int, epoch uint64) (ShardPlan, error
 // edge u→dst lands in the batch of Owner(u), preserving the snapshot's
 // per-source adjacency order. Feeding batch i into shard i's engine
 // reconstructs exactly the rows that shard owns — the bootstrap step of a
-// sharded live service.
+// sharded live service. Under replication every member of the source's
+// replica group receives the row, so followers start from the same state
+// the primary does.
 func (p ShardPlan) PartitionCSR(g *graph.CSR) [][]graph.Update {
 	parts := make([][]graph.Update, p.Shards)
 	for u := 0; u < g.NumVertices(); u++ {
@@ -147,16 +272,27 @@ func (p ShardPlan) PartitionCSR(g *graph.CSR) [][]graph.Update {
 		}
 		biases := g.Biases(vid)
 		fb := g.FBiases(vid)
-		owner := p.Owner(vid)
+		holders := p.holdersOf(vid)
 		for i := range dsts {
 			up := graph.Update{Op: graph.OpInsert, Src: vid, Dst: dsts[i], Bias: biases[i]}
 			if fb != nil {
 				up.FBias = fb[i]
 			}
-			parts[owner] = append(parts[owner], up)
+			for _, s := range holders {
+				parts[s] = append(parts[s], up)
+			}
 		}
 	}
 	return parts
+}
+
+// holdersOf returns every shard that must hold vertex v's row: the
+// replica group under replication, otherwise just the owner.
+func (p ShardPlan) holdersOf(v graph.VertexID) []int {
+	if p.Replicas > 1 {
+		return p.GroupMembers(p.BlockOf(v))
+	}
+	return []int{p.Owner(v)}
 }
 
 // BootstrapShards builds the per-shard engine set of a sharded live

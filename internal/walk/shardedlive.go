@@ -3,6 +3,7 @@ package walk
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/fabric/inproc"
@@ -75,7 +76,18 @@ type ShardedLiveConfig struct {
 	// (concurrent.Engine); the in-process service validates this at
 	// construction.
 	Rebalance rebalance.Options
+	// CreditWindow bounds the per-shard in-flight (routed but not yet
+	// applied) update events. The router stalls — and Feed with it —
+	// while a shard's outstanding window is full, turning the daemons'
+	// apply rate into end-to-end backpressure instead of unbounded
+	// daemon-side queue growth. 0 selects the default (16384); negative
+	// disables the window (the pre-credit behavior).
+	CreditWindow int
 }
+
+// DefaultCreditWindow is the per-shard credit window when the config
+// leaves CreditWindow zero.
+const DefaultCreditWindow = 16384
 
 func (c ShardedLiveConfig) withDefaults(shards int) ShardedLiveConfig {
 	if c.WalkersPerShard <= 0 {
@@ -89,6 +101,9 @@ func (c ShardedLiveConfig) withDefaults(shards int) ShardedLiveConfig {
 	}
 	if c.WalkLength <= 0 {
 		c.WalkLength = 80
+	}
+	if c.CreditWindow == 0 {
+		c.CreditWindow = DefaultCreditWindow
 	}
 	return c
 }
@@ -111,6 +126,33 @@ type ShardedLiveStats struct {
 	ShardSteps []int64
 	// Rebalance tallies the heat-aware rebalancer's activity.
 	Rebalance RebalanceTallies
+	// Failover tallies replica-failover activity (replicated sessions).
+	Failover FailoverTallies
+	// Backpressure reports the credit window's activity.
+	Backpressure BackpressureTallies
+}
+
+// FailoverTallies reports a replicated session's failover activity.
+type FailoverTallies struct {
+	// Deaths counts shard-link death events; Reroutes walkers re-routed
+	// to a replica after a forward hit a dead link; Relaunches walker
+	// clones relaunched because their originals may have been lost inside
+	// a dead daemon.
+	Deaths, Reroutes, Relaunches int64
+	// Rejoins counts completed rejoin/failback cycles; CopiedBlocks the
+	// snapshot blocks shipped while re-priming rejoined shards.
+	Rejoins, CopiedBlocks int64
+}
+
+// BackpressureTallies reports the credit window's observed pressure.
+type BackpressureTallies struct {
+	// Window is the configured per-shard credit window (0 = disabled).
+	Window int64
+	// MaxOutstanding is the largest admitted per-shard in-flight event
+	// count; Stalled is the total time the router spent blocked waiting
+	// for credits (the time Feed callers were held back).
+	MaxOutstanding int64
+	Stalled        time.Duration
 }
 
 // RebalanceTallies reports the rebalancer's cumulative activity.
@@ -135,6 +177,23 @@ func (s ShardedLiveStats) TransferRatio() float64 {
 	return float64(s.Transfers) / float64(s.Steps)
 }
 
+// validateReplication rejects plan/config combinations replication
+// cannot support: the rebalancing overlay (its redundancy-erasure
+// conflicts with replica groups — the two are mutually exclusive) and
+// shard counts beyond the 64-bit dead-mask.
+func validateReplication(plan ShardPlan, cfg ShardedLiveConfig) error {
+	if plan.Replicas <= 1 {
+		return nil
+	}
+	if cfg.Rebalance.On {
+		return fmt.Errorf("walk: replication (factor %d) and heat rebalancing are mutually exclusive", plan.Replicas)
+	}
+	if plan.Shards > 64 {
+		return fmt.Errorf("walk: replication supports at most 64 shards (dead-mask width), got %d", plan.Shards)
+	}
+	return nil
+}
+
 // NewShardedLiveService starts the shard crews, the ingest router, and one
 // ingester per shard, wired over the in-process shard fabric. engines[i]
 // must already hold exactly the rows of the vertices plan assigns to shard
@@ -153,6 +212,16 @@ func NewShardedLiveService(engines []LiveEngine, plan ShardPlan, cfg ShardedLive
 			}
 		}
 	}
+	if err := validateReplication(plan, cfg); err != nil {
+		return nil, err
+	}
+	if plan.Replicas > 1 {
+		for i, e := range engines {
+			if _, ok := e.(RangeSnapshotter); !ok {
+				return nil, fmt.Errorf("walk: replication needs row snapshots, which shard %d's engine (%T) lacks", i, e)
+			}
+		}
+	}
 	fab := inproc.New(plan.Shards, cfg.QueueDepth)
 	s := &ShardedLiveService{
 		engines: engines,
@@ -164,6 +233,7 @@ func NewShardedLiveService(engines []LiveEngine, plan ShardPlan, cfg ShardedLive
 		s.nodes[i] = startShardNode(engines[i], plan, i, fab.ShardPort(i), cfg.WalkersPerShard, cfg.Cache)
 	}
 	s.coord = newCoordinator(fab.CoordPort(), plan, cfg)
+	s.coord.noteVerts(int64(s.NumVertices()))
 	return s, nil
 }
 
@@ -243,6 +313,9 @@ func (s *ShardedLiveService) Stats() ShardedLiveStats {
 		st.Cache.Add(n.cacheTallies())
 	}
 	st.Rebalance = s.coord.rebalanceTallies()
+	st.Failover = s.coord.failoverTallies()
+	st.Backpressure.Window = s.coord.window
+	st.Backpressure.MaxOutstanding, st.Backpressure.Stalled = s.coord.backpressureTallies()
 	return st
 }
 

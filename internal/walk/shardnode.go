@@ -76,11 +76,27 @@ type shardNode struct {
 	remoteStaleN, viewReqs atomic.Int64
 	viewsServed            atomic.Int64
 
+	// credited counts ingest-stream elements' update events toward the
+	// coordinator's credit window: routed update events (applied or
+	// dropped) plus bootstrap rows. Distinct from `consumed` (stream
+	// position for view stamps — excludes boot rows) and from `updates`
+	// (applied only): credits measure *queue drain*, which is exactly
+	// what flow control needs, nothing else.
+	credited atomic.Int64
+
 	// migratedIn counts edges installed from migration blocks (kept out
 	// of `updates`/`consumed`: installs are not routed-update events, and
 	// inflating `consumed` would let hub views stamped after an install
 	// survive watermarks covering routed updates they do not contain).
 	migratedIn atomic.Int64
+
+	// stash holds migration blocks that arrived ahead of the commit the
+	// ingester is currently blocked on, keyed by (block, epoch). Replica
+	// priming copies blocks from *several* donors concurrently, and their
+	// peer streams interleave arbitrarily on the single block mailbox —
+	// the ingester processes commits in its own FIFO order and parks
+	// early arrivals here. Ingester-only; no lock.
+	stash map[blockKey]*fabric.MigrateBlock
 
 	// heatMu guards blockSteps, the node's cumulative sampled-hop tally
 	// per ownership block (crews flush per-segment run counts into it;
@@ -118,6 +134,19 @@ type RangeExtractor interface {
 	ExtractRange(lo, hi uint64) ([]graph.Update, error)
 }
 
+// RangeSnapshotter is the optional LiveEngine capability replica priming
+// requires on copy donors: a consistent read of a vertex range's rows
+// that leaves the donor serving them (concurrent.Engine implements it).
+type RangeSnapshotter interface {
+	SnapshotRange(lo, hi uint64) ([]graph.Update, error)
+}
+
+// blockKey identifies one in-flight migration or copy block.
+type blockKey struct {
+	block uint64
+	epoch uint64
+}
+
 // EdgeDumper is the optional LiveEngine capability behind the fabric's
 // dump barrier: a consistent flattening of the engine's live edge
 // multiset. concurrent.Engine implements it; engines that don't simply
@@ -134,7 +163,7 @@ func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPo
 	if crew < 1 {
 		crew = 1
 	}
-	n := &shardNode{e: e, shard: shard, port: port, cache: cache, blockSteps: map[uint64]int64{}}
+	n := &shardNode{e: e, shard: shard, port: port, cache: cache, blockSteps: map[uint64]int64{}, stash: map[blockKey]*fabric.MigrateBlock{}}
 	n.setPlan(plan)
 	if !cache.Off {
 		if ve, ok := e.(ViewSampler); ok {
@@ -250,11 +279,16 @@ func (n *shardNode) crewLoop() {
 				wk.Transfers++
 				wk.Rng = r.State()
 				if err := n.port.ForwardWalker(owner, wk); err != nil {
-					// The peer stream is gone (single-session fabric, no
-					// reconnects): retire the walker as failed so the
-					// coordinator unblocks its caller with an error
-					// instead of passing off a truncated walk.
-					n.setErr(err)
+					// The peer stream is gone. Retire the walker as failed;
+					// without replication the coordinator unblocks its
+					// caller with an error instead of passing off a
+					// truncated walk. Under replication a dead peer is
+					// survivable — the coordinator re-routes the failed
+					// walker to a live replica, so the error is not this
+					// node's to record.
+					if n.planNow().Replicas <= 1 {
+						n.setErr(err)
+					}
 					wk.Failed = true
 					break
 				}
@@ -331,7 +365,12 @@ func (n *shardNode) maybeRequestView(u graph.VertexID, owner int) {
 // what makes distributed ingest progress observable at the coordinator).
 // Every ingest element also carries the coordinator's routed-update
 // watermarks, which invalidate remote views that may predate in-flight
-// updates.
+// updates. Consumed update events (and bootstrap rows) are credited back
+// to the coordinator after every element — the drain signal its credit
+// window blocks Feed on. Control elements (barriers, offers, commits,
+// liveness flips, plan snapshots) are free: they are coordinator-paced
+// and bounding them would deadlock the very recovery paths that run
+// while the window is full.
 func (n *shardNode) ingestLoop() {
 	defer n.loops.Done()
 	for {
@@ -341,6 +380,14 @@ func (n *shardNode) ingestLoop() {
 		}
 		if n.rv != nil && len(in.Watermarks) > 0 {
 			n.rv.advance(in.Watermarks)
+		}
+		if in.Plan != nil {
+			n.installPlanState(in.Plan)
+			continue
+		}
+		if in.Down.Epoch != 0 {
+			n.handleDown(&in.Down)
+			continue
 		}
 		if in.Offer.Epoch != 0 {
 			n.handleOffer(&in.Offer)
@@ -366,6 +413,22 @@ func (n *shardNode) ingestLoop() {
 			if in.Dump {
 				if d, ok := n.e.(EdgeDumper); ok {
 					a.Edges = d.DumpEdges()
+					if plan := n.planNow(); plan.Replicas > 1 {
+						// Under replication every row lives on every live
+						// group member; dump only the edges this shard
+						// *owns* under the barrier-point plan so the
+						// coordinator's concatenation stays an exact
+						// partition. Liveness flips ride the same FIFO
+						// streams as barrier tokens, so every shard filters
+						// against the same dead-mask here.
+						kept := a.Edges[:0]
+						for _, ed := range a.Edges {
+							if plan.Owner(ed.Src) == n.shard {
+								kept = append(kept, ed)
+							}
+						}
+						a.Edges = kept
+					}
 				}
 			}
 			if in.Heat {
@@ -376,14 +439,79 @@ func (n *shardNode) ingestLoop() {
 			}
 			continue
 		}
-		if err := n.e.ApplyUpdates(in.Ups); err != nil {
-			n.dropped.Add(1)
-			n.setErr(err)
-			n.consumed.Add(int64(len(in.Ups)))
-			continue
+		if len(in.Ups) > 0 {
+			if err := n.e.ApplyUpdates(in.Ups); err != nil {
+				n.dropped.Add(1)
+				n.setErr(err)
+				if !in.Boot {
+					n.consumed.Add(int64(len(in.Ups)))
+				}
+			} else if !in.Boot {
+				// Bootstrap rows bypass updates/consumed: they are not feed
+				// events, and inflating the stream position would corrupt
+				// hub-view watermark stamps (see the field comments). They
+				// still consume queue space, so they are credited below.
+				n.updates.Add(int64(len(in.Ups)))
+				n.consumed.Add(int64(len(in.Ups)))
+			}
+			n.credited.Add(int64(len(in.Ups)))
+			// Best-effort: credits are cumulative, so a dropped send is
+			// repaired by the next one; a dead link is the coordinator's
+			// EvShardDown to handle, not ours.
+			_ = n.port.Credit(&fabric.Credit{Shard: n.shard, Credited: n.credited.Load()})
 		}
-		n.updates.Add(int64(len(in.Ups)))
-		n.consumed.Add(int64(len(in.Ups)))
+	}
+}
+
+// installPlanState adopts the coordinator's plan snapshot — the first
+// element on a rejoined daemon's ingest stream, catching it up on every
+// overlay flip and liveness flip it missed while down. Geometry fields
+// come from the node's own plan (the snapshot carries none).
+func (n *shardNode) installPlanState(ps *fabric.PlanState) {
+	plan := n.planNow()
+	if plan.Epoch >= ps.Epoch {
+		return
+	}
+	plan.Epoch = ps.Epoch
+	plan.DeadMask = ps.DeadMask
+	plan.Overlay = nil
+	if len(ps.Overlay) > 0 {
+		plan.Overlay = make(map[uint64]int, len(ps.Overlay))
+		for b, o := range ps.Overlay {
+			plan.Overlay[b] = o
+		}
+	}
+	n.setPlan(plan)
+	if n.rv != nil {
+		n.rv.dropAll()
+	}
+}
+
+// handleDown applies a shard-liveness flip (Up=false: death, Up=true:
+// failback). Its position in the FIFO ingest stream is what makes the
+// dead-mask consistent across the fleet at barrier points. Epoch-guarded
+// like every plan mutation; a replay is a no-op.
+func (n *shardNode) handleDown(sd *fabric.ShardDown) {
+	plan := n.planNow()
+	if plan.Epoch >= sd.Epoch {
+		return
+	}
+	var next ShardPlan
+	var err error
+	if sd.Up {
+		next, err = plan.WithUp(sd.Shard, sd.Epoch)
+	} else {
+		next, err = plan.WithDown(sd.Shard, sd.Epoch)
+	}
+	if err != nil {
+		n.setErr(err)
+		return
+	}
+	n.setPlan(next)
+	if n.rv != nil {
+		// A liveness flip re-chains ownership of whole block families;
+		// cached views stamped under the old chain are all suspect.
+		n.rv.dropAll()
 	}
 }
 
@@ -396,6 +524,10 @@ func (n *shardNode) ingestLoop() {
 // the recipient, and a crew that raced the flip and sampled an emptied
 // row re-dispatches on the dead-end recheck instead of retiring short.
 func (n *shardNode) handleOffer(of *fabric.MigrateOffer) {
+	if of.Copy {
+		n.handleCopyOffer(of)
+		return
+	}
 	plan := n.planNow()
 	if plan.Epoch >= of.Epoch {
 		return // replayed offer; the flip already happened
@@ -425,9 +557,42 @@ func (n *shardNode) handleOffer(of *fabric.MigrateOffer) {
 	n.sendBlock(of, wm, rows)
 }
 
+// handleCopyOffer is the donor half of replica priming: snapshot the
+// block's rows and ship them to the rejoining shard *without* giving
+// anything up — no plan flip, the donor keeps serving the block. The
+// FIFO position is still the linearization point: the snapshot reflects
+// exactly the routed updates published to this donor before the offer,
+// and the coordinator starts fanning the routed stream out to the
+// recipient at the same instant it sends the offer, so snapshot + direct
+// stream covers every update with no loss and no duplication. Copy
+// epochs live in their own number space (they never touch plan.Epoch),
+// so no epoch guard applies.
+func (n *shardNode) handleCopyOffer(of *fabric.MigrateOffer) {
+	sn, ok := n.e.(RangeSnapshotter)
+	if !ok {
+		n.setErr(fmt.Errorf("walk: shard %d engine cannot snapshot rows; copy of block %d refused", n.shard, of.Block))
+		n.sendBlock(of, n.consumed.Load(), nil)
+		return
+	}
+	wm := n.consumed.Load()
+	lo, hi := n.planNow().BlockRange(of.Block)
+	rows, err := sn.SnapshotRange(lo, hi)
+	if err != nil {
+		n.setErr(err)
+	}
+	n.sendBlock(of, wm, rows)
+}
+
 func (n *shardNode) sendBlock(of *fabric.MigrateOffer, wm int64, rows []graph.Update) {
 	mb := &fabric.MigrateBlock{Block: of.Block, From: n.shard, Epoch: of.Epoch, Watermark: wm, Rows: rows}
 	if err := n.port.SendBlock(of.To, mb); err != nil {
+		if of.Copy || n.planNow().Replicas > 1 {
+			// The recipient died again mid-priming (or a replicated
+			// session's peer stream hiccuped): the coordinator sees its
+			// own EvShardDown and re-runs the rejoin; poisoning the donor
+			// would turn one flaky rejoiner into a session failure.
+			return
+		}
 		n.setErr(err)
 	}
 }
@@ -440,6 +605,15 @@ func (n *shardNode) sendBlock(of *fabric.MigrateOffer, wm int64, rows []graph.Up
 // remote views of the moved block: their Applied stamps name the donor's
 // update stream, which the new owner's updates would never invalidate.
 func (n *shardNode) handleCommit(cm *fabric.MigrateCommit) {
+	if cm.Copy {
+		// Copy commits install only — no plan flips anywhere (the donor
+		// keeps the block; liveness is restored later by a ShardDown
+		// Up-flip once every copy landed), and only the recipient acts.
+		if cm.To == n.shard {
+			n.installCopy(cm)
+		}
+		return
+	}
 	if cm.To == n.shard {
 		n.installBlock(cm)
 	} else if plan := n.planNow(); plan.Epoch < cm.Epoch {
@@ -464,16 +638,13 @@ func (n *shardNode) handleCommit(cm *fabric.MigrateCommit) {
 // bounded hand-off loop that ends at the flip below).
 func (n *shardNode) installBlock(cm *fabric.MigrateCommit) {
 	done := &fabric.MigrateDone{Shard: n.shard, Block: cm.Block, Epoch: cm.Epoch}
-	mb, ok := n.port.NextBlock()
+	mb, ok := n.takeBlock(cm.Block, cm.Epoch)
 	switch {
 	case !ok:
 		// Session ended mid-migration; the coordinator's death handling
 		// owns the fallout.
 		n.setErr(ErrFabricDown)
 		return
-	case mb.Block != cm.Block || mb.Epoch != cm.Epoch:
-		done.Err = fmt.Sprintf("walk: shard %d expected block %d epoch %d, got block %d epoch %d",
-			n.shard, cm.Block, cm.Epoch, mb.Block, mb.Epoch)
 	case mb.Watermark < cm.MinWatermark:
 		// The donor extracted before applying every update the router
 		// counted toward it at the offer — the FIFO ordering the whole
@@ -510,6 +681,80 @@ func (n *shardNode) installBlock(cm *fabric.MigrateCommit) {
 		} else {
 			n.setPlan(next)
 		}
+	}
+	if err := n.port.Migrated(done); err != nil {
+		n.setErr(err)
+	}
+}
+
+// takeBlock returns the block payload matching (block, epoch), blocking
+// on the block mailbox until it arrives. Rebalancing ships one block at
+// a time per recipient, but replica priming copies from *several* donors
+// whose peer streams interleave arbitrarily — payloads for commits the
+// ingester has not reached yet are parked in the stash, and a commit
+// whose payload already arrived is served from it without touching the
+// mailbox. Copy epochs and plan epochs live in disjoint number spaces,
+// so the (block, epoch) key never collides across the two protocols.
+func (n *shardNode) takeBlock(block, epoch uint64) (*fabric.MigrateBlock, bool) {
+	key := blockKey{block, epoch}
+	if mb, ok := n.stash[key]; ok {
+		delete(n.stash, key)
+		return mb, true
+	}
+	for {
+		mb, ok := n.port.NextBlock()
+		if !ok {
+			return nil, false
+		}
+		if mb.Block == block && mb.Epoch == epoch {
+			return mb, true
+		}
+		n.stash[blockKey{mb.Block, mb.Epoch}] = mb
+	}
+}
+
+// installCopy is the recipient half of replica priming: wait for the
+// donor's snapshot and install it. No plan flips (the coordinator
+// restores this shard's liveness with an Up-flip after every block
+// landed), no walker-bounce concerns (nothing routes walkers here while
+// the shard is still masked dead). Routed updates for the block queue
+// behind this commit on the FIFO stream and apply onto the installed
+// rows, exactly like a migration install.
+func (n *shardNode) installCopy(cm *fabric.MigrateCommit) {
+	done := &fabric.MigrateDone{Shard: n.shard, Block: cm.Block, Epoch: cm.Epoch, Copy: true}
+	mb, ok := n.takeBlock(cm.Block, cm.Epoch)
+	switch {
+	case !ok:
+		n.setErr(ErrFabricDown)
+		return
+	case mb.Watermark < cm.MinWatermark:
+		done.Err = fmt.Sprintf("walk: copied block %d shipped at donor watermark %d below commit minimum %d",
+			cm.Block, mb.Watermark, cm.MinWatermark)
+	default:
+		// Wipe the range first: a link that bounced without losing the
+		// process re-primes onto an engine that still holds the block's
+		// rows, and applying the snapshot on top would duplicate every
+		// edge. The wipe makes copy installs idempotent; on a freshly
+		// restarted daemon it extracts nothing.
+		if ex, ok := n.e.(RangeExtractor); ok {
+			lo, hi := n.planNow().BlockRange(cm.Block)
+			if _, err := ex.ExtractRange(lo, hi); err != nil {
+				done.Err = err.Error()
+			}
+		}
+		if done.Err == "" && len(mb.Rows) > 0 {
+			// Same counter discipline as migration installs: snapshot rows
+			// are not feed events (see installBlock).
+			if err := n.e.ApplyUpdates(mb.Rows); err != nil {
+				done.Err = err.Error()
+			} else {
+				n.migratedIn.Add(int64(len(mb.Rows)))
+				done.Edges = int64(len(mb.Rows))
+			}
+		}
+	}
+	if done.Err != "" {
+		n.setErr(errors.New(done.Err))
 	}
 	if err := n.port.Migrated(done); err != nil {
 		n.setErr(err)

@@ -344,6 +344,17 @@ type ShardedOptions struct {
 	HubCache HubCacheOptions
 	// Rebalance tunes the heat-aware shard rebalancer (off by default).
 	Rebalance RebalanceOptions
+	// Replicas is the block ownership replication factor (default 1 = no
+	// replication). With Replicas = R, every ownership block's rows live
+	// on R consecutive shards, fed from the same routed update stream, and
+	// the runtime survives shard failures by promoting a replica (a
+	// dead-mask flip — the replicas are already identical). Mutually
+	// exclusive with Rebalance; at most 64 shards.
+	Replicas int
+	// CreditWindow bounds per-shard in-flight (routed but unapplied)
+	// update events; a full window blocks Feed (0 = default 16384,
+	// negative disables).
+	CreditWindow int
 }
 
 // HubCacheStats report the hub-view cache layers of a sharded runtime.
@@ -375,6 +386,34 @@ type ShardedLiveStats struct {
 	ShardSteps []int64
 	// Rebalance reports the heat-aware rebalancer's activity.
 	Rebalance RebalanceStats
+	// Failover reports replica-failover activity (replicated sessions):
+	// shard-link deaths, walkers re-routed or relaunched across them, and
+	// completed rejoin cycles with their copied snapshot blocks.
+	Failover FailoverStats
+	// Backpressure reports the ingest credit window's activity.
+	Backpressure BackpressureStats
+}
+
+// FailoverStats report a replicated session's failover activity.
+type FailoverStats struct {
+	// Deaths counts shard-link death events; Reroutes walkers re-routed
+	// to a live replica mid-walk; Relaunches walker clones relaunched
+	// because their originals may have died with a daemon.
+	Deaths, Reroutes, Relaunches int64
+	// Rejoins counts completed rejoin/failback cycles; CopiedBlocks the
+	// snapshot blocks shipped while re-priming rejoined shards.
+	Rejoins, CopiedBlocks int64
+}
+
+// BackpressureStats report the ingest credit window's observed pressure.
+type BackpressureStats struct {
+	// Window is the configured per-shard credit window (0 = disabled).
+	Window int64
+	// MaxOutstanding is the largest admitted per-shard in-flight update
+	// event count; Stalled is the total time the feed router spent
+	// blocked waiting for shard credits.
+	MaxOutstanding int64
+	Stalled        time.Duration
 }
 
 // TransferRatio is walker hand-offs per sampled hop — the share of walk
@@ -417,6 +456,9 @@ func (e *Engine) ServeSharded(shards int, o ShardedOptions) (*ShardedLiveWalker,
 	}
 	g := e.s.Snapshot()
 	plan := walk.NewShardPlan(g.NumVertices(), shards)
+	if o.Replicas > 1 {
+		plan.Replicas = o.Replicas
+	}
 	engines, err := walk.BootstrapShards(g, plan, func() (walk.LiveEngine, error) {
 		s, err := core.New(g.NumVertices(), e.s.Config())
 		if err != nil {
@@ -438,6 +480,7 @@ func (e *Engine) ServeSharded(shards int, o ShardedOptions) (*ShardedLiveWalker,
 		Seed:            o.Seed,
 		Cache:           o.HubCache.spec(),
 		Rebalance:       o.Rebalance.opts(),
+		CreditWindow:    o.CreditWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -498,6 +541,18 @@ func fromShardedStats(st walk.ShardedLiveStats) ShardedLiveStats {
 			MovedEdges: st.Rebalance.MovedEdges,
 			PlanEpoch:  st.Rebalance.PlanEpoch,
 		},
+		Failover: FailoverStats{
+			Deaths:       st.Failover.Deaths,
+			Reroutes:     st.Failover.Reroutes,
+			Relaunches:   st.Failover.Relaunches,
+			Rejoins:      st.Failover.Rejoins,
+			CopiedBlocks: st.Failover.CopiedBlocks,
+		},
+		Backpressure: BackpressureStats{
+			Window:         st.Backpressure.Window,
+			MaxOutstanding: st.Backpressure.MaxOutstanding,
+			Stalled:        st.Backpressure.Stalled,
+		},
 	}
 }
 
@@ -524,6 +579,18 @@ type RemoteOptions struct {
 	// Rebalance tunes the heat-aware shard rebalancer (off by default).
 	// The coordinator drives migrations; the daemons execute them.
 	Rebalance RebalanceOptions
+	// Replication is the block ownership replication factor (default 1 =
+	// no replication). With factor R every ownership block's rows live on
+	// R consecutive daemons fed from the same routed stream, the
+	// coordinator survives daemon deaths by promoting replicas (a
+	// dead-mask flip), and dead daemons that come back are re-primed from
+	// live replica snapshots. Mutually exclusive with Rebalance; at most
+	// 64 shards.
+	Replication int
+	// CreditWindow bounds per-daemon in-flight (routed but unapplied)
+	// update events; a full window blocks Feed instead of growing daemon
+	// memory (0 = default 16384, negative disables).
+	CreditWindow int
 }
 
 // RemoteWalker serves walk queries across a set of shard-daemon
@@ -550,21 +617,26 @@ func (e *Engine) ServeRemote(addrs []string, o RemoteOptions) (*RemoteWalker, er
 	}
 	g := e.s.Snapshot()
 	plan := walk.NewShardPlan(g.NumVertices(), len(addrs))
+	if o.Replication > 1 {
+		plan.Replicas = o.Replication
+	}
 	floatMode := e.s.Config().FloatBias
-	port, err := tcpgob.Dial(addrs, fabric.Hello{
+	port, err := tcpgob.DialWith(addrs, fabric.Hello{
 		RangeSize:   plan.RangeSize,
 		NumVertices: g.NumVertices(),
 		FloatBias:   floatMode,
 		Cache:       o.HubCache.spec(),
-	})
+		Replicas:    plan.Replicas,
+	}, tcpgob.DialConfig{Resilient: plan.Replicas > 1})
 	if err != nil {
 		return nil, err
 	}
 	svc, err := walk.NewRemoteService(port, plan, g.NumVertices(), walk.ShardedLiveConfig{
-		QueueDepth: o.QueueDepth,
-		WalkLength: o.WalkLength,
-		Seed:       o.Seed,
-		Rebalance:  o.Rebalance.opts(),
+		QueueDepth:   o.QueueDepth,
+		WalkLength:   o.WalkLength,
+		Seed:         o.Seed,
+		Rebalance:    o.Rebalance.opts(),
+		CreditWindow: o.CreditWindow,
 	})
 	if err != nil {
 		port.Close()
@@ -719,6 +791,7 @@ func serveOneShardSession(sc *tcpgob.ShardConn, hello fabric.Hello, shard int, o
 	plan := walk.ShardPlan{
 		Shards: hello.Shards, RangeSize: hello.RangeSize,
 		Epoch: hello.PlanEpoch, Overlay: hello.Overlay,
+		Replicas: hello.Replicas, DeadMask: hello.DeadMask,
 	}
 	st, err := walk.RunShardNode(eng, plan, shard, sc, walkers, hello.Cache)
 	return ShardServeStats{
