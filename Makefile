@@ -34,6 +34,7 @@ bench:
 # reports appear; absolute numbers at this scale are meaningless.
 bench-smoke:
 	$(GO) run ./cmd/bingobench -exp concurrent,sharded,rebalance,backpressure -datasets AM -scale 0.002 -walkers 500 -workers 2 \
+		-kernel-modes sparse,dense,auto -procs 1,4 \
 		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json -json-rebalance BENCH_rebalance.json \
 		-json-backpressure BENCH_backpressure.json
 	test -s BENCH_concurrent.json && test -s BENCH_sharded.json && test -s BENCH_rebalance.json && test -s BENCH_backpressure.json

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/bingo-rw/bingo/internal/bench"
@@ -36,6 +37,8 @@ func main() {
 		jsonPath = flag.String("json", "BENCH_concurrent.json", "output path for the concurrent scenario's JSON report ('' disables)")
 		transp   = flag.String("transports", "", "comma-separated sharded-scenario transports (default inproc,tcp)")
 		cacheM   = flag.String("cache-modes", "", "comma-separated sharded-scenario hub-cache modes (default on,off)")
+		kernelM  = flag.String("kernel-modes", "", "comma-separated stepping-kernel modes for the concurrent/sharded scenarios (default sparse,dense,auto)")
+		procsF   = flag.String("procs", "", "comma-separated GOMAXPROCS sweep for the kernel dimension (default 1,4)")
 		jsonSh   = flag.String("json-sharded", "BENCH_sharded.json", "output path for the sharded scenario's JSON report ('' disables)")
 		jsonReb  = flag.String("json-rebalance", "BENCH_rebalance.json", "output path for the rebalance scenario's JSON report ('' disables)")
 		jsonBp   = flag.String("json-backpressure", "BENCH_backpressure.json", "output path for the backpressure scenario's JSON report ('' disables)")
@@ -78,6 +81,15 @@ func main() {
 	o.BackpressureJSONPath = *jsonBp
 	o.Transports = split(*transp)
 	o.CacheModes = split(*cacheM)
+	o.KernelModes = split(*kernelM)
+	for _, p := range split(*procsF) {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bingobench: bad -procs value %q: %v\n", p, err)
+			os.Exit(2)
+		}
+		o.Procs = append(o.Procs, n)
+	}
 	o.Verbose = *verbose
 
 	if err := bench.Run(*exp, o); err != nil {

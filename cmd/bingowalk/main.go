@@ -71,8 +71,14 @@ func main() {
 		rebMoves  = flag.Int("rebalance-max-moves", 0, "block migrations per heat check (0 = default 4)")
 		replicas  = flag.Int("replicas", 1, "block ownership replication factor in the sharded serving modes (R consecutive shards hold each block; survives shard deaths by replica promotion; mutually exclusive with -rebalance)")
 		creditWin = flag.Int("credit-window", 0, "per-shard ingest credit window: max routed-but-unapplied update events before Feed blocks (0 = default 16384, negative disables)")
+		kernelF   = flag.String("kernel", "auto", "stepping-kernel mode in the serving modes: sparse|dense|auto")
 	)
 	flag.Parse()
+
+	kernel, err := walk.ParseKernelMode(*kernelF)
+	if err != nil {
+		fail(err)
+	}
 
 	hubCache := bingo.HubCacheOptions{Off: *cacheOff, MinDegree: *hubDeg}
 	rebOpts := rebalance.Options{On: *reb, Interval: *rebEvery, Imbalance: *rebImbal, MaxMovesPerCycle: *rebMoves}
@@ -83,7 +89,7 @@ func main() {
 		return
 	}
 	if *live {
-		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, *replicas, *creditWin, hubCache, rebOpts); err != nil {
+		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, *replicas, *creditWin, kernel, hubCache, rebOpts); err != nil {
 			fail(err)
 		}
 		return
@@ -274,7 +280,7 @@ type liveServer interface {
 // the graph is 1-D partitioned across N engines and walks cross shard
 // boundaries by walker transfer (supplement §9.1); with -connect the
 // shards are separate daemon processes behind the TCP fabric.
-func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, replicas, creditWin int, hubCache bingo.HubCacheOptions, rebOpts rebalance.Options) error {
+func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, replicas, creditWin int, kernel walk.KernelMode, hubCache bingo.HubCacheOptions, rebOpts rebalance.Options) error {
 	g, err := loadGraph(graphPath, dataset, scale, seed)
 	if err != nil {
 		return err
@@ -312,6 +318,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			NumVertices: w.Initial.NumVertices(),
 			Cache:       cacheSpec,
 			Replicas:    plan.Replicas,
+			Kernel:      kernel.String(),
 		}, tcpgob.DialConfig{Resilient: plan.Replicas > 1})
 		if err != nil {
 			return err
@@ -350,7 +357,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		}
 		sharded, err = walk.NewShardedLiveService(engines, plan, walk.ShardedLiveConfig{
 			WalkersPerShard: workers, WalkLength: length, Seed: seed, Cache: cacheSpec,
-			Rebalance: rebOpts, CreditWindow: creditWin,
+			Rebalance: rebOpts, CreditWindow: creditWin, Kernel: kernel,
 		})
 		if err != nil {
 			return err
@@ -364,7 +371,7 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			return err
 		}
 		single = concurrent.Wrap(eng, concurrent.Config{})
-		svc = walk.NewLiveService(single, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed, Cache: cacheSpec})
+		svc = walk.NewLiveService(single, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed, Cache: cacheSpec, Kernel: kernel})
 		fmt.Printf("live: %d pool walkers, %d lock stripes, feeding %d updates in batches of %d\n",
 			workers, single.Stripes(), len(w.Updates), batchSize)
 	}

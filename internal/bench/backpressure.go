@@ -125,7 +125,7 @@ func backpressureCell(o *Options, window int) (BackpressureSeries, error) {
 		nodeDone[i] = done
 		go func(shard int, e walk.LiveEngine) {
 			defer close(done)
-			walk.RunShardNode(e, plan, shard, fab.ShardPort(shard), 1, fabric.CacheSpec{}) //nolint:errcheck // session errors surface via svc
+			walk.RunShardNode(e, plan, shard, fab.ShardPort(shard), 1, fabric.CacheSpec{}, walk.KernelAuto) //nolint:errcheck // session errors surface via svc
 		}(i, concurrent.Wrap(s, concurrent.Config{}))
 	}
 	svc, err := walk.NewRemoteService(fab.CoordPort(), plan, backpressureVerts, walk.ShardedLiveConfig{

@@ -76,6 +76,19 @@ type Options struct {
 	// CacheModes filters the sharded scenario's hub-cache dimension:
 	// "on" and/or "off". Nil means both.
 	CacheModes []string
+	// KernelModes filters the stepping-kernel dimension of the concurrent
+	// and sharded scenarios: "sparse", "dense", and/or "auto". Nil means
+	// all three.
+	KernelModes []string
+	// Procs sweeps GOMAXPROCS for the kernel dimension of the concurrent
+	// and sharded scenarios (default [1, 4]).
+	Procs []int
+	// MinWindow is the minimum measurement window per concurrent cell
+	// (default 1s; smoke tests shrink it). Sub-second windows on a shared
+	// vCPU swing ±35–50% run to run from scheduler interference alone —
+	// wider than the kernel effects the sweep exists to resolve — so
+	// committed artifacts must come from full-length windows.
+	MinWindow time.Duration
 	// Verbose adds progress lines.
 	Verbose bool
 
@@ -120,6 +133,9 @@ func (o *Options) normalize() error {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.MinWindow <= 0 {
+		o.MinWindow = time.Second
+	}
 	if len(o.Datasets) == 0 {
 		for _, d := range gen.Datasets {
 			o.Datasets = append(o.Datasets, d.Abbr)
@@ -145,6 +161,22 @@ func (o *Options) normalize() error {
 	for _, m := range o.CacheModes {
 		if m != "on" && m != "off" {
 			return fmt.Errorf("bench: unknown cache mode %q (want on or off)", m)
+		}
+	}
+	if len(o.KernelModes) == 0 {
+		o.KernelModes = []string{"sparse", "dense", "auto"}
+	}
+	for _, m := range o.KernelModes {
+		if _, err := walk.ParseKernelMode(m); err != nil {
+			return err
+		}
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = []int{1, 4}
+	}
+	for _, p := range o.Procs {
+		if p < 1 {
+			return fmt.Errorf("bench: GOMAXPROCS sweep value %d < 1", p)
 		}
 	}
 	if o.graphCache == nil {

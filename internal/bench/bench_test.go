@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tinyOptions runs every experiment at smoke-test scale: two small
@@ -19,6 +20,7 @@ func tinyOptions(buf *bytes.Buffer) Options {
 	o.Rounds = 2
 	o.WalkLength = 10
 	o.MaxWalkers = 200
+	o.MinWindow = 20 * time.Millisecond
 	o.Datasets = []string{"AM", "GO"}
 	return o
 }
@@ -137,6 +139,10 @@ func TestConcurrentScenarioWritesJSON(t *testing.T) {
 	var buf bytes.Buffer
 	o := tinyOptions(&buf)
 	o.Datasets = []string{"AM"}
+	// Shrink the kernel × procs grid to keep the smoke run fast; the
+	// full default grid is exercised by the committed artifacts.
+	o.KernelModes = []string{"sparse", "dense"}
+	o.Procs = []int{1}
 	o.JSONPath = filepath.Join(t.TempDir(), "BENCH_concurrent.json")
 	if err := Run("concurrent", o); err != nil {
 		t.Fatal(err)
@@ -149,8 +155,9 @@ func TestConcurrentScenarioWritesJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("JSON report unparseable: %v", err)
 	}
-	if rep.Scenario != "ConcurrentThroughput" || len(rep.Series) != len(concurrentLoads) {
-		t.Fatalf("report %+v: want scenario ConcurrentThroughput with %d series", rep, len(concurrentLoads))
+	wantSeries := len(o.KernelModes) * len(o.Procs) * (len(concurrentLoads) + len(concurrentHubLoads))
+	if rep.Scenario != "ConcurrentThroughput" || len(rep.Series) != wantSeries {
+		t.Fatalf("report %+v: want scenario ConcurrentThroughput with %d series", rep, wantSeries)
 	}
 	for i, ser := range rep.Series {
 		if ser.Walks <= 0 || ser.StepsPerSec <= 0 {

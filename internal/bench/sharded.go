@@ -36,12 +36,14 @@ import (
 // (the hub-revisit-heavy serving pattern the cache targets). Emits
 // BENCH_sharded.json for diffing runs.
 
-// ShardedSeries is one measured (workload, transport, cache, shards,
-// load) grid cell.
+// ShardedSeries is one measured (workload, transport, cache, kernel,
+// procs, shards, load) grid cell.
 type ShardedSeries struct {
 	Workload        string  `json:"workload"` // uniform | hubskew
 	Transport       string  `json:"transport"`
-	Cache           string  `json:"cache"` // on | off
+	Cache           string  `json:"cache"`  // on | off
+	Kernel          string  `json:"kernel"` // sparse | dense | auto
+	Procs           int     `json:"procs"`  // GOMAXPROCS inside the cell
 	Shards          int     `json:"shards"`
 	UpdateLoadPct   float64 `json:"update_load_pct"` // nominal target share
 	Walks           int64   `json:"walks"`
@@ -86,6 +88,10 @@ var (
 	shardedHubFraction = 0.01 // top-degree share forming the hub start set
 )
 
+// shardedKernelShards is the shard count the focused kernel × procs
+// sweep runs at (a mid-grid point with real cross-shard traffic).
+const shardedKernelShards = 4
+
 // shardedMinWindow is the minimum measurement window: clients keep
 // issuing walks past their quota until it elapses, so the pacer's
 // 100 µs sleep cycle always gets to feed (the old ~3 ms windows ended
@@ -126,7 +132,26 @@ func runSharded(o *Options) error {
 
 	hubs := hubStarts(g)
 	tbl := newTable(o.Out)
-	tbl.row("workload", "transport", "cache", "shards", "update load", "walks/s", "steps/s", "updates/s", "transfer ratio", "hit rate", "achieved load")
+	tbl.row("workload", "transport", "cache", "kernel", "procs", "shards", "update load", "walks/s", "steps/s", "updates/s", "transfer ratio", "hit rate", "achieved load")
+	emit := func(ser ShardedSeries) {
+		rep.Series = append(rep.Series, ser)
+		tbl.row(
+			ser.Workload,
+			ser.Transport,
+			ser.Cache,
+			ser.Kernel,
+			fmt.Sprintf("%d", ser.Procs),
+			fmt.Sprintf("%d", ser.Shards),
+			fmt.Sprintf("%.0f%%", ser.UpdateLoadPct),
+			fmt.Sprintf("%.0f", ser.WalksPerSec),
+			fmt.Sprintf("%.0f", ser.StepsPerSec),
+			fmt.Sprintf("%.0f", ser.UpdatesPerSec),
+			fmt.Sprintf("%.3f", ser.TransferRatio),
+			fmt.Sprintf("%.3f", ser.LocalHitRate),
+			fmt.Sprintf("%.1f%%", ser.AchievedLoadPct),
+		)
+	}
+	hostProcs := runtime.GOMAXPROCS(0)
 	for _, workload := range shardedWorkloads {
 		loads := shardedLoads
 		var starts []graph.VertexID
@@ -138,27 +163,35 @@ func runSharded(o *Options) error {
 			for _, cacheMode := range o.CacheModes {
 				for _, shards := range shardedShards {
 					for _, load := range loads {
-						ser, err := shardedCell(o, g, w, workload, transport, cacheMode, shards, load, clients, walksPer, starts)
+						ser, err := shardedCell(o, g, w, workload, transport, cacheMode, walk.KernelAuto, hostProcs, shards, load, clients, walksPer, starts)
 						if err != nil {
 							return fmt.Errorf("%s %s cache=%s shards=%d load=%.0f%%: %w", workload, transport, cacheMode, shards, load*100, err)
 						}
-						rep.Series = append(rep.Series, ser)
-						tbl.row(
-							ser.Workload,
-							ser.Transport,
-							ser.Cache,
-							fmt.Sprintf("%d", ser.Shards),
-							fmt.Sprintf("%.0f%%", ser.UpdateLoadPct),
-							fmt.Sprintf("%.0f", ser.WalksPerSec),
-							fmt.Sprintf("%.0f", ser.StepsPerSec),
-							fmt.Sprintf("%.0f", ser.UpdatesPerSec),
-							fmt.Sprintf("%.3f", ser.TransferRatio),
-							fmt.Sprintf("%.3f", ser.LocalHitRate),
-							fmt.Sprintf("%.1f%%", ser.AchievedLoadPct),
-						)
+						emit(ser)
 					}
 				}
 			}
+		}
+	}
+	// The focused kernel sweep: kernel × procs on the cell where frontier
+	// batching has co-location to exploit — hub-skewed starts, in-process
+	// fabric, pure walk load. Sparse runs caches off (the per-walker
+	// locked baseline), dense/auto run them on.
+	for _, kernelName := range o.KernelModes {
+		kernel, err := walk.ParseKernelMode(kernelName)
+		if err != nil {
+			return err
+		}
+		cacheMode := "on"
+		if kernel == walk.KernelSparse {
+			cacheMode = "off"
+		}
+		for _, procs := range o.Procs {
+			ser, err := shardedCell(o, g, w, "hubskew", "inproc", cacheMode, kernel, procs, shardedKernelShards, 0, clients, walksPer, hubs)
+			if err != nil {
+				return fmt.Errorf("kernel sweep %s procs=%d: %w", kernelName, procs, err)
+			}
+			emit(ser)
 		}
 	}
 	tbl.flush()
@@ -210,8 +243,8 @@ func hubStarts(g *graph.CSR) []graph.VertexID {
 // behind real loopback sockets — the same frames, handshake, and
 // per-peer streams `bingowalk -shard-serve` daemons speak — so the cell
 // isolates wire cost without fork/exec noise.
-func newShardedService(o *Options, g *graph.CSR, transport string, cache fabric.CacheSpec, shards, crew int) (shardedService, error) {
-	cfg := walk.ShardedLiveConfig{WalkersPerShard: crew, WalkLength: o.WalkLength, Seed: o.Seed, Cache: cache}
+func newShardedService(o *Options, g *graph.CSR, transport string, cache fabric.CacheSpec, kernel walk.KernelMode, shards, crew int) (shardedService, error) {
+	cfg := walk.ShardedLiveConfig{WalkersPerShard: crew, WalkLength: o.WalkLength, Seed: o.Seed, Cache: cache, Kernel: kernel}
 	return newShardedServiceWithConfig(o, g, transport, cache, shards, crew, cfg)
 }
 
@@ -264,7 +297,8 @@ func newShardedServiceWithConfig(o *Options, g *graph.CSR, transport string, cac
 					Shards: hello.Shards, RangeSize: hello.RangeSize,
 					Epoch: hello.PlanEpoch, Overlay: hello.Overlay,
 				}
-				walk.RunShardNode(e, nodePlan, i, sc, crew, hello.Cache)
+				kern, _ := walk.ParseKernelMode(hello.Kernel)
+				walk.RunShardNode(e, nodePlan, i, sc, crew, hello.Cache, kern)
 			}(i)
 		}
 		port, err := tcpgob.Dial(addrs, fabric.Hello{
@@ -272,6 +306,7 @@ func newShardedServiceWithConfig(o *Options, g *graph.CSR, transport string, cac
 			NumVertices: g.NumVertices(),
 			FloatBias:   o.bingoConfig().FloatBias,
 			Cache:       cache,
+			Kernel:      cfg.Kernel.String(),
 		})
 		if err != nil {
 			return nil, err
@@ -290,16 +325,19 @@ func newShardedServiceWithConfig(o *Options, g *graph.CSR, transport string, cac
 	}
 }
 
-// shardedCell measures one (workload, transport, cache, shards, load)
-// point on fresh engines (the feeder mutates the graph, so cells must
-// not share state). starts restricts walk starts (nil = whole space).
-func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, workload, transport, cacheMode string, shards int, load float64, clients, walksPer int, starts []graph.VertexID) (ShardedSeries, error) {
+// shardedCell measures one (workload, transport, cache, kernel, procs,
+// shards, load) point on fresh engines (the feeder mutates the graph,
+// so cells must not share state). starts restricts walk starts (nil =
+// whole space); procs pins GOMAXPROCS for the cell's duration.
+func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, workload, transport, cacheMode string, kernel walk.KernelMode, procs, shards int, load float64, clients, walksPer int, starts []graph.VertexID) (ShardedSeries, error) {
 	crew := clients / shards
 	if crew < 1 {
 		crew = 1
 	}
+	prevProcs := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prevProcs)
 	cache := fabric.CacheSpec{Off: cacheMode == "off"}
-	svc, err := newShardedService(o, g, transport, cache, shards, crew)
+	svc, err := newShardedService(o, g, transport, cache, kernel, shards, crew)
 	if err != nil {
 		return ShardedSeries{}, err
 	}
@@ -425,6 +463,8 @@ func shardedCell(o *Options, g *graph.CSR, w *gen.Workload, workload, transport,
 		Workload:        workload,
 		Transport:       transport,
 		Cache:           cacheMode,
+		Kernel:          kernel.String(),
+		Procs:           procs,
 		Shards:          shards,
 		UpdateLoadPct:   load * 100,
 		Walks:           walks.Load(),

@@ -32,6 +32,18 @@
 // MaxStepRetries), so a multi-call step sequence (e.g. a sample followed by
 // a HasEdge probe against the same vertex) can be made effectively
 // atomic-or-retried instead of observing two different graph versions.
+//
+// # View versions
+//
+// Cached views validate against a separate, finer-grained counter: a
+// per-*vertex* seqlock version (plus a global generation that advances on
+// any stop-the-world event). Stripe epochs answer "did anything on this
+// stripe move inside my step window" — the right question for a
+// microsecond-scale step. A cached hub view lives for thousands of draws,
+// and hashing it onto a stripe epoch would let every write to every vertex
+// sharing the stripe kill it. Per-vertex versions mean an ingest batch
+// invalidates exactly the views of rows it rewrote — the property that
+// keeps hub caches alive under sustained non-hub ingest.
 package concurrent
 
 import (
@@ -89,6 +101,31 @@ type stripe struct {
 	_     [64 - 32]byte
 }
 
+// viewVersions is the per-vertex view-version table: ver[u] is u's seqlock
+// counter (odd exactly while u's row is being rewritten), gen the global
+// generation. The table is swapped wholesale — new header, gen+1 — under a
+// stop-the-world acquisition (growth, Quiesce), which conservatively
+// invalidates every outstanding view; per-vertex bumps happen in place
+// under the vertex's stripe write lock. A view's stamp packs both halves
+// into its Epoch field as gen<<32 | ver.
+//
+// shared[u] is the engine-wide extraction-dedup slot: the last view
+// extracted of u, returned verbatim to every extractor whose stamp check
+// still passes. Views are immutable snapshots, so handing the same
+// object to every walker is safe — and essential: without the slot, k
+// concurrent walkers each extract a private O(degree) copy of every hub
+// (k× the alias builds, k× the cache footprint), and on machines where
+// the copies outgrow a cache level the dense kernel pays DRAM for table
+// rows the sparse kernel reads from the one shared CSR. A slot holding a
+// stale view (stamp mismatch) is simply overwritten by the next
+// extractor; on generation swaps the slice is reused, so at most one
+// retired view per vertex lingers until then.
+type viewVersions struct {
+	gen    uint32
+	ver    []atomic.Uint32
+	shared []atomic.Pointer[core.VertexView]
+}
+
 // Engine is a concurrency-safe facade over a core.Sampler. All methods are
 // safe for arbitrary concurrent use (each goroutine needs its own RNG).
 // The wrapped sampler must not be used directly while the Engine is live
@@ -99,6 +136,7 @@ type Engine struct {
 	mask    uint32
 	retries int
 	workers int
+	vv      atomic.Pointer[viewVersions]
 }
 
 // Wrap takes ownership of an existing sampler.
@@ -108,13 +146,18 @@ func Wrap(s *core.Sampler, cfg Config) *Engine {
 	if workers <= 0 {
 		workers = s.Config().Workers
 	}
-	return &Engine{
+	e := &Engine{
 		s:       s,
 		stripes: make([]stripe, cfg.Stripes),
 		mask:    uint32(cfg.Stripes - 1),
 		retries: cfg.MaxStepRetries,
 		workers: workers,
 	}
+	e.vv.Store(&viewVersions{
+		ver:    make([]atomic.Uint32, s.NumVertices()),
+		shared: make([]atomic.Pointer[core.VertexView], s.NumVertices()),
+	})
+	return e
 }
 
 // New creates an empty sampler over numVertices vertices and wraps it.
@@ -149,9 +192,70 @@ func (e *Engine) lockAll() {
 }
 
 func (e *Engine) unlockAll() {
+	// Stop-the-world mutations may have touched anything (growth, Quiesce
+	// callbacks, range extraction), so retire the whole view generation:
+	// every outstanding view stamp fails its gen check. The version slice
+	// is reused when the vertex space did not grow — the counters stay
+	// valid, only the generation moves.
+	old := e.vv.Load()
+	nv := &viewVersions{gen: old.gen + 1, ver: old.ver, shared: old.shared}
+	if n := e.s.NumVertices(); n > len(old.ver) {
+		nv.ver = make([]atomic.Uint32, n)
+		nv.shared = make([]atomic.Pointer[core.VertexView], n)
+	}
+	e.vv.Store(nv)
 	for i := range e.stripes {
 		e.stripes[i].epoch.Add(1)
 		e.stripes[i].mu.Unlock()
+	}
+}
+
+// sharedView returns the engine-wide view of u at stamp ep, extracting
+// and publishing a fresh snapshot only when the dedup slot holds none.
+// Call under u's stripe read lock with ep = viewStamp(u): the lock pins
+// the stamp, so a slot hit is exactly the state a fresh extraction would
+// snapshot, and concurrent extractors racing the store publish
+// interchangeable snapshots of the same version. Vertices beyond the
+// table (extracted mid-growth under an old header) fall back to a
+// private copy.
+func (e *Engine) sharedView(u graph.VertexID, ep uint64) *core.VertexView {
+	vv := e.vv.Load()
+	if int(u) >= len(vv.shared) {
+		vw := e.s.ViewOf(u)
+		vw.Epoch = ep
+		return &vw
+	}
+	slot := &vv.shared[u]
+	if vw := slot.Load(); vw != nil && vw.Epoch == ep {
+		return vw
+	}
+	vw := e.s.ViewOf(u)
+	vw.Epoch = ep
+	slot.Store(&vw)
+	return &vw
+}
+
+// viewStamp packs u's current view version for stamping into an extracted
+// view. Call under u's stripe read lock: per-vertex bumps happen under the
+// stripe write lock and generation swaps under every write lock, so the
+// loaded pair is consistent and the version half is even.
+func (e *Engine) viewStamp(u graph.VertexID) uint64 {
+	vv := e.vv.Load()
+	s := uint64(vv.gen) << 32
+	if int(u) < len(vv.ver) {
+		s |= uint64(vv.ver[u].Load())
+	}
+	return s
+}
+
+// bumpView advances u's view version by one. Writers call it (under u's
+// stripe write lock) immediately before and after rewriting u's row, so
+// the version is odd exactly during the rewrite and any view extracted
+// before it fails validation after.
+func (e *Engine) bumpView(u graph.VertexID) {
+	vv := e.vv.Load()
+	if int(u) < len(vv.ver) {
+		vv.ver[u].Add(1)
 	}
 }
 
@@ -187,6 +291,58 @@ func (e *Engine) SampleSeq(u graph.VertexID, dst []graph.VertexID, r *xrand.RNG)
 	}
 	st.mu.RUnlock()
 	return n
+}
+
+// SampleBatch draws one sample from u per slot under a single stripe
+// acquisition — slot i drawn with rs[i] — so a frontier of k co-located
+// walkers pays one lock/epoch round instead of k. Slot i's draw consumes
+// rs[i]'s stream exactly as a standalone Sample(u, rs[i]) would, which is
+// what keeps batched stepping draw-for-draw compatible with per-walker
+// stepping. Returns false when u has no sampleable mass (no stream is
+// consumed then). len(dst) must be at least len(rs).
+func (e *Engine) SampleBatch(u graph.VertexID, rs []*xrand.RNG, dst []graph.VertexID) bool {
+	st := e.stripeOf(u)
+	st.mu.RLock()
+	ok := true
+	for i, r := range rs {
+		v, sampled := e.s.Sample(u, r)
+		if !sampled {
+			ok = false
+			break
+		}
+		dst[i] = v
+	}
+	st.mu.RUnlock()
+	return ok
+}
+
+// SampleBatchOrView is the batch form of SampleOrView, the frontier
+// kernel's cache-fill path: one stripe acquisition that, when u's degree
+// is at least minDegree (a hub by the caller's threshold), extracts a
+// versioned view and draws the whole batch from it outside the lock —
+// the caller caches the view and later batches draw lock-free. Otherwise
+// every slot is drawn under the single lock, as SampleBatch does.
+// minDegree <= 0 never extracts.
+func (e *Engine) SampleBatchOrView(u graph.VertexID, minDegree int, rs []*xrand.RNG, dst []graph.VertexID) (bool, *core.VertexView) {
+	st := e.stripeOf(u)
+	st.mu.RLock()
+	if minDegree > 0 && e.s.Degree(u) >= minDegree {
+		vw := e.sharedView(u, e.viewStamp(u))
+		st.mu.RUnlock()
+		ok := vw.SampleBatch(rs, dst)
+		return ok, vw
+	}
+	ok := true
+	for i, r := range rs {
+		v, sampled := e.s.Sample(u, r)
+		if !sampled {
+			ok = false
+			break
+		}
+		dst[i] = v
+	}
+	st.mu.RUnlock()
+	return ok, nil
 }
 
 // Degree returns u's out-degree.
@@ -244,25 +400,39 @@ func (e *Engine) Validate(u graph.VertexID, epoch uint64) bool {
 }
 
 // ViewOf extracts a versioned immutable view of u's sampling state: the
-// core snapshot stamped with u's stripe epoch at extraction. The view
-// samples lock-free with the engine's exact probabilities for as long as
-// ValidateView holds; afterwards it must be dropped and re-extracted.
-// Extraction costs O(degree) — callers cache views of hot (hub) vertices,
-// where the copy amortizes over many lock-free draws.
+// core snapshot stamped with u's own view version (generation plus
+// per-vertex seqlock counter) at extraction. The view samples lock-free
+// with the engine's exact probabilities for as long as ValidateView holds;
+// afterwards it must be dropped and re-extracted. Extraction costs
+// O(degree) — callers cache views of hot (hub) vertices, where the copy
+// amortizes over many lock-free draws.
 func (e *Engine) ViewOf(u graph.VertexID) *core.VertexView {
 	st := e.stripeOf(u)
 	st.mu.RLock()
-	ep := st.epoch.Load() // stable (even) while the read lock is held
-	vw := e.s.ViewOf(u)
+	vw := e.sharedView(u, e.viewStamp(u))
 	st.mu.RUnlock()
-	vw.Epoch = ep
-	return &vw
+	return vw
 }
 
 // ValidateView reports whether vw still reflects its vertex's current
-// state: the stripe is stable and has not mutated since extraction.
+// state: the generation it was extracted under is still live (no
+// stop-the-world event since) and the vertex's own row has not been
+// rewritten. Writes to *other* vertices — same stripe or not — do not
+// invalidate it; that is what lets cached hub views survive sustained
+// ingest that never touches the hubs' out-rows.
 func (e *Engine) ValidateView(vw *core.VertexView) bool {
-	return e.Validate(vw.Vertex, vw.Epoch)
+	vv := e.vv.Load()
+	if uint32(vw.Epoch>>32) != vv.gen {
+		return false
+	}
+	want := uint32(vw.Epoch)
+	if want&1 != 0 {
+		return false
+	}
+	if int(vw.Vertex) >= len(vv.ver) {
+		return want == 0
+	}
+	return vv.ver[vw.Vertex].Load() == want
 }
 
 // SampleOrView is the cache-fill read path: one stripe acquisition that
@@ -274,12 +444,10 @@ func (e *Engine) SampleOrView(u graph.VertexID, minDegree int, r *xrand.RNG) (gr
 	st := e.stripeOf(u)
 	st.mu.RLock()
 	if minDegree > 0 && e.s.Degree(u) >= minDegree {
-		ep := st.epoch.Load()
-		vw := e.s.ViewOf(u)
+		vw := e.sharedView(u, e.viewStamp(u))
 		st.mu.RUnlock()
-		vw.Epoch = ep
 		v, ok := vw.Sample(r)
-		return v, ok, &vw
+		return v, ok, vw
 	}
 	v, ok := e.s.Sample(u, r)
 	st.mu.RUnlock()
@@ -348,7 +516,9 @@ func (e *Engine) write(u graph.VertexID, need int, fn func() error) error {
 	st.mu.Lock()
 	if e.s.NumVertices() >= need {
 		st.epoch.Add(1)
+		e.bumpView(u)
 		err := fn()
+		e.bumpView(u)
 		st.epoch.Add(1)
 		st.mu.Unlock()
 		return err
@@ -462,7 +632,9 @@ func (e *Engine) ApplyBatch(ups []graph.Update) (core.BatchResult, error) {
 		st := e.stripeOf(u)
 		st.mu.Lock()
 		st.epoch.Add(1)
+		e.bumpView(u)
 		r := e.s.ApplyVertexUpdates(u, ops, sc)
+		e.bumpView(u)
 		st.epoch.Add(1)
 		st.mu.Unlock()
 		return r

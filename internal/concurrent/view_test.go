@@ -55,6 +55,53 @@ func TestViewEpochValidation(t *testing.T) {
 	}
 }
 
+// TestViewSurvivesUnrelatedWrites pins the per-vertex grain of view
+// validation: writes to other vertices — wherever they hash — must NOT
+// invalidate a cached view, while a stop-the-world event (growth,
+// Quiesce) retires every view via the generation. This is the property
+// that keeps hub caches alive under sustained non-hub ingest.
+func TestViewSurvivesUnrelatedWrites(t *testing.T) {
+	e := newViewTestEngine(t)
+	vw := e.ViewOf(0)
+	if !e.ValidateView(vw) {
+		t.Fatal("fresh view does not validate")
+	}
+	// Hammer every other in-space vertex with all three write classes.
+	for u := graph.VertexID(1); u < 16; u++ {
+		if err := e.Insert(u, (u+1)%16, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.UpdateBias(1, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ApplyBatch([]graph.Update{{Op: graph.OpInsert, Src: 7, Dst: 3, Bias: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.ValidateView(vw) {
+		t.Fatal("writes to unrelated vertices invalidated a cached view")
+	}
+	// A stop-the-world event retires the generation: everything drops.
+	e.Quiesce(func(*core.Sampler) {})
+	if e.ValidateView(vw) {
+		t.Fatal("view survived a stop-the-world generation bump")
+	}
+	// Growth (insert referencing an out-of-space vertex) likewise.
+	vw2 := e.ViewOf(0)
+	if !e.ValidateView(vw2) {
+		t.Fatal("re-extracted view does not validate")
+	}
+	if err := e.Insert(20, 21, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.ValidateView(vw2) {
+		t.Fatal("view survived vertex-space growth")
+	}
+}
+
 // TestSampleOrView checks the single-acquisition cache-fill path: below
 // the degree threshold it behaves as a plain sample; at or above it the
 // returned view is stamped, validates, and samples the same distribution.
@@ -127,4 +174,39 @@ func TestViewConcurrentSampling(t *testing.T) {
 	}
 	close(stop)
 	<-done
+}
+
+// TestSharedViewDedup pins the extraction-dedup contract: repeated
+// extractions of an unchanged vertex return the same immutable view
+// object (concurrent walkers share one O(degree) snapshot instead of
+// copying it per caller), and any write to the vertex retires the slot
+// so the next extraction publishes a fresh snapshot.
+func TestSharedViewDedup(t *testing.T) {
+	e := newViewTestEngine(t)
+	vw := e.ViewOf(0)
+	if again := e.ViewOf(0); again != vw {
+		t.Fatal("second extraction of an unchanged vertex did not dedup")
+	}
+	r := xrand.New(1)
+	if _, ok, cached := e.SampleOrView(0, 2, r); !ok || cached != vw {
+		t.Fatal("SampleOrView did not return the shared view")
+	}
+	rs := []*xrand.RNG{xrand.New(2), xrand.New(3)}
+	dst := make([]graph.VertexID, 2)
+	if ok, cached := e.SampleBatchOrView(0, 2, rs, dst); !ok || cached != vw {
+		t.Fatal("SampleBatchOrView did not return the shared view")
+	}
+	if err := e.Insert(0, 9, 5); err != nil {
+		t.Fatal(err)
+	}
+	fresh := e.ViewOf(0)
+	if fresh == vw {
+		t.Fatal("extraction after a write returned the retired view")
+	}
+	if !e.ValidateView(fresh) || e.ValidateView(vw) {
+		t.Fatal("validation does not separate fresh from retired view")
+	}
+	if fresh.Degree() != vw.Degree()+1 {
+		t.Fatalf("fresh view degree %d, want %d", fresh.Degree(), vw.Degree()+1)
+	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"github.com/bingo-rw/bingo/internal/bitutil"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/xrand"
@@ -20,21 +22,18 @@ import (
 // crew keeps hot vertices' views and samples lock-free, and a shard serves
 // hub hops for vertices it does not own from views its peers shipped over
 // the fabric. Both layers depend on knowing when a view went stale, so a
-// view is *versioned*: Epoch carries the per-stripe epoch of the
-// concurrent engine that extracted it (stamped by the wrapper — the core
-// sampler has no epochs), and remote carriers stamp Applied with the
-// owner's cumulative applied-update count. A view whose version no longer
-// validates must be dropped, never sampled.
-//
-// The inter-group stage uses a linear cumulative scan rather than a copy
-// of the alias table: the group count is O(K) ≈ log(max bias), the scan is
-// exact and allocation-free, and it keeps the wire form free of
-// unexported alias state.
+// view is *versioned*: Epoch carries the extracting concurrent engine's
+// view stamp — the global generation packed with the vertex's own seqlock
+// version (stamped by the wrapper; the core sampler has no versions) —
+// and remote carriers stamp Applied with the owner's cumulative
+// applied-update count. A view whose version no longer validates must be
+// dropped, never sampled.
 type VertexView struct {
 	// Vertex is the viewed vertex's ID.
 	Vertex graph.VertexID
-	// Epoch is the extracting engine's per-stripe epoch at extraction
-	// (even = stable). Zero on views extracted outside an epoch domain.
+	// Epoch is the extracting engine's view stamp at extraction:
+	// generation<<32 | per-vertex version (version even = stable). Zero
+	// on views extracted outside a version domain.
 	Epoch uint64
 	// Applied is the extracting node's cumulative applied-update count at
 	// extraction — the watermark remote caches validate against. Zero
@@ -61,6 +60,24 @@ type VertexView struct {
 	DecList []int32
 	// DecSum is the decimal group's total remainder mass.
 	DecSum float64
+
+	// AliasCut/AliasIdx are a slot-level alias table (Vose) over the
+	// adjacency columns, built once at extraction. A draw consumes one
+	// RNG word x: the high 128-bit-multiply reduction x·n/2⁶⁴ picks
+	// column i uniformly, and the product's low word — uniform and
+	// independent of i — accepts i when below AliasCut[i] (the stay
+	// probability in fixed-point 2⁶⁴ths), else falls to AliasIdx[i]. The
+	// table encodes exactly the two-stage probabilities (slot mass is
+	// the bias column plus, in float mode, the remainder column) to
+	// within 2⁻⁶⁴ per cut, but a draw costs O(1) — one RNG word, one
+	// multiply, one compare — instead of a group scan plus rejection.
+	// Views are the unit of the hub caches, where one extraction serves
+	// thousands of draws, so the O(degree) build amortizes to nothing;
+	// Sample/SampleBatch use the table whenever it is present and fall
+	// back to the group walk otherwise (e.g. a view deserialized from an
+	// older peer).
+	AliasCut []uint64
+	AliasIdx []int32
 }
 
 // ViewGroup is one radix group inside a view: enough of the group's
@@ -116,6 +133,7 @@ func (s *Sampler) ViewOf(u graph.VertexID) VertexView {
 		}
 		vw.Groups = append(vw.Groups, vg)
 	}
+	vw.buildAlias()
 	return vw
 }
 
@@ -130,8 +148,77 @@ func (vw *VertexView) Total() float64 {
 	return vw.Cum[len(vw.Cum)-1]
 }
 
+// buildAlias constructs the slot-level Vose alias table from the view's
+// columns (slot weight = bias plus, in float mode, the remainder). Called
+// once at extraction; draws then cost O(1) instead of a group scan plus
+// rejection. The table encodes exactly bias/Σbias — Vose's construction
+// preserves each column's scaled mass to float rounding, and the
+// fixed-point cut quantizes each stay probability by at most 2⁻⁶⁴.
+func (vw *VertexView) buildAlias() {
+	n := len(vw.Dsts)
+	if n == 0 {
+		return
+	}
+	total := vw.Total()
+	if total <= 0 {
+		return
+	}
+	cut := make([]uint64, n)
+	alias := make([]int32, n)
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		w := float64(vw.Bias[i])
+		if vw.Rem != nil {
+			w += float64(vw.Rem[i])
+		}
+		s := w * float64(n) / total
+		scaled[i] = s
+		if s < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		cut[s] = fixCut(scaled[s])
+		alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers on either list hold (to rounding) exactly mass 1.
+	for _, i := range large {
+		cut[i], alias[i] = ^uint64(0), i
+	}
+	for _, i := range small {
+		cut[i], alias[i] = ^uint64(0), i
+	}
+	vw.AliasCut, vw.AliasIdx = cut, alias
+}
+
+// fixCut converts a stay probability in [0,1) to fixed-point 2⁶⁴ths.
+func fixCut(p float64) uint64 {
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	if p <= 0 {
+		return 0
+	}
+	return uint64(p * (1 << 63) * 2)
+}
+
 // Sample draws a neighbor with probability bias/Σbias from the snapshot —
-// the engine's two-stage draw replayed against frozen state. It is safe
+// through the O(1) alias table when the view carries one, else the
+// engine's two-stage draw replayed against frozen state. It is safe
 // for concurrent use by any number of goroutines (each with its own RNG)
 // and never allocates.
 func (vw *VertexView) Sample(r *xrand.RNG) (graph.VertexID, bool) {
@@ -142,6 +229,14 @@ func (vw *VertexView) Sample(r *xrand.RNG) (graph.VertexID, bool) {
 	total := vw.Cum[n-1]
 	if total <= 0 {
 		return 0, false
+	}
+	if ac := vw.AliasCut; len(ac) == len(vw.Dsts) {
+		hi, lo := bits.Mul64(r.Uint64(), uint64(len(ac)))
+		i := int(hi)
+		if lo >= ac[i] {
+			i = int(vw.AliasIdx[i])
+		}
+		return vw.Dsts[i], true
 	}
 	slot := 0
 	if n > 1 {
@@ -157,6 +252,96 @@ func (vw *VertexView) Sample(r *xrand.RNG) (graph.VertexID, bool) {
 		idx = vw.Groups[slot].sample(r, vw.Bias, vw.RadixBits)
 	}
 	return vw.Dsts[idx], true
+}
+
+// SampleBatch draws one neighbor per slot from the snapshot — slot i is
+// drawn with rs[i], so every walker parked on this vertex keeps its own
+// deterministic stream — in a single pass that hoists the total mass and
+// bounds checks out of the per-draw loop. Each slot consumes its stream
+// exactly as a per-slot Sample call would, which is what lets the frontier
+// kernel's dense mode batch draws for co-located walkers without
+// perturbing any walker's stream. Returns false (drawing nothing) when
+// the view has no sampleable mass. len(dst) must be at least len(rs).
+func (vw *VertexView) SampleBatch(rs []*xrand.RNG, dst []graph.VertexID) bool {
+	n := len(vw.Cum)
+	if n == 0 {
+		return false
+	}
+	total := vw.Cum[n-1]
+	if total <= 0 {
+		return false
+	}
+	if ac := vw.AliasCut; len(ac) == len(vw.Dsts) {
+		ai := vw.AliasIdx
+		dsts := vw.Dsts
+		d := uint64(len(ac))
+		for i, r := range rs {
+			hi, lo := bits.Mul64(r.Uint64(), d)
+			j := int(hi)
+			if lo >= ac[j] {
+				j = int(ai[j])
+			}
+			dst[i] = dsts[j]
+		}
+		return true
+	}
+	for i, r := range rs {
+		slot := 0
+		if n > 1 {
+			x := r.Float64() * total
+			for slot < n-1 && x >= vw.Cum[slot] {
+				slot++
+			}
+		}
+		var idx int32
+		if vw.Dec && slot == n-1 {
+			idx = vw.sampleDec(r)
+		} else {
+			idx = vw.Groups[slot].sample(r, vw.Bias, vw.RadixBits)
+		}
+		dst[i] = vw.Dsts[idx]
+	}
+	return true
+}
+
+// SampleBatchOne draws len(dst) neighbors from the snapshot consuming a
+// single stream — the batch form callers use when per-walker stream
+// identity is already waived (a cached-view hit in the frontier kernel:
+// the dense contract there is distributional exactness, not
+// draw-for-draw parity). One stream keeps the generator state hot in the
+// draw loop instead of paying a scattered state-line fetch per slot.
+// Returns false (drawing nothing) when the view has no sampleable mass.
+func (vw *VertexView) SampleBatchOne(r *xrand.RNG, dst []graph.VertexID) bool {
+	n := len(vw.Cum)
+	if n == 0 {
+		return false
+	}
+	total := vw.Cum[n-1]
+	if total <= 0 {
+		return false
+	}
+	if ac := vw.AliasCut; len(ac) == len(vw.Dsts) {
+		ai := vw.AliasIdx
+		dsts := vw.Dsts
+		d := uint64(len(ac))
+		for i := range dst {
+			hi, lo := bits.Mul64(r.Uint64(), d)
+			j := int(hi)
+			if lo >= ac[j] {
+				j = int(ai[j])
+			}
+			dst[i] = dsts[j]
+		}
+		return true
+	}
+	for i := range dst {
+		v, ok := vw.Sample(r)
+		if !ok {
+			return false
+		}
+		dst[i] = v
+	}
+	return true
 }
 
 // sample draws a member uniformly, mirroring group.sample against the

@@ -105,6 +105,77 @@ func TestViewMatchesVertexProbabilities(t *testing.T) {
 	}
 }
 
+// TestViewAliasExact pins the alias fast path's exactness structurally:
+// for every vertex on a randomized tape (both bias modes), the probability
+// the table implies for each adjacency slot — direct acceptance plus mass
+// falling through from other columns' alias pointers, over a uniform
+// column pick — must equal the two-stage probabilities to float rounding.
+func TestViewAliasExact(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		float bool
+	}{{"int", false}, {"float", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.FloatBias = mode.float
+			s, err := New(48, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := xrand.New(0xA11A5)
+			for i := 0; i < 1500; i++ {
+				u := graph.VertexID(r.Intn(48))
+				v := graph.VertexID(r.Intn(48))
+				if s.HasEdge(u, v) {
+					if r.Coin(0.5) {
+						if err := s.Delete(u, v); err != nil {
+							t.Fatal(err)
+						}
+					}
+					continue
+				}
+				if mode.float {
+					err = s.InsertFloat(u, v, 0.25+500*r.Float64())
+				} else {
+					err = s.Insert(u, v, uint64(1+r.Intn(1<<18)))
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for u := 0; u < s.NumVertices(); u++ {
+				vw := s.ViewOf(graph.VertexID(u))
+				want := vw.Probabilities()
+				if vw.Degree() == 0 {
+					if vw.AliasCut != nil {
+						t.Fatalf("vertex %d: empty view carries an alias table", u)
+					}
+					continue
+				}
+				n := vw.Degree()
+				if len(vw.AliasCut) != n || len(vw.AliasIdx) != n {
+					t.Fatalf("vertex %d: alias table sized %d/%d for degree %d",
+						u, len(vw.AliasCut), len(vw.AliasIdx), n)
+				}
+				implied := make([]float64, n)
+				for i := 0; i < n; i++ {
+					stay := float64(vw.AliasCut[i]) / (1 << 63) / 2
+					implied[i] += stay / float64(n)
+					if a := vw.AliasIdx[i]; int(a) != i {
+						implied[a] += (1 - stay) / float64(n)
+					}
+				}
+				for i := 0; i < n; i++ {
+					if math.Abs(implied[i]-want[int32(i)]) > 1e-9 {
+						t.Fatalf("vertex %d slot %d: alias implies %v, exact %v",
+							u, i, implied[i], want[int32(i)])
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestViewEmptyAndOutOfRange pins the no-mass contract: views of unknown
 // or edgeless vertices sample ok=false instead of panicking.
 func TestViewEmptyAndOutOfRange(t *testing.T) {

@@ -319,7 +319,10 @@ func (p *shardPort) sendEvent(ev fabric.Event, msg any) error {
 
 func (p *shardPort) Shard() int { return p.shard }
 
-func (p *shardPort) NextWalker() (*fabric.Walker, bool)      { return p.l.walkers.Pop() }
+func (p *shardPort) NextWalker() (*fabric.Walker, bool) { return p.l.walkers.Pop() }
+func (p *shardPort) NextWalkers(dst []*fabric.Walker, max int) ([]*fabric.Walker, bool) {
+	return p.l.walkers.PopUpTo(dst, max)
+}
 func (p *shardPort) NextIngest() (*fabric.Ingest, bool)      { return p.l.rx.Pop() }
 func (p *shardPort) NextView() (*fabric.ViewMsg, bool)       { return p.l.views.Pop() }
 func (p *shardPort) NextBlock() (*fabric.MigrateBlock, bool) { return p.l.blocks.Pop() }

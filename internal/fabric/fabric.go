@@ -405,6 +405,13 @@ type ShardPort interface {
 	// peer transfers share one stream; ordering between walkers is
 	// irrelevant — see the package comment).
 	NextWalker() (*Walker, bool)
+	// NextWalkers pops up to max inbound walkers in one queue round:
+	// it blocks until at least one walker is available, appends the
+	// drained walkers to dst, and returns it. The batch ingress feeds
+	// the frontier stepping kernel — a crew that drains co-located
+	// walkers together can amortize one lock/epoch validation over all
+	// of them. Same end-of-stream semantics as NextWalker.
+	NextWalkers(dst []*Walker, max int) ([]*Walker, bool)
 	// NextIngest pops the next element of the ordered ingest stream.
 	NextIngest() (*Ingest, bool)
 	// ForwardWalker hands a walker to shard dst's crew. It must not
@@ -505,6 +512,11 @@ type Hello struct {
 	// Cache configures the daemons' hub caches (zero value = defaults,
 	// cache on).
 	Cache CacheSpec
+	// Kernel selects the daemons' stepping-kernel mode: "sparse"
+	// (per-walker), "dense" (per-vertex frontier batches), or "auto"
+	// (density-based switching). Empty means auto; the walk layer parses
+	// it (string on the wire keeps the fabric free of walk enums).
+	Kernel string
 	// Replicas is the block replication factor (0 or 1 = no replication):
 	// each ownership block is held by Replicas consecutive shards and
 	// survives Replicas-1 deaths.

@@ -139,6 +139,10 @@ func (p *shardPort) NextWalker() (*fabric.Walker, bool) {
 	return p.f.walkers[p.shard].Pop()
 }
 
+func (p *shardPort) NextWalkers(dst []*fabric.Walker, max int) ([]*fabric.Walker, bool) {
+	return p.f.walkers[p.shard].PopUpTo(dst, max)
+}
+
 func (p *shardPort) NextIngest() (*fabric.Ingest, bool) {
 	in, ok := <-p.f.ingests[p.shard]
 	return in, ok

@@ -52,6 +52,34 @@ func (m *Mailbox[T]) Pop() (T, bool) {
 	return v, true
 }
 
+// PopUpTo blocks until at least one item is available (or the mailbox is
+// closed), then appends up to max queued items to dst and returns it.
+// The batch drain is what lets a walker crew form a whole stepping
+// frontier from one queue acquisition instead of popping walkers one
+// lock round-trip at a time. Like Pop, items queued before Close are
+// drained before ok=false is observed.
+func (m *Mailbox[T]) PopUpTo(dst []T, max int) ([]T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return dst, false
+	}
+	n := len(m.items)
+	if n > max {
+		n = max
+	}
+	dst = append(dst, m.items[:n]...)
+	var zero T
+	for i := 0; i < n; i++ {
+		m.items[i] = zero // release the references
+	}
+	m.items = m.items[n:]
+	return dst, true
+}
+
 // Close marks the mailbox closed and wakes all poppers. Idempotent.
 func (m *Mailbox[T]) Close() {
 	m.mu.Lock()

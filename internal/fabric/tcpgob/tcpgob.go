@@ -526,6 +526,10 @@ func (s *ShardConn) Shard() int { return s.shard }
 // NextWalker pops the next inbound walker.
 func (s *ShardConn) NextWalker() (*fabric.Walker, bool) { return s.walkers.Pop() }
 
+func (s *ShardConn) NextWalkers(dst []*fabric.Walker, max int) ([]*fabric.Walker, bool) {
+	return s.walkers.PopUpTo(dst, max)
+}
+
 // NextIngest pops the next ingest-stream element.
 func (s *ShardConn) NextIngest() (*fabric.Ingest, bool) { return s.ingests.Pop() }
 

@@ -36,7 +36,7 @@ func TestCreditWindowBoundsSlowShard(t *testing.T) {
 	nodeDone := make(chan struct{})
 	go func() {
 		defer close(nodeDone)
-		walk.RunShardNode(concurrent.Wrap(s, concurrent.Config{}), plan, 0, fab.ShardPort(0), 1, fabric.CacheSpec{})
+		walk.RunShardNode(concurrent.Wrap(s, concurrent.Config{}), plan, 0, fab.ShardPort(0), 1, fabric.CacheSpec{}, walk.KernelAuto)
 	}()
 	svc, err := walk.NewRemoteService(fab.CoordPort(), plan, verts, walk.ShardedLiveConfig{
 		WalkLength:   4,

@@ -1,0 +1,126 @@
+package walk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/bingo-rw/bingo/internal/concurrent"
+	"github.com/bingo-rw/bingo/internal/core"
+	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// benchHubs is the hub count of the benchmark topology; a kernelBatch
+// frontier parks kernelBatch/benchHubs walkers per hub every round.
+const benchHubs = 32
+
+// benchHubEngine builds the hub-dominated engine the dense mode targets:
+// every vertex has eight out-edges, seven into the hub set, so a frontier
+// re-concentrates on the hubs every hop and never dead-ends.
+func benchHubEngine(tb testing.TB, verts int) *concurrent.Engine {
+	tb.Helper()
+	r := xrand.New(0xbe7c4)
+	edges := make([]graph.Edge, 0, verts*8)
+	for v := 0; v < verts; v++ {
+		for j := 0; j < 8; j++ {
+			dst := graph.VertexID(r.Intn(benchHubs))
+			if j == 7 {
+				dst = graph.VertexID(r.Intn(verts))
+			}
+			edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: dst, Bias: uint64(1 + r.Intn(16))})
+		}
+	}
+	g, err := graph.FromEdges(verts, edges)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := core.NewFromCSR(g, core.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return concurrent.Wrap(s, concurrent.Config{})
+}
+
+// benchFrontier seats a full hub-parked frontier with per-slot streams.
+func benchFrontier(f *frontier) {
+	for i := 0; i < kernelBatch; i++ {
+		f.cur[i] = graph.VertexID(i % benchHubs)
+		f.rng[i] = xrand.New(uint64(i) + 1)
+	}
+	f.n = kernelBatch
+}
+
+// stepAndAdvance runs one kernel round and walks the frontier forward
+// (re-parking any dead-ended slot on its home hub, which the hub topology
+// never actually produces).
+func stepAndAdvance(k *stepKernel, f *frontier) {
+	k.stepBatch(f)
+	for i := 0; i < f.n; i++ {
+		if f.ok[i] {
+			f.cur[i] = f.next[i]
+		} else {
+			f.cur[i] = graph.VertexID(i % benchHubs)
+		}
+	}
+}
+
+// BenchmarkKernelStep measures the steady-state cost of one frontier
+// round (kernelBatch steps) per kernel mode × cache setting on the
+// hub-concentrated frontier. allocs/op is the satellite budget the alloc
+// test pins: steady-state stepping must not allocate.
+func BenchmarkKernelStep(b *testing.B) {
+	e := benchHubEngine(b, 4096)
+	for _, mode := range []KernelMode{KernelSparse, KernelDense, KernelAuto} {
+		for _, cache := range []string{"off", "on"} {
+			b.Run(fmt.Sprintf("mode=%s/cache=%s", mode, cache), func(b *testing.B) {
+				k := newStepKernel(e, mode, fabric.CacheSpec{Off: cache == "off"})
+				f := getFrontier(kernelBatch)
+				defer putFrontier(f)
+				benchFrontier(f)
+				for w := 0; w < 64; w++ {
+					stepAndAdvance(k, f)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					stepAndAdvance(k, f)
+				}
+				b.ReportMetric(float64(b.N)*kernelBatch/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+	}
+}
+
+// TestKernelStepAllocBudget pins the satellite's allocs-per-step budget:
+// after warmup (caches filled, scratch grown), a stepping round over the
+// resident hot set allocates nothing in any mode — the budget of 0.5
+// allocs per 256-step round tolerates only stray background noise, not
+// per-step or per-run allocation regressions. The frontier re-parks on
+// the hubs each round: a wandering frontier pays amortized O(degree)
+// view extraction when it lands on cold hub-sized vertices, which is
+// cache-fill cost, not stepping cost (the benchmark reports it).
+func TestKernelStepAllocBudget(t *testing.T) {
+	e := benchHubEngine(t, 2048)
+	for _, mode := range []KernelMode{KernelSparse, KernelDense, KernelAuto} {
+		for _, off := range []bool{true, false} {
+			k := newStepKernel(e, mode, fabric.CacheSpec{Off: off})
+			f := getFrontier(kernelBatch)
+			benchFrontier(f)
+			for w := 0; w < 64; w++ {
+				stepAndAdvance(k, f)
+			}
+			avg := testing.AllocsPerRun(200, func() {
+				for i := 0; i < f.n; i++ {
+					f.cur[i] = graph.VertexID(i % benchHubs)
+				}
+				k.stepBatch(f)
+			})
+			if avg > 0.5 {
+				t.Errorf("mode=%s cache-off=%v: %.2f allocs per %d-step round, want 0",
+					mode, off, avg, kernelBatch)
+			}
+			putFrontier(f)
+		}
+	}
+}

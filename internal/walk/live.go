@@ -41,6 +41,11 @@ type LiveConfig struct {
 	// the unsharded service). Takes effect only when the engine supports
 	// versioned views (concurrent.Engine does).
 	Cache fabric.CacheSpec
+	// Kernel selects the stepping-kernel mode (zero value = auto).
+	// Queries are single independent walks, so the pool always steps
+	// them sparse; the mode is forwarded to bulk kernels run through
+	// Bulk, where dense frontiers apply.
+	Kernel KernelMode
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -146,28 +151,21 @@ func NewLiveService(e LiveEngine, cfg LiveConfig) *LiveService {
 // path as the fallback (and the only path for engines without views).
 func (ls *LiveService) walkLoop(r *xrand.RNG) {
 	defer ls.walkers.Done()
-	var vc *viewCache
-	var ve ViewSampler
-	if !ls.cfg.Cache.Off {
-		if v, ok := ls.e.(ViewSampler); ok {
-			ve = v
-			vc = newViewCache(ls.cfg.Cache.Size, ls.cfg.Cache.MinDegree)
-		}
-	}
-	sample := func(u graph.VertexID, r *xrand.RNG) (graph.VertexID, bool) {
-		return vc.sample(ve, ls.e, u, r)
-	}
+	k := newStepKernel(ls.e, ls.cfg.Kernel, ls.cfg.Cache)
 	var buf []graph.VertexID
 	for req := range ls.reqs {
-		buf = walkPathBy(sample, req.start, req.length, r, buf)
+		buf = k.walkOne(req.start, req.length, r, buf)
 		path := make([]graph.VertexID, len(buf))
 		copy(path, buf)
 		ls.queries.Add(1)
 		ls.steps.Add(int64(len(path) - 1))
-		if vc != nil {
-			ls.cacheHits.Add(vc.hits)
-			ls.cacheStale.Add(vc.stale)
-			vc.hits, vc.stale = 0, 0
+		var hits, stale int64
+		k.flushCacheStats(&hits, &stale)
+		if hits != 0 {
+			ls.cacheHits.Add(hits)
+		}
+		if stale != 0 {
+			ls.cacheStale.Add(stale)
 		}
 		req.reply <- path
 	}
@@ -190,29 +188,6 @@ func (ls *LiveService) ingestLoop() {
 		ls.batches.Add(1)
 		ls.updates.Add(int64(len(b)))
 	}
-}
-
-// walkPathBy is the first-order walk primitive: walk up to length steps
-// from start through the given sampling function, reusing buf. The live
-// service's pool walkers pass their cache-aware sampler; everything else
-// goes through walkPath's plain engine adapter.
-func walkPathBy(sample func(u graph.VertexID, r *xrand.RNG) (graph.VertexID, bool), start graph.VertexID, length int, r *xrand.RNG, buf []graph.VertexID) []graph.VertexID {
-	buf = append(buf[:0], start)
-	cur := start
-	for hop := 0; hop < length; hop++ {
-		next, ok := sample(cur, r)
-		if !ok {
-			break
-		}
-		cur = next
-		buf = append(buf, cur)
-	}
-	return buf
-}
-
-// walkPath is walkPathBy over an engine's locked Sample.
-func walkPath(e Engine, start graph.VertexID, length int, r *xrand.RNG, buf []graph.VertexID) []graph.VertexID {
-	return walkPathBy(e.Sample, start, length, r, buf)
 }
 
 // Query walks from start for up to length steps (<= 0 selects the
@@ -248,8 +223,12 @@ func (ls *LiveService) Feed(ups []graph.Update) error {
 
 // Bulk runs a whole walk kernel over the live engine through the standard
 // parallel runner — a full DeepWalk/PPR/node2vec computation proceeding
-// concurrently with the feed.
+// concurrently with the feed. The service's kernel mode applies unless
+// the bulk config names its own.
 func (ls *LiveService) Bulk(app App, cfg Config) Result {
+	if cfg.Kernel == KernelAuto {
+		cfg.Kernel = ls.cfg.Kernel
+	}
 	return Run(app, ls.e, cfg)
 }
 

@@ -427,7 +427,7 @@ func TestRebalanceLiveDifferentialTCP(t *testing.T) {
 				Shards: hello.Shards, RangeSize: hello.RangeSize,
 				Epoch: hello.PlanEpoch, Overlay: hello.Overlay,
 			}
-			if _, err := walk.RunShardNode(e, nodePlan, i, sc, 2, hello.Cache); err != nil {
+			if _, err := walk.RunShardNode(e, nodePlan, i, sc, 2, hello.Cache, walk.KernelAuto); err != nil {
 				t.Errorf("shard %d: %v", i, err)
 			}
 		}(i)

@@ -43,7 +43,7 @@ func TestRemoteServiceSessionDeath(t *testing.T) {
 		}
 		e := concurrent.Wrap(s, concurrent.Config{})
 		plan := walk.ShardPlan{Shards: hello.Shards, RangeSize: hello.RangeSize}
-		walk.RunShardNode(e, plan, 1, sc, 1, fabric.CacheSpec{})
+		walk.RunShardNode(e, plan, 1, sc, 1, fabric.CacheSpec{}, walk.KernelAuto)
 	}()
 	go func() {
 		sc, _, err := listeners[0].Accept()

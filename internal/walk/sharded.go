@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
@@ -460,9 +461,49 @@ func (b *inbox[T]) pop() (T, bool) {
 	return w, true
 }
 
+// popUpTo blocks until at least one item is available (or the inbox is
+// closed), then appends up to max queued items to dst — the batch-drain
+// form a frontier-stepping worker fills its batch with.
+func (b *inbox[T]) popUpTo(dst []T, max int) ([]T, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.items) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.items) == 0 {
+		return dst, false
+	}
+	n := len(b.items)
+	if n > max {
+		n = max
+	}
+	dst = append(dst, b.items[:n]...)
+	b.items = b.items[n:]
+	return dst, true
+}
+
+// tryPopUpTo is popUpTo without the blocking: it drains whatever is
+// queued, up to max, and never waits (a worker topping up a live batch
+// must not stall on an empty queue while it holds steppable walkers).
+func (b *inbox[T]) tryPopUpTo(dst []T, max int) []T {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.items)
+	if n > max {
+		n = max
+	}
+	dst = append(dst, b.items[:n]...)
+	b.items = b.items[n:]
+	return dst
+}
+
 // DeepWalk runs fixed-length first-order walks through the sharded
 // runtime. The sampled distribution is identical to the single-engine
-// DeepWalk; only the execution topology differs.
+// DeepWalk; only the execution topology differs. Workers step their
+// inbox's walkers through the shared frontier kernel: a batch is drained
+// per queue round, co-located walkers draw in per-vertex batches
+// (Config.Kernel selects sparse/dense/auto), and walkers crossing a
+// partition boundary are forwarded to their owner as before.
 func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 	cfg = cfg.withDefaults(s.e.NumVertices())
 	starts := startsOf(s.e, cfg)
@@ -490,22 +531,48 @@ func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			k := newStepKernel(s.e, cfg.Kernel, fabric.CacheSpec{Off: true})
+			f := getFrontier(kernelBatch)
+			defer putFrontier(f)
+			wks := make([]walker, kernelBatch)
+			var drain []walker
 			var localSteps, localTransfers, localStay int64
+			n := 0
 			for {
-				wk, ok := inboxes[shard].pop()
-				if !ok {
-					break
-				}
-				r := rngs[wk.id]
-				finished := true
-				for wk.hops < cfg.Length {
-					next, sampled := s.e.Sample(wk.cur, r)
-					if !sampled {
+				// Refill: block only when no walker is steppable, top up
+				// opportunistically otherwise so frontiers stay dense.
+				var ok bool
+				if n == 0 {
+					drain, ok = inboxes[shard].popUpTo(drain[:0], kernelBatch)
+					if !ok {
 						break
 					}
+				} else if n < kernelBatch {
+					drain = inboxes[shard].tryPopUpTo(drain[:0], kernelBatch-n)
+				} else {
+					drain = drain[:0]
+				}
+				for _, wk := range drain {
+					wks[n] = wk
+					f.cur[n] = wk.cur
+					f.rng[n] = rngs[wk.id]
+					n++
+				}
+				f.n = n
+				k.stepBatch(f)
+				for i := 0; i < n; {
+					if !f.ok[i] { // dead end: the walker retires here
+						pending.Done()
+						n--
+						f.swap(i, n)
+						wks[i], wks[n] = wks[n], wks[i]
+						continue
+					}
 					localSteps++
-					wk.hops++
-					wk.cur = next
+					wks[i].hops++
+					next := f.next[i]
+					wks[i].cur = next
+					f.cur[i] = next
 					if vc != nil {
 						vc.bump(next)
 					}
@@ -513,16 +580,23 @@ func (s *Sharded) DeepWalk(cfg Config) (Result, TransferStats) {
 					// final hop crossed the boundary has nothing to do on
 					// the other side, so it retires here instead of paying
 					// a pointless transfer plus queue round trip.
-					if owner := s.Owner(next); owner != shard && wk.hops < cfg.Length {
+					if owner := s.Owner(next); owner != shard && wks[i].hops < cfg.Length {
 						localTransfers++
-						inboxes[owner].push(wk)
-						finished = false
-						break
+						inboxes[owner].push(wks[i])
+						n--
+						f.swap(i, n)
+						wks[i], wks[n] = wks[n], wks[i]
+						continue
 					}
 					localStay++
-				}
-				if finished {
-					pending.Done()
+					if wks[i].hops >= cfg.Length {
+						pending.Done()
+						n--
+						f.swap(i, n)
+						wks[i], wks[n] = wks[n], wks[i]
+						continue
+					}
+					i++
 				}
 			}
 			mu.Lock()

@@ -71,6 +71,10 @@ type ShardedLiveConfig struct {
 	// effect only when the shard engines support versioned views
 	// (concurrent.Engine does).
 	Cache fabric.CacheSpec
+	// Kernel selects the shard crews' stepping-kernel mode (zero value =
+	// auto): sparse per-walker stepping, dense batch draws, or the
+	// density-adaptive switch.
+	Kernel KernelMode
 	// Rebalance configures the heat-aware shard rebalancer (off unless
 	// Rebalance.On). It requires engines with row extraction
 	// (concurrent.Engine); the in-process service validates this at
@@ -230,7 +234,7 @@ func NewShardedLiveService(engines []LiveEngine, plan ShardPlan, cfg ShardedLive
 		cfg:     cfg,
 	}
 	for i := range engines {
-		s.nodes[i] = startShardNode(engines[i], plan, i, fab.ShardPort(i), cfg.WalkersPerShard, cfg.Cache)
+		s.nodes[i] = startShardNode(engines[i], plan, i, fab.ShardPort(i), cfg.WalkersPerShard, cfg.Cache, cfg.Kernel)
 	}
 	s.coord = newCoordinator(fab.CoordPort(), plan, cfg)
 	s.coord.noteVerts(int64(s.NumVertices()))

@@ -10,7 +10,6 @@ import (
 	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
-	"github.com/bingo-rw/bingo/internal/xrand"
 )
 
 // shardNode hosts one shard's engine behind a fabric port: a crew of
@@ -54,9 +53,10 @@ type shardNode struct {
 
 	// ve is the engine's view capability; nil disables both cache
 	// layers (plain locked sampling, the pre-cache behavior).
-	ve    ViewSampler
-	cache fabric.CacheSpec
-	rv    *remoteViews // nil when caching is off
+	ve     ViewSampler
+	cache  fabric.CacheSpec
+	kernel KernelMode
+	rv     *remoteViews // nil when caching is off
 
 	loops sync.WaitGroup // crews + ingester + view loop
 	done  sync.WaitGroup // loops + the port-close watcher
@@ -159,11 +159,11 @@ type EdgeDumper interface {
 // all have exited (the coordinator closed the session and the queues
 // drained), the node closes its port — the shard-done signal the
 // coordinator's event stream waits for.
-func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec) *shardNode {
+func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec, kernel KernelMode) *shardNode {
 	if crew < 1 {
 		crew = 1
 	}
-	n := &shardNode{e: e, shard: shard, port: port, cache: cache, blockSteps: map[uint64]int64{}, stash: map[blockKey]*fabric.MigrateBlock{}}
+	n := &shardNode{e: e, shard: shard, port: port, cache: cache, kernel: kernel, blockSteps: map[uint64]int64{}, stash: map[blockKey]*fabric.MigrateBlock{}}
 	n.setPlan(plan)
 	if !cache.Off {
 		if ve, ok := e.(ViewSampler); ok {
@@ -220,120 +220,194 @@ func (n *shardNode) cacheTallies() fabric.CacheTallies {
 	}
 }
 
-// crewLoop is one walker of the shard's crew. A popped walker is
-// advanced while it stays on vertices this node can serve — owned
-// vertices through the engine (via the crew's private hub-view LRU when
-// possible), non-owned vertices through the node's remote-view cache —
-// and handed to the owner the moment it lands on a non-owned vertex the
-// node holds no valid view of. The walker's RNG stream is materialized
-// from the carried state and re-serialized before the walker leaves this
-// address space (forward or retire), so the stream continues
-// draw-for-draw wherever the walker lands next.
+// crewLoop is one walker crew of the shard, stepping a frontier batch of
+// in-flight walkers through the shared kernel. Each round advances every
+// live walker at most one hop: walkers on owned vertices step through the
+// kernel (co-located walkers share one lock/epoch round, the crew's
+// private hub-view LRU serves hot vertices lock-free), walkers on
+// non-owned vertices sample from the node's remote-view cache when a
+// valid view is held, and walkers on non-owned vertices without a view
+// are handed to their owner. A walker's RNG stream is re-seated from the
+// carried state into a pooled generator slot on arrival and re-serialized
+// before the walker leaves this address space (forward or retire), so the
+// stream continues draw-for-draw wherever the walker lands next.
 func (n *shardNode) crewLoop() {
 	defer n.loops.Done()
-	var vc *viewCache
-	if n.ve != nil {
-		vc = newViewCache(n.cache.Size, n.cache.MinDegree)
-	}
+	k := newStepKernel(n.e, n.kernel, n.cache)
+	f := getFrontier(kernelBatch)
+	defer putFrontier(f)
+	wks := make([]*fabric.Walker, kernelBatch)
+	drop := make([]bool, kernelBatch)
+	in := make([]*fabric.Walker, 0, kernelBatch)
+	retire := make([]*fabric.Walker, 0, kernelBatch)
+	heat := map[uint64]int64{}
 	for {
-		wk, ok := n.port.NextWalker()
+		batch, ok := n.port.NextWalkers(in[:0], kernelBatch)
 		if !ok {
 			return
 		}
-		r := xrand.FromState(wk.Rng)
-		var seg struct{ steps, transfers, local, remote int64 }
-		// Per-block hop run for the heat tally: consecutive hops in one
-		// ownership block fold into a single map touch at flush.
-		var runBlock uint64
-		var runSteps int64
-		forwarded := false
-		for wk.Left > 0 {
-			var next graph.VertexID
-			var sampled bool
-			// Reload the plan every hop: the ingester swaps it when a
-			// block migrates, and the stale-window cost is only an extra
-			// hand-off (the receiving owner re-routes).
-			plan := n.planNow()
-			owned := plan.Owner(wk.Cur) == n.shard
-			if owned {
-				next, sampled = vc.sample(n.ve, n.e, wk.Cur, r)
-				if sampled {
-					seg.local++
-					wk.Local++
+		in = batch[:0]
+		live := 0
+		for _, wk := range batch {
+			if wk.Left <= 0 {
+				if err := n.port.Retire(wk); err != nil {
+					n.setErr(err)
 				}
-			} else if vw, stale := n.remoteView(wk.Cur); vw != nil {
-				// A non-owned vertex served from a peer's shipped view:
-				// the hop that used to cost a hand-off.
-				next, sampled = vw.Sample(r)
-				if sampled {
-					seg.remote++
-					wk.Remote++
-				}
-			} else {
-				owner := plan.Owner(wk.Cur)
-				if stale {
-					n.remoteStaleN.Add(1)
-				}
-				n.maybeRequestView(wk.Cur, owner)
-				seg.transfers++
-				wk.Transfers++
-				wk.Rng = r.State()
-				if err := n.port.ForwardWalker(owner, wk); err != nil {
-					// The peer stream is gone. Retire the walker as failed;
-					// without replication the coordinator unblocks its
-					// caller with an error instead of passing off a
-					// truncated walk. Under replication a dead peer is
-					// survivable — the coordinator re-routes the failed
-					// walker to a live replica, so the error is not this
-					// node's to record.
-					if n.planNow().Replicas <= 1 {
-						n.setErr(err)
-					}
-					wk.Failed = true
-					break
-				}
-				forwarded = true
-				break
+				continue
 			}
-			if !sampled {
-				if owned && n.planNow().Owner(wk.Cur) != n.shard {
-					// Not a dead end — the block migrated out between the
-					// ownership check and the sample (extraction emptied
-					// the row). Re-dispatch: the next iteration forwards
-					// the walker to the new owner, which holds the rows.
+			wks[live] = wk
+			f.cur[live] = wk.Cur
+			f.seatRNG(live, wk.Rng)
+			live++
+		}
+		// Step the batch to completion before popping more walkers; each
+		// round advances every live walker at most one hop.
+		for live > 0 {
+			var seg struct{ steps, transfers, local, remote int64 }
+			retire = retire[:0]
+			// Reload the plan every round (= every hop): the ingester
+			// swaps it when a block migrates, and the stale-window cost is
+			// only an extra hand-off (the receiving owner re-routes).
+			plan := n.planNow()
+			// Partition walkers on owned vertices to the front — the
+			// kernel's slice of the frontier.
+			m := 0
+			for i := 0; i < live; i++ {
+				if plan.Owner(wks[i].Cur) == n.shard {
+					if i != m {
+						f.swap(i, m)
+						wks[i], wks[m] = wks[m], wks[i]
+					}
+					m++
+				}
+			}
+			f.n = m
+			k.stepBatch(f)
+			for i := 0; i < m; i++ {
+				wk := wks[i]
+				drop[i] = false
+				if !f.ok[i] {
+					if n.planNow().Owner(wk.Cur) != n.shard {
+						// Not a dead end — the block migrated out between
+						// the ownership check and the sample (extraction
+						// emptied the row). Keep the walker live: the next
+						// round forwards it to the new owner, which holds
+						// the rows.
+						continue
+					}
+					wk.Rng = f.rng[i].State()
+					retire = append(retire, wk)
+					drop[i] = true
 					continue
 				}
-				break
+				seg.local++
+				wk.Local++
+				heat[plan.BlockOf(wk.Cur)]++
+				seg.steps++
+				wk.Steps++
+				wk.Left--
+				wk.Cur = f.next[i]
+				f.cur[i] = f.next[i]
+				if wk.Record {
+					wk.Path = append(wk.Path, wk.Cur)
+				}
+				if wk.Left == 0 {
+					wk.Rng = f.rng[i].State()
+					retire = append(retire, wk)
+					drop[i] = true
+				}
 			}
-			if b := plan.BlockOf(wk.Cur); b != runBlock {
-				n.bumpBlockSteps(runBlock, runSteps)
-				runBlock, runSteps = b, 0
+			for i := m; i < live; i++ {
+				wk := wks[i]
+				drop[i] = false
+				r := f.rng[i]
+				if vw, stale := n.remoteView(wk.Cur); vw != nil {
+					// A non-owned vertex served from a peer's shipped
+					// view: the hop that used to cost a hand-off.
+					next, sampled := vw.Sample(r)
+					if !sampled {
+						wk.Rng = r.State()
+						retire = append(retire, wk)
+						drop[i] = true
+						continue
+					}
+					seg.remote++
+					wk.Remote++
+					heat[plan.BlockOf(wk.Cur)]++
+					seg.steps++
+					wk.Steps++
+					wk.Left--
+					wk.Cur = next
+					f.cur[i] = next
+					if wk.Record {
+						wk.Path = append(wk.Path, next)
+					}
+					if wk.Left == 0 {
+						wk.Rng = r.State()
+						retire = append(retire, wk)
+						drop[i] = true
+					}
+				} else {
+					owner := plan.Owner(wk.Cur)
+					if stale {
+						n.remoteStaleN.Add(1)
+					}
+					n.maybeRequestView(wk.Cur, owner)
+					seg.transfers++
+					wk.Transfers++
+					wk.Rng = r.State()
+					if err := n.port.ForwardWalker(owner, wk); err != nil {
+						// The peer stream is gone. Retire the walker as
+						// failed; without replication the coordinator
+						// unblocks its caller with an error instead of
+						// passing off a truncated walk. Under replication
+						// a dead peer is survivable — the coordinator
+						// re-routes the failed walker to a live replica,
+						// so the error is not this node's to record.
+						if n.planNow().Replicas <= 1 {
+							n.setErr(err)
+						}
+						wk.Failed = true
+						retire = append(retire, wk)
+					}
+					drop[i] = true
+				}
 			}
-			runSteps++
-			seg.steps++
-			wk.Steps++
-			wk.Left--
-			wk.Cur = next
-			if wk.Record {
-				wk.Path = append(wk.Path, next)
+			// Compact dropped slots out of the frontier.
+			for i := 0; i < live; {
+				if !drop[i] {
+					i++
+					continue
+				}
+				live--
+				f.swap(i, live)
+				wks[i], wks[live] = wks[live], wks[i]
+				drop[i], drop[live] = drop[live], drop[i]
 			}
-		}
-		n.bumpBlockSteps(runBlock, runSteps)
-		n.steps.Add(seg.steps)
-		n.transfers.Add(seg.transfers)
-		n.local.Add(seg.local)
-		n.remote.Add(seg.remote)
-		if vc != nil {
-			n.localHits.Add(vc.hits)
-			n.localStale.Add(vc.stale)
-			vc.hits, vc.stale = 0, 0
-		}
-		if forwarded {
-			continue
-		}
-		wk.Rng = r.State()
-		if err := n.port.Retire(wk); err != nil {
-			n.setErr(err)
+			// Flush the round's tallies before retiring its walkers: a
+			// retired walker's steps must already be visible in the node
+			// counters when the coordinator observes the retirement.
+			for b, s := range heat {
+				n.bumpBlockSteps(b, s)
+				delete(heat, b)
+			}
+			n.steps.Add(seg.steps)
+			n.transfers.Add(seg.transfers)
+			n.local.Add(seg.local)
+			n.remote.Add(seg.remote)
+			var hits, stale int64
+			k.flushCacheStats(&hits, &stale)
+			if hits != 0 {
+				n.localHits.Add(hits)
+			}
+			if stale != 0 {
+				n.localStale.Add(stale)
+			}
+			for _, wk := range retire {
+				if err := n.port.Retire(wk); err != nil {
+					n.setErr(err)
+				}
+			}
 		}
 	}
 }
@@ -857,12 +931,13 @@ type ShardNodeStats struct {
 // fabric port: crew walker goroutines plus one ingester and one view
 // server, exactly the node half of ShardedLiveService. The cache spec
 // configures the hub-view caches (zero value = defaults, on; it only
-// takes effect when e implements ViewSampler). It blocks until the
-// coordinator ends the session (or the fabric fails), then reports the
-// node's tallies and the first ingest error. This is the body of
+// takes effect when e implements ViewSampler); kernel selects the crews'
+// stepping mode (zero value = auto). It blocks until the coordinator
+// ends the session (or the fabric fails), then reports the node's
+// tallies and the first ingest error. This is the body of
 // `bingowalk -shard-serve`.
-func RunShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec) (ShardNodeStats, error) {
-	n := startShardNode(e, plan, shard, port, crew, cache)
+func RunShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec, kernel KernelMode) (ShardNodeStats, error) {
+	n := startShardNode(e, plan, shard, port, crew, cache, kernel)
 	n.wait()
 	st := ShardNodeStats{
 		Steps:         n.steps.Load(),

@@ -63,6 +63,16 @@ type viewCache struct {
 	// churn is the per-vertex admission back-off state.
 	churn map[graph.VertexID]churnMark
 
+	// ghost is the second-touch admission filter: the last capacity
+	// missed vertices, as a set plus FIFO ring. A miss extracts a view
+	// only on its second appearance within the window — one-shot
+	// visitors (a diffuse walk frontier touching hub-sized vertices it
+	// will never revisit) flow through the locked path instead of
+	// churning the LRU with O(degree) view copies.
+	ghost   map[graph.VertexID]struct{}
+	ghostQ  []graph.VertexID
+	ghostAt int
+
 	// hits/stale are flushed into shared counters by the owner (misses
 	// are derivable: every non-hit hop is a miss or an uncached sample).
 	hits, stale int64
@@ -97,9 +107,30 @@ func newViewCache(capacity, minDegree int) *viewCache {
 		slots:  make([]viewSlot, 0, capacity),
 		index:  make(map[graph.VertexID]int, capacity),
 		churn:  map[graph.VertexID]churnMark{},
+		ghost:  make(map[graph.VertexID]struct{}, capacity),
+		ghostQ: make([]graph.VertexID, 0, capacity),
 		head:   -1,
 		tail:   -1,
 	}
+}
+
+// secondTouch reports whether a missed vertex has earned extraction (it
+// already missed within the ghost window, so it is being revisited);
+// otherwise it records the miss in the window.
+func (c *viewCache) secondTouch(u graph.VertexID) bool {
+	if _, ok := c.ghost[u]; ok {
+		delete(c.ghost, u)
+		return true
+	}
+	if len(c.ghostQ) < cap(c.ghostQ) {
+		c.ghostQ = append(c.ghostQ, u)
+	} else {
+		delete(c.ghost, c.ghostQ[c.ghostAt])
+		c.ghostQ[c.ghostAt] = u
+		c.ghostAt = (c.ghostAt + 1) % len(c.ghostQ)
+	}
+	c.ghost[u] = struct{}{}
+	return false
 }
 
 // admit reports whether a fresh view of u may enter the cache, charging
@@ -241,9 +272,68 @@ func (c *viewCache) sample(ve ViewSampler, e Engine, u graph.VertexID, r *xrand.
 		c.drop(u)
 		c.stale++
 	}
-	v, ok, vw := ve.SampleOrView(u, c.minDeg, r)
+	md := 0
+	if c.secondTouch(u) {
+		md = c.minDeg
+	}
+	v, ok, vw := ve.SampleOrView(u, md, r)
 	if vw != nil && c.admit(u) {
 		c.put(u, vw)
 	}
 	return v, ok
+}
+
+// hitView probes the cache for a still-valid view of u, charging the
+// run's draws to the hit counters (a stale view is dropped and counted,
+// exactly as the fill path expects to find it gone). A nil receiver (or
+// engine without views) never hits; the caller then goes through
+// fillBatch without having paid any per-slot work.
+func (c *viewCache) hitView(ve ViewSampler, u graph.VertexID, draws int) *core.VertexView {
+	if c == nil || ve == nil {
+		return nil
+	}
+	i, ok := c.index[u]
+	if !ok {
+		return nil
+	}
+	if vw := c.slots[i].vw; ve.ValidateView(vw) {
+		c.hits += int64(draws)
+		c.slots[i].uses += int64(draws)
+		c.moveFront(i)
+		return vw
+	}
+	c.noteStale(u, c.slots[i].uses)
+	c.drop(u)
+	c.stale++
+	return nil
+}
+
+// fillBatch is the dense-mode miss path: one draw per slot for a whole
+// run of walkers parked on u through the engine's batch cache-fill
+// entry, under churn-aware admission, exactly mirroring the sparse
+// path's policy. A nil receiver (cache disabled, or engine without
+// views) is the plain locked batch, which consumes per-slot streams —
+// that is the lockstep path. Callers probe hitView first: a cached
+// valid view serves the entire run lock-free from the run's lead stream
+// (view draws are distributional by contract, and one stream keeps the
+// generator state resident across the run instead of fetching a
+// scattered state line per slot — it also spares the miss path's RNG
+// gather entirely).
+func (c *viewCache) fillBatch(ve ViewSampler, be BatchSampler, u graph.VertexID, rs []*xrand.RNG, dst []graph.VertexID) bool {
+	if c == nil || ve == nil {
+		return be.SampleBatch(u, rs, dst)
+	}
+	// A run of co-located walkers is itself the revisit evidence the
+	// ghost filter exists to find, so batchable runs extract on first
+	// touch; singleton runs go through the second-touch window like the
+	// sparse path.
+	md := 0
+	if len(rs) >= denseMinRun || c.secondTouch(u) {
+		md = c.minDeg
+	}
+	ok, vw := be.SampleBatchOrView(u, md, rs, dst)
+	if vw != nil && c.admit(u) {
+		c.put(u, vw)
+	}
+	return ok
 }

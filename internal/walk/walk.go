@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
@@ -69,6 +70,18 @@ type Config struct {
 	// CountVisits enables per-vertex visit counting (needed by PPR-style
 	// frequency queries; costs one atomic add per step).
 	CountVisits bool
+	// Kernel selects the stepping mode for kernels with a frontier
+	// implementation (currently DeepWalk): sparse per-walker stepping,
+	// dense per-vertex batch draws, or auto density switching (the zero
+	// value). Engines without batch draws always step sparse.
+	Kernel KernelMode
+	// Cache optionally enables the frontier kernel's hub-view LRU with
+	// fabric.CacheSpec semantics (nil = no cache). It is nil by default
+	// on purpose: without views, dense stepping consumes each walker's
+	// RNG stream exactly as sparse stepping does, so bulk results stay
+	// bit-identical across kernel modes; hub views trade that for
+	// lock-free hub hops (distributionally exact, not path-identical).
+	Cache *fabric.CacheSpec
 }
 
 func (c Config) withDefaults(numVertices int) Config {
@@ -169,8 +182,18 @@ func bump(visits []int64, v graph.VertexID) {
 
 // DeepWalk runs first-order biased random walks of fixed length from every
 // start (paper §2.2: "walkers stop when they reach the given path length").
+// Over engines with batch draws it runs on the frontier stepping kernel —
+// walkers advance in lockstep and co-located walkers draw in per-vertex
+// batches — unless Config.Kernel forces sparse. Per-walker RNG streams are
+// preserved in every mode, so results are bit-identical across modes as
+// long as no hub-view cache is configured.
 func DeepWalk(e Engine, cfg Config) Result {
 	cfg = cfg.withDefaults(e.NumVertices())
+	if cfg.Kernel != KernelSparse {
+		if _, ok := e.(BatchSampler); ok {
+			return deepWalkFrontier(e, cfg)
+		}
+	}
 	return runParallel(e, cfg, func(start graph.VertexID, r *xrand.RNG, visits []int64) int64 {
 		cur := start
 		bump(visits, cur)
@@ -186,6 +209,97 @@ func DeepWalk(e Engine, cfg Config) Result {
 		}
 		return steps
 	})
+}
+
+// deepWalkFrontier is DeepWalk on the frontier kernel. Each worker owns a
+// contiguous walker range and steps it as one frontier, refilling retired
+// slots from the range so the frontier stays dense; walker i draws from
+// stream master.Split(i) exactly as the sparse runner assigns them.
+func deepWalkFrontier(e Engine, cfg Config) Result {
+	starts := startsOf(e, cfg)
+	var visits []int64
+	if cfg.CountVisits {
+		visits = make([]int64, e.NumVertices())
+	}
+	master := xrand.New(cfg.Seed)
+	res := Result{Walkers: len(starts), Visits: visits}
+	spec := fabric.CacheSpec{Off: true}
+	if cfg.Cache != nil {
+		spec = *cfg.Cache
+	}
+
+	workers := cfg.Workers
+	if workers <= 1 || len(starts) < 2*workers {
+		res.Steps = deepWalkChunk(e, cfg, spec, starts, 0, len(starts), master, visits)
+		return res
+	}
+	var wg sync.WaitGroup
+	var steps atomic.Int64
+	chunk := (len(starts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(starts) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(starts) {
+			hi = len(starts)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			steps.Add(deepWalkChunk(e, cfg, spec, starts, lo, hi, master, visits))
+		}(lo, hi)
+	}
+	wg.Wait()
+	res.Steps = steps.Load()
+	return res
+}
+
+// deepWalkChunk steps walkers [lo, hi) of starts through one frontier.
+func deepWalkChunk(e Engine, cfg Config, spec fabric.CacheSpec, starts []graph.VertexID, lo, hi int, master *xrand.RNG, visits []int64) int64 {
+	k := newStepKernel(e, cfg.Kernel, spec)
+	capacity := hi - lo
+	if capacity > kernelBatch {
+		capacity = kernelBatch
+	}
+	f := getFrontier(capacity)
+	defer putFrontier(f)
+	hops := make([]int, capacity)
+	var steps int64
+	next := lo // next unlaunched walker
+	n := 0     // live slots
+	for {
+		for n < capacity && next < hi {
+			s := starts[next]
+			f.cur[n] = s
+			master.SplitInto(uint64(next), f.slotRNG(n))
+			hops[n] = 0
+			bump(visits, s)
+			next++
+			n++
+		}
+		if n == 0 {
+			return steps
+		}
+		f.n = n
+		k.stepBatch(f)
+		for i := 0; i < n; {
+			if f.ok[i] {
+				steps++
+				hops[i]++
+				f.cur[i] = f.next[i]
+				bump(visits, f.cur[i])
+				if hops[i] < cfg.Length {
+					i++
+					continue
+				}
+			}
+			n-- // retire slot i (dead end or full length)
+			f.swap(i, n)
+			hops[i], hops[n] = hops[n], hops[i]
+		}
+	}
 }
 
 // node2vecRejectionCap bounds second-order rejection rounds before falling

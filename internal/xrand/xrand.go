@@ -56,8 +56,18 @@ func (r *RNG) Seed(seed uint64) {
 // walker its own stream: Split(i) from a master RNG seeded with the
 // experiment seed yields stream i.
 func (r *RNG) Split(i uint64) *RNG {
+	var c RNG
+	r.SplitInto(i, &c)
+	return &c
+}
+
+// SplitInto derives child stream i into dst — Split without the
+// allocation, for stepping loops that seat walker streams in pooled
+// generator slots. SplitInto(i, dst) leaves dst in exactly the state
+// Split(i) would return.
+func (r *RNG) SplitInto(i uint64, dst *RNG) {
 	x := r.s0 ^ bits.RotateLeft64(r.s2, 17) ^ (i+1)*0x9e3779b97f4a7c15
-	return New(splitmix64(&x))
+	dst.Seed(splitmix64(&x))
 }
 
 // State is the full serializable generator state. It exists so a walker's
@@ -76,10 +86,22 @@ func (r *RNG) State() State { return State{r.s0, r.s1, r.s2, r.s3} }
 // wire) is mapped to the state New(0) would produce rather than the
 // absorbing zero state.
 func FromState(st State) *RNG {
+	r := &RNG{}
+	r.SetState(st)
+	return r
+}
+
+// SetState rehydrates r in place from a captured state, continuing the
+// captured stream draw-for-draw. It is FromState without the allocation:
+// hot stepping loops keep a pool of generator values and re-seat each
+// arriving walker's serialized stream into one of them. The all-zero wire
+// state maps to New(0)'s state, exactly as in FromState.
+func (r *RNG) SetState(st State) {
 	if st.S0|st.S1|st.S2|st.S3 == 0 {
-		return New(0)
+		r.Seed(0)
+		return
 	}
-	return &RNG{s0: st.S0, s1: st.S1, s2: st.S2, s3: st.S3}
+	r.s0, r.s1, r.s2, r.s3 = st.S0, st.S1, st.S2, st.S3
 }
 
 // Uint64 returns the next 64 uniformly random bits.
