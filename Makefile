@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fault-smoke fuzz clean
+.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fault-smoke corpus-smoke fuzz clean
 
 all: vet build test
 
@@ -33,11 +33,11 @@ bench:
 # step. Verifies the runners execute end to end and the BENCH_*.json
 # reports appear; absolute numbers at this scale are meaningless.
 bench-smoke:
-	$(GO) run ./cmd/bingobench -exp concurrent,sharded,rebalance,backpressure -datasets AM -scale 0.002 -walkers 500 -workers 2 \
+	$(GO) run ./cmd/bingobench -exp concurrent,sharded,rebalance,backpressure,corpus -datasets AM -scale 0.002 -walkers 500 -workers 2 \
 		-kernel-modes sparse,dense,auto -procs 1,4 \
 		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json -json-rebalance BENCH_rebalance.json \
-		-json-backpressure BENCH_backpressure.json
-	test -s BENCH_concurrent.json && test -s BENCH_sharded.json && test -s BENCH_rebalance.json && test -s BENCH_backpressure.json
+		-json-backpressure BENCH_backpressure.json -json-corpus BENCH_corpus.json
+	test -s BENCH_concurrent.json && test -s BENCH_sharded.json && test -s BENCH_rebalance.json && test -s BENCH_backpressure.json && test -s BENCH_corpus.json
 
 # Multi-process serving smoke: spawns shard daemons (real bingowalk
 # -shard-serve processes) on loopback, drives queries plus a
@@ -57,9 +57,17 @@ fault-smoke:
 	$(GO) test -race -count 1 -run 'TestDialFindsLateDaemon|TestAcceptLoopSurvivesGarbageClients' ./internal/fabric/tcpgob/
 	$(GO) test -race -count 1 -timeout 20m -run TestFaultKillDaemonMidTape -v .
 
+# Standing-corpus smoke: the chi-square differential of the maintained
+# corpus against fresh walks on the final graph after an 8k hub-churn
+# tape (in-process fabric AND loopback tcpgob), the inverted-index
+# brute-force property, and the touch-queue coalescing/credit regression
+# — all race-detected.
+corpus-smoke:
+	$(GO) test -race -count 1 -timeout 20m -run 'TestCorpusDifferential|TestCorpusIndexMatchesBruteForce|TestCorpusCoalescingCredit' -v ./internal/walk/
+
 # Short local fuzz session against the sampler's structural invariants.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSamplerMutate -fuzztime 30s ./internal/core/
 
 clean:
-	rm -f BENCH_concurrent.json BENCH_sharded.json BENCH_rebalance.json BENCH_backpressure.json
+	rm -f BENCH_concurrent.json BENCH_sharded.json BENCH_rebalance.json BENCH_backpressure.json BENCH_corpus.json

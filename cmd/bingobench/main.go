@@ -42,6 +42,7 @@ func main() {
 		jsonSh   = flag.String("json-sharded", "BENCH_sharded.json", "output path for the sharded scenario's JSON report ('' disables)")
 		jsonReb  = flag.String("json-rebalance", "BENCH_rebalance.json", "output path for the rebalance scenario's JSON report ('' disables)")
 		jsonBp   = flag.String("json-backpressure", "BENCH_backpressure.json", "output path for the backpressure scenario's JSON report ('' disables)")
+		jsonCo   = flag.String("json-corpus", "BENCH_corpus.json", "output path for the corpus scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -79,6 +80,7 @@ func main() {
 	o.ShardedJSONPath = *jsonSh
 	o.RebalanceJSONPath = *jsonReb
 	o.BackpressureJSONPath = *jsonBp
+	o.CorpusJSONPath = *jsonCo
 	o.Transports = split(*transp)
 	o.CacheModes = split(*cacheM)
 	o.KernelModes = split(*kernelM)

@@ -17,6 +17,13 @@
 //	bingowalk -shard-serve -addr 127.0.0.1:7431 -shard 0/2
 //	bingowalk -shard-serve -addr 127.0.0.1:7432 -shard 1/2
 //	bingowalk -live -connect 127.0.0.1:7431,127.0.0.1:7432 -dataset AM
+//
+// Any -live rung can additionally serve from a standing walk corpus
+// (-corpus): K maintained walks per vertex answer queries as slices
+// while the feed dirties and incrementally resamples only the affected
+// suffixes (-stats prints the maintenance tallies):
+//
+//	bingowalk -live -shards 4 -corpus -stats -dataset AM
 package main
 
 import (
@@ -72,6 +79,10 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "block ownership replication factor in the sharded serving modes (R consecutive shards hold each block; survives shard deaths by replica promotion; mutually exclusive with -rebalance)")
 		creditWin = flag.Int("credit-window", 0, "per-shard ingest credit window: max routed-but-unapplied update events before Feed blocks (0 = default 16384, negative disables)")
 		kernelF   = flag.String("kernel", "auto", "stepping-kernel mode in the serving modes: sparse|dense|auto")
+		corpusF   = flag.Bool("corpus", false, "serve -live queries from a standing walk corpus with incremental suffix resampling")
+		corpusK   = flag.Int("corpus-walks", 0, "standing walks maintained per vertex in -corpus mode (0 = default 2)")
+		corpusSB  = flag.Int("corpus-stale", 0, "staleness bound in -corpus mode: max feed events a corpus answer may trail by before falling back to a fresh walk (0 = default 4096, negative disables the fallback)")
+		statsF    = flag.Bool("stats", false, "print corpus maintenance tallies (resamples, amplification, refresh lag) in -corpus mode")
 	)
 	flag.Parse()
 
@@ -88,8 +99,12 @@ func main() {
 		}
 		return
 	}
+	if *corpusF && !*live {
+		fail(fmt.Errorf("-corpus is a -live serving mode (add -live)"))
+	}
 	if *live {
-		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, *replicas, *creditWin, kernel, hubCache, rebOpts); err != nil {
+		co := corpusOpts{on: *corpusF, walks: *corpusK, stale: *corpusSB, stats: *statsF}
+		if err := runLive(*graphPath, *dataset, *scale, *seed, *length, *liveUps, *liveQ, *liveBatch, *workers, *shards, *connect, *replicas, *creditWin, kernel, hubCache, rebOpts, co); err != nil {
 			fail(err)
 		}
 		return
@@ -267,11 +282,38 @@ func printFabricHealth(ls walk.ShardedLiveStats) {
 
 // liveServer abstracts the serving runtimes the -live mode can drive:
 // the single-engine LiveService, the sharded walker-transfer service,
-// and the remote multi-process coordinator.
+// the remote multi-process coordinator, and the standing walk corpus
+// wrapping any of them.
 type liveServer interface {
 	Query(start graph.VertexID, length int) ([]graph.VertexID, error)
 	Feed(ups []graph.Update) error
 	Close() error
+}
+
+// corpusOpts carry the -corpus flag family into runLive.
+type corpusOpts struct {
+	on    bool
+	walks int
+	stale int
+	stats bool
+}
+
+// printCorpus reports the corpus serving split and, with -stats, the
+// maintenance tallies through the ShardedLiveStats ack path (satellite
+// view: the same numbers any fabric observer of the service sees).
+func printCorpus(c *walk.CorpusService, d time.Duration, withStats bool) {
+	cs := c.Stats()
+	fmt.Printf("corpus: %d standing walks served %d queries in %v (%.0f queries/s): %d corpus slices (%d stale within bound), %d fresh fallbacks\n",
+		cs.Walks, cs.Queries, d.Round(time.Millisecond), float64(cs.Queries)/d.Seconds(),
+		cs.CorpusServed, cs.StaleServed, cs.Fallbacks)
+	if !withStats {
+		return
+	}
+	ct := c.ShardedStats().Corpus
+	fmt.Printf("corpus maintenance: %d refreshes, %d suffix resamples: %d resampled steps vs %d full-walk-equivalent steps (amplification %.3f), max refresh lag %d ms\n",
+		cs.Refreshes, ct.Resamples, ct.ResampledSteps, ct.FullWalkSteps, cs.Amplification(), ct.RefreshLagMs)
+	fmt.Printf("corpus watermarks: %d events fed, corpus at %d, backend applied stamp %d\n",
+		cs.FedEvents, cs.CorpusWatermark, cs.AppliedStamp)
 }
 
 // runLive is the -live mode: a walker pool serves queries while a feeder
@@ -280,7 +322,7 @@ type liveServer interface {
 // the graph is 1-D partitioned across N engines and walks cross shard
 // boundaries by walker transfer (supplement §9.1); with -connect the
 // shards are separate daemon processes behind the TCP fabric.
-func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, replicas, creditWin int, kernel walk.KernelMode, hubCache bingo.HubCacheOptions, rebOpts rebalance.Options) error {
+func runLive(graphPath, dataset string, scale float64, seed uint64, length, updates, queries, batchSize, workers, shards int, connect string, replicas, creditWin int, kernel walk.KernelMode, hubCache bingo.HubCacheOptions, rebOpts rebalance.Options, co corpusOpts) error {
 	g, err := loadGraph(graphPath, dataset, scale, seed)
 	if err != nil {
 		return err
@@ -302,10 +344,20 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 	}
 
 	cacheSpec := fabric.CacheSpec{Off: hubCache.Off, MinDegree: hubCache.MinDegree}
+	ccfg := walk.CorpusConfig{
+		WalksPerVertex: co.walks,
+		WalkLength:     length,
+		Seed:           seed,
+		StalenessBound: int64(co.stale),
+		CreditWindow:   creditWin,
+		Cache:          cacheSpec,
+		Kernel:         kernel,
+	}
 	var svc liveServer
 	var single *concurrent.Engine
 	var sharded *walk.ShardedLiveService
 	var remote *walk.RemoteService
+	var corpus *walk.CorpusService
 	var shardEngines []*concurrent.Engine
 	if connect != "" {
 		addrs := strings.Split(connect, ",")
@@ -334,6 +386,12 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			return fmt.Errorf("bootstrap: %w", err)
 		}
 		svc = remote
+		if co.on {
+			if corpus, err = walk.NewShardedCorpusService(remote, w.Initial.NumVertices(), ccfg); err != nil {
+				return err
+			}
+			svc = corpus
+		}
 		fmt.Printf("live: %d shard daemons over the TCP fabric (range size %d), feeding %d updates in batches of %d\n",
 			plan.Shards, plan.RangeSize, len(w.Updates), batchSize)
 	} else if shards > 1 {
@@ -363,6 +421,12 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			return err
 		}
 		svc = sharded
+		if co.on {
+			if corpus, err = walk.NewShardedCorpusService(sharded, w.Initial.NumVertices(), ccfg); err != nil {
+				return err
+			}
+			svc = corpus
+		}
 		fmt.Printf("live: %d shards × %d crew walkers (range size %d), feeding %d updates in batches of %d\n",
 			plan.Shards, workers, plan.RangeSize, len(w.Updates), batchSize)
 	} else {
@@ -371,9 +435,20 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			return err
 		}
 		single = concurrent.Wrap(eng, concurrent.Config{})
-		svc = walk.NewLiveService(single, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed, Cache: cacheSpec, Kernel: kernel})
+		if co.on {
+			if corpus, err = walk.NewCorpusService(single, ccfg); err != nil {
+				return err
+			}
+			svc = corpus
+		} else {
+			svc = walk.NewLiveService(single, walk.LiveConfig{Walkers: workers, WalkLength: length, Seed: seed, Cache: cacheSpec, Kernel: kernel})
+		}
 		fmt.Printf("live: %d pool walkers, %d lock stripes, feeding %d updates in batches of %d\n",
 			workers, single.Stripes(), len(w.Updates), batchSize)
+	}
+	if corpus != nil {
+		fmt.Printf("corpus: %d standing walks grown (length %d), refresh loop running\n",
+			corpus.Stats().Walks, length)
 	}
 
 	t0 := time.Now()
@@ -423,6 +498,9 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 	}
 	d := time.Since(t0)
 
+	if corpus != nil {
+		printCorpus(corpus, d, co.stats)
+	}
 	if remote != nil {
 		ls := remote.Stats()
 		fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
@@ -455,6 +533,10 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		}
 		fmt.Printf("final graph: %d edges across %d shards, engine memory %.2f MB\n",
 			edges, len(shardEngines), float64(mem)/1e6)
+		return nil
+	}
+	if corpus != nil {
+		fmt.Printf("final graph: %d edges, engine memory %.2f MB\n", single.NumEdges(), float64(single.Footprint())/1e6)
 		return nil
 	}
 	ls := svc.(*walk.LiveService).Stats()

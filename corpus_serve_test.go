@@ -1,0 +1,89 @@
+package bingo
+
+import "testing"
+
+// testServeCorpus drives the public standing-corpus surface end to end
+// on a given shard count: grow the corpus from a snapshot, feed churn
+// through the walker, Sync, and check the slices, the watermark
+// contract, and the amplification tallies.
+func testServeCorpus(t *testing.T, shards int) {
+	const verts = 48
+	edges := make([]Edge, 0, verts*2)
+	for v := 0; v < verts; v++ {
+		// A hub-and-ring graph: vertex 0 is on most walks, so churn on its
+		// out-edges dirties a large share of the corpus.
+		if v != 0 {
+			edges = append(edges, Edge{Src: VertexID(v), Dst: 0, Weight: 3})
+		}
+		edges = append(edges, Edge{Src: VertexID(v), Dst: VertexID((v + 1) % verts), Weight: 1})
+	}
+	eng, err := FromEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := eng.ServeCorpus(shards, CorpusOptions{Walks: 2, WalkLength: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cw.Close()
+
+	if st := cw.Stats(); st.Walks != int64(verts*2) {
+		t.Fatalf("corpus holds %d walks, want %d", st.Walks, verts*2)
+	}
+	for v := 0; v < verts; v++ {
+		path, err := cw.Query(VertexID(v), 12)
+		if err != nil {
+			t.Fatalf("Query %d: %v", v, err)
+		}
+		if len(path) != 13 || path[0] != VertexID(v) {
+			t.Fatalf("Query %d: path %v", v, path)
+		}
+	}
+
+	// Hub churn through the walker: delete/restore the hub's ring edge.
+	for i := 0; i < 50; i++ {
+		if err := cw.Feed([]Update{Delete(0, 1), Insert(0, 1, 1)}); err != nil {
+			t.Fatalf("Feed %d: %v", i, err)
+		}
+	}
+	if err := cw.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := cw.Stats()
+	if st.FedEvents != 100 || st.CorpusWatermark != 100 {
+		t.Fatalf("watermarks fed %d / corpus %d, want 100 / 100 after Sync", st.FedEvents, st.CorpusWatermark)
+	}
+	if shards > 1 && st.AppliedStamp != 100 {
+		t.Fatalf("backend applied stamp %d, want 100", st.AppliedStamp)
+	}
+	if st.Resamples == 0 || st.ResampledSteps == 0 {
+		t.Fatalf("hub churn triggered no resampling: %+v", st)
+	}
+	if a := st.Amplification(); a <= 0 || a >= 1 {
+		t.Fatalf("amplification %v, want in (0, 1)", a)
+	}
+	if st.CorpusServed < int64(verts) {
+		t.Fatalf("only %d corpus-served queries of %d", st.CorpusServed, st.Queries)
+	}
+
+	// An over-length query takes the fresh-walk fallback.
+	if _, err := cw.Query(0, 40); err != nil {
+		t.Fatalf("fallback query: %v", err)
+	}
+	if cw.Stats().Fallbacks == 0 {
+		t.Fatal("over-length query did not fall back")
+	}
+	// The maintenance tallies ride the service stats' Corpus field.
+	if got := cw.ServiceStats().Corpus.Resamples; got != st.Resamples {
+		t.Fatalf("ServiceStats Corpus.Resamples %d, want %d", got, st.Resamples)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServeCorpusUnsharded(t *testing.T) { testServeCorpus(t, 1) }
+func TestServeCorpusSharded(t *testing.T)   { testServeCorpus(t, 4) }

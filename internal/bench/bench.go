@@ -69,6 +69,9 @@ type Options struct {
 	// scenario writes its machine-readable BENCH_backpressure.json
 	// report.
 	BackpressureJSONPath string
+	// CorpusJSONPath, when non-empty, is where the corpus scenario
+	// writes its machine-readable BENCH_corpus.json report.
+	CorpusJSONPath string
 	// Transports filters the sharded scenario's transport dimension:
 	// "inproc" (in-process fabric) and/or "tcp" (loopback tcpgob fabric).
 	// Nil means both.
@@ -387,6 +390,7 @@ var registry = []runner{
 	{"sharded", "sharded live serving: walks/s and transfer ratio at 0/10/50% load × 1/2/4/8 shards × inproc/tcp transports (BENCH_sharded.json)", runSharded},
 	{"rebalance", "heat-aware rebalancing: hottest shard's step share under hub-skewed growth, rebalance on/off × inproc/tcp (BENCH_rebalance.json)", runRebalance},
 	{"backpressure", "credited ingest: feed latency vs routed-but-unapplied backlog against a slow shard, credit window off/1k/4k/16k (BENCH_backpressure.json)", runBackpressure},
+	{"corpus", "standing walk corpus: resample amplification, refresh lag, and serving split under hub-churn, inproc/tcp at 4 shards (BENCH_corpus.json)", runCorpus},
 }
 
 // Experiments lists available experiment names with descriptions.

@@ -328,6 +328,47 @@ func (t *CacheTallies) Add(o CacheTallies) {
 	t.ViewsServed += o.ViewsServed
 }
 
+// CorpusTallies are a standing-walk-corpus service's cumulative
+// maintenance counters — the observability contract of the suffix
+// resampler. Resamples counts dirty walks whose suffixes were regrown;
+// ResampledSteps the hops those regrows actually sampled; FullWalkSteps
+// the hops a per-update full recompute of every affected walk would have
+// sampled instead (the counterfactual the amplification ratio
+// ResampledSteps/FullWalkSteps is measured against). The bounded-staleness
+// inputs ride barrier acks: the coordinator sums each shard's cumulative
+// Ack.Updates stamp, and a refresh cycle only advances the corpus
+// watermark once those stamps confirm its fed events applied.
+type CorpusTallies struct {
+	// Resamples counts walks truncated and regrown; ResampledSteps the
+	// suffix hops sampled doing it.
+	Resamples, ResampledSteps int64
+	// FullWalkSteps is the full-recompute counterfactual: per applied
+	// update event, every walk that visited the touched vertex re-walked
+	// at full length.
+	FullWalkSteps int64
+	// RefreshLagMs is the maximum observed touch-to-refresh latency: the
+	// age of the oldest coalesced touch when the refresh incorporating it
+	// completed.
+	RefreshLagMs int64
+	// StaleServed counts queries served from a corpus lagging the feed
+	// but inside the staleness bound; Fallbacks queries that blew the
+	// bound (or missed the corpus) and were served as fresh walks.
+	StaleServed, Fallbacks int64
+}
+
+// Add accumulates o into t (RefreshLagMs takes the max — it is a
+// high-water mark, not a sum).
+func (t *CorpusTallies) Add(o CorpusTallies) {
+	t.Resamples += o.Resamples
+	t.ResampledSteps += o.ResampledSteps
+	t.FullWalkSteps += o.FullWalkSteps
+	if o.RefreshLagMs > t.RefreshLagMs {
+		t.RefreshLagMs = o.RefreshLagMs
+	}
+	t.StaleServed += o.StaleServed
+	t.Fallbacks += o.Fallbacks
+}
+
 // ViewRequest asks a vertex's owner shard for a snapshot of its sampling
 // state — the fabric-side hub-cache fill path. From names the requester
 // so the reply can be routed back.

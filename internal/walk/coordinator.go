@@ -258,6 +258,22 @@ func (c *coordinator) setErr(err error) {
 	c.errMu.Unlock()
 }
 
+// appliedStamp sums the shards' cumulative applied-update tallies from
+// the latest barrier acks — the applied-update stamp the standing-walk
+// corpus reads for its bounded-staleness check. Exact as of the last
+// barrier (every ack carries cumulative Updates), so a caller that just
+// returned from Sync holds proof that everything it fed before the Sync
+// is covered by the stamp.
+func (c *coordinator) appliedStamp() int64 {
+	var n int64
+	c.mu.Lock()
+	for i := range c.acks {
+		n += c.acks[i].Updates
+	}
+	c.mu.Unlock()
+	return n
+}
+
 // Err returns the first error the coordinator observed through acks (nil
 // if none). The in-process service prefers its nodes' own records; the
 // remote service has only this.

@@ -43,12 +43,12 @@ func hcHubIDs() []graph.VertexID {
 }
 
 // buildHubTape returns the build tape (wire every vertex to hubs, hubs
-// to each other) and the churn tape: repeated bias rewrites (delete +
-// reinsert with a fresh bias — the feed's bias-update idiom) and
-// delete/reinsert cycles concentrated on the hub edges. Every (src,dst)
-// pair has at most one live instance at any point, so any valid replay
-// agrees edge-for-edge.
-func buildHubTape(seed uint64) (build, churn []graph.Update) {
+// to each other) and an nChurn-event churn tape: repeated bias rewrites
+// (delete + reinsert with a fresh bias — the feed's bias-update idiom)
+// and delete/reinsert cycles concentrated on the hub edges. Every
+// (src,dst) pair has at most one live instance at any point, so any
+// valid replay agrees edge-for-edge.
+func buildHubTape(seed uint64, nChurn int) (build, churn []graph.Update) {
 	r := xrand.New(seed)
 	hubs := hcHubIDs()
 	isHub := map[graph.VertexID]bool{}
@@ -111,7 +111,7 @@ func buildHubTape(seed uint64) (build, churn []graph.Update) {
 		return keys[i].dst < keys[j].dst
 	})
 	gone := map[pair]bool{}
-	for n := 0; n < hcChurn; n++ {
+	for n := 0; n < nChurn; n++ {
 		p := keys[r.Intn(len(keys))]
 		switch {
 		case gone[p]:
@@ -137,7 +137,7 @@ func buildHubTape(seed uint64) (build, churn []graph.Update) {
 }
 
 func TestHubChurnCacheDifferential(t *testing.T) {
-	build, churn := buildHubTape(0xC0FFEE)
+	build, churn := buildHubTape(0xC0FFEE, hcChurn)
 	tape := append(append([]graph.Update(nil), build...), churn...)
 	hubs := hcHubIDs()
 

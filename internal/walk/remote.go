@@ -126,6 +126,12 @@ func (s *RemoteService) Bootstrap(g *graph.CSR) error {
 // Stats and NumVertices read.
 func (s *RemoteService) Sync() error { return s.coord.Sync() }
 
+// AppliedStamp is the sum of the daemons' cumulative applied-update
+// stamps from the latest barrier acks — the watermark evidence the
+// standing-walk corpus's bounded-staleness check reads. Exact as of the
+// last Sync.
+func (s *RemoteService) AppliedStamp() int64 { return s.coord.appliedStamp() }
+
 // DeepWalk runs a bulk first-order walk across the shard daemons while
 // the feed keeps ingesting.
 func (s *RemoteService) DeepWalk(cfg Config) (Result, TransferStats, error) {

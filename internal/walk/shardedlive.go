@@ -128,6 +128,10 @@ type ShardedLiveStats struct {
 	// load-share view the rebalancer acts on. In-process services read it
 	// live; remote services as of the last Sync.
 	ShardSteps []int64
+	// Corpus tallies the standing-walk-corpus maintenance riding on this
+	// service, when one is attached (see CorpusService.ShardedStats; the
+	// raw service leaves it zero).
+	Corpus fabric.CorpusTallies
 	// Rebalance tallies the heat-aware rebalancer's activity.
 	Rebalance RebalanceTallies
 	// Failover tallies replica-failover activity (replicated sessions).
@@ -326,6 +330,12 @@ func (s *ShardedLiveService) Stats() ShardedLiveStats {
 // Plan returns the live ownership plan (overlay included); the Plan
 // method above returns the construction-time geometry.
 func (s *ShardedLiveService) LivePlan() ShardPlan { return s.coord.planNow() }
+
+// AppliedStamp is the sum of the shards' cumulative applied-update
+// stamps from the latest barrier acks — the watermark evidence the
+// standing-walk corpus's bounded-staleness check reads. Exact as of the
+// last Sync.
+func (s *ShardedLiveService) AppliedStamp() int64 { return s.coord.appliedStamp() }
 
 // Err returns the first ingest error observed (nil if none).
 func (s *ShardedLiveService) Err() error {

@@ -393,6 +393,11 @@ type ShardedLiveStats struct {
 	// rebalancer acts on (live for in-process shards, as of the last
 	// Sync for remote daemons).
 	ShardSteps []int64
+	// Corpus reports standing-walk-corpus maintenance riding on this
+	// service when one is attached (see CorpusWalker.ServiceStats; only
+	// the maintenance tallies — Resamples through Fallbacks — are
+	// populated here, serving counters stay on CorpusWalker.Stats).
+	Corpus CorpusStats
 	// Rebalance reports the heat-aware rebalancer's activity.
 	Rebalance RebalanceStats
 	// Failover reports replica-failover activity (replicated sessions):
@@ -550,6 +555,7 @@ func fromShardedStats(st walk.ShardedLiveStats) ShardedLiveStats {
 		Transfers: st.Transfers, Local: st.Local,
 		Cache:      fromCacheTallies(st.Cache),
 		ShardSteps: st.ShardSteps,
+		Corpus:     fromCorpusTallies(st.Corpus),
 		Rebalance: RebalanceStats{
 			Migrations: st.Rebalance.Migrations,
 			MovedEdges: st.Rebalance.MovedEdges,
