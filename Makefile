@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fault-smoke corpus-smoke fuzz clean
+.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fault-smoke corpus-smoke coord-smoke fuzz clean
 
 all: vet build test
 
@@ -33,11 +33,11 @@ bench:
 # step. Verifies the runners execute end to end and the BENCH_*.json
 # reports appear; absolute numbers at this scale are meaningless.
 bench-smoke:
-	$(GO) run ./cmd/bingobench -exp concurrent,sharded,rebalance,backpressure,corpus -datasets AM -scale 0.002 -walkers 500 -workers 2 \
+	$(GO) run ./cmd/bingobench -exp concurrent,sharded,rebalance,backpressure,corpus,coordscale -datasets AM -scale 0.002 -walkers 500 -workers 2 \
 		-kernel-modes sparse,dense,auto -procs 1,4 \
 		-json BENCH_concurrent.json -json-sharded BENCH_sharded.json -json-rebalance BENCH_rebalance.json \
-		-json-backpressure BENCH_backpressure.json -json-corpus BENCH_corpus.json
-	test -s BENCH_concurrent.json && test -s BENCH_sharded.json && test -s BENCH_rebalance.json && test -s BENCH_backpressure.json && test -s BENCH_corpus.json
+		-json-backpressure BENCH_backpressure.json -json-corpus BENCH_corpus.json -json-coordscale BENCH_coordscale.json
+	test -s BENCH_concurrent.json && test -s BENCH_sharded.json && test -s BENCH_rebalance.json && test -s BENCH_backpressure.json && test -s BENCH_corpus.json && test -s BENCH_coordscale.json
 
 # Multi-process serving smoke: spawns shard daemons (real bingowalk
 # -shard-serve processes) on loopback, drives queries plus a
@@ -65,9 +65,19 @@ fault-smoke:
 corpus-smoke:
 	$(GO) test -race -count 1 -timeout 20m -run 'TestCorpusDifferential|TestCorpusIndexMatchesBruteForce|TestCorpusCoalescingCredit' -v ./internal/walk/
 
+# Multi-coordinator smoke: the reader-tier differentials — two read-
+# coordinators querying through a rebalance migration mid-tape
+# (in-process fabric AND loopback tcpgob, chi-square + edge-for-edge),
+# reader crash isolation, plan-epoch broadcast invalidation — plus the
+# real-process variant: bingowalk -shard-serve daemons, a ServeRemote
+# write session, and bingo.AttachReader readers over loopback.
+coord-smoke:
+	$(GO) test -race -count 1 -timeout 20m -run 'TestMultiCoord|TestReaderCrash|TestPlanEpochBroadcast' -v ./internal/walk/
+	$(GO) test -race -count 1 -timeout 20m -run TestCoordScaleRealProcess -v .
+
 # Short local fuzz session against the sampler's structural invariants.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSamplerMutate -fuzztime 30s ./internal/core/
 
 clean:
-	rm -f BENCH_concurrent.json BENCH_sharded.json BENCH_rebalance.json BENCH_backpressure.json BENCH_corpus.json
+	rm -f BENCH_concurrent.json BENCH_sharded.json BENCH_rebalance.json BENCH_backpressure.json BENCH_corpus.json BENCH_coordscale.json

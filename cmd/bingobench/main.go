@@ -43,6 +43,7 @@ func main() {
 		jsonReb  = flag.String("json-rebalance", "BENCH_rebalance.json", "output path for the rebalance scenario's JSON report ('' disables)")
 		jsonBp   = flag.String("json-backpressure", "BENCH_backpressure.json", "output path for the backpressure scenario's JSON report ('' disables)")
 		jsonCo   = flag.String("json-corpus", "BENCH_corpus.json", "output path for the corpus scenario's JSON report ('' disables)")
+		jsonCs   = flag.String("json-coordscale", "BENCH_coordscale.json", "output path for the coordscale scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -81,6 +82,7 @@ func main() {
 	o.RebalanceJSONPath = *jsonReb
 	o.BackpressureJSONPath = *jsonBp
 	o.CorpusJSONPath = *jsonCo
+	o.CoordScaleJSONPath = *jsonCs
 	o.Transports = split(*transp)
 	o.CacheModes = split(*cacheM)
 	o.KernelModes = split(*kernelM)

@@ -18,6 +18,17 @@
 //	bingowalk -shard-serve -addr 127.0.0.1:7432 -shard 1/2
 //	bingowalk -live -connect 127.0.0.1:7431,127.0.0.1:7432 -dataset AM
 //
+// The top rung scales the query tier itself: while a -live -connect
+// write session keeps feeding the daemons, any number of -attach
+// processes join the same shard set as read-coordinators and serve
+// queries beside it (bounded staleness via the write session's broadcast
+// stream):
+//
+//	bingowalk -attach 127.0.0.1:7431,127.0.0.1:7432 -live-queries 100000
+//
+// Every serving mode accepts -pprof <addr> to expose net/http/pprof for
+// profiling (e.g. -pprof 127.0.0.1:6060).
+//
 // Any -live rung can additionally serve from a standing walk corpus
 // (-corpus): K maintained walks per vertex answer queries as slices
 // while the feed dirties and incrementally resamples only the affected
@@ -29,10 +40,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on -pprof's listener via DefaultServeMux
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bingo-rw/bingo/internal/rebalance"
@@ -83,8 +97,19 @@ func main() {
 		corpusK   = flag.Int("corpus-walks", 0, "standing walks maintained per vertex in -corpus mode (0 = default 2)")
 		corpusSB  = flag.Int("corpus-stale", 0, "staleness bound in -corpus mode: max feed events a corpus answer may trail by before falling back to a fresh walk (0 = default 4096, negative disables the fallback)")
 		statsF    = flag.Bool("stats", false, "print corpus maintenance tallies (resamples, amplification, refresh lag) in -corpus mode")
+		attach    = flag.String("attach", "", "comma-separated shard-daemon addresses: join a running serving session as a read-coordinator (requires a live -connect write session)")
+		pprofAddr = flag.String("pprof", "", "expose net/http/pprof on this address (all serving modes)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "bingowalk: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	kernel, err := walk.ParseKernelMode(*kernelF)
 	if err != nil {
@@ -95,6 +120,12 @@ func main() {
 	rebOpts := rebalance.Options{On: *reb, Interval: *rebEvery, Imbalance: *rebImbal, MaxMovesPerCycle: *rebMoves}
 	if *shardSrv {
 		if err := runShardServe(*addr, *shardSpec, *workers, *sessions); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *attach != "" {
+		if err := runAttach(*attach, *seed, *length, *liveQ, *workers, hubCache); err != nil {
 			fail(err)
 		}
 		return
@@ -545,5 +576,61 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
 	fmt.Printf("hub cache: %d lock-free hops, %d stale views refreshed\n", ls.CacheHits, ls.CacheStale)
 	fmt.Printf("final graph: %d edges, engine memory %.2f MB\n", single.NumEdges(), float64(single.Footprint())/1e6)
+	return nil
+}
+
+// runAttach is the -attach mode: join a running multi-process serving
+// session as a read-coordinator. The shard daemons must already be
+// driven by a write session (`bingowalk -live -connect …` elsewhere);
+// this process learns the plan, epoch, and watermarks from that
+// session's broadcast stream and serves queries beside it without ever
+// touching the ingest path.
+func runAttach(addrs string, seed uint64, length, queries, workers int, hubCache bingo.HubCacheOptions) error {
+	list := strings.Split(addrs, ",")
+	rd, err := bingo.AttachReader(list, bingo.ReaderOptions{
+		WalkLength: length,
+		Seed:       seed,
+		HubCache:   hubCache,
+	})
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	verts := rd.NumVertices()
+	fmt.Printf("attach: read-coordinator joined %d shard daemons (plan epoch %d, %d vertices, applied stamp %d)\n",
+		len(list), rd.Stats().PlanEpoch, verts, rd.AppliedStamp())
+
+	if workers <= 0 {
+		workers = 1
+	}
+	perClient := (queries + workers - 1) / workers
+	var served atomic.Int64
+	t0 := time.Now()
+	var clients sync.WaitGroup
+	for c := 0; c < workers; c++ {
+		clients.Add(1)
+		go func(c int) {
+			defer clients.Done()
+			r := xrand.New(seed + uint64(c) + 1)
+			for q := 0; q < perClient; q++ {
+				if _, err := rd.Query(graph.VertexID(r.Intn(verts)), length); err != nil {
+					fmt.Fprintln(os.Stderr, "bingowalk: attach query:", err)
+					return
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	clients.Wait()
+	d := time.Since(t0)
+
+	st := rd.Stats()
+	fmt.Printf("served %d queries (%d steps) in %v (%.0f queries/s, %.0f steps/s)\n",
+		st.Queries, st.Steps, d.Round(time.Millisecond),
+		float64(served.Load())/d.Seconds(), float64(st.Steps)/d.Seconds())
+	fmt.Printf("reader cache: %d hub-view hops served locally (%d cached views, %d view requests), %d walker launches (%d shard hand-offs)\n",
+		st.LocalHits, st.CachedViews, st.ViewRequests, st.Launches, st.Transfers)
+	fmt.Printf("broadcast: plan epoch %d (%d flips seen), applied stamp %d\n",
+		st.PlanEpoch, st.PlanFlips, st.Applied)
 	return nil
 }

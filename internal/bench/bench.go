@@ -72,6 +72,9 @@ type Options struct {
 	// CorpusJSONPath, when non-empty, is where the corpus scenario
 	// writes its machine-readable BENCH_corpus.json report.
 	CorpusJSONPath string
+	// CoordScaleJSONPath, when non-empty, is where the coordscale
+	// scenario writes its machine-readable BENCH_coordscale.json report.
+	CoordScaleJSONPath string
 	// Transports filters the sharded scenario's transport dimension:
 	// "inproc" (in-process fabric) and/or "tcp" (loopback tcpgob fabric).
 	// Nil means both.
@@ -391,6 +394,7 @@ var registry = []runner{
 	{"rebalance", "heat-aware rebalancing: hottest shard's step share under hub-skewed growth, rebalance on/off × inproc/tcp (BENCH_rebalance.json)", runRebalance},
 	{"backpressure", "credited ingest: feed latency vs routed-but-unapplied backlog against a slow shard, credit window off/1k/4k/16k (BENCH_backpressure.json)", runBackpressure},
 	{"corpus", "standing walk corpus: resample amplification, refresh lag, and serving split under hub-churn, inproc/tcp at 4 shards (BENCH_corpus.json)", runCorpus},
+	{"coordscale", "query-tier scale-out: aggregate walks/s at 1/2/4 read-coordinators over one 4-shard set, inproc/tcp (BENCH_coordscale.json)", runCoordScale},
 }
 
 // Experiments lists available experiment names with descriptions.

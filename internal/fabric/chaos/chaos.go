@@ -252,6 +252,10 @@ func (c *coordPort) PublishBarrier(in fabric.Ingest) error {
 	return nil
 }
 
+// PublishBroadcast is a no-op: the chaos fabric exists to fault-inject
+// the write session, and no read-coordinator ever attaches to it.
+func (c *coordPort) PublishBroadcast(fabric.Broadcast) error { return nil }
+
 func (c *coordPort) NextEvent() (fabric.Event, bool) { return c.events.Pop() }
 
 // Close ends the session: every live incarnation's streams close, the

@@ -1,8 +1,8 @@
 // Package fabric defines the shard interconnect of the sharded serving
 // runtime: the message vocabulary (walker hand-offs, routed update
-// batches, sync barriers, retire/ack replies) and the two port interfaces
-// — one per shard node, one for the coordinator — that every transport
-// implements.
+// batches, sync barriers, retire/ack replies, plan broadcasts) and the
+// port interfaces — one per shard node, one for the write-coordinator,
+// one per attached read-coordinator — that every transport implements.
 //
 // The in-process ShardedLiveService and the multi-process shard-daemon
 // mode run the *same* walk/ingest logic over different fabrics:
@@ -75,6 +75,13 @@ type Walker struct {
 	// bounds the retry loop: a walk that keeps landing on dead links
 	// eventually fails for real instead of ping-ponging forever.
 	Reroutes int
+	// Origin is the session nonce of the coordinator that launched this
+	// walker: 0 for the write-coordinator (the session owner), the
+	// reader's attach nonce for a walker launched by a read-coordinator.
+	// Shards preserve it across hand-offs, and the transport routes the
+	// retire back to the originating coordinator — the field that lets N
+	// readers share one shard set without mixing up each other's walks.
+	Origin uint64
 }
 
 // Ingest is one element of a shard's ordered ingest stream: a routed
@@ -371,10 +378,14 @@ func (t *CorpusTallies) Add(o CorpusTallies) {
 
 // ViewRequest asks a vertex's owner shard for a snapshot of its sampling
 // state — the fabric-side hub-cache fill path. From names the requester
-// so the reply can be routed back.
+// so the reply can be routed back. Origin is 0 for a shard peer; a
+// read-coordinator's request carries its attach nonce instead, and the
+// owner copies it into the reply so the transport can route it back to
+// the reader's link rather than a peer stream.
 type ViewRequest struct {
 	From   int
 	Vertex graph.VertexID
+	Origin uint64
 }
 
 // ViewReply answers a ViewRequest. Hub reports whether the owner deemed
@@ -388,6 +399,9 @@ type ViewReply struct {
 	Hub     bool
 	Applied int64
 	View    core.VertexView
+	// Origin echoes the request's Origin: 0 routes the reply to a peer
+	// shard's view stream, a reader nonce routes it to that reader.
+	Origin uint64
 }
 
 // ViewMsg is one element of a shard's view stream: exactly one of Req
@@ -396,6 +410,44 @@ type ViewReply struct {
 type ViewMsg struct {
 	Req *ViewRequest
 	Rep *ViewReply
+}
+
+// Broadcast is the write-coordinator's periodic state announcement to
+// every attached read-coordinator: the full routing-relevant snapshot —
+// plan epoch, ownership overlay, liveness mask, partition geometry — plus
+// the routed-update watermark vector and the applied stamp backing the
+// readers' bounded-staleness contract.
+//
+// Broadcasts are full-state and idempotent: a receiver applies one iff
+// Seq is at least the last sequence it saw, so duplicated delivery (a
+// reader attached to N daemons receives each broadcast N times) and
+// reordering across daemon links are both harmless. The consistency
+// argument for readers is the same conservative direction the shard-side
+// hub caches rely on: Watermarks are *routed* counts, which only ever run
+// ahead of the owners' *applied* counts, so a reader pruning its cached
+// views against them drops views early, never keeps them late.
+type Broadcast struct {
+	// Seq orders broadcasts within the write session (monotonic from 1).
+	Seq uint64
+	// Epoch, Overlay, and DeadMask mirror the write-coordinator's live
+	// ShardPlan: readers rebuild their routing from them on every flip.
+	Epoch    uint64
+	Overlay  map[uint64]int
+	DeadMask uint64
+	// RangeSize, Replicas, and Vertices complete the partition geometry
+	// (Vertices is the coordinator's current high-water vertex count —
+	// the space grows live under the feed).
+	RangeSize int
+	Replicas  int
+	Vertices  int
+	// Watermarks is the routed-update ledger (cumulative events published
+	// per shard); readers fold it into their remote-view caches exactly
+	// like shard nodes fold the piggybacked ingest vector.
+	Watermarks []int64
+	// Applied is the write-coordinator's AppliedStamp() — the summed
+	// cumulative applied-update acks — at broadcast time. Readers surface
+	// it as their own staleness stamp.
+	Applied int64
 }
 
 // EventKind discriminates coordinator-bound events.
@@ -419,6 +471,12 @@ const (
 	// restarted daemon re-accepted the session). The coordinator reacts
 	// by re-priming the shard's replica blocks.
 	EvShardUp
+	// EvBroadcast delivers a write-coordinator state broadcast to a
+	// read-coordinator's event stream.
+	EvBroadcast
+	// EvView delivers a hub-view reply to a read-coordinator's event
+	// stream (shard peers receive replies on their view streams instead).
+	EvView
 )
 
 // Event is one element of the coordinator's inbound stream.
@@ -429,6 +487,8 @@ type Event struct {
 	Done   *MigrateDone // EvMigrated
 	Credit *Credit      // EvCredit
 	Shard  int          // EvShardDown / EvShardUp
+	Bcast  *Broadcast   // EvBroadcast
+	Rep    *ViewReply   // EvView
 }
 
 // ShardPort is one shard node's endpoint on the fabric.
@@ -515,17 +575,77 @@ type CoordPort interface {
 	// PublishBarrier appends a barrier token to every shard's ingest
 	// stream, ordered after all previously published batches.
 	PublishBarrier(in Ingest) error
+	// PublishBroadcast announces the write-coordinator's current plan and
+	// watermark state to every attached read-coordinator. Delivery is
+	// best-effort fan-out (a reader that misses one catches up on the
+	// next — broadcasts are full-state); a transport with no readers
+	// attached may cache it for late attachers and otherwise do nothing.
+	PublishBroadcast(b Broadcast) error
 	// NextEvent pops the next coordinator-bound event.
 	NextEvent() (Event, bool)
 	// Close ends the session.
 	Close() error
 }
 
-// Hello is the session spec the coordinator sends a shard daemon on
+// ReadPort is a read-coordinator's endpoint on the fabric: the slice of
+// CoordPort a query-serving frontend needs — walker launches, hub-view
+// fetches, and an event stream carrying its own retires, view replies,
+// and the write-coordinator's broadcasts — with none of the ingest
+// surface. The transport stamps every outbound walker and view request
+// with the reader's attach nonce (Walker.Origin / ViewRequest.Origin), so
+// the walk layer above stays nonce-free.
+//
+// A ReadPort is valid only while a write session is active on the same
+// shard set: readers never mediate ingest, so a shard set with no
+// write-coordinator has no plan authority and the transport ends the
+// reader's event stream (NextEvent returns ok=false), failing pending
+// queries rather than serving from a fabric with no owner.
+type ReadPort interface {
+	// Shards returns the session's shard count.
+	Shards() int
+	// LaunchWalker starts a walker on shard dst; its retire comes back on
+	// this reader's event stream.
+	LaunchWalker(dst int, w *Walker) error
+	// RequestView asks shard dst for a hub view of a vertex it owns; the
+	// reply arrives as an EvView event.
+	RequestView(dst int, rq *ViewRequest) error
+	// NextEvent pops the next reader-bound event (EvRetire, EvView,
+	// EvBroadcast). It blocks, and returns ok=false once the reader has
+	// detached or the underlying write session ended.
+	NextEvent() (Event, bool)
+	// Close detaches the reader. The shard set and the write session are
+	// unaffected; in-flight walkers this reader launched are dropped at
+	// retire time.
+	Close() error
+}
+
+// Session roles carried in Hello.Role. The zero value is the write role
+// so every pre-role coordinator (and gob stream) keeps meaning what it
+// always did.
+const (
+	// RoleWrite is the session owner: exactly one per shard set, owning
+	// the ingest router, credit windows, plan epoch, and rebalancer.
+	RoleWrite = ""
+	// RoleRead attaches a read-coordinator to an already-running write
+	// session: it launches walkers and fetches hub views but never
+	// mediates ingest, and any number may attach concurrently.
+	RoleRead = "read"
+)
+
+// Hello is the session spec a coordinator sends a shard daemon on
 // connect: enough to reconstruct the partition geometry and build an
 // empty, compatible engine. It lives here (not in internal/walk) because
 // transports carry it and walk already imports fabric.
+//
+// Role splits sessions into one write-coordinator plus any number of
+// concurrently attached read-coordinators; a reader's Hello is only a
+// (Role, Session, Shard) announcement — the geometry fields are ignored,
+// since the reader learns the live plan from the write session's
+// broadcasts rather than asserting one of its own.
 type Hello struct {
+	// Role is the session role: RoleWrite ("" — the default, so old
+	// clients and gob zero values stay write sessions) or RoleRead.
+	Role string
 	// Shards and Shard are the partition count and the receiver's index
 	// (the daemon sanity-checks them against its -shard K/N flags).
 	Shards, Shard int

@@ -21,7 +21,8 @@ import (
 )
 
 // Fabric is an in-process shard interconnect. Create one per session,
-// hand CoordPort to the coordinator and ShardPort(i) to shard i's node.
+// hand CoordPort to the write-coordinator, ShardPort(i) to shard i's
+// node, and AttachReader to each read-coordinator.
 type Fabric struct {
 	shards  int
 	walkers []*fabric.Mailbox[*fabric.Walker]
@@ -33,6 +34,14 @@ type Fabric struct {
 	mu         sync.Mutex
 	coordDone  bool
 	shardsOpen int
+
+	// Reader registry: attach nonce → event mailbox. lastBcast caches the
+	// write-coordinator's newest broadcast so a late attacher starts from
+	// current state instead of waiting for the next flip.
+	readerMu  sync.Mutex
+	readers   map[uint64]*fabric.Mailbox[fabric.Event]
+	readerSeq uint64
+	lastBcast *fabric.Broadcast
 }
 
 // New builds a fabric for shards nodes with the given ingest-queue bound.
@@ -55,7 +64,44 @@ func New(shards, queueDepth int) *Fabric {
 		f.views[i] = fabric.NewMailbox[*fabric.ViewMsg]()
 		f.blocks[i] = fabric.NewMailbox[*fabric.MigrateBlock]()
 	}
+	f.readers = map[uint64]*fabric.Mailbox[fabric.Event]{}
 	return f
+}
+
+// AttachReader registers a read-coordinator on the fabric and returns its
+// port. The cached last broadcast (if the write-coordinator has published
+// one) is delivered immediately, so the reader can build its initial plan
+// without waiting for the next flip. Any number of readers may attach;
+// each detaches independently with Close, and all reader event streams
+// end when the write session closes.
+func (f *Fabric) AttachReader() fabric.ReadPort {
+	mb := fabric.NewMailbox[fabric.Event]()
+	f.readerMu.Lock()
+	f.readerSeq++
+	nonce := f.readerSeq
+	f.readers[nonce] = mb
+	last := f.lastBcast
+	f.readerMu.Unlock()
+	f.mu.Lock()
+	done := f.coordDone
+	f.mu.Unlock()
+	if done {
+		// No live write session: the reader observes an already-ended
+		// event stream instead of hanging on a dead fabric.
+		mb.Close()
+	} else if last != nil {
+		b := *last
+		mb.Push(fabric.Event{Kind: fabric.EvBroadcast, Bcast: &b})
+	}
+	return &readPort{f: f, nonce: nonce, events: mb}
+}
+
+// readerEvents returns the event mailbox for an origin nonce (nil when
+// the reader has detached — its traffic is dropped, not misdelivered).
+func (f *Fabric) readerEvents(origin uint64) *fabric.Mailbox[fabric.Event] {
+	f.readerMu.Lock()
+	defer f.readerMu.Unlock()
+	return f.readers[origin]
 }
 
 // CoordPort returns the coordinator's endpoint.
@@ -105,11 +151,32 @@ func (c *coordPort) PublishBarrier(in fabric.Ingest) error {
 
 func (c *coordPort) NextEvent() (fabric.Event, bool) { return c.events.Pop() }
 
+// PublishBroadcast caches the broadcast for late attachers and fans a
+// copy to every attached reader's event stream.
+func (c *coordPort) PublishBroadcast(b fabric.Broadcast) error {
+	f := (*Fabric)(c)
+	f.readerMu.Lock()
+	cp := b
+	f.lastBcast = &cp
+	mbs := make([]*fabric.Mailbox[fabric.Event], 0, len(f.readers))
+	for _, mb := range f.readers {
+		mbs = append(mbs, mb)
+	}
+	f.readerMu.Unlock()
+	for _, mb := range mbs {
+		bc := b
+		mb.Push(fabric.Event{Kind: fabric.EvBroadcast, Bcast: &bc})
+	}
+	return nil
+}
+
 // Close ends the session: every shard's ingest channel is closed (the
-// single ingester drains what is queued, then exits) and the walker
-// mailboxes close (crews drain, then exit). The caller guarantees no
-// publisher or launcher is still running — the coordinator stops its
-// router and waits for in-flight walkers first. Idempotent.
+// single ingester drains what is queued, then exits), the walker
+// mailboxes close (crews drain, then exit), and every attached reader's
+// event stream ends — readers cannot outlive the write session that owns
+// the plan. The caller guarantees no publisher or launcher is still
+// running — the coordinator stops its router and waits for in-flight
+// walkers first. Idempotent.
 func (c *coordPort) Close() error {
 	c.mu.Lock()
 	done := c.coordDone
@@ -123,6 +190,16 @@ func (c *coordPort) Close() error {
 		c.walkers[i].Close()
 		c.views[i].Close()
 		c.blocks[i].Close()
+	}
+	f := (*Fabric)(c)
+	f.readerMu.Lock()
+	mbs := make([]*fabric.Mailbox[fabric.Event], 0, len(f.readers))
+	for _, mb := range f.readers {
+		mbs = append(mbs, mb)
+	}
+	f.readerMu.Unlock()
+	for _, mb := range mbs {
+		mb.Close()
 	}
 	return nil
 }
@@ -159,6 +236,14 @@ func (p *shardPort) RequestView(dst int, rq *fabric.ViewRequest) error {
 }
 
 func (p *shardPort) ReplyView(dst int, rp *fabric.ViewReply) error {
+	if rp.Origin != 0 {
+		// A reader-originated request: the reply goes to that reader's
+		// event stream (dropped if it detached), not a peer view stream.
+		if mb := p.f.readerEvents(rp.Origin); mb != nil {
+			mb.Push(fabric.Event{Kind: fabric.EvView, Rep: rp})
+		}
+		return nil
+	}
 	p.f.views[dst].Push(&fabric.ViewMsg{Rep: rp})
 	return nil
 }
@@ -187,6 +272,14 @@ func (p *shardPort) Credit(c *fabric.Credit) error {
 }
 
 func (p *shardPort) Retire(w *fabric.Walker) error {
+	if w.Origin != 0 {
+		// A read-coordinator's walker: route the retire to its origin
+		// (dropped if the reader detached mid-walk — nobody is waiting).
+		if mb := p.f.readerEvents(w.Origin); mb != nil {
+			mb.Push(fabric.Event{Kind: fabric.EvRetire, Walker: w})
+		}
+		return nil
+	}
 	p.f.events.Push(fabric.Event{Kind: fabric.EvRetire, Walker: w})
 	return nil
 }
@@ -198,5 +291,41 @@ func (p *shardPort) Ack(a *fabric.Ack) error {
 
 func (p *shardPort) Close() error {
 	p.once.Do(p.f.shardDone)
+	return nil
+}
+
+// readPort is one attached read-coordinator's endpoint. It stamps the
+// reader's nonce on every outbound walker and view request so shard-side
+// logic stays origin-agnostic.
+type readPort struct {
+	f      *Fabric
+	nonce  uint64
+	events *fabric.Mailbox[fabric.Event]
+	once   sync.Once
+}
+
+func (r *readPort) Shards() int { return r.f.shards }
+
+func (r *readPort) LaunchWalker(dst int, w *fabric.Walker) error {
+	w.Origin = r.nonce
+	r.f.walkers[dst].Push(w)
+	return nil
+}
+
+func (r *readPort) RequestView(dst int, rq *fabric.ViewRequest) error {
+	rq.Origin = r.nonce
+	r.f.views[dst].Push(&fabric.ViewMsg{Req: rq})
+	return nil
+}
+
+func (r *readPort) NextEvent() (fabric.Event, bool) { return r.events.Pop() }
+
+func (r *readPort) Close() error {
+	r.once.Do(func() {
+		r.f.readerMu.Lock()
+		delete(r.f.readers, r.nonce)
+		r.f.readerMu.Unlock()
+		r.events.Close()
+	})
 	return nil
 }

@@ -2,17 +2,25 @@
 // length-prefixed gob frames over TCP, one ordered full-duplex stream per
 // peer pair.
 //
-// Topology. Each shard daemon owns one Listener. A coordinator dials it
-// and opens a *session* by sending a Hello (partition geometry, engine
-// spec, peer addresses, a session nonce); all coordinator→shard traffic
-// (walker launches, routed update batches, barriers, shutdown) and all
-// shard→coordinator traffic (retires, acks) flows on that connection.
-// Shard-to-shard traffic — walker transfers and hub-view
-// requests/replies — uses direct peer connections, dialed lazily on the
-// first message toward each peer. Sessions are sequential: a Listener
-// serves one coordinator at a time but accepts a fresh session after the
+// Topology. Each shard daemon owns one Listener. A write-coordinator
+// dials it and opens a *session* by sending a Hello (partition geometry,
+// engine spec, peer addresses, a session nonce); all coordinator→shard
+// traffic (walker launches, routed update batches, barriers, plan
+// broadcasts, shutdown) and all shard→coordinator traffic (retires,
+// acks) flows on that connection. Shard-to-shard traffic — walker
+// transfers and hub-view requests/replies — uses direct peer
+// connections, dialed lazily on the first message toward each peer.
+// *Write* sessions are sequential: a Listener serves one
+// write-coordinator at a time but accepts a fresh session after the
 // previous one tears down, which is what lets a daemon outlive its
-// coordinators. Peer streams announce the session nonce on open, so a
+// coordinators. Any number of *read* sessions (Hello.Role == RoleRead)
+// may attach concurrently to the active write session: each reader link
+// carries walker launches and view requests inbound, and the daemon
+// routes that reader's retires, view replies, and relayed plan
+// broadcasts back on the same link, fenced by the reader's own session
+// nonce. Reader links live and die with the write session they attached
+// to — a daemon with no write-coordinator has no plan authority to serve
+// from. Peer streams announce the write session nonce on open, so a
 // stray connection from a torn-down session is refused instead of
 // leaking its walkers into the next session.
 //
@@ -131,6 +139,7 @@ const (
 	kMigBlock                      // extracted ownership block, donor shard → recipient peer
 	kMigDone                       // migration completion, recipient shard → coordinator
 	kCredit                        // ingest flow-control report, shard → coordinator
+	kBroadcast                     // plan/watermark broadcast, write-coordinator → shard → readers
 )
 
 // frame is the single wire message shape. Value fields: gob omits
@@ -150,6 +159,7 @@ type frame struct {
 	MigBlock fabric.MigrateBlock // kMigBlock
 	MigDone  fabric.MigrateDone  // kMigDone
 	Credit   fabric.Credit       // kCredit
+	Bcast    fabric.Broadcast    // kBroadcast
 }
 
 // link is one connection with a locked writer. Reads are owned by exactly
@@ -209,9 +219,11 @@ func (l *link) read() (*frame, error) {
 // Shard daemon side
 
 // Listener is a shard daemon's accept loop: it owns the listen socket
-// and hands out one session ShardConn per coordinator Hello, serially.
-// It outlives sessions — after a session's teardown the next coordinator
-// Hello starts a fresh one.
+// and hands out one session ShardConn per *write*-coordinator Hello,
+// serially; read-coordinator Hellos attach concurrently to the active
+// write session instead of claiming the slot. It outlives sessions —
+// after a write session's teardown the next coordinator Hello starts a
+// fresh one.
 type Listener struct {
 	ln            net.Listener
 	shard, shards int
@@ -340,12 +352,27 @@ func (l *Listener) handleConn(lk *link) {
 			lk.conn.Close()
 			return
 		}
+		if h.Role == fabric.RoleRead {
+			// A read-coordinator attaching: it joins the active write
+			// session (waiting briefly for one — a reader may dial while
+			// the write session is still handshaking) instead of claiming
+			// the session slot. Its link carries walker launches and view
+			// requests inbound; retires, view replies, and relayed plan
+			// broadcasts flow back on it, keyed by the reader's nonce.
+			sc := l.waitAnySession(10 * time.Second)
+			if sc == nil {
+				lk.conn.Close()
+				return
+			}
+			sc.serveReader(lk, h.Session)
+			return
+		}
 		l.mu.Lock()
 		if l.closed || l.cur != nil {
-			// Sequential-session semantics: at most one coordinator at a
-			// time. A dial during an active session (or its teardown) is
-			// refused; the spurned coordinator observes its event stream
-			// ending.
+			// Sequential-write-session semantics: at most one
+			// write-coordinator at a time. A dial during an active session
+			// (or its teardown) is refused; the spurned coordinator
+			// observes its event stream ending.
 			l.mu.Unlock()
 			lk.conn.Close()
 			return
@@ -411,6 +438,34 @@ func (l *Listener) waitSession(session uint64, timeout time.Duration) *ShardConn
 	}
 }
 
+// waitAnySession is waitSession without the nonce requirement: it blocks
+// for whatever write session is (or becomes) active — the attach point
+// for read-coordinators, which do not know the write session's nonce.
+func (l *Listener) waitAnySession(timeout time.Duration) *ShardConn {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		l.mu.Lock()
+		sc := l.cur
+		w := l.watch
+		closed := l.closed
+		l.mu.Unlock()
+		if sc != nil {
+			return sc
+		}
+		if closed {
+			return nil
+		}
+		select {
+		case <-w:
+		case <-timer.C:
+			return nil
+		case <-l.done:
+			return nil
+		}
+	}
+}
+
 // ShardConn is a shard daemon's end of one serving session. It
 // implements fabric.ShardPort. Sessions are created by Listener.Accept;
 // Close tears this session down and re-arms the listener.
@@ -434,21 +489,39 @@ type ShardConn struct {
 	peers       map[int]*peerOut
 	peersClosed bool
 
+	// Attached read-coordinator links, keyed by reader session nonce,
+	// plus the newest plan broadcast (seeded from the write Hello so a
+	// reader attaching before the first broadcast still gets a usable
+	// geometry snapshot).
+	readerMu      sync.Mutex
+	readerLinks   map[uint64]*link
+	readersClosed bool
+	lastBcast     fabric.Broadcast
+
 	downOnce  sync.Once
 	closeOnce sync.Once
 }
 
 func newShardConn(l *Listener, coord *link, h fabric.Hello) *ShardConn {
 	return &ShardConn{
-		owner:   l,
-		hello:   h,
-		shard:   l.shard,
-		walkers: fabric.NewMailbox[*fabric.Walker](),
-		ingests: fabric.NewMailbox[*fabric.Ingest](),
-		views:   fabric.NewMailbox[*fabric.ViewMsg](),
-		blocks:  fabric.NewMailbox[*fabric.MigrateBlock](),
-		coord:   coord,
-		peers:   map[int]*peerOut{},
+		owner:       l,
+		hello:       h,
+		shard:       l.shard,
+		walkers:     fabric.NewMailbox[*fabric.Walker](),
+		ingests:     fabric.NewMailbox[*fabric.Ingest](),
+		views:       fabric.NewMailbox[*fabric.ViewMsg](),
+		blocks:      fabric.NewMailbox[*fabric.MigrateBlock](),
+		coord:       coord,
+		peers:       map[int]*peerOut{},
+		readerLinks: map[uint64]*link{},
+		lastBcast: fabric.Broadcast{
+			Epoch:     h.PlanEpoch,
+			Overlay:   h.Overlay,
+			DeadMask:  h.DeadMask,
+			RangeSize: h.RangeSize,
+			Replicas:  h.Replicas,
+			Vertices:  h.NumVertices,
+		},
 	}
 }
 
@@ -472,10 +545,114 @@ func (s *ShardConn) readCoord(l *link) {
 		case kUpdates, kBarrier:
 			in := f.Ingest
 			s.ingests.Push(&in)
+		case kBroadcast:
+			s.relayBroadcast(f.Bcast)
 		case kShutdown:
 			s.sessionDown()
 			return
 		}
+	}
+}
+
+// relayBroadcast caches the write-coordinator's newest plan broadcast
+// and fans it out to every attached reader link. A reader attached to N
+// daemons receives each broadcast N times; broadcasts are full-state and
+// sequence-stamped, so the duplicates are harmless.
+func (s *ShardConn) relayBroadcast(b fabric.Broadcast) {
+	s.readerMu.Lock()
+	if b.Seq >= s.lastBcast.Seq {
+		s.lastBcast = b
+	}
+	links := make([]*link, 0, len(s.readerLinks))
+	for _, lk := range s.readerLinks {
+		links = append(links, lk)
+	}
+	s.readerMu.Unlock()
+	for _, lk := range links {
+		lk.write(&frame{Kind: kBroadcast, Bcast: b}) //nolint:errcheck // dead reader links are reaped by their read loops
+	}
+}
+
+// serveReader runs one attached read-coordinator link for its lifetime:
+// register (so retires and view replies can route back), deliver the
+// cached broadcast immediately, then pump inbound walker launches and
+// view requests into the session streams with the reader's nonce stamped
+// as their origin. EOF, a decode error, or a shutdown frame detaches the
+// reader; the write session and every other reader are unaffected.
+func (s *ShardConn) serveReader(lk *link, nonce uint64) {
+	s.readerMu.Lock()
+	if s.readersClosed {
+		s.readerMu.Unlock()
+		lk.conn.Close()
+		return
+	}
+	s.readerLinks[nonce] = lk
+	last := s.lastBcast
+	s.readerMu.Unlock()
+	if err := lk.write(&frame{Kind: kBroadcast, Bcast: last}); err != nil {
+		s.dropReader(nonce, lk)
+		return
+	}
+	for {
+		f, err := lk.read()
+		if err != nil {
+			s.dropReader(nonce, lk)
+			return
+		}
+		switch f.Kind {
+		case kWalker:
+			f.Walker.Origin = nonce
+			s.walkers.Push(&f.Walker)
+		case kWalkerBatch:
+			for i := range f.Walkers {
+				f.Walkers[i].Origin = nonce
+				s.walkers.Push(&f.Walkers[i])
+			}
+		case kViewReq:
+			rq := f.ViewReq
+			rq.Origin = nonce
+			s.views.Push(&fabric.ViewMsg{Req: &rq})
+		case kShutdown:
+			s.dropReader(nonce, lk)
+			return
+		default:
+			s.dropReader(nonce, lk)
+			return
+		}
+	}
+}
+
+// dropReader unregisters one reader link and closes its connection.
+func (s *ShardConn) dropReader(nonce uint64, lk *link) {
+	s.readerMu.Lock()
+	if s.readerLinks[nonce] == lk {
+		delete(s.readerLinks, nonce)
+	}
+	s.readerMu.Unlock()
+	lk.conn.Close()
+}
+
+// readerLink returns the live link for a reader nonce (nil if detached).
+func (s *ShardConn) readerLink(nonce uint64) *link {
+	s.readerMu.Lock()
+	defer s.readerMu.Unlock()
+	return s.readerLinks[nonce]
+}
+
+// closeReaders detaches every reader link at session teardown: readers
+// observe EOF on all their daemon links and end their event streams —
+// they cannot outlive the write session whose plan they serve from.
+func (s *ShardConn) closeReaders() {
+	s.readerMu.Lock()
+	s.readersClosed = true
+	links := make([]*link, 0, len(s.readerLinks))
+	for _, lk := range s.readerLinks {
+		links = append(links, lk)
+	}
+	s.readerLinks = map[uint64]*link{}
+	s.readerMu.Unlock()
+	for _, lk := range links {
+		lk.conn.Close()
 	}
 }
 
@@ -517,6 +694,7 @@ func (s *ShardConn) sessionDown() {
 		s.ingests.Close()
 		s.views.Close()
 		s.blocks.Close()
+		s.closeReaders()
 	})
 }
 
@@ -817,8 +995,16 @@ func (s *ShardConn) RequestView(dst int, rq *fabric.ViewRequest) error {
 	return p.enqueue(outMsg{rq: rq})
 }
 
-// ReplyView answers a peer's view request.
+// ReplyView answers a peer's (or an attached reader's) view request: a
+// reply carrying a reader origin goes back on that reader's own link; a
+// detached reader's reply is dropped, never misdelivered.
 func (s *ShardConn) ReplyView(dst int, rp *fabric.ViewReply) error {
+	if rp.Origin != 0 {
+		if lk := s.readerLink(rp.Origin); lk != nil {
+			return lk.write(&frame{Kind: kViewRep, ViewRep: *rp})
+		}
+		return nil
+	}
 	p, err := s.peer(dst)
 	if err != nil {
 		return err
@@ -855,8 +1041,17 @@ func (s *ShardConn) Credit(cr *fabric.Credit) error {
 	return s.coord.write(&frame{Kind: kCredit, Credit: *cr})
 }
 
-// Retire sends a finished walker back to the coordinator.
+// Retire sends a finished walker back to the coordinator that launched
+// it: the write-coordinator link for Origin 0, the originating reader's
+// link otherwise. A retire for a detached reader is dropped silently —
+// nobody is waiting on that walk anymore.
 func (s *ShardConn) Retire(w *fabric.Walker) error {
+	if w.Origin != 0 {
+		if lk := s.readerLink(w.Origin); lk != nil {
+			return lk.write(&frame{Kind: kRetire, Walker: *w})
+		}
+		return nil
+	}
 	return s.coord.write(&frame{Kind: kRetire, Walker: *w})
 }
 
@@ -1134,6 +1329,17 @@ func (c *CoordConn) PublishBarrier(in fabric.Ingest) error {
 	return first
 }
 
+// PublishBroadcast ships the plan/watermark broadcast to every daemon,
+// which caches it and relays it to its attached readers. Best-effort: a
+// dead link's broadcast is skipped — the daemon either rejoins (and the
+// next broadcast repairs its cache) or the session is over anyway.
+func (c *CoordConn) PublishBroadcast(b fabric.Broadcast) error {
+	for i := range c.addrs {
+		c.link(i).write(&frame{Kind: kBroadcast, Bcast: b}) //nolint:errcheck // best-effort fan-out; full-state broadcasts self-repair
+	}
+	return nil
+}
+
 // NextEvent pops the next retire or ack.
 func (c *CoordConn) NextEvent() (fabric.Event, bool) { return c.events.Pop() }
 
@@ -1161,6 +1367,153 @@ func (c *CoordConn) Close() error {
 		// Every reader was already gone (resilient session with all
 		// shards down): nobody is left to close the event stream.
 		c.events.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Read-coordinator side
+
+// ReaderConn is a read-coordinator's end of an attach across a shard
+// set: one link per daemon, all announcing the same reader nonce with
+// Hello.Role == RoleRead. It implements fabric.ReadPort. The attach
+// requires an active write session on the daemons (each waits briefly
+// for one); the reader's event stream ends when the write session does.
+type ReaderConn struct {
+	addrs  []string
+	nonce  uint64
+	events *fabric.Mailbox[fabric.Event]
+
+	mu     sync.Mutex
+	links  []*link
+	pumps  int
+	closed bool
+}
+
+// DialReader attaches a read-coordinator to every daemon address. The
+// hello's Role and Session are filled in (a fresh reader nonce); the
+// geometry fields may be left zero — the reader learns the live plan
+// from the write session's broadcasts, the first of which each daemon
+// sends immediately on attach.
+func DialReader(addrs []string, hello fabric.Hello) (*ReaderConn, error) {
+	return DialReaderWith(addrs, hello, DialConfig{})
+}
+
+// DialReaderWith is DialReader with explicit connection behavior.
+func DialReaderWith(addrs []string, hello fabric.Hello, cfg DialConfig) (*ReaderConn, error) {
+	cfg = cfg.withDefaults()
+	r := &ReaderConn{
+		addrs:  addrs,
+		nonce:  newSessionNonce(),
+		events: fabric.NewMailbox[fabric.Event](),
+		links:  make([]*link, len(addrs)),
+		pumps:  len(addrs),
+	}
+	hello.Role = fabric.RoleRead
+	hello.Shards = len(addrs)
+	hello.Session = r.nonce
+	stop := make(chan struct{})
+	defer close(stop)
+	for i, addr := range addrs {
+		l, err := dialHello(addr, hello, i, cfg.Attempts, cfg.Timeout, stop)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				r.links[j].conn.Close()
+			}
+			r.events.Close()
+			return nil, err
+		}
+		r.links[i] = l
+	}
+	for i := range r.links {
+		go r.readDaemon(r.links[i])
+	}
+	return r, nil
+}
+
+// readDaemon pumps one daemon's reader-bound frames into the event
+// stream. Any link dying ends the whole attach (the common cause is the
+// write session tearing down, which closes every reader link at once):
+// all links close so the remaining pumps unblock, and the last pump out
+// closes the event stream — the signal the reader service fails its
+// pending queries on.
+func (r *ReaderConn) readDaemon(l *link) {
+	defer func() {
+		l.conn.Close()
+		r.mu.Lock()
+		r.pumps--
+		last := r.pumps == 0
+		links := append([]*link(nil), r.links...)
+		r.mu.Unlock()
+		for _, peer := range links {
+			peer.conn.Close()
+		}
+		if last {
+			r.events.Close()
+		}
+	}()
+	for {
+		f, err := l.read()
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case kRetire:
+			r.events.Push(fabric.Event{Kind: fabric.EvRetire, Walker: &f.Walker})
+		case kViewRep:
+			rp := f.ViewRep
+			r.events.Push(fabric.Event{Kind: fabric.EvView, Rep: &rp})
+		case kBroadcast:
+			b := f.Bcast
+			r.events.Push(fabric.Event{Kind: fabric.EvBroadcast, Bcast: &b})
+		}
+	}
+}
+
+// Shards returns the attach's shard count.
+func (r *ReaderConn) Shards() int { return len(r.addrs) }
+
+// link returns the link toward daemon i.
+func (r *ReaderConn) link(i int) *link {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.links[i]
+}
+
+// LaunchWalker starts a walker on shard dst; the daemon stamps this
+// reader's nonce as its origin (stamped here too for the inproc-parity
+// of the walk layer's view of the walker it handed over).
+func (r *ReaderConn) LaunchWalker(dst int, w *fabric.Walker) error {
+	w.Origin = r.nonce
+	return r.link(dst).write(&frame{Kind: kWalker, Walker: *w})
+}
+
+// RequestView asks shard dst for a hub view; the reply comes back as an
+// EvView event on this reader's stream.
+func (r *ReaderConn) RequestView(dst int, rq *fabric.ViewRequest) error {
+	rq.Origin = r.nonce
+	return r.link(dst).write(&frame{Kind: kViewReq, ViewReq: *rq})
+}
+
+// NextEvent pops the next reader-bound event.
+func (r *ReaderConn) NextEvent() (fabric.Event, bool) { return r.events.Pop() }
+
+// Close detaches the reader: a shutdown frame tells each daemon to
+// unregister this reader's link, then the connections close and the
+// event stream ends once the pumps drain. The write session and the
+// shard set are untouched.
+func (r *ReaderConn) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	links := append([]*link(nil), r.links...)
+	r.mu.Unlock()
+	for _, l := range links {
+		l.write(&frame{Kind: kShutdown}) //nolint:errcheck // best-effort teardown
+		l.conn.Close()
 	}
 	return nil
 }

@@ -14,7 +14,9 @@ import (
 
 // ErrFabricDown is returned by coordinator-side calls whose shard fabric
 // session ended before the reply arrived (a daemon died or the transport
-// failed — the fabric is single-session, so the service is over).
+// failed). The fabric admits one *write* session at a time plus any
+// number of attached read-coordinators; losing the write session ends
+// the service — and every reader's event stream with it.
 var ErrFabricDown = errors.New("walk: shard fabric session ended")
 
 // coordinator is the front half of a sharded serving runtime over any
@@ -39,12 +41,23 @@ type coordinator struct {
 	idSeq  atomic.Uint64
 	barSeq atomic.Uint64
 
-	// ledger is the per-shard routed-update count (touched only by the
-	// router goroutine). A copy rides on every published ingest element
-	// as the watermark vector the shards' remote-view caches validate
-	// against: a view of a shard-o vertex extracted before routed update
-	// k to shard o must not survive a watermark that includes k.
+	// ledger is the per-shard routed-update count (written only by the
+	// router goroutine; ledMu guards the writes because broadcastNow
+	// snapshots the vector from other threads). A copy rides on every
+	// published ingest element as the watermark vector the shards'
+	// remote-view caches validate against: a view of a shard-o vertex
+	// extracted before routed update k to shard o must not survive a
+	// watermark that includes k. The same vector rides on reader-bound
+	// broadcasts, where the identical validation keeps reader-side hub
+	// caches conservative.
+	ledMu  sync.Mutex
 	ledger []int64
+
+	// bcastMu serializes broadcast assembly so Seq order matches publish
+	// order; bcastSeq numbers broadcasts from 1 (readers apply a
+	// broadcast iff its Seq is not behind the newest they have seen).
+	bcastMu  sync.Mutex
+	bcastSeq uint64
 
 	// sendMu serializes Query/Feed/Sync/DeepWalk senders against Close,
 	// exactly as in LiveService: senders hold it in read mode across
@@ -244,6 +257,9 @@ func newCoordinator(port fabric.CoordPort, plan ShardPlan, cfg ShardedLiveConfig
 			rebalance.Run(c, cfg.Rebalance, c.rebStop, nil)
 		}()
 	}
+	// Seed the broadcast stream so a reader attaching before the first
+	// plan flip still finds the session's initial state cached.
+	c.broadcastNow()
 	return c
 }
 
@@ -365,9 +381,11 @@ func (c *coordinator) routeBatch(m coordMsg) {
 		}
 	}
 	if !m.boot {
+		c.ledMu.Lock()
 		for i, p := range parts {
 			c.ledger[i] += int64(len(p))
 		}
+		c.ledMu.Unlock()
 	}
 	for i, p := range parts {
 		if len(p) == 0 {
@@ -488,7 +506,44 @@ func (c *coordinator) publishBarrier(bw *barrierWait) {
 
 // ledgerCopy snapshots the routed-update ledger for one wire message.
 func (c *coordinator) ledgerCopy() []int64 {
+	c.ledMu.Lock()
+	defer c.ledMu.Unlock()
 	return append([]int64(nil), c.ledger...)
+}
+
+// broadcastNow publishes the coordinator's current control state to
+// every attached read-coordinator: live plan (epoch, overlay, dead-mask,
+// geometry), routed-update watermarks, and the applied stamp. Broadcasts
+// are full-state and idempotent, so any single one brings a reader
+// current — the transports cache the newest for late attachers. Called
+// after every plan flip (migration commit, death, failback), at session
+// start, and at every barrier completion (the applied stamp moved).
+func (c *coordinator) broadcastNow() {
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	c.bcastSeq++
+	p := c.planNow()
+	var ov map[uint64]int
+	if len(p.Overlay) > 0 {
+		ov = make(map[uint64]int, len(p.Overlay))
+		for b, o := range p.Overlay {
+			ov[b] = o
+		}
+	}
+	b := fabric.Broadcast{
+		Seq:        c.bcastSeq,
+		Epoch:      p.Epoch,
+		Overlay:    ov,
+		DeadMask:   p.DeadMask,
+		RangeSize:  p.RangeSize,
+		Replicas:   p.Replicas,
+		Vertices:   int(max(c.maxVerts.Load(), int64(p.RangeSize)*int64(p.Shards))),
+		Watermarks: c.ledgerCopy(),
+		Applied:    c.appliedStamp(),
+	}
+	// Best effort: a broadcast that cannot be delivered (session tearing
+	// down) only means readers are ending too.
+	_ = c.port.PublishBroadcast(b)
 }
 
 // routeMigration publishes one migration's fabric messages from inside
@@ -524,6 +579,9 @@ func (c *coordinator) routeMigration(mg *migOp) {
 			c.setErr(err)
 		}
 	}
+	// Readers learn the flipped plan (and drop cached views of the moved
+	// block) through the broadcast stream.
+	c.broadcastNow()
 }
 
 // handleCtrl runs one liveness transition on the router thread.
@@ -594,6 +652,7 @@ func (c *coordinator) ctrlDownOp(s int) {
 		// its event fixes the plan again.
 		_ = c.port.PublishUpdates(i, fabric.Ingest{Down: sd, Watermarks: c.ledgerCopy()})
 	}
+	c.broadcastNow() // readers re-route around the new dead-mask
 	c.relaunchPending()
 }
 
@@ -742,6 +801,7 @@ func (c *coordinator) ctrlClearOp(s int) {
 	c.downs[s] = false
 	c.mu.Unlock()
 	c.rejoinsDone.Add(1)
+	c.broadcastNow() // readers see the shard live again
 }
 
 // cloneWalker deep-copies a walker's launch state (Path is the only
@@ -949,6 +1009,7 @@ func (c *coordinator) onAck(a *fabric.Ack) {
 	if a.Err != "" {
 		c.setErr(errors.New(a.Err))
 	}
+	completed := false
 	c.mu.Lock()
 	if a.Shard >= 0 && a.Shard < len(c.acks) {
 		// Cache the scalar tallies only: a dump barrier's edge snapshot
@@ -988,10 +1049,16 @@ func (c *coordinator) onAck(a *fabric.Ack) {
 			if bw.remaining <= 0 {
 				delete(c.syncs, a.Seq)
 				close(bw.done)
+				completed = true
 			}
 		}
 	}
 	c.mu.Unlock()
+	if completed {
+		// The applied stamp just advanced past everything fed before the
+		// barrier; push it to readers so their WaitApplied unblocks.
+		c.broadcastNow()
+	}
 }
 
 // onMigrated resolves the in-flight migration the report names.

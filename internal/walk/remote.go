@@ -172,6 +172,15 @@ func (s *RemoteService) Stats() ShardedLiveStats {
 	return st
 }
 
+// NewRemoteReader attaches a read-coordinator over an already-dialed
+// read port (in practice tcpgob.DialReader against the same daemons a
+// RemoteService write session drives). The write session may live in a
+// different process entirely; the reader learns its geometry, plan, and
+// watermarks from the broadcast stream alone.
+func NewRemoteReader(port fabric.ReadPort, cfg ReaderConfig) (*ReaderService, error) {
+	return NewReaderService(port, cfg)
+}
+
 // Err returns the first error observed through barrier acks (nil if
 // none).
 func (s *RemoteService) Err() error { return s.coord.Err() }

@@ -49,6 +49,7 @@ type ShardedLiveService struct {
 	engines []LiveEngine
 	nodes   []*shardNode
 	coord   *coordinator
+	fab     *inproc.Fabric // retained so read-coordinators can attach
 	plan    ShardPlan
 	cfg     ShardedLiveConfig
 }
@@ -234,6 +235,7 @@ func NewShardedLiveService(engines []LiveEngine, plan ShardPlan, cfg ShardedLive
 	s := &ShardedLiveService{
 		engines: engines,
 		nodes:   make([]*shardNode, plan.Shards),
+		fab:     fab,
 		plan:    plan,
 		cfg:     cfg,
 	}
@@ -336,6 +338,20 @@ func (s *ShardedLiveService) LivePlan() ShardPlan { return s.coord.planNow() }
 // standing-walk corpus's bounded-staleness check reads. Exact as of the
 // last Sync.
 func (s *ShardedLiveService) AppliedStamp() int64 { return s.coord.appliedStamp() }
+
+// AttachReader attaches a read-coordinator to this service's shard set
+// over the in-process fabric: the returned ReaderService serves Query
+// and DeepWalk against the same shard engines while this service (the
+// write session) keeps exclusive ownership of ingest, credit flow, and
+// rebalancing. Any number of readers may attach; each detaches
+// independently with Close, and all fail over to ErrFabricDown when the
+// write session closes.
+func (s *ShardedLiveService) AttachReader(cfg ReaderConfig) (*ReaderService, error) {
+	if cfg.WalkLength <= 0 {
+		cfg.WalkLength = s.cfg.WalkLength
+	}
+	return NewReaderService(s.fab.AttachReader(), cfg)
+}
 
 // Err returns the first ingest error observed (nil if none).
 func (s *ShardedLiveService) Err() error {

@@ -885,7 +885,9 @@ func (n *shardNode) viewLoop() {
 		switch {
 		case m.Req != nil:
 			rq := m.Req
-			rp := &fabric.ViewReply{From: n.shard, Vertex: rq.Vertex}
+			// Origin is echoed so the transport can route a reader's
+			// reply back to the reader that asked (0 = peer shard).
+			rp := &fabric.ViewReply{From: n.shard, Vertex: rq.Vertex, Origin: rq.Origin}
 			// Degree-gate before extracting: a non-hub reply must not pay
 			// the O(degree) view copy it would immediately discard.
 			if n.ve != nil && n.e.Degree(rq.Vertex) >= minDeg {

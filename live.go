@@ -726,6 +726,138 @@ func (rw *RemoteWalker) Stats() ShardedLiveStats {
 // daemons wind down and exit their serving loop. Idempotent.
 func (rw *RemoteWalker) Close() error { return rw.svc.Close() }
 
+// ---------------------------------------------------------------------------
+// Read-coordinators (query-tier scale-out)
+
+// ReaderOptions configure AttachReader.
+type ReaderOptions struct {
+	// WalkLength is the default for Query length <= 0 (default 80).
+	WalkLength int
+	// Seed makes the reader's query RNG streams reproducible.
+	Seed uint64
+	// HubCache tunes the reader's own hub-view cache — the layer that
+	// serves hops without any shard round trip (zero value = enabled with
+	// defaults; Off disables reader-local serving).
+	HubCache HubCacheOptions
+}
+
+// ReaderWalkerStats snapshot a read-coordinator's activity.
+type ReaderWalkerStats struct {
+	// Queries and Steps count completed Query walks and their hops;
+	// Transfers the cross-shard hand-offs inside shard-served segments.
+	Queries, Steps, Transfers int64
+	// LocalHits counts hops served from the reader's own hub-view cache
+	// (no shard round trip); Launches walker launches into the shard
+	// set; ViewRequests hub views requested from owners; CachedViews the
+	// current cache population.
+	LocalHits, Launches, ViewRequests int64
+	CachedViews                       int
+	// PlanEpoch is the reader's view of the live ownership-plan version,
+	// kept current by the write-coordinator's broadcast stream;
+	// PlanFlips counts epoch/liveness changes observed (each drops the
+	// view cache); Applied is the newest applied-update stamp received.
+	PlanEpoch uint64
+	PlanFlips int64
+	Applied   int64
+}
+
+// ReaderWalker is a read-coordinator: a Query/DeepWalk front end
+// attached to a shard set another process (or service) writes to.
+// Exactly one write session owns ingest, credit flow, and rebalancing;
+// any number of ReaderWalkers serve queries beside it, each keeping its
+// routing and hub-view cache valid through the write-coordinator's
+// broadcast stream. Serving is bounded-staleness: AppliedStamp reports
+// how much ingest this reader's answers are guaranteed to reflect, and
+// WaitApplied(stamp) blocks until the writer's stamp (its AppliedStamp
+// after a Sync) is covered.
+type ReaderWalker struct {
+	svc *walk.ReaderService
+}
+
+// AttachReader attaches a read-coordinator to a running shard-daemon set
+// over the TCP fabric. addrs must list the same daemons (in the same
+// order) as the write session's ServeRemote; the attach fails if no
+// write session is live. The reader serves queries without mediating
+// ingest and detaches independently with Close.
+func AttachReader(addrs []string, o ReaderOptions) (*ReaderWalker, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("bingo: AttachReader needs at least one shard address")
+	}
+	port, err := tcpgob.DialReader(addrs, fabric.Hello{})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := walk.NewRemoteReader(port, walk.ReaderConfig{
+		WalkLength: o.WalkLength,
+		Seed:       o.Seed,
+		Cache:      o.HubCache.spec(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReaderWalker{svc: svc}, nil
+}
+
+// AttachReader attaches an in-process read-coordinator to this walker's
+// shard set: the returned ReaderWalker serves Query/DeepWalk against the
+// same shard engines while this walker keeps exclusive ownership of
+// ingest and rebalancing.
+func (sw *ShardedLiveWalker) AttachReader(o ReaderOptions) (*ReaderWalker, error) {
+	svc, err := sw.svc.AttachReader(walk.ReaderConfig{
+		WalkLength: o.WalkLength,
+		Seed:       o.Seed,
+		Cache:      o.HubCache.spec(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReaderWalker{svc: svc}, nil
+}
+
+// Query walks from start for up to length steps (<= 0 selects the
+// default) and returns the visited path, start included. Hops are served
+// from the reader's hub-view cache when a valid cached view covers the
+// walker's position; the remainder runs on the shard set.
+func (rd *ReaderWalker) Query(start VertexID, length int) ([]VertexID, error) {
+	return rd.svc.Query(start, length)
+}
+
+// DeepWalk runs a bulk first-order walk through the shard set from this
+// reader while the write session keeps ingesting.
+func (rd *ReaderWalker) DeepWalk(o WalkOptions) (WalkResult, error) {
+	res, _, err := rd.svc.DeepWalk(o.internal())
+	return fromWalk(res), err
+}
+
+// NumVertices returns the reader's view of the vertex-space size (kept
+// current by the broadcast stream).
+func (rd *ReaderWalker) NumVertices() int { return rd.svc.NumVertices() }
+
+// AppliedStamp returns the newest applied-update stamp the broadcast
+// stream has delivered — how much of the write session's ingest this
+// reader's serving is guaranteed to reflect.
+func (rd *ReaderWalker) AppliedStamp() int64 { return rd.svc.AppliedStamp() }
+
+// WaitApplied blocks until the reader's applied stamp reaches stamp
+// (typically the write side's AppliedStamp() after a Sync), then
+// returns nil; it fails if the write session ends first.
+func (rd *ReaderWalker) WaitApplied(stamp int64) error { return rd.svc.WaitApplied(stamp) }
+
+// Stats snapshots the reader's counters.
+func (rd *ReaderWalker) Stats() ReaderWalkerStats {
+	st := rd.svc.Stats()
+	return ReaderWalkerStats{
+		Queries: st.Queries, Steps: st.Steps, Transfers: st.Transfers,
+		LocalHits: st.LocalHits, Launches: st.Launches, ViewRequests: st.ViewRequests,
+		CachedViews: st.CachedViews,
+		PlanEpoch:   st.PlanEpoch, PlanFlips: st.PlanFlips, Applied: st.Applied,
+	}
+}
+
+// Close detaches the reader. The write session and every other reader
+// are unaffected. Idempotent.
+func (rd *ReaderWalker) Close() error { return rd.svc.Close() }
+
 // ShardServeOptions configure ServeShard.
 type ShardServeOptions struct {
 	// Walkers is the hosted shard's crew size (default GOMAXPROCS — the
