@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fault-smoke corpus-smoke coord-smoke fuzz clean
+.PHONY: all build vet lint test race bench bench-smoke distserve-smoke fault-smoke corpus-smoke coord-smoke obs-smoke fuzz clean
 
 all: vet build test
 
@@ -74,6 +74,16 @@ corpus-smoke:
 coord-smoke:
 	$(GO) test -race -count 1 -timeout 20m -run 'TestMultiCoord|TestReaderCrash|TestPlanEpochBroadcast' -v ./internal/walk/
 	$(GO) test -race -count 1 -timeout 20m -run TestCoordScaleRealProcess -v .
+
+# Observability smoke: real -shard-serve daemons each serving a
+# -debug-addr plane, a ServeRemote write session with its own, one
+# feed-and-query pass — then scrape /metrics, /statusz, and /eventz on
+# every plane and assert the promised metric families, including the
+# shard-labeled node tallies the coordinator aggregates over the fabric.
+# The kernel overhead budget and journal-ordering tests ride along.
+obs-smoke:
+	$(GO) test -count 1 -run TestObsSmoke -v .
+	$(GO) test -count 1 -run 'TestKernelObsOverheadBudget|TestJournalMigrationOrdering|TestJournalFailoverOrdering|TestMetricsScrapeUnderLoad' -v ./internal/walk/
 
 # Short local fuzz session against the sampler's structural invariants.
 fuzz:

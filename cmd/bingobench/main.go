@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/bingo-rw/bingo/internal/bench"
+	"github.com/bingo-rw/bingo/internal/obs"
 )
 
 func main() {
@@ -45,8 +46,23 @@ func main() {
 		jsonCo   = flag.String("json-corpus", "BENCH_corpus.json", "output path for the corpus scenario's JSON report ('' disables)")
 		jsonCs   = flag.String("json-coordscale", "BENCH_coordscale.json", "output path for the coordscale scenario's JSON report ('' disables)")
 		verbose  = flag.Bool("v", false, "progress output")
+		debugA   = flag.String("debug-addr", "", "expose the observability plane (/metrics, /statusz, /eventz, /debug/pprof) while experiments run")
+		pprofA   = flag.String("pprof", "", "alias for -debug-addr (kept for compatibility)")
 	)
 	flag.Parse()
+
+	if *debugA == "" {
+		*debugA = *pprofA
+	}
+	if *debugA != "" {
+		dbg, err := obs.Serve(*debugA, nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bingobench: debug-addr:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug: serving /metrics, /statusz, /eventz, /debug/pprof on http://%s/\n", dbg.Addr())
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -26,8 +26,12 @@
 //
 //	bingowalk -attach 127.0.0.1:7431,127.0.0.1:7432 -live-queries 100000
 //
-// Every serving mode accepts -pprof <addr> to expose net/http/pprof for
-// profiling (e.g. -pprof 127.0.0.1:6060).
+// Every mode accepts -debug-addr <addr> (alias: -pprof) to expose the
+// observability plane: /metrics (Prometheus text), /statusz (JSON
+// snapshot of every service's stats), /eventz (the structured event
+// journal), and /debug/pprof (e.g. -debug-addr 127.0.0.1:6060). On a
+// coordinator the /metrics page is fleet-wide: every shard daemon's
+// tallies ride back on barrier acks and re-export under a shard label.
 //
 // Any -live rung can additionally serve from a standing walk corpus
 // (-corpus): K maintained walks per vertex answer queries as slices
@@ -40,8 +44,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof" // registered on -pprof's listener via DefaultServeMux
 	"os"
 	"sort"
 	"strings"
@@ -49,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/rebalance"
 
 	bingo "github.com/bingo-rw/bingo"
@@ -96,19 +99,25 @@ func main() {
 		corpusF   = flag.Bool("corpus", false, "serve -live queries from a standing walk corpus with incremental suffix resampling")
 		corpusK   = flag.Int("corpus-walks", 0, "standing walks maintained per vertex in -corpus mode (0 = default 2)")
 		corpusSB  = flag.Int("corpus-stale", 0, "staleness bound in -corpus mode: max feed events a corpus answer may trail by before falling back to a fresh walk (0 = default 4096, negative disables the fallback)")
-		statsF    = flag.Bool("stats", false, "print corpus maintenance tallies (resamples, amplification, refresh lag) in -corpus mode")
+		statsF    = flag.Bool("stats", false, "periodically print a serving summary from the metrics registry; in -corpus mode also print maintenance tallies at the end")
 		attach    = flag.String("attach", "", "comma-separated shard-daemon addresses: join a running serving session as a read-coordinator (requires a live -connect write session)")
-		pprofAddr = flag.String("pprof", "", "expose net/http/pprof on this address (all serving modes)")
+		debugAddr = flag.String("debug-addr", "", "expose the observability plane (/metrics, /statusz, /eventz, /debug/pprof) on this address (all modes)")
+		pprofAddr = flag.String("pprof", "", "alias for -debug-addr (kept for compatibility)")
 	)
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "bingowalk: pprof:", err)
-			}
-		}()
-		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	if *debugAddr == "" {
+		*debugAddr = *pprofAddr
+	}
+	if *debugAddr != "" {
+		// Synchronous bind: a taken port or a bad address fails the run at
+		// startup instead of vanishing into a background goroutine's stderr.
+		dbg, err := obs.Serve(*debugAddr, nil, nil)
+		if err != nil {
+			fail(fmt.Errorf("debug-addr: %w", err))
+		}
+		defer dbg.Close()
+		fmt.Printf("debug: serving /metrics, /statusz, /eventz, /debug/pprof on http://%s/\n", dbg.Addr())
 	}
 
 	kernel, err := walk.ParseKernelMode(*kernelF)
@@ -262,6 +271,17 @@ func runShardServe(addr, spec string, workers, sessions int) error {
 	if sessions <= 0 {
 		sessions = -1 // serve until killed
 	}
+	var lastMu sync.Mutex
+	last := map[string]any{"shard": k, "of": n, "sessions_served": 0}
+	obs.RegisterStatus("shard_daemon", func() any {
+		lastMu.Lock()
+		defer lastMu.Unlock()
+		out := make(map[string]any, len(last))
+		for key, v := range last {
+			out[key] = v
+		}
+		return out
+	})
 	_, err := bingo.ServeShard(addr, k, n, bingo.ShardServeOptions{
 		Walkers:  workers,
 		Sessions: sessions,
@@ -269,6 +289,14 @@ func runShardServe(addr, spec string, workers, sessions int) error {
 			fmt.Printf("shard-serve: shard %d/%d listening on %s\n", k, n, a)
 		},
 		OnSession: func(i int, st bingo.ShardServeStats, err error) {
+			lastMu.Lock()
+			last["sessions_served"] = i + 1
+			if err != nil {
+				last["last_error"] = err.Error()
+			} else {
+				last["last_session"] = st
+			}
+			lastMu.Unlock()
 			if err != nil {
 				fmt.Printf("shard-serve: session %d failed: %v\n", i, err)
 				return
@@ -308,6 +336,69 @@ func printFabricHealth(ls walk.ShardedLiveStats) {
 	if b := ls.Backpressure; b.Window > 0 {
 		fmt.Printf("backpressure: credit window %d, max outstanding %d, feed stalled %v\n",
 			b.Window, b.MaxOutstanding, b.Stalled.Round(time.Millisecond))
+	}
+}
+
+// printServing is the single end-of-run formatting path for the sharded
+// serving runtimes (in-process and remote report the same
+// walk.ShardedLiveStats shape).
+func printServing(ls walk.ShardedLiveStats, d time.Duration) {
+	fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f queries/s, %.0f steps/s, %.0f updates/s\n",
+		float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
+	fmt.Printf("walker transfer: %d cross-shard hand-offs, %d local steps (ratio %.3f)\n",
+		ls.Transfers, ls.Local, ls.TransferRatio())
+	fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
+		ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
+	printRebalance(ls)
+	printFabricHealth(ls)
+}
+
+// statsLine renders the registry's headline counters as one line — the
+// -stats periodic printer reads the same snapshot /metrics and /statusz
+// expose, so the console view can never drift from the scrape view.
+func statsLine() string {
+	var b strings.Builder
+	b.WriteString("stats:")
+	var steps, queries, updates, refreshes int64
+	var qp99 time.Duration
+	for _, m := range obs.Default.Snapshot() {
+		switch m.Name {
+		case "bingo_kernel_steps_total":
+			steps += m.Value
+		case "bingo_query_seconds":
+			queries += m.Count
+			if d := time.Duration(m.P99Ns); d > qp99 {
+				qp99 = d
+			}
+		case "bingo_ingest_updates_total":
+			updates += m.Value
+		case "bingo_corpus_refreshes_total":
+			refreshes += m.Value
+		}
+	}
+	fmt.Fprintf(&b, " queries=%d steps=%d updates=%d", queries, steps, updates)
+	if qp99 > 0 {
+		fmt.Fprintf(&b, " query-p99=%v", qp99.Round(10*time.Microsecond))
+	}
+	if refreshes > 0 {
+		fmt.Fprintf(&b, " corpus-refreshes=%d", refreshes)
+	}
+	return b.String()
+}
+
+// statsLoop prints statsLine every interval until stop closes.
+func statsLoop(interval time.Duration, stop <-chan struct{}, done *sync.WaitGroup) {
+	defer done.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			fmt.Println(statsLine())
+		}
 	}
 }
 
@@ -482,6 +573,29 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 			corpus.Stats().Walks, length)
 	}
 
+	// /statusz sections: each runtime in play exposes its structured
+	// stats snapshot beside the registry.
+	switch {
+	case remote != nil:
+		obs.RegisterStatus("remote", func() any { return remote.Stats() })
+	case sharded != nil:
+		obs.RegisterStatus("sharded", func() any { return sharded.Stats() })
+	default:
+		if lsvc, ok := svc.(*walk.LiveService); ok {
+			obs.RegisterStatus("live", func() any { return lsvc.Stats() })
+		}
+	}
+	if corpus != nil {
+		obs.RegisterStatus("corpus", func() any { return corpus.Stats() })
+	}
+
+	var statsDone sync.WaitGroup
+	statsStop := make(chan struct{})
+	if co.stats {
+		statsDone.Add(1)
+		go statsLoop(2*time.Second, statsStop, &statsDone)
+	}
+
 	t0 := time.Now()
 	var feeder sync.WaitGroup
 	feeder.Add(1)
@@ -528,35 +642,22 @@ func runLive(graphPath, dataset string, scale float64, seed uint64, length, upda
 		return err
 	}
 	d := time.Since(t0)
+	close(statsStop)
+	statsDone.Wait()
+	if co.stats {
+		fmt.Println(statsLine())
+	}
 
 	if corpus != nil {
 		printCorpus(corpus, d, co.stats)
 	}
 	if remote != nil {
-		ls := remote.Stats()
-		fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
-		fmt.Printf("throughput: %.0f queries/s, %.0f steps/s, %.0f updates/s\n",
-			float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
-		fmt.Printf("walker transfer: %d cross-shard hand-offs, %d local steps (ratio %.3f)\n",
-			ls.Transfers, ls.Local, ls.TransferRatio())
-		fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
-			ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
-		printRebalance(ls)
-		printFabricHealth(ls)
+		printServing(remote.Stats(), d)
 		fmt.Printf("final graph: %d vertices across %d shard daemons\n", remote.NumVertices(), remote.Shards())
 		return nil
 	}
 	if sharded != nil {
-		ls := sharded.Stats()
-		fmt.Printf("served %d queries (%d steps) and ingested %d updates in %v\n", ls.Queries, ls.Steps, ls.Updates, d.Round(time.Millisecond))
-		fmt.Printf("throughput: %.0f queries/s, %.0f steps/s, %.0f updates/s\n",
-			float64(ls.Queries)/d.Seconds(), float64(ls.Steps)/d.Seconds(), float64(ls.Updates)/d.Seconds())
-		fmt.Printf("walker transfer: %d cross-shard hand-offs, %d local steps (ratio %.3f)\n",
-			ls.Transfers, ls.Local, ls.TransferRatio())
-		fmt.Printf("hub cache: %d lock-free hops (%d stale), %d hand-offs absorbed by remote views (%d view requests)\n",
-			ls.Cache.LocalHits, ls.Cache.LocalStale, ls.Cache.RemoteHits, ls.Cache.ViewRequests)
-		printRebalance(ls)
-		printFabricHealth(ls)
+		printServing(sharded.Stats(), d)
 		var edges, mem int64
 		for _, e := range shardEngines {
 			edges += e.NumEdges()
@@ -596,6 +697,7 @@ func runAttach(addrs string, seed uint64, length, queries, workers int, hubCache
 		return err
 	}
 	defer rd.Close()
+	obs.RegisterStatus("reader", func() any { return rd.Stats() })
 	verts := rd.NumVertices()
 	fmt.Printf("attach: read-coordinator joined %d shard daemons (plan epoch %d, %d vertices, applied stamp %d)\n",
 		len(list), rd.Stats().PlanEpoch, verts, rd.AppliedStamp())

@@ -14,6 +14,7 @@ import (
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/gen"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/walk"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
@@ -48,17 +49,31 @@ type ConcurrentSeries struct {
 	AchievedLoadPct float64 `json:"achieved_load_pct"` // updates/(updates+steps)
 }
 
+// ObsOverheadRow prices the observability layer on the hottest cell:
+// the same (hubskew, auto, max-procs, 0%% load) point measured with the
+// metrics registry recording and with the obs.SetEnabled kill switch
+// off. The acceptance budget is <2%% steps/s overhead.
+type ObsOverheadRow struct {
+	Workload       string  `json:"workload"`
+	Kernel         string  `json:"kernel"`
+	Procs          int     `json:"procs"`
+	StepsPerSecOn  float64 `json:"steps_per_sec_metrics_on"`
+	StepsPerSecOff float64 `json:"steps_per_sec_metrics_off"`
+	OverheadPct    float64 `json:"overhead_pct"` // (off-on)/off; negative = noise
+}
+
 // ConcurrentReport is the BENCH_concurrent.json document.
 type ConcurrentReport struct {
-	Scenario   string             `json:"scenario"`
-	Dataset    string             `json:"dataset"`
-	Vertices   int                `json:"vertices"`
-	Edges      int64              `json:"edges"`
-	Walkers    int                `json:"walkers"` // walks per kernel round
-	WalkLength int                `json:"walk_length"`
-	GOMAXPROCS int                `json:"gomaxprocs"` // host setting outside the cells
-	Stripes    int                `json:"stripes"`
-	Series     []ConcurrentSeries `json:"series"`
+	Scenario    string             `json:"scenario"`
+	Dataset     string             `json:"dataset"`
+	Vertices    int                `json:"vertices"`
+	Edges       int64              `json:"edges"`
+	Walkers     int                `json:"walkers"` // walks per kernel round
+	WalkLength  int                `json:"walk_length"`
+	GOMAXPROCS  int                `json:"gomaxprocs"` // host setting outside the cells
+	Stripes     int                `json:"stripes"`
+	Series      []ConcurrentSeries `json:"series"`
+	ObsOverhead *ObsOverheadRow    `json:"obs_overhead,omitempty"`
 }
 
 // concurrentLoads are the nominal update shares the uniform workload
@@ -185,6 +200,14 @@ func runConcurrent(o *Options) error {
 	}
 	tbl.flush()
 
+	obsRow, err := concurrentObsDelta(o, hubG, wHub, skewed)
+	if err != nil {
+		return fmt.Errorf("obs delta: %w", err)
+	}
+	rep.ObsOverhead = obsRow
+	fmt.Fprintf(o.Out, "obs overhead (%s/%s, %d procs): %.0f steps/s metrics-on vs %.0f metrics-off (%+.2f%%)\n",
+		obsRow.Workload, obsRow.Kernel, obsRow.Procs, obsRow.StepsPerSecOn, obsRow.StepsPerSecOff, obsRow.OverheadPct)
+
 	if o.JSONPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
@@ -196,6 +219,44 @@ func runConcurrent(o *Options) error {
 		fmt.Fprintf(o.Out, "wrote %s\n", o.JSONPath)
 	}
 	return nil
+}
+
+// concurrentObsDelta measures the metrics-on vs metrics-off steps/s
+// delta on the hub-skewed auto-kernel cell at zero update load — the
+// densest stepping regime, so per-round instrument cost is maximally
+// visible while feeder scheduling noise is excluded. Best-of-2 per
+// setting damps scheduler jitter; the kill switch is restored to on
+// regardless of outcome.
+func concurrentObsDelta(o *Options, g *graph.CSR, w *gen.Workload, starts []graph.VertexID) (*ObsOverheadRow, error) {
+	procs := o.Procs[len(o.Procs)-1]
+	defer obs.SetEnabled(true)
+	best := func(on bool) (float64, error) {
+		obs.SetEnabled(on)
+		var b float64
+		for i := 0; i < 2; i++ {
+			ser, _, err := concurrentCell(o, g, w, "hubskew", "auto", procs, 0, starts)
+			if err != nil {
+				return 0, err
+			}
+			if ser.StepsPerSec > b {
+				b = ser.StepsPerSec
+			}
+		}
+		return b, nil
+	}
+	off, err := best(false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := best(true)
+	if err != nil {
+		return nil, err
+	}
+	row := &ObsOverheadRow{Workload: "hubskew", Kernel: "auto", Procs: procs, StepsPerSecOn: on, StepsPerSecOff: off}
+	if off > 0 {
+		row.OverheadPct = (off - on) / off * 100
+	}
+	return row, nil
 }
 
 // concurrentCell measures one (workload, kernel, procs, load) point on a

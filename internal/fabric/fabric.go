@@ -36,6 +36,7 @@ package fabric
 import (
 	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
 
@@ -309,6 +310,11 @@ type Ack struct {
 	// point — how remote coordinators observe cache effectiveness
 	// (in-process services read the node counters directly).
 	Cache CacheTallies
+	// Obs is the node-side metrics sample at the barrier point: the
+	// shard's observability registry flattened for the wire, so the
+	// coordinator's /metrics can re-expose every shard's tallies with a
+	// shard label — the fleet-wide aggregation path.
+	Obs obs.Sample
 }
 
 // CacheTallies are a shard node's cumulative hub-cache counters.

@@ -18,6 +18,20 @@ import (
 	"sync"
 
 	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/obs"
+)
+
+// Per-stream-kind message counters, resolved once at init: the inproc
+// fabric has no frames or bytes, but the same per-kind traffic view as
+// the wire transport keeps the two fabrics comparable on /metrics.
+var (
+	msgWalkers   = obs.C("bingo_fabric_msgs_total", "fabric", "inproc", "kind", "walker")
+	msgUpdates   = obs.C("bingo_fabric_msgs_total", "fabric", "inproc", "kind", "updates")
+	msgBarriers  = obs.C("bingo_fabric_msgs_total", "fabric", "inproc", "kind", "barrier")
+	msgViews     = obs.C("bingo_fabric_msgs_total", "fabric", "inproc", "kind", "view")
+	msgBlocks    = obs.C("bingo_fabric_msgs_total", "fabric", "inproc", "kind", "mig_block")
+	msgEvents    = obs.C("bingo_fabric_msgs_total", "fabric", "inproc", "kind", "event")
+	msgBroadcast = obs.C("bingo_fabric_msgs_total", "fabric", "inproc", "kind", "broadcast")
 )
 
 // Fabric is an in-process shard interconnect. Create one per session,
@@ -132,16 +146,19 @@ type coordPort Fabric
 func (c *coordPort) Shards() int { return c.shards }
 
 func (c *coordPort) LaunchWalker(dst int, w *fabric.Walker) error {
+	msgWalkers.Inc()
 	c.walkers[dst].Push(w)
 	return nil
 }
 
 func (c *coordPort) PublishUpdates(dst int, in fabric.Ingest) error {
+	msgUpdates.Inc()
 	c.ingests[dst] <- &in
 	return nil
 }
 
 func (c *coordPort) PublishBarrier(in fabric.Ingest) error {
+	msgBarriers.Add(int64(len(c.ingests)))
 	for i := range c.ingests {
 		tok := in
 		c.ingests[i] <- &tok
@@ -154,6 +171,7 @@ func (c *coordPort) NextEvent() (fabric.Event, bool) { return c.events.Pop() }
 // PublishBroadcast caches the broadcast for late attachers and fans a
 // copy to every attached reader's event stream.
 func (c *coordPort) PublishBroadcast(b fabric.Broadcast) error {
+	msgBroadcast.Inc()
 	f := (*Fabric)(c)
 	f.readerMu.Lock()
 	cp := b
@@ -226,11 +244,13 @@ func (p *shardPort) NextIngest() (*fabric.Ingest, bool) {
 }
 
 func (p *shardPort) ForwardWalker(dst int, w *fabric.Walker) error {
+	msgWalkers.Inc()
 	p.f.walkers[dst].Push(w)
 	return nil
 }
 
 func (p *shardPort) RequestView(dst int, rq *fabric.ViewRequest) error {
+	msgViews.Inc()
 	p.f.views[dst].Push(&fabric.ViewMsg{Req: rq})
 	return nil
 }
@@ -253,6 +273,7 @@ func (p *shardPort) NextView() (*fabric.ViewMsg, bool) {
 }
 
 func (p *shardPort) SendBlock(dst int, mb *fabric.MigrateBlock) error {
+	msgBlocks.Inc()
 	p.f.blocks[dst].Push(mb)
 	return nil
 }
@@ -285,6 +306,7 @@ func (p *shardPort) Retire(w *fabric.Walker) error {
 }
 
 func (p *shardPort) Ack(a *fabric.Ack) error {
+	msgEvents.Inc()
 	p.f.events.Push(fabric.Event{Kind: fabric.EvAck, Ack: a})
 	return nil
 }
@@ -307,12 +329,14 @@ type readPort struct {
 func (r *readPort) Shards() int { return r.f.shards }
 
 func (r *readPort) LaunchWalker(dst int, w *fabric.Walker) error {
+	msgWalkers.Inc()
 	w.Origin = r.nonce
 	r.f.walkers[dst].Push(w)
 	return nil
 }
 
 func (r *readPort) RequestView(dst int, rq *fabric.ViewRequest) error {
+	msgViews.Inc()
 	rq.Origin = r.nonce
 	r.f.views[dst].Push(&fabric.ViewMsg{Req: rq})
 	return nil

@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"github.com/bingo-rw/bingo/internal/fabric"
+	"github.com/bingo-rw/bingo/internal/obs"
 )
 
 // maxFrame bounds a single frame's payload (sanity check against a torn
@@ -142,6 +143,34 @@ const (
 	kBroadcast                     // plan/watermark broadcast, write-coordinator → shard → readers
 )
 
+// kindNames label the frame kinds for the wire metrics; index matches the
+// kind constants above.
+var kindNames = [...]string{
+	kHelloCoord: "hello_coord", kHelloPeer: "hello_peer",
+	kWalker: "walker", kWalkerBatch: "walker_batch",
+	kUpdates: "updates", kBarrier: "barrier",
+	kRetire: "retire", kAck: "ack",
+	kViewReq: "view_req", kViewRep: "view_rep",
+	kShutdown: "shutdown", kMigBlock: "mig_block", kMigDone: "mig_done",
+	kCredit: "credit", kBroadcast: "broadcast",
+}
+
+// Per-kind frame/byte counters for both directions, resolved once at
+// init so the per-frame cost is two atomic adds each way. Byte counts
+// include the 4-byte length header — what actually crossed the wire.
+var (
+	txFrames, txBytes, rxFrames, rxBytes [len(kindNames)]*obs.Counter
+)
+
+func init() {
+	for k := 1; k < len(kindNames); k++ {
+		txFrames[k] = obs.C("bingo_fabric_frames_total", "fabric", "tcp", "dir", "tx", "kind", kindNames[k])
+		txBytes[k] = obs.C("bingo_fabric_bytes_total", "fabric", "tcp", "dir", "tx", "kind", kindNames[k])
+		rxFrames[k] = obs.C("bingo_fabric_frames_total", "fabric", "tcp", "dir", "rx", "kind", kindNames[k])
+		rxBytes[k] = obs.C("bingo_fabric_bytes_total", "fabric", "tcp", "dir", "rx", "kind", kindNames[k])
+	}
+}
+
 // frame is the single wire message shape. Value fields: gob omits
 // zero-valued fields, so unused payloads cost nothing on the wire, and a
 // nil pointer can never poison an encode.
@@ -191,7 +220,14 @@ func (l *link) write(f *frame) error {
 	if _, err := l.bw.Write(buf.Bytes()); err != nil {
 		return err
 	}
-	return l.bw.Flush()
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if int(f.Kind) < len(kindNames) {
+		txFrames[f.Kind].Inc()
+		txBytes[f.Kind].Add(int64(buf.Len()) + 4)
+	}
+	return nil
 }
 
 // read decodes the next frame (blocking).
@@ -211,6 +247,10 @@ func (l *link) read() (*frame, error) {
 	f := new(frame)
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(f); err != nil {
 		return nil, fmt.Errorf("tcpgob: decode frame: %w", err)
+	}
+	if int(f.Kind) < len(kindNames) && f.Kind > 0 {
+		rxFrames[f.Kind].Inc()
+		rxBytes[f.Kind].Add(int64(n) + 4)
 	}
 	return f, nil
 }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of the log-scale histogram: bucket b
+// holds observations whose nanosecond value v satisfies bits.Len64(v) == b,
+// i.e. v in [2^(b-1), 2^b). Bucket 0 holds v == 0. 42 buckets cover up to
+// ~73 minutes, far past any latency this system produces; larger values
+// clamp into the last bucket.
+const histBuckets = 42
+
+// Histogram is a log-bucketed duration histogram: power-of-two bucket
+// boundaries, atomic per-bucket counts, an exact sum. Recording is two
+// atomic adds and a bits.Len64 — no locks, no allocation. Quantiles are
+// derived at read time by interpolating within the crossing bucket, which
+// is accurate to well under a factor of two — plenty for p50/p90/p99
+// latency triage (the exact mean is Sum/Count). The zero value is ready
+// to use; a nil receiver no-ops.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64 // total nanoseconds observed
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns bucket b's exclusive upper bound in nanoseconds
+// (bucket 0's is 1ns; the last bucket is unbounded and reports its
+// nominal boundary).
+func BucketUpper(b int) int64 {
+	if b <= 0 {
+		return 1
+	}
+	if b >= 63 {
+		return 1<<62 + (1<<62 - 1)
+	}
+	return 1 << b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	ns := int64(d)
+	h.counts[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	h.Observe(time.Since(t0))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the total observed nanoseconds (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets copies the per-bucket counts (cumulative-free; raw per bucket).
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	if h == nil {
+		return out
+	}
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) as a
+// duration: it finds the bucket where the cumulative count crosses
+// q*total and interpolates linearly inside it. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	b := h.Buckets()
+	var total int64
+	for _, c := range b {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range b {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketUpper(i - 1)
+			}
+			hi := BucketUpper(i)
+			// Position of the target within this bucket, interpolated.
+			frac := float64(rank-cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return time.Duration(BucketUpper(histBuckets - 1))
+}

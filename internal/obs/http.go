@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Status providers: named callbacks whose results are embedded in the
+// /statusz JSON document. Each serving mode registers its own *Stats
+// snapshot function, so one scrape shows the registry and every service's
+// structured counters side by side.
+var (
+	statusMu  sync.Mutex
+	statusFns = map[string]func() any{}
+)
+
+// RegisterStatus installs a /statusz section under name, replacing any
+// previous holder.
+func RegisterStatus(name string, fn func() any) {
+	statusMu.Lock()
+	defer statusMu.Unlock()
+	statusFns[name] = fn
+}
+
+// UnregisterStatus removes a /statusz section.
+func UnregisterStatus(name string) {
+	statusMu.Lock()
+	defer statusMu.Unlock()
+	delete(statusFns, name)
+}
+
+func statusSections() map[string]any {
+	statusMu.Lock()
+	names := make([]string, 0, len(statusFns))
+	for n := range statusFns {
+		names = append(names, n)
+	}
+	fns := make([]func() any, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fns = append(fns, statusFns[n])
+	}
+	statusMu.Unlock()
+	out := make(map[string]any, len(names))
+	for i, n := range names {
+		out[n] = fns[i]()
+	}
+	return out
+}
+
+// Server is the debug/introspection HTTP listener: /metrics (Prometheus
+// text exposition of the registry plus registered exporters), /statusz
+// (JSON: registry snapshot + every registered status section), /eventz
+// (journal tail, newest last), and the full net/http/pprof suite under
+// /debug/pprof/ — a superset of the old bare -pprof listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr synchronously — a bad or taken address fails here, at
+// startup, not from a background goroutine after serving has begun — and
+// then serves the introspection plane until Close. reg and j default to
+// the process-wide Default registry and Log journal when nil.
+func Serve(addr string, reg *Registry, j *Journal) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	if j == nil {
+		j = Log
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+		writeExporters(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := map[string]any{
+			"now":     time.Now(),
+			"metrics": reg.Snapshot(),
+			"status":  statusSections(),
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck // best-effort debug endpoint
+	})
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, r *http.Request) {
+		n := 0 // 0 = everything retained
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, _ = strconv.Atoi(s)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(j.Tail(n)) //nolint:errcheck // best-effort debug endpoint
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // exits on Close; bind errors were surfaced above
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

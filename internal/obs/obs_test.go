@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the bucket mapping: power-of-two boundaries,
+// zero in bucket 0, clamping into the last bucket.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0}, {-5, 0},
+		{1, 1},         // [1,2)
+		{2, 2}, {3, 2}, // [2,4)
+		{4, 3}, {7, 3}, // [4,8)
+		{1023, 10}, {1024, 11},
+		{1 << 41, histBuckets - 1}, // clamped
+		{1 << 60, histBuckets - 1}, // clamped
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+	}
+	for b := 1; b < histBuckets-1; b++ {
+		lo, hi := BucketUpper(b-1), BucketUpper(b)
+		if bucketOf(lo) != b || bucketOf(hi-1) != b {
+			t.Errorf("bucket %d bounds [%d,%d) not honored", b, lo, hi)
+		}
+	}
+}
+
+// TestHistogramQuantile checks derived quantiles against a known
+// distribution: the estimate must land within the true value's bucket
+// (log-bucket resolution is the contract, not exactness).
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 90 observations at ~1µs, 9 at ~100µs, 1 at ~10ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(10 * time.Millisecond)
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	wantSum := int64(90*1000 + 9*100_000 + 10_000_000)
+	if s := h.Sum(); s != wantSum {
+		t.Fatalf("sum = %d, want %d", s, wantSum)
+	}
+	// Log-bucketed quantiles are accurate to within a factor of two of
+	// the true value — the resolution contract the bucket layout gives.
+	within2x := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < want/2 || got > want*2 {
+			t.Errorf("q%.2f = %v, want within 2x of %v", q, got, want)
+		}
+	}
+	within2x(0.50, time.Microsecond)
+	within2x(0.90, time.Microsecond)
+	within2x(0.95, 100*time.Microsecond)
+	within2x(1.00, 10*time.Millisecond)
+	// Monotonicity across the quantile range.
+	prev := time.Duration(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone: q%.2f=%v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestNilSafety: every handle type no-ops on nil receivers — call sites
+// never need to branch.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var j *Journal
+	c.Add(5)
+	c.Inc()
+	g.Set(7)
+	g.Add(1)
+	g.Max(9)
+	h.Observe(time.Second)
+	h.ObserveSince(time.Now())
+	j.Record("x", -1, "")
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if j.Tail(5) != nil || j.Since(0) != nil || j.Seq() != 0 {
+		t.Fatal("nil journal must read empty")
+	}
+}
+
+// TestSetEnabled: the kill switch freezes every instrument.
+func TestSetEnabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_enabled_total")
+	h := r.Histogram("t_enabled_seconds")
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(time.Second)
+	SetEnabled(true)
+	if c.Load() != 0 || h.Count() != 0 {
+		t.Fatal("disabled instruments must not record")
+	}
+	c.Inc()
+	if c.Load() != 1 {
+		t.Fatal("re-enabled counter must record")
+	}
+}
+
+// TestRegistryIdempotent: resolving the same name+labels twice returns
+// the same handle; different labels split series.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "kind", "a")
+	b := r.Counter("x_total", "kind", "a")
+	c := r.Counter("x_total", "kind", "b")
+	if a != b {
+		t.Fatal("same name+labels must share a handle")
+	}
+	if a == c {
+		t.Fatal("distinct labels must not share a handle")
+	}
+	a.Add(2)
+	c.Add(3)
+	snaps := r.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("want 2 series, got %d", len(snaps))
+	}
+}
+
+// TestJournalOrdering: sequence numbers strictly increase in append
+// order, the ring retains the newest cap entries, and Since windows are
+// correct across a wrap.
+func TestJournalOrdering(t *testing.T) {
+	j := NewJournal(8)
+	before := j.Seq()
+	for i := 0; i < 20; i++ {
+		j.Record("k", i, "")
+	}
+	tail := j.Tail(0)
+	if len(tail) != 8 {
+		t.Fatalf("ring should retain 8, got %d", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Seq != tail[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs after wrap: %d then %d", tail[i-1].Seq, tail[i].Seq)
+		}
+	}
+	if tail[len(tail)-1].Shard != 19 {
+		t.Fatalf("newest event lost: shard=%d", tail[len(tail)-1].Shard)
+	}
+	since := j.Since(before + 15)
+	if len(since) != 5 {
+		t.Fatalf("Since window wrong: got %d events, want 5", len(since))
+	}
+	if got := j.Tail(3); len(got) != 3 || got[2].Seq != j.Seq() {
+		t.Fatal("Tail(3) must return the 3 newest, newest last")
+	}
+}
+
+// TestJournalConcurrent: concurrent appends never duplicate or skip
+// sequence numbers.
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Record("c", -1, "")
+			}
+		}()
+	}
+	wg.Wait()
+	tail := j.Tail(0)
+	if len(tail) != 4000 {
+		t.Fatalf("retained %d, want 4000", len(tail))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range tail {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// TestWritePrometheus checks the text exposition shape: TYPE lines,
+// cumulative le buckets in seconds, _sum/_count, label merging.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tx_total", "kind", "walker").Add(7)
+	r.Gauge("depth").Set(3)
+	h := r.Histogram("lat_seconds")
+	h.Observe(3 * time.Nanosecond) // bucket 2, le 4ns
+	h.Observe(3 * time.Nanosecond)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tx_total counter",
+		`tx_total{kind="walker"} 7`,
+		"# TYPE depth gauge",
+		"depth 3",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="4e-09"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestSampleMergeLabel: coordinator-side re-exposition injects shard
+// labels into both bare and labeled series.
+func TestSampleMergeLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(4)
+	r.Counter("b_total", "kind", "x").Add(5)
+	r.Histogram("q_seconds").Observe(time.Millisecond)
+	s := r.Sample()
+	if len(s.Counters) != 4 { // a, b, q_count, q_sum_ns
+		t.Fatalf("sample size %d, want 4", len(s.Counters))
+	}
+	var buf bytes.Buffer
+	WriteSample(&buf, s, "shard", "2")
+	out := buf.String()
+	for _, want := range []string{
+		`a_total{shard="2"} 4`,
+		`b_total{kind="x",shard="2"} 5`,
+		`q_seconds_count{shard="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sample exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeEndpoints boots the HTTP plane on :0 and scrapes all three
+// endpoints plus pprof.
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	j := NewJournal(16)
+	j.Record("boot", -1, "hello")
+	RegisterStatus("t_section", func() any { return map[string]int{"x": 1} })
+	defer UnregisterStatus("t_section")
+	RegisterExporter("t_extra", func(w io.Writer) { fmt.Fprintln(w, "extra_total 9") })
+	defer UnregisterExporter("t_extra")
+	s, err := Serve("127.0.0.1:0", r, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if m := get("/metrics"); !strings.Contains(m, "up_total 1") || !strings.Contains(m, "extra_total 9") {
+		t.Errorf("/metrics missing series:\n%s", m)
+	}
+	if st := get("/statusz"); !strings.Contains(st, "t_section") || !strings.Contains(st, "up_total") {
+		t.Errorf("/statusz missing sections:\n%s", st)
+	}
+	if ev := get("/eventz"); !strings.Contains(ev, `"kind": "boot"`) {
+		t.Errorf("/eventz missing event:\n%s", ev)
+	}
+	if pp := get("/debug/pprof/cmdline"); pp == "" {
+		t.Error("pprof cmdline empty")
+	}
+	// A second bind on the same concrete address must fail synchronously.
+	if _, err := Serve(s.Addr(), r, j); err == nil {
+		t.Fatal("rebinding a taken address must fail at startup")
+	}
+}

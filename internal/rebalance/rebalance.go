@@ -23,6 +23,19 @@ package rebalance
 
 import (
 	"time"
+
+	"github.com/bingo-rw/bingo/internal/obs"
+)
+
+// Watch-loop instrumentation: phase durations (the heat barrier sweep
+// and each serial migration) plus a cycle counter, resolved once at
+// package init. The loop is interval-paced, so recording is cheap by
+// construction; the histograms are what /metrics needs to show where a
+// rebalancing cycle's time actually goes.
+var (
+	cycles    = obs.C("bingo_rebalance_cycles_total")
+	heatNs    = obs.H("bingo_rebalance_heat_seconds")
+	migrateNs = obs.H("bingo_rebalance_migrate_seconds")
 )
 
 // Default policy knobs.
@@ -266,7 +279,10 @@ func Run(ctrl Controller, opts Options, stop <-chan struct{}, onErr func(error))
 			return done
 		case <-tick.C:
 		}
+		cycles.Inc()
+		t0 := time.Now()
 		heat, err := ctrl.Heat()
+		heatNs.ObserveSince(t0)
 		if err != nil {
 			if onErr != nil {
 				onErr(err)
@@ -279,7 +295,10 @@ func Run(ctrl Controller, opts Options, stop <-chan struct{}, onErr func(error))
 				return done
 			default:
 			}
-			if err := ctrl.Migrate(m); err != nil {
+			t1 := time.Now()
+			err := ctrl.Migrate(m)
+			migrateNs.ObserveSince(t1)
+			if err != nil {
 				if onErr != nil {
 					onErr(err)
 				}

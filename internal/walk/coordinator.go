@@ -2,15 +2,43 @@ package walk
 
 import (
 	"errors"
+	"fmt"
+	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/rebalance"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
+
+// Coordinator instrumentation, resolved once at init. Query latency is
+// end to end (launch to retire, queueing included); the credit-stall
+// histogram captures each individual router stall, with stalls of at
+// least a millisecond also journaled — the ring would drown in entries
+// if every microsecond wait were recorded.
+var (
+	coordQueryNs       = obs.H("bingo_query_seconds", "svc", "coord")
+	coordDeepwalkNs    = obs.H("bingo_deepwalk_seconds")
+	coordBarrierNs     = obs.H("bingo_barrier_seconds")
+	coordIngestBatches = obs.C("bingo_ingest_batches_total", "svc", "coord")
+	coordIngestUpdates = obs.C("bingo_ingest_updates_total", "svc", "coord")
+	coordCreditStallNs = obs.H("bingo_credit_stall_seconds")
+	coordBroadcasts    = obs.C("bingo_broadcasts_total")
+	coordMigrations    = obs.C("bingo_migrations_total")
+)
+
+// journalStallMin is the credit-stall duration below which a stall is
+// counted in the histogram but not journaled.
+const journalStallMin = time.Millisecond
+
+// coordSeq distinguishes coordinator sessions in the exporter registry
+// (a process can host several, e.g. tests or the in-process demo).
+var coordSeq atomic.Uint64
 
 // ErrFabricDown is returned by coordinator-side calls whose shard fabric
 // session ended before the reply arrived (a daemon died or the transport
@@ -140,6 +168,11 @@ type coordinator struct {
 	queries, steps, batches, transfers, local, remote atomic.Int64
 	migrations, movedEdges                            atomic.Int64
 
+	// obsKey names this session's shard-sample exporter in the obs
+	// registry; Close unregisters it so a dead session's tallies stop
+	// appearing on /metrics.
+	obsKey string
+
 	errMu sync.Mutex
 	err   error
 }
@@ -257,10 +290,30 @@ func newCoordinator(port fabric.CoordPort, plan ShardPlan, cfg ShardedLiveConfig
 			rebalance.Run(c, cfg.Rebalance, c.rebStop, nil)
 		}()
 	}
+	// Re-expose the newest ack-carried shard samples on this process's
+	// /metrics, one shard label per node — the coordinator's scrape is
+	// fleet-wide whether the shards are goroutines or remote daemons.
+	c.obsKey = "coord-" + strconv.FormatUint(coordSeq.Add(1), 10)
+	obs.RegisterExporter(c.obsKey, c.writeShardSamples)
 	// Seed the broadcast stream so a reader attaching before the first
 	// plan flip still finds the session's initial state cached.
 	c.broadcastNow()
 	return c
+}
+
+// writeShardSamples re-emits every shard's latest barrier-ack metrics
+// sample with a shard label merged in — the aggregation path that makes
+// the coordinator's /metrics cover the whole fleet.
+func (c *coordinator) writeShardSamples(w io.Writer) {
+	c.mu.Lock()
+	samples := make([]obs.Sample, len(c.acks))
+	for i := range c.acks {
+		samples[i] = c.acks[i].Obs
+	}
+	c.mu.Unlock()
+	for i := range samples {
+		obs.WriteSample(w, samples[i], "shard", strconv.Itoa(i))
+	}
 }
 
 // planNow returns the live ownership plan.
@@ -350,6 +403,8 @@ func (c *coordinator) routeBatch(m coordMsg) {
 	replicated := plan.Replicas > 1
 	if !m.boot {
 		c.batches.Add(1)
+		coordIngestBatches.Inc()
+		coordIngestUpdates.Add(int64(len(m.ups)))
 	}
 	if replicated || m.boot {
 		// Track the vertex-ID horizon for replica re-priming.
@@ -421,7 +476,12 @@ func (c *coordinator) waitCredits(s int, n int64) {
 		}
 		t0 := time.Now()
 		c.credCond.Wait()
-		c.stallNs += time.Since(t0).Nanoseconds()
+		d := time.Since(t0)
+		c.stallNs += d.Nanoseconds()
+		coordCreditStallNs.Observe(d)
+		if d >= journalStallMin {
+			obs.Log.Record(obs.EvCreditStall, s, d.String())
+		}
 	}
 	c.routed[s] += n
 	if out := c.routed[s] - c.credited[s]; out > c.maxOut {
@@ -541,6 +601,7 @@ func (c *coordinator) broadcastNow() {
 		Watermarks: c.ledgerCopy(),
 		Applied:    c.appliedStamp(),
 	}
+	coordBroadcasts.Inc()
 	// Best effort: a broadcast that cannot be delivered (session tearing
 	// down) only means readers are ending too.
 	_ = c.port.PublishBroadcast(b)
@@ -566,6 +627,8 @@ func (c *coordinator) routeMigration(mg *migOp) {
 		c.onMigrated(&fabric.MigrateDone{Block: mg.block, Epoch: mg.epoch, Err: err.Error()})
 		return
 	}
+	obs.Log.Record(obs.EvMigrationOffer, mg.from,
+		fmt.Sprintf("block %d -> shard %d (epoch %d)", mg.block, mg.to, mg.epoch))
 	if err := c.port.PublishUpdates(mg.from, fabric.Ingest{
 		Offer:      fabric.MigrateOffer{Block: mg.block, To: mg.to, Epoch: mg.epoch},
 		Watermarks: c.ledgerCopy(),
@@ -573,12 +636,15 @@ func (c *coordinator) routeMigration(mg *migOp) {
 		c.setErr(err)
 	}
 	c.planv.Store(&next)
+	obs.Log.Record(obs.EvPlanFlip, -1, fmt.Sprintf("epoch %d: block %d overlay -> shard %d", next.Epoch, mg.block, mg.to))
 	cm := fabric.MigrateCommit{Block: mg.block, From: mg.from, To: mg.to, Epoch: mg.epoch, MinWatermark: c.ledger[mg.from]}
 	for i := 0; i < c.plan.Shards; i++ {
 		if err := c.port.PublishUpdates(i, fabric.Ingest{Commit: cm, Watermarks: c.ledgerCopy()}); err != nil {
 			c.setErr(err)
 		}
 	}
+	obs.Log.Record(obs.EvMigrationCommit, mg.to,
+		fmt.Sprintf("block %d from shard %d (epoch %d)", mg.block, mg.from, mg.epoch))
 	// Readers learn the flipped plan (and drop cached views of the moved
 	// block) through the broadcast stream.
 	c.broadcastNow()
@@ -643,6 +709,12 @@ func (c *coordinator) ctrlDownOp(s int) {
 		return
 	}
 	c.planv.Store(&next)
+	obs.Log.Record(obs.EvShardDeath, s, fmt.Sprintf("masked dead (epoch %d)", next.Epoch))
+	if next.Replicas > 1 {
+		// Each block the dead shard owned now answers from its group's
+		// surviving owner — the promotion the mask flip implies.
+		obs.Log.Record(obs.EvShardPromote, s, "replica group serving the dead shard's blocks")
+	}
 	sd := fabric.ShardDown{Shard: s, Epoch: next.Epoch}
 	for i := 0; i < c.plan.Shards; i++ {
 		if !next.Alive(i) {
@@ -801,6 +873,7 @@ func (c *coordinator) ctrlClearOp(s int) {
 	c.downs[s] = false
 	c.mu.Unlock()
 	c.rejoinsDone.Add(1)
+	obs.Log.Record(obs.EvShardRejoin, s, fmt.Sprintf("primed and live again (epoch %d)", next.Epoch))
 	c.broadcastNow() // readers see the shard live again
 }
 
@@ -1127,6 +1200,10 @@ func (c *coordinator) Query(start graph.VertexID, length int) ([]graph.VertexID,
 	if length <= 0 {
 		length = c.cfg.WalkLength
 	}
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	c.sendMu.RLock()
 	if c.closed {
 		c.sendMu.RUnlock()
@@ -1183,6 +1260,9 @@ func (c *coordinator) Query(start graph.VertexID, length int) ([]graph.VertexID,
 	p := <-reply
 	if p == nil {
 		return nil, ErrFabricDown
+	}
+	if !t0.IsZero() {
+		coordQueryNs.ObserveSince(t0)
 	}
 	return p, nil
 }
@@ -1245,9 +1325,16 @@ func (c *coordinator) barrier(dump, heat bool) (*barrierWait, error) {
 	}
 	c.syncs[bw.seq] = bw
 	c.mu.Unlock()
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	c.feed <- coordMsg{bar: bw}
 	c.sendMu.RUnlock()
 	<-bw.done
+	if !t0.IsZero() {
+		coordBarrierNs.ObserveSince(t0)
+	}
 	return bw, nil
 }
 
@@ -1362,7 +1449,14 @@ func (c *coordinator) DeepWalk(cfg Config, numVertices int) (Result, TransferSta
 		}
 	}
 	c.sendMu.RUnlock()
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	run.wg.Wait()
+	if !t0.IsZero() {
+		coordDeepwalkNs.ObserveSince(t0)
+	}
 
 	res := Result{Walkers: len(starts), Steps: run.steps.Load()}
 	if run.visits != nil {
@@ -1392,6 +1486,7 @@ func (c *coordinator) Close() error {
 		c.routing.Wait() // every accepted batch published
 		c.pending.Wait() // every accepted walker retired
 		c.port.Close()
+		obs.UnregisterExporter(c.obsKey)
 	}
 	c.evloop.Wait()
 	return c.Err()
@@ -1497,6 +1592,7 @@ func (c *coordinator) Migrate(m rebalance.Move) error {
 		return err
 	}
 	c.migrations.Add(1)
+	coordMigrations.Inc()
 	c.movedEdges.Add(d.Edges)
 	return nil
 }

@@ -9,7 +9,19 @@ import (
 
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Corpus-maintenance instrumentation: refresh cycle count and duration,
+// plus the truncate/regrow volume each cycle repairs. Refreshes are
+// interval-coalesced, so the record rate is bounded by the config, not
+// the feed.
+var (
+	corpusRefreshes      = obs.C("bingo_corpus_refreshes_total")
+	corpusRefreshNs      = obs.H("bingo_corpus_refresh_seconds")
+	corpusResamples      = obs.C("bingo_corpus_resamples_total")
+	corpusResampledSteps = obs.C("bingo_corpus_resampled_steps_total")
 )
 
 // This file is the standing walk corpus: instead of re-walking from
@@ -531,6 +543,10 @@ func (c *CorpusService) refreshLoop() {
 // watermark advances to the pre-steal fed value only after the dirty
 // suffixes are regrown.
 func (c *CorpusService) runRefresh() error {
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	fedWM := c.fed.Load()
 	c.tmu.Lock()
 	t := c.touches
@@ -559,6 +575,12 @@ func (c *CorpusService) runRefresh() error {
 		c.corpusWM.Store(fedWM)
 	}
 	c.refreshes.Add(1)
+	corpusRefreshes.Inc()
+	if !t0.IsZero() {
+		corpusRefreshNs.ObserveSince(t0)
+		obs.Log.Record(obs.EvCorpusRefresh, -1,
+			fmt.Sprintf("%d touches drained, %v", drained, time.Since(t0).Round(time.Microsecond)))
+	}
 	if !oldest.IsZero() {
 		if lag := time.Since(oldest).Milliseconds(); lag > c.lagMs.Load() {
 			c.lagMs.Store(lag)
@@ -612,6 +634,8 @@ func (c *CorpusService) resampleTouched(t map[graph.VertexID]int64) error {
 	c.resamples.Add(int64(len(jobs)))
 	c.resampledSteps.Add(steps)
 	c.fullWalkSteps.Add(full)
+	corpusResamples.Add(int64(len(jobs)))
+	corpusResampledSteps.Add(steps)
 	return err
 }
 

@@ -4,11 +4,23 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Kernel round instrumentation, resolved once at init. One histogram
+// observation and two counter adds per *round* (up to kernelBatch steps),
+// so the per-step overhead is amortized to nothing; the timestamp pair is
+// gated on obs.On so the kill switch removes even the clock reads.
+var (
+	kernelRounds  = obs.C("bingo_kernel_rounds_total")
+	kernelSteps   = obs.C("bingo_kernel_steps_total")
+	kernelRoundNs = obs.H("bingo_kernel_round_seconds")
 )
 
 // This file is the shared stepping kernel every serving loop in the
@@ -375,6 +387,18 @@ func walkPath(e Engine, start graph.VertexID, length int, r *xrand.RNG, buf []gr
 // draw the whole run from the lead slot's stream, where the contract is
 // distributional exactness.
 func (k *stepKernel) stepBatch(f *frontier) {
+	if !obs.On() {
+		k.stepBatchImpl(f)
+		return
+	}
+	t0 := time.Now()
+	k.stepBatchImpl(f)
+	kernelRoundNs.ObserveSince(t0)
+	kernelRounds.Inc()
+	kernelSteps.Add(int64(f.n))
+}
+
+func (k *stepKernel) stepBatchImpl(f *frontier) {
 	n := f.n
 	if k.mode == KernelSparse || k.be == nil ||
 		(k.mode == KernelAuto && n < denseMinBatch) {

@@ -3,11 +3,13 @@ package walk
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/bingo-rw/bingo/internal/concurrent"
 	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/xrand"
 )
 
@@ -71,25 +73,74 @@ func stepAndAdvance(k *stepKernel, f *frontier) {
 // test pins: steady-state stepping must not allocate.
 func BenchmarkKernelStep(b *testing.B) {
 	e := benchHubEngine(b, 4096)
+	defer obs.SetEnabled(true)
 	for _, mode := range []KernelMode{KernelSparse, KernelDense, KernelAuto} {
 		for _, cache := range []string{"off", "on"} {
-			b.Run(fmt.Sprintf("mode=%s/cache=%s", mode, cache), func(b *testing.B) {
-				k := newStepKernel(e, mode, fabric.CacheSpec{Off: cache == "off"})
-				f := getFrontier(kernelBatch)
-				defer putFrontier(f)
-				benchFrontier(f)
-				for w := 0; w < 64; w++ {
-					stepAndAdvance(k, f)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					stepAndAdvance(k, f)
-				}
-				b.ReportMetric(float64(b.N)*kernelBatch/b.Elapsed().Seconds(), "steps/s")
-			})
+			for _, obsS := range []string{"on", "off"} {
+				b.Run(fmt.Sprintf("mode=%s/cache=%s/obs=%s", mode, cache, obsS), func(b *testing.B) {
+					obs.SetEnabled(obsS == "on")
+					k := newStepKernel(e, mode, fabric.CacheSpec{Off: cache == "off"})
+					f := getFrontier(kernelBatch)
+					defer putFrontier(f)
+					benchFrontier(f)
+					for w := 0; w < 64; w++ {
+						stepAndAdvance(k, f)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						stepAndAdvance(k, f)
+					}
+					b.ReportMetric(float64(b.N)*kernelBatch/b.Elapsed().Seconds(), "steps/s")
+				})
+			}
 		}
 	}
+}
+
+// TestKernelObsOverheadBudget pins the tentpole's hot-path cost bound:
+// a metrics-on stepping round must stay within 2%% of the metrics-off
+// round. One round is kernelBatch steps, so the per-round instrument
+// cost (two counter adds, one clock read, one histogram observe) is
+// amortized across the batch; the budget is measured best-of-5 attempts
+// because wall-clock ratios on a shared machine are noisy — a genuine
+// regression fails every attempt, scheduler jitter does not.
+func TestKernelObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	e := benchHubEngine(t, 2048)
+	defer obs.SetEnabled(true)
+	run := func(on bool) time.Duration {
+		obs.SetEnabled(on)
+		k := newStepKernel(e, KernelAuto, fabric.CacheSpec{})
+		f := getFrontier(kernelBatch)
+		defer putFrontier(f)
+		benchFrontier(f)
+		for w := 0; w < 64; w++ {
+			stepAndAdvance(k, f)
+		}
+		t0 := time.Now()
+		for i := 0; i < 400; i++ {
+			stepAndAdvance(k, f)
+		}
+		return time.Since(t0)
+	}
+	const budget = 1.02
+	best := 0.0
+	for attempt := 0; attempt < 5; attempt++ {
+		off := run(false)
+		on := run(true)
+		ratio := float64(on) / float64(off)
+		if attempt == 0 || ratio < best {
+			best = ratio
+		}
+		if best <= budget {
+			t.Logf("attempt %d: metrics-on/off round ratio %.4f (within %.0f%% budget)", attempt, best, (budget-1)*100)
+			return
+		}
+	}
+	t.Errorf("metrics-on stepping round is %.1f%% slower than metrics-off across 5 attempts (budget 2%%)", (best-1)*100)
 }
 
 // TestKernelStepAllocBudget pins the satellite's allocs-per-step budget:
@@ -101,6 +152,7 @@ func BenchmarkKernelStep(b *testing.B) {
 // view extraction when it lands on cold hub-sized vertices, which is
 // cache-fill cost, not stepping cost (the benchmark reports it).
 func TestKernelStepAllocBudget(t *testing.T) {
+	obs.SetEnabled(true) // the budget must hold with the metrics layer recording
 	e := benchHubEngine(t, 2048)
 	for _, mode := range []KernelMode{KernelSparse, KernelDense, KernelAuto} {
 		for _, off := range []bool{true, false} {

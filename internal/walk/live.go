@@ -5,10 +5,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// LiveService instrumentation: end-to-end query latency (enqueue to
+// reply, so queueing shows up in the tail) and the ingest tallies,
+// labeled by serving tier so the sharded paths can reuse the families.
+var (
+	liveQueryNs       = obs.H("bingo_query_seconds", "svc", "live")
+	liveIngestBatches = obs.C("bingo_ingest_batches_total", "svc", "live")
+	liveIngestUpdates = obs.C("bingo_ingest_updates_total", "svc", "live")
+	liveIngestDropped = obs.C("bingo_ingest_dropped_total", "svc", "live")
 )
 
 // LiveEngine is the contract LiveService requires: a sampling engine whose
@@ -178,6 +190,7 @@ func (ls *LiveService) ingestLoop() {
 	for b := range ls.feed {
 		if err := ls.e.ApplyUpdates(b); err != nil {
 			ls.dropped.Add(1)
+			liveIngestDropped.Inc()
 			ls.errMu.Lock()
 			if ls.ingestErr == nil {
 				ls.ingestErr = err
@@ -187,6 +200,8 @@ func (ls *LiveService) ingestLoop() {
 		}
 		ls.batches.Add(1)
 		ls.updates.Add(int64(len(b)))
+		liveIngestBatches.Inc()
+		liveIngestUpdates.Add(int64(len(b)))
 	}
 }
 
@@ -197,6 +212,10 @@ func (ls *LiveService) Query(start graph.VertexID, length int) ([]graph.VertexID
 	if length <= 0 {
 		length = ls.cfg.WalkLength
 	}
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	req := liveReq{start: start, length: length, reply: make(chan []graph.VertexID, 1)}
 	ls.sendMu.RLock()
 	if ls.closed {
@@ -205,7 +224,11 @@ func (ls *LiveService) Query(start graph.VertexID, length int) ([]graph.VertexID
 	}
 	ls.reqs <- req
 	ls.sendMu.RUnlock()
-	return <-req.reply, nil
+	path := <-req.reply
+	if !t0.IsZero() {
+		liveQueryNs.ObserveSince(t0)
+	}
+	return path, nil
 }
 
 // Feed enqueues a batch for ingestion. It blocks when the feed queue is

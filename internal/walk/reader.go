@@ -8,7 +8,19 @@ import (
 
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 	"github.com/bingo-rw/bingo/internal/xrand"
+)
+
+// Reader-tier instrumentation: end-to-end query latency plus the
+// broadcast-fold and cache-hit tallies that show how much serving stays
+// reader-local versus funneling into the shard set.
+var (
+	readerQueryNs    = obs.H("bingo_query_seconds", "svc", "reader")
+	readerBroadcasts = obs.C("bingo_reader_broadcast_folds_total")
+	readerPlanFlips  = obs.C("bingo_reader_plan_flips_total")
+	readerLocalHits  = obs.C("bingo_reader_cache_hits_total")
+	readerLaunches   = obs.C("bingo_reader_launches_total")
 )
 
 // ErrNoWriteSession is returned when a read-coordinator attaches to a
@@ -157,6 +169,7 @@ func NewReaderService(port fabric.ReadPort, cfg ReaderConfig) (*ReaderService, e
 			break
 		}
 	}
+	obs.Log.Record(obs.EvReaderAttach, -1, "read-coordinator attached")
 	r.evloop.Add(1)
 	go r.eventLoop()
 	return r, nil
@@ -230,6 +243,7 @@ func (r *ReaderService) applyBroadcast(b *fabric.Broadcast) {
 	}
 	r.lastSeq.Store(b.Seq)
 	r.broadcasts.Add(1)
+	readerBroadcasts.Inc()
 	old := r.planNow()
 	next := ShardPlan{
 		Shards:    r.shards,
@@ -245,6 +259,7 @@ func (r *ReaderService) applyBroadcast(b *fabric.Broadcast) {
 	r.planv.Store(&next)
 	if next.Epoch != old.Epoch || next.DeadMask != old.DeadMask {
 		r.planFlips.Add(1)
+		readerPlanFlips.Inc()
 		r.rv.dropAll()
 	}
 	r.rv.advance(b.Watermarks)
@@ -359,6 +374,10 @@ func (r *ReaderService) Query(start graph.VertexID, length int) ([]graph.VertexI
 	if length <= 0 {
 		length = r.cfg.WalkLength
 	}
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
 	id := r.idSeq.Add(1)
 	rng := r.master.Split(id)
 	path := make([]graph.VertexID, 1, length+1)
@@ -383,6 +402,10 @@ func (r *ReaderService) Query(start graph.VertexID, length int) ([]graph.VertexI
 	if left == 0 {
 		r.queries.Add(1)
 		r.steps.Add(int64(length))
+		readerLocalHits.Add(int64(length))
+		if !t0.IsZero() {
+			readerQueryNs.ObserveSince(t0)
+		}
 		return path, nil
 	}
 	r.maybeRequestView(cur)
@@ -416,6 +439,11 @@ func (r *ReaderService) Query(start graph.VertexID, length int) ([]graph.VertexI
 	r.queries.Add(1)
 	r.steps.Add(w.Steps + local)
 	r.transfers.Add(w.Transfers)
+	readerLocalHits.Add(local)
+	readerLaunches.Inc()
+	if !t0.IsZero() {
+		readerQueryNs.ObserveSince(t0)
+	}
 	return w.Path, nil
 }
 
@@ -530,6 +558,7 @@ func (r *ReaderService) Stats() ReaderStats {
 // write session and every other reader are unaffected. Idempotent.
 func (r *ReaderService) Close() error {
 	r.closeOnce.Do(func() {
+		obs.Log.Record(obs.EvReaderDetach, -1, "read-coordinator detached")
 		r.port.Close()
 	})
 	r.evloop.Wait()

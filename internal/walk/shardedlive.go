@@ -240,7 +240,7 @@ func NewShardedLiveService(engines []LiveEngine, plan ShardPlan, cfg ShardedLive
 		cfg:     cfg,
 	}
 	for i := range engines {
-		s.nodes[i] = startShardNode(engines[i], plan, i, fab.ShardPort(i), cfg.WalkersPerShard, cfg.Cache, cfg.Kernel)
+		s.nodes[i] = startShardNode(engines[i], plan, i, fab.ShardPort(i), cfg.WalkersPerShard, cfg.Cache, cfg.Kernel, false)
 	}
 	s.coord = newCoordinator(fab.CoordPort(), plan, cfg)
 	s.coord.noteVerts(int64(s.NumVertices()))

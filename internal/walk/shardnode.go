@@ -10,6 +10,7 @@ import (
 	"github.com/bingo-rw/bingo/internal/core"
 	"github.com/bingo-rw/bingo/internal/fabric"
 	"github.com/bingo-rw/bingo/internal/graph"
+	"github.com/bingo-rw/bingo/internal/obs"
 )
 
 // shardNode hosts one shard's engine behind a fabric port: a crew of
@@ -90,6 +91,14 @@ type shardNode struct {
 	// survive watermarks covering routed updates they do not contain).
 	migratedIn atomic.Int64
 
+	// procWide marks a node that owns its whole process (a
+	// `bingowalk -shard-serve` daemon): its barrier-ack metrics sample
+	// then includes the process registry (fabric frame counters, kernel
+	// histograms) on top of the node tallies. In-process nodes share one
+	// registry with the coordinator and every sibling shard, so they ship
+	// only their own tallies — per-shard labels stay meaningful.
+	procWide bool
+
 	// stash holds migration blocks that arrived ahead of the commit the
 	// ingester is currently blocked on, keyed by (block, epoch). Replica
 	// priming copies blocks from *several* donors concurrently, and their
@@ -159,11 +168,11 @@ type EdgeDumper interface {
 // all have exited (the coordinator closed the session and the queues
 // drained), the node closes its port — the shard-done signal the
 // coordinator's event stream waits for.
-func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec, kernel KernelMode) *shardNode {
+func startShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec, kernel KernelMode, procWide bool) *shardNode {
 	if crew < 1 {
 		crew = 1
 	}
-	n := &shardNode{e: e, shard: shard, port: port, cache: cache, kernel: kernel, blockSteps: map[uint64]int64{}, stash: map[blockKey]*fabric.MigrateBlock{}}
+	n := &shardNode{e: e, shard: shard, port: port, cache: cache, kernel: kernel, procWide: procWide, blockSteps: map[uint64]int64{}, stash: map[blockKey]*fabric.MigrateBlock{}}
 	n.setPlan(plan)
 	if !cache.Off {
 		if ve, ok := e.(ViewSampler); ok {
@@ -434,6 +443,34 @@ func (n *shardNode) maybeRequestView(u graph.VertexID, owner int) {
 	}
 }
 
+// obsSample flattens the node's tallies for the barrier ack — the wire
+// leg of fleet-wide /metrics. Daemon nodes append their whole process
+// registry (fabric frames, kernel rounds); in-process nodes stop at the
+// node tallies so the shared registry is not duplicated per shard.
+func (n *shardNode) obsSample() obs.Sample {
+	if !obs.On() {
+		return obs.Sample{}
+	}
+	s := obs.Sample{Counters: []obs.KV{
+		{Key: "bingo_node_steps_total", Val: n.steps.Load()},
+		{Key: "bingo_node_transfers_total", Val: n.transfers.Load()},
+		{Key: "bingo_node_local_steps_total", Val: n.local.Load()},
+		{Key: "bingo_node_remote_steps_total", Val: n.remote.Load()},
+		{Key: "bingo_node_updates_total", Val: n.updates.Load()},
+		{Key: "bingo_node_dropped_batches_total", Val: n.dropped.Load()},
+		{Key: "bingo_node_migrated_edges_total", Val: n.migratedIn.Load()},
+		{Key: "bingo_node_cache_local_hits_total", Val: n.localHits.Load()},
+		{Key: "bingo_node_cache_local_stale_total", Val: n.localStale.Load()},
+		{Key: "bingo_node_cache_remote_stale_total", Val: n.remoteStaleN.Load()},
+		{Key: "bingo_node_view_requests_total", Val: n.viewReqs.Load()},
+		{Key: "bingo_node_views_served_total", Val: n.viewsServed.Load()},
+	}}
+	if n.procWide {
+		s.Counters = append(s.Counters, obs.Default.Sample().Counters...)
+	}
+	return s
+}
+
 // ingestLoop applies the shard's routed sub-batches in arrival order and
 // acknowledges barriers with the node's cumulative tallies (the ack is
 // what makes distributed ingest progress observable at the coordinator).
@@ -480,6 +517,7 @@ func (n *shardNode) ingestLoop() {
 				Vertices: n.e.NumVertices(),
 				Steps:    n.steps.Load(),
 				Cache:    n.cacheTallies(),
+				Obs:      n.obsSample(),
 			}
 			if err := n.firstErr(); err != nil {
 				a.Err = err.Error()
@@ -939,7 +977,7 @@ type ShardNodeStats struct {
 // tallies and the first ingest error. This is the body of
 // `bingowalk -shard-serve`.
 func RunShardNode(e LiveEngine, plan ShardPlan, shard int, port fabric.ShardPort, crew int, cache fabric.CacheSpec, kernel KernelMode) (ShardNodeStats, error) {
-	n := startShardNode(e, plan, shard, port, crew, cache, kernel)
+	n := startShardNode(e, plan, shard, port, crew, cache, kernel, true)
 	n.wait()
 	st := ShardNodeStats{
 		Steps:         n.steps.Load(),
